@@ -1,0 +1,215 @@
+//! The three processing-element architectures of the evaluation.
+//!
+//! Unit counts and compute areas come straight from Table II (BERT-Base,
+//! 512 KB configuration): Tensor Cores 2048 units / 16.1 mm², GOBO 2560 /
+//! 15.9 mm², Mokey 3072 / 14.8 mm² — iso-compute-area by construction
+//! ("Since the area of each Mokey processing element (PE) is smaller …
+//! Mokey can afford to pack more elements within less area", "the Mokey PE
+//! is 39% smaller compared to a tensor-core unit with an equivalent
+//! compute-capability").
+//!
+//! Per-MAC energies are calibrated from the paper's Table III energy
+//! breakdown (compute energy over total MACs; see `DESIGN.md`).
+
+use crate::sram::InterfaceWidth;
+use serde::{Deserialize, Serialize};
+
+/// Which accelerator family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchKind {
+    /// FP16 Tensor-Cores-style spatial array.
+    TensorCores,
+    /// The GOBO accelerator (MICRO 2020): 3–4 b dictionary weights,
+    /// FP16 activations and adder-based PEs.
+    Gobo,
+    /// The Mokey accelerator: 4 b weights *and* activations, index-domain
+    /// Gaussian PEs with shared outlier/post-processing units.
+    Mokey,
+}
+
+impl ArchKind {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArchKind::TensorCores => "FP16 Tensor Cores",
+            ArchKind::Gobo => "FP16 GOBO",
+            ArchKind::Mokey => "Mokey",
+        }
+    }
+}
+
+/// Mokey-as-memory-compression deployment modes over the Tensor Cores
+/// baseline (paper Section IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemCompression {
+    /// No compression (plain baseline).
+    None,
+    /// Off-chip only: values travel DRAM↔chip as 4-bit indexes, expand to
+    /// FP16 at the chip boundary (buffers hold FP16).
+    OffChip,
+    /// Off-chip and on-chip: buffers hold 5-bit indexes, expansion happens
+    /// at the compute units.
+    OffChipOnChip,
+}
+
+/// A complete accelerator description consumed by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Family.
+    pub kind: ArchKind,
+    /// Peak multiply-accumulates per cycle (= unit count, one MAC per unit
+    /// per cycle).
+    pub peak_macs: u64,
+    /// Compute-array area, mm² at 65 nm (Table II).
+    pub compute_area_mm2: f64,
+    /// Energy per MAC-equivalent operation, picojoules (calibrated).
+    pub mac_energy_pj: f64,
+    /// Off-chip bits per *weight* value (effective, incl. container
+    /// metadata).
+    pub weight_bits_mem: f64,
+    /// Off-chip bits per *activation* value.
+    pub act_bits_mem: f64,
+    /// On-chip bits per weight value.
+    pub weight_bits_buf: f64,
+    /// On-chip bits per activation value.
+    pub act_bits_buf: f64,
+    /// Buffer interface width class (area model).
+    pub interface: InterfaceWidth,
+}
+
+/// Effective off-chip bits/value of the Fig. 5 container: 4-bit payload +
+/// 6 bits per group of 64 + 6 bits per outlier at the paper's average
+/// outlier rates (≈ 3%): `4 + 6/64 + 0.03·6 ≈ 4.27`.
+pub const MOKEY_MEM_BITS: f64 = 4.27;
+
+/// On-chip 5-bit form (1 dictionary + 1 sign + 3 index).
+pub const MOKEY_BUF_BITS: f64 = 5.0;
+
+impl Accelerator {
+    /// The FP16 Tensor-Cores baseline (2048 MACs/cycle, 16.1 mm²).
+    pub fn tensor_cores() -> Self {
+        Self {
+            kind: ArchKind::TensorCores,
+            peak_macs: 2048,
+            compute_area_mm2: 16.1,
+            mac_energy_pj: 7.7,
+            weight_bits_mem: 16.0,
+            act_bits_mem: 16.0,
+            weight_bits_buf: 16.0,
+            act_bits_buf: 16.0,
+            interface: InterfaceWidth::Wide,
+        }
+    }
+
+    /// The GOBO accelerator (2560 units, 15.9 mm²): weights as 4-bit
+    /// dictionary indexes (3 b + outlier overhead), activations FP16,
+    /// FP16 adder-based PEs (~30% cheaper than a MAC).
+    pub fn gobo() -> Self {
+        Self {
+            kind: ArchKind::Gobo,
+            peak_macs: 2560,
+            compute_area_mm2: 15.9,
+            mac_energy_pj: 5.4,
+            weight_bits_mem: 4.1,
+            act_bits_mem: 16.0,
+            weight_bits_buf: 4.0,
+            act_bits_buf: 16.0,
+            interface: InterfaceWidth::Wide,
+        }
+    }
+
+    /// The Mokey accelerator (3072 lanes, 14.8 mm²): everything 4-bit
+    /// off-chip / 5-bit on-chip, counting-based Gaussian PEs ("2.7× less
+    /// energy … than FP16 Tensor Cores units" per unit; calibrated to the
+    /// Table III compute-energy aggregate).
+    pub fn mokey() -> Self {
+        Self {
+            kind: ArchKind::Mokey,
+            peak_macs: 3072,
+            compute_area_mm2: 14.8,
+            mac_energy_pj: 3.9,
+            weight_bits_mem: MOKEY_MEM_BITS,
+            act_bits_mem: MOKEY_MEM_BITS,
+            weight_bits_buf: MOKEY_BUF_BITS,
+            act_bits_buf: MOKEY_BUF_BITS,
+            interface: InterfaceWidth::Narrow,
+        }
+    }
+
+    /// Applies a memory-compression mode (meaningful on the Tensor Cores
+    /// baseline): adjusts data widths, leaves compute untouched.
+    pub fn with_compression(mut self, mode: MemCompression) -> Self {
+        match mode {
+            MemCompression::None => {}
+            MemCompression::OffChip => {
+                self.weight_bits_mem = MOKEY_MEM_BITS;
+                self.act_bits_mem = MOKEY_MEM_BITS;
+            }
+            MemCompression::OffChipOnChip => {
+                self.weight_bits_mem = MOKEY_MEM_BITS;
+                self.act_bits_mem = MOKEY_MEM_BITS;
+                self.weight_bits_buf = MOKEY_BUF_BITS;
+                self.act_bits_buf = MOKEY_BUF_BITS;
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_counts_match_table2() {
+        assert_eq!(Accelerator::tensor_cores().peak_macs, 2048);
+        assert_eq!(Accelerator::gobo().peak_macs, 2560);
+        assert_eq!(Accelerator::mokey().peak_macs, 3072);
+    }
+
+    #[test]
+    fn iso_compute_area_holds() {
+        // Table II: all three compute arrays within ~10% of each other,
+        // Mokey smallest.
+        let tc = Accelerator::tensor_cores().compute_area_mm2;
+        let mokey = Accelerator::mokey().compute_area_mm2;
+        let gobo = Accelerator::gobo().compute_area_mm2;
+        assert!(mokey < gobo && gobo < tc);
+        assert!((tc - mokey) / tc < 0.15);
+    }
+
+    #[test]
+    fn mokey_pe_is_39_percent_smaller_per_equivalent_unit() {
+        // Area per MAC/cycle: TC 16.1/2048, Mokey 14.8/3072 -> ~39% less.
+        let tc = Accelerator::tensor_cores();
+        let mokey = Accelerator::mokey();
+        let tc_per = tc.compute_area_mm2 / tc.peak_macs as f64;
+        let mokey_per = mokey.compute_area_mm2 / mokey.peak_macs as f64;
+        let reduction = 1.0 - mokey_per / tc_per;
+        assert!((reduction - 0.39).abs() < 0.05, "PE area reduction {reduction}");
+    }
+
+    #[test]
+    fn mokey_pe_energy_ratio_near_2x_aggregate() {
+        // Table III: 0.95 J vs 0.48 J for the same MACs.
+        let ratio = Accelerator::tensor_cores().mac_energy_pj / Accelerator::mokey().mac_energy_pj;
+        assert!(ratio > 1.8 && ratio < 2.8, "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn compression_modes_change_only_widths() {
+        let base = Accelerator::tensor_cores();
+        let oc = Accelerator::tensor_cores().with_compression(MemCompression::OffChip);
+        assert_eq!(oc.peak_macs, base.peak_macs);
+        assert!(oc.weight_bits_mem < 5.0);
+        assert_eq!(oc.weight_bits_buf, 16.0);
+        let ocon = Accelerator::tensor_cores().with_compression(MemCompression::OffChipOnChip);
+        assert_eq!(ocon.weight_bits_buf, MOKEY_BUF_BITS);
+    }
+
+    #[test]
+    fn container_bits_account_for_metadata() {
+        // 4-bit payload + 6/64 group + ~3% × 6 outlier positions.
+        assert!((MOKEY_MEM_BITS - (4.0 + 6.0 / 64.0 + 0.03 * 6.0)).abs() < 0.01);
+    }
+}

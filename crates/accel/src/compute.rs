@@ -1,0 +1,253 @@
+//! Compute-cycle models (paper Section III-B).
+//!
+//! Tensor Cores and GOBO are straightforward spatial MAC arrays: cycles =
+//! MACs / peak. The Mokey accelerator needs more care — its tile is 8
+//! Gaussian PEs (8 lanes each) sharing one Outlier/Post-Processing unit,
+//! so two serialization effects cost cycles on top of the 3072-lane peak:
+//!
+//! 1. **Outlier serialization.** Any (activation, weight) pair with an
+//!    outlier operand bypasses the GPEs and is MAC'd in the OPP; "the
+//!    lowest index GPE that contains an outlier is selected … all other
+//!    GPEs with outliers send a hold signal". Modelled as an OPP service
+//!    queue with a fixed per-tile throughput.
+//! 2. **CRF post-processing.** After each dot product the 15+8+8+1 counter
+//!    entries are scanned and reduced; with ping-pong CRFs this overlaps
+//!    accumulation but still occupies the shared OPP.
+//!
+//! The tile's sustained rate is therefore `max(lane time, OPP time)` per
+//! block of work.
+
+use crate::arch::{Accelerator, ArchKind};
+use mokey_transformer::workload::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// Mokey tile microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MokeyTileParams {
+    /// Lanes per GPE (pairs consumed per GPE per cycle).
+    pub lanes_per_gpe: u64,
+    /// GPEs sharing one OPP.
+    pub gpes_per_tile: u64,
+    /// Average cycles a GPE is held per outlier pair it encounters (the
+    /// `hldA`/`hldW` back-pressure plus OPP queueing).
+    pub hold_cycles_per_outlier: f64,
+    /// CRF entries scanned per cycle during post-processing (the CRF read
+    /// port is wide; the scan pipelines through the OPP's MAC).
+    pub crf_entries_per_cycle: f64,
+    /// CRF entries per output (SoI 15 + SoA1 8 + SoW1 8 + PoM1 1).
+    pub crf_entries_per_output: u64,
+}
+
+impl Default for MokeyTileParams {
+    fn default() -> Self {
+        Self {
+            lanes_per_gpe: 8,
+            gpes_per_tile: 8,
+            // The OPP is pipelined and fed through per-GPE queues
+            // (`hldA`/`hldW` assert only on back-pressure), so the average
+            // hold per outlier is sub-cycle at the paper's ≤6% pair rates.
+            // 0.3 is calibrated to the paper's envelope: Mokey compute sits
+            // between the 3072-lane ideal and Tensor Cores (Table III) and
+            // stays at or above GOBO's throughput at every buffer size
+            // (Fig. 12).
+            hold_cycles_per_outlier: 0.3,
+            crf_entries_per_cycle: 16.0,
+            crf_entries_per_output: 32,
+        }
+    }
+}
+
+/// Per-workload outlier rates (Table I's "W OT %" / "A OT %"), which drive
+/// the OPP load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutlierRates {
+    /// Fraction of weight values that are outliers.
+    pub weight: f64,
+    /// Fraction of activation values that are outliers.
+    pub activation: f64,
+}
+
+impl OutlierRates {
+    /// Probability that a multiply pair contains at least one outlier.
+    pub fn pair_rate(&self) -> f64 {
+        1.0 - (1.0 - self.weight) * (1.0 - self.activation)
+    }
+}
+
+impl Default for OutlierRates {
+    fn default() -> Self {
+        // Paper averages: 1.5% weights, 4.5% activations.
+        Self { weight: 0.015, activation: 0.045 }
+    }
+}
+
+/// Compute cycles for one GEMM on an accelerator.
+///
+/// # Panics
+///
+/// Panics if the accelerator has zero peak throughput.
+pub fn gemm_compute_cycles(
+    g: &GemmShape,
+    accel: &Accelerator,
+    rates: &OutlierRates,
+    tile: &MokeyTileParams,
+) -> u64 {
+    assert!(accel.peak_macs > 0, "accelerator must have compute units");
+    match accel.kind {
+        ArchKind::TensorCores | ArchKind::Gobo => g.macs().div_ceil(accel.peak_macs),
+        ArchKind::Mokey => mokey_cycles(g, accel, rates, tile),
+    }
+}
+
+fn mokey_cycles(
+    g: &GemmShape,
+    accel: &Accelerator,
+    rates: &OutlierRates,
+    tile: &MokeyTileParams,
+) -> u64 {
+    let lanes_per_tile = tile.lanes_per_gpe * tile.gpes_per_tile;
+    let tiles = (accel.peak_macs / lanes_per_tile).max(1);
+    let total_gpes = tiles * tile.gpes_per_tile;
+    let macs = g.macs();
+    let outputs = g.out_values() * g.count as u64;
+
+    // GPE lane time: each GPE streams 8 pairs/cycle; K may not divide the
+    // lane width, so each output costs ceil(k/8) GPE-cycles.
+    let gpe_cycles_total = outputs * (g.k as u64).div_ceil(tile.lanes_per_gpe);
+    let lane_time = gpe_cycles_total.div_ceil(total_gpes);
+
+    // Outlier hold time: each outlier pair back-pressures its GPE for
+    // about one cycle while the OPP retires it.
+    let outlier_pairs = macs as f64 * rates.pair_rate();
+    let hold_time =
+        (outlier_pairs * tile.hold_cycles_per_outlier / total_gpes as f64).ceil() as u64;
+
+    // CRF post-processing: with ping-pong counter files the scan overlaps
+    // the next dot product's accumulation, but it still occupies the
+    // shared OPP — for short-K GEMMs (attention) this becomes the bound.
+    let drain_time = ((outputs * tile.crf_entries_per_output) as f64
+        / (tile.crf_entries_per_cycle * tiles as f64))
+        .ceil() as u64;
+
+    (lane_time + hold_time).max(drain_time)
+}
+
+/// Total compute cycles over a workload.
+pub fn workload_compute_cycles(
+    gemms: &[GemmShape],
+    accel: &Accelerator,
+    rates: &OutlierRates,
+    tile: &MokeyTileParams,
+) -> u64 {
+    gemms.iter().map(|g| gemm_compute_cycles(g, accel, rates, tile)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_transformer::workload::model_gemms;
+    use mokey_transformer::ModelConfig;
+
+    #[test]
+    fn tensor_cores_is_exact_mac_division() {
+        let gemms = model_gemms(&ModelConfig::bert_large(), 384, 1);
+        let tc = Accelerator::tensor_cores();
+        let cycles = workload_compute_cycles(
+            &gemms,
+            &tc,
+            &OutlierRates::default(),
+            &MokeyTileParams::default(),
+        );
+        // Table III: 60M cycles for BERT-Large SQuAD on 2048 MACs/cycle.
+        assert!(
+            (55_000_000..70_000_000).contains(&cycles),
+            "TC cycles {cycles}"
+        );
+    }
+
+    #[test]
+    fn mokey_is_slower_than_ideal_but_faster_than_tc() {
+        // Table III: Mokey 55M vs TC 60M compute cycles, vs a 40M ideal.
+        let gemms = model_gemms(&ModelConfig::bert_large(), 384, 1);
+        let mokey = Accelerator::mokey();
+        let rates = OutlierRates { weight: 0.0154, activation: 0.017 }; // SQuAD row
+        let cycles =
+            workload_compute_cycles(&gemms, &mokey, &rates, &MokeyTileParams::default());
+        let ideal: u64 = gemms.iter().map(|g| g.macs()).sum::<u64>() / 3072;
+        assert!(cycles > ideal, "must pay outlier/pp overhead");
+        assert!(
+            cycles < ideal * 2,
+            "overhead too large: {cycles} vs ideal {ideal}"
+        );
+        let tc_cycles = workload_compute_cycles(
+            &gemms,
+            &Accelerator::tensor_cores(),
+            &rates,
+            &MokeyTileParams::default(),
+        );
+        assert!(cycles < tc_cycles, "Mokey {cycles} should beat TC {tc_cycles}");
+    }
+
+    #[test]
+    fn higher_outlier_rates_cost_cycles() {
+        let gemms = model_gemms(&ModelConfig::bert_base(), 128, 1);
+        let mokey = Accelerator::mokey();
+        let tile = MokeyTileParams::default();
+        let low = workload_compute_cycles(
+            &gemms,
+            &mokey,
+            &OutlierRates { weight: 0.001, activation: 0.001 },
+            &tile,
+        );
+        let high = workload_compute_cycles(
+            &gemms,
+            &mokey,
+            &OutlierRates { weight: 0.05, activation: 0.10 },
+            &tile,
+        );
+        assert!(high > low, "outliers must cost cycles: {high} vs {low}");
+    }
+
+    #[test]
+    fn pair_rate_combines_independently() {
+        let r = OutlierRates { weight: 0.015, activation: 0.045 };
+        assert!((r.pair_rate() - (1.0 - 0.985 * 0.955)).abs() < 1e-12);
+        // Paper: "less than 4% of the multiplications in BERT" — the
+        // SQuAD rates give ~3.2%.
+        let squad = OutlierRates { weight: 0.0154, activation: 0.017 };
+        assert!(squad.pair_rate() < 0.04);
+    }
+
+    #[test]
+    fn short_k_gemms_pay_post_processing() {
+        // Attention P·V has k = seq; at small k the CRF drain dominates.
+        let short = GemmShape {
+            name: "pv".into(),
+            m: 64,
+            k: 16,
+            n: 64,
+            count: 16,
+            lhs: mokey_transformer::workload::OperandKind::Activation,
+            rhs: mokey_transformer::workload::OperandKind::Activation,
+        };
+        let mokey = Accelerator::mokey();
+        let cycles = gemm_compute_cycles(
+            &short,
+            &mokey,
+            &OutlierRates::default(),
+            &MokeyTileParams::default(),
+        );
+        let ideal = short.macs().div_ceil(mokey.peak_macs);
+        assert!(cycles as f64 > ideal as f64 * 1.5, "short-k pp: {cycles} vs {ideal}");
+    }
+
+    #[test]
+    fn gobo_between_tc_and_mokey_in_throughput() {
+        let gemms = model_gemms(&ModelConfig::bert_base(), 128, 1);
+        let rates = OutlierRates::default();
+        let tile = MokeyTileParams::default();
+        let tc = workload_compute_cycles(&gemms, &Accelerator::tensor_cores(), &rates, &tile);
+        let gobo = workload_compute_cycles(&gemms, &Accelerator::gobo(), &rates, &tile);
+        assert!(gobo < tc);
+    }
+}

@@ -1,0 +1,340 @@
+//! DDR4-3200 dual-channel DRAM timing and energy model.
+//!
+//! The paper uses DRAMSIM3 "to model DRAM transactions for a DDR4-3200
+//! dual-channel main memory". This module reproduces the two properties
+//! the evaluation depends on — sustained streaming bandwidth below the
+//! 51.2 GB/s peak and per-access energy — with an explicit bank-state
+//! machine: per-bank open rows, tRP/tRCD/tCL timing, a shared per-channel
+//! data bus, and address interleaving across channels and banks.
+//!
+//! Timing parameters are expressed in accelerator cycles (1 GHz, as in the
+//! paper's synthesis target), so a 64-byte burst occupies the channel for
+//! `64 B / 25.6 B-per-cycle = 2.5` cycles → modelled as 5 half-cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// DDR4-3200 timing/geometry configuration (per channel), in 1 GHz
+/// accelerator cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Independent channels (paper: dual channel).
+    pub channels: usize,
+    /// Banks per channel (DDR4: 4 bank groups × 4 banks).
+    pub banks: usize,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+    /// Bytes per burst (BL8 × 64-bit bus).
+    pub burst_bytes: u64,
+    /// Row-to-column delay, cycles.
+    pub t_rcd: u64,
+    /// Precharge time, cycles.
+    pub t_rp: u64,
+    /// CAS latency, cycles.
+    pub t_cl: u64,
+    /// Burst occupancy of the channel data bus, in half-cycles
+    /// (DDR4-3200: 64 B at 25.6 GB/s = 2.5 cycles = 5 half-cycles).
+    pub burst_half_cycles: u64,
+    /// Energy per activate (row open + precharge), picojoules.
+    pub activate_pj: f64,
+    /// Energy per transferred byte (array + I/O), picojoules.
+    pub pj_per_byte: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            channels: 2,
+            banks: 16,
+            row_bytes: 8192,
+            burst_bytes: 64,
+            t_rcd: 14,
+            t_rp: 14,
+            t_cl: 14,
+            burst_half_cycles: 5,
+            activate_pj: 1500.0,
+            // Calibrated to the paper's own implied constant: Table III
+            // reports 5.79 J of off-chip energy for ~189 GB of traffic on
+            // the 256 KB Tensor Cores configuration (~30 pJ/B).
+            pj_per_byte: 30.0,
+        }
+    }
+}
+
+/// Outcome of simulating a transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramResult {
+    /// Total cycles from first command to last data beat.
+    pub cycles: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Row activations performed.
+    pub activates: u64,
+    /// Total DRAM energy in joules.
+    pub energy_j: f64,
+}
+
+impl DramResult {
+    /// Achieved bandwidth in bytes per accelerator cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Bank-state DRAM model.
+#[derive(Debug, Clone, Default)]
+pub struct DramModel {
+    config: DramConfig,
+}
+
+/// Cap on individually simulated bursts; beyond this the model simulates a
+/// proportional prefix and scales (documented in `DESIGN.md` — the bank
+/// behaviour of a steady stream is periodic, so the prefix efficiency is
+/// representative).
+const BURST_SIM_CAP: u64 = 100_000;
+
+impl DramModel {
+    /// A model with the given configuration.
+    pub fn new(config: DramConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Simulates round-robin streaming of several sequential streams (the
+    /// Fig. 5 two-stream container, weight+activation fetch, etc.). Each
+    /// stream starts at a distinct large base address; requests interleave
+    /// in chunks of 8 bursts (512 B), as a streaming prefetcher would.
+    pub fn stream(&self, stream_bytes: &[u64]) -> DramResult {
+        let total_bytes: u64 = stream_bytes.iter().sum();
+        if total_bytes == 0 {
+            return DramResult { cycles: 0, bytes: 0, activates: 0, energy_j: 0.0 };
+        }
+        let c = &self.config;
+        let total_bursts = total_bytes.div_ceil(c.burst_bytes);
+        let sim_bursts = total_bursts.min(BURST_SIM_CAP);
+        let scale = total_bursts as f64 / sim_bursts as f64;
+
+        // Per-stream cursors (addresses in bursts), spread across address
+        // space AND staggered across banks — a real allocator does not
+        // align every tensor to the same bank.
+        let mut cursors: Vec<u64> = (0..stream_bytes.len())
+            .map(|i| ((i as u64) << 24) + (i as u64) * 256 * 3)
+            .collect();
+        let mut remaining: Vec<u64> = stream_bytes
+            .iter()
+            .map(|&b| {
+                let share = (b as f64 / total_bytes as f64 * sim_bursts as f64).ceil() as u64;
+                share.max(1)
+            })
+            .collect();
+
+        // Bank and bus state, in half-cycles. `bank_avail` is when the
+        // open row can accept column commands; `bank_busy` is when the
+        // bank's current data transfer finishes (earliest precharge).
+        let mut bank_row = vec![u64::MAX; c.channels * c.banks];
+        let mut bank_avail = vec![0u64; c.channels * c.banks];
+        let mut bank_busy = vec![0u64; c.channels * c.banks];
+        let mut bus_free = vec![0u64; c.channels];
+        let mut activates: u64 = 0;
+        let mut done_bursts: u64 = 0;
+        let chunk = 8u64;
+
+        'outer: loop {
+            let mut progressed = false;
+            for s in 0..cursors.len() {
+                if remaining[s] == 0 {
+                    continue;
+                }
+                let n = chunk.min(remaining[s]);
+                for _ in 0..n {
+                    let addr = cursors[s] * c.burst_bytes;
+                    let channel = ((addr / c.burst_bytes) % c.channels as u64) as usize;
+                    let row_global = addr / (c.row_bytes * c.channels as u64);
+                    let bank = (row_global % c.banks as u64) as usize;
+                    let row = row_global / c.banks as u64;
+                    let bi = channel * c.banks + bank;
+
+                    if bank_row[bi] != row {
+                        // Precharge + activate as soon as the bank quiesces
+                        // (overlaps with other banks' data transfers).
+                        bank_avail[bi] = bank_busy[bi] + 2 * (c.t_rp + c.t_rcd);
+                        bank_row[bi] = row;
+                        activates += 1;
+                    }
+                    let data_start = bus_free[channel].max(bank_avail[bi] + 2 * c.t_cl);
+                    bus_free[channel] = data_start + c.burst_half_cycles;
+                    bank_busy[bi] = data_start + c.burst_half_cycles;
+                    cursors[s] += 1;
+                    done_bursts += 1;
+                    if done_bursts >= sim_bursts {
+                        break 'outer;
+                    }
+                }
+                remaining[s] -= n;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        let end_half = bus_free.iter().copied().max().unwrap_or(0);
+        let sim_cycles = end_half.div_ceil(2).max(1);
+        let cycles = (sim_cycles as f64 * scale).ceil() as u64;
+        let total_activates = (activates as f64 * scale).ceil() as u64;
+        let energy_j = (total_bytes as f64 * c.pj_per_byte
+            + total_activates as f64 * c.activate_pj)
+            * 1e-12;
+        DramResult { cycles, bytes: total_bytes, activates: total_activates, energy_j }
+    }
+
+    /// Simulates `requests` independent random-address bursts (dependent
+    /// pointer-chasing style) — the worst case, used by tests to bound the
+    /// model.
+    pub fn random_access(&self, requests: u64, seed: u64) -> DramResult {
+        let c = &self.config;
+        let sim = requests.min(BURST_SIM_CAP);
+        let scale = requests as f64 / sim.max(1) as f64;
+        let mut bank_row = vec![u64::MAX; c.channels * c.banks];
+        let mut state = seed | 1;
+        let mut activates = 0u64;
+        let mut finish = 0u64;
+        for _ in 0..sim {
+            // xorshift for reproducible pseudo-random addresses.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let addr = (state % (1 << 32)) * c.burst_bytes;
+            let channel = ((addr / c.burst_bytes) % c.channels as u64) as usize;
+            let row_global = addr / (c.row_bytes * c.channels as u64);
+            let bank = (row_global % c.banks as u64) as usize;
+            let row = row_global / c.banks as u64;
+            let bi = channel * c.banks + bank;
+            // Dependent accesses: the next request issues only after the
+            // previous data returns, so latencies add up serially.
+            let mut start = finish;
+            if bank_row[bi] != row {
+                start += 2 * (c.t_rp + c.t_rcd);
+                bank_row[bi] = row;
+                activates += 1;
+            }
+            finish = start + 2 * c.t_cl + c.burst_half_cycles;
+        }
+        let cycles = ((finish.div_ceil(2)) as f64 * scale).ceil() as u64;
+        let bytes = requests * c.burst_bytes;
+        let total_activates = (activates as f64 * scale).ceil() as u64;
+        let energy_j =
+            (bytes as f64 * c.pj_per_byte + total_activates as f64 * c.activate_pj) * 1e-12;
+        DramResult { cycles, bytes, activates: total_activates, energy_j }
+    }
+
+    /// Sustained streaming efficiency (fraction of the 51.2 GB/s peak) for
+    /// a given stream count, measured on a representative sample.
+    pub fn stream_efficiency(&self, streams: usize) -> f64 {
+        let per = 4 << 20; // 4 MB per stream sample
+        let result = self.stream(&vec![per as u64; streams.max(1)]);
+        let peak = self.peak_bytes_per_cycle();
+        (result.bytes_per_cycle() / peak).min(1.0)
+    }
+
+    /// Theoretical peak bytes per accelerator cycle
+    /// (`channels × burst / (burst_half_cycles/2)`).
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        let c = &self.config;
+        c.channels as f64 * c.burst_bytes as f64 / (c.burst_half_cycles as f64 / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bandwidth_matches_ddr4_3200_dual_channel() {
+        let model = DramModel::default();
+        // 2 channels × 25.6 GB/s = 51.2 B/cycle at 1 GHz.
+        assert!((model.peak_bytes_per_cycle() - 51.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_stream_achieves_high_efficiency() {
+        let model = DramModel::default();
+        let eff = model.stream_efficiency(1);
+        assert!(eff > 0.75, "single-stream efficiency {eff}");
+    }
+
+    #[test]
+    fn two_streams_remain_efficient() {
+        // The Fig. 5 container reads two sequential streams.
+        let model = DramModel::default();
+        let eff = model.stream_efficiency(2);
+        assert!(eff > 0.6, "two-stream efficiency {eff}");
+    }
+
+    #[test]
+    fn many_streams_stay_within_physical_bounds() {
+        // Extra streams expose more bank parallelism (hiding activate
+        // latency) but can never exceed the data-bus peak.
+        let model = DramModel::default();
+        for streams in [1usize, 2, 4, 8, 16] {
+            let eff = model.stream_efficiency(streams);
+            assert!(eff > 0.3 && eff <= 1.0, "{streams}-stream efficiency {eff}");
+        }
+    }
+
+    #[test]
+    fn random_access_is_much_slower_than_streaming() {
+        let model = DramModel::default();
+        let stream = model.stream(&[64 * 100_000]);
+        let random = model.random_access(100_000, 7);
+        assert!(
+            random.cycles > stream.cycles * 5,
+            "random {} vs stream {}",
+            random.cycles,
+            stream.cycles
+        );
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_bytes() {
+        let model = DramModel::default();
+        let small = model.stream(&[10 << 20]);
+        let large = model.stream(&[40 << 20]);
+        let ratio = large.cycles as f64 / small.cycles as f64;
+        assert!((ratio - 4.0).abs() < 0.5, "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_scales_with_traffic() {
+        let model = DramModel::default();
+        let r = model.stream(&[100 << 20]);
+        let pj_per_byte = r.energy_j * 1e12 / r.bytes as f64;
+        // Burst energy + amortized activates: ~30-40 pJ/B for streaming.
+        assert!(pj_per_byte > 25.0 && pj_per_byte < 45.0, "pJ/B {pj_per_byte}");
+    }
+
+    #[test]
+    fn empty_transfer_is_free() {
+        let model = DramModel::default();
+        let r = model.stream(&[]);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.energy_j, 0.0);
+    }
+
+    #[test]
+    fn large_transfers_use_sampling_consistently() {
+        // Beyond the cap the result must stay proportional.
+        let model = DramModel::default();
+        let a = model.stream(&[1 << 30]);
+        let b = model.stream(&[2 << 30]);
+        let ratio = b.cycles as f64 / a.cycles as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "sampled scaling {ratio}");
+    }
+}

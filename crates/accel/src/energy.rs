@@ -1,0 +1,54 @@
+//! Energy accounting across DRAM, on-chip buffers, and compute.
+//!
+//! Constants live with their models ([`crate::dram`], [`crate::sram`],
+//! [`crate::arch`]); this module aggregates them into the Table II/III
+//! breakdown shape.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy breakdown of one simulated run, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Off-chip memory (DRAM array + I/O + activates).
+    pub dram_j: f64,
+    /// On-chip buffer reads/writes.
+    pub sram_j: f64,
+    /// Processing elements (MACs / histogram updates / quantizer ladders).
+    pub compute_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.dram_j + self.sram_j + self.compute_j
+    }
+
+    /// Off-chip share of the total (the paper reports 82% at 256 KB,
+    /// 53% at 4 MB for the Tensor Cores baseline).
+    pub fn dram_share(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.dram_j / self.total()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let e = EnergyBreakdown { dram_j: 8.0, sram_j: 1.0, compute_j: 1.0 };
+        assert_eq!(e.total(), 10.0);
+        assert!((e.dram_share() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let e = EnergyBreakdown::default();
+        assert_eq!(e.total(), 0.0);
+        assert_eq!(e.dram_share(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Cycle-level accelerator simulation for the Mokey reproduction
+//! (paper Sections III–IV).
+//!
+//! The paper's hardware evaluation compares three accelerators at 1 GHz in
+//! a 65 nm node — an FP16 Tensor-Cores-style baseline (2048 MACs/cycle),
+//! the GOBO accelerator (2560 PEs), and the Mokey accelerator (3072 lanes
+//! of Gaussian PEs with shared Outlier/Post-Processing units) — across
+//! on-chip buffer capacities from 256 KB to 4 MB, backed by dual-channel
+//! DDR4-3200 (simulated with DRAMsim3 in the paper; with [`dram`]'s
+//! bank-timing model here).
+//!
+//! Modules:
+//!
+//! * [`dram`] — DDR4-3200 bank-state timing and energy model (the
+//!   DRAMsim3 substitute; see `DESIGN.md`).
+//! * [`sram`] — on-chip buffer area/energy, calibrated against the paper's
+//!   own Table III breakdowns (the CACTI substitute).
+//! * [`arch`] — the three processing-element architectures with their
+//!   published areas, widths and unit counts.
+//! * [`tiling`] — min-traffic dataflow: per-GEMM DRAM traffic, tiling
+//!   passes and residency decisions ("The dataﬂow for all designs is
+//!   optimized to minimize the number of off-chip transactions").
+//! * [`compute`] — compute-cycle models, including the Mokey tile's
+//!   outlier serialization through the OPP and CRF post-processing drains.
+//! * [`energy`] — the energy accounting (DRAM/SRAM/compute).
+//! * [`sim`] — end-to-end simulation: workload × configuration →
+//!   cycles/energy/overlap report (regenerates Figs. 9–15, Tables II/III).
+//! * [`workloads`] — the paper's eight model/task workloads with their
+//!   outlier rates.
+
+pub mod arch;
+pub mod compute;
+pub mod dram;
+pub mod energy;
+pub mod sim;
+pub mod sram;
+pub mod tiling;
+pub mod workloads;
+
+pub use arch::{Accelerator, ArchKind, MemCompression};
+pub use sim::{simulate, Dataflow, SimConfig, SimReport};
+pub use workloads::{buffer_sweep, paper_workloads, PaperWorkload};

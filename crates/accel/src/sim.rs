@@ -1,0 +1,395 @@
+//! End-to-end accelerator simulation: workload × configuration →
+//! cycles / energy / overlap / area report.
+//!
+//! This is what regenerates the paper's Figs. 9–15 and Tables II/III. Per
+//! GEMM the simulator combines the tiling engine's DRAM traffic, the
+//! bank-timing DRAM model, and the per-architecture compute model, then
+//! overlaps compute with memory per the double-buffering quality
+//! calibrated against Table III (the paper reports overlap as
+//! `(compute + memory − total) / min(compute, memory)`, which this model
+//! reproduces; see `DESIGN.md`).
+
+use crate::arch::{Accelerator, ArchKind, MemCompression};
+use crate::compute::{gemm_compute_cycles, MokeyTileParams, OutlierRates};
+use crate::dram::DramModel;
+use crate::energy::EnergyBreakdown;
+use crate::sram::{buffer_area_mm2, sram_pj_per_byte};
+use crate::tiling::{gemm_traffic, gemm_traffic_weight_streaming};
+use mokey_transformer::workload::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// Which dataflow the tiling engine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Min-traffic tiling ("the dataﬂow … is optimized to minimize the
+    /// number of off-chip transactions") — the default for every design.
+    MinTraffic,
+    /// Weight-streaming spatial array: weights re-stream per M-block of
+    /// `array_rows` output rows, the buffer caches activations only. The
+    /// baseline-sensitivity ablation uses this to approximate the paper's
+    /// much more traffic-hungry Tensor Cores baseline.
+    WeightStreaming {
+        /// PE-array height (output rows computed per weight pass).
+        array_rows: usize,
+    },
+}
+
+/// One simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The accelerator (possibly with a compression mode applied).
+    pub accel: Accelerator,
+    /// On-chip buffer capacity in bytes.
+    pub buffer_bytes: usize,
+    /// Mokey tile microarchitecture (ignored by other architectures).
+    pub tile: MokeyTileParams,
+    /// Workload outlier rates (drive Mokey's OPP load and the container
+    /// overhead).
+    pub rates: OutlierRates,
+    /// Tiling dataflow.
+    pub dataflow: Dataflow,
+}
+
+impl SimConfig {
+    /// A configuration with default tile parameters, paper-average outlier
+    /// rates and the min-traffic dataflow.
+    pub fn new(accel: Accelerator, buffer_bytes: usize) -> Self {
+        Self {
+            accel,
+            buffer_bytes,
+            tile: MokeyTileParams::default(),
+            rates: OutlierRates::default(),
+            dataflow: Dataflow::MinTraffic,
+        }
+    }
+
+    /// Sets the outlier rates (per-workload, from Table I).
+    pub fn with_rates(mut self, rates: OutlierRates) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sets the dataflow.
+    pub fn with_dataflow(mut self, dataflow: Dataflow) -> Self {
+        self.dataflow = dataflow;
+        self
+    }
+}
+
+/// Simulation outcome (the Table III row shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Architecture simulated.
+    pub arch: ArchKind,
+    /// Buffer capacity in bytes.
+    pub buffer_bytes: usize,
+    /// Pure compute cycles.
+    pub compute_cycles: u64,
+    /// Pure memory-transfer cycles.
+    pub memory_cycles: u64,
+    /// Wall-clock cycles after compute/memory overlap.
+    pub total_cycles: u64,
+    /// Cycles where compute and memory proceeded together.
+    pub overlapped_cycles: u64,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Buffer area, mm².
+    pub buffer_area_mm2: f64,
+    /// Compute-array area, mm².
+    pub compute_area_mm2: f64,
+}
+
+impl SimReport {
+    /// Total chip area (buffer + compute), mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.buffer_area_mm2 + self.compute_area_mm2
+    }
+
+    /// The paper's overlap metric:
+    /// `(compute + memory − total) / min(compute, memory)`, in percent.
+    pub fn overlap_percent(&self) -> f64 {
+        let denom = self.compute_cycles.min(self.memory_cycles).max(1);
+        100.0 * self.overlapped_cycles as f64 / denom as f64
+    }
+
+    /// Execution-time speedup of `self` over a baseline report.
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        baseline.total_cycles as f64 / self.total_cycles.max(1) as f64
+    }
+
+    /// Energy ratio (baseline energy / own energy).
+    pub fn energy_ratio_over(&self, baseline: &SimReport) -> f64 {
+        baseline.energy.total() / self.energy.total().max(f64::MIN_POSITIVE)
+    }
+
+    /// Energy-delay-product improvement over a baseline — the "energy
+    /// efficiency" scale of the paper's Figs. 11/13/15 (speedup × energy
+    /// ratio; see EXPERIMENTS.md).
+    pub fn edp_ratio_over(&self, baseline: &SimReport) -> f64 {
+        self.speedup_over(baseline) * self.energy_ratio_over(baseline)
+    }
+}
+
+/// Double-buffering overlap quality, calibrated against the paper's
+/// Table III overlap percentages (Tensor Cores: 26.7% at 256 KB rising to
+/// 76.5% at 1 MB; Mokey: 57.7% → 98.2%).
+fn overlap_quality(kind: ArchKind, buffer_bytes: usize) -> f64 {
+    let steps = (buffer_bytes as f64 / (256.0 * 1024.0)).log2().max(0.0);
+    let (base, slope) = match kind {
+        ArchKind::TensorCores => (0.27, 0.25),
+        ArchKind::Gobo => (0.40, 0.25),
+        ArchKind::Mokey => (0.55, 0.22),
+    };
+    (base + slope * steps).clamp(0.05, 0.98)
+}
+
+/// Auxiliary per-value energies of the compression/quantization engines,
+/// picojoules (LUT lookup on decompress, comparator ladder on compress).
+const ENGINE_PJ_PER_VALUE: f64 = 0.4;
+
+/// Simulates a GEMM workload on one configuration.
+///
+/// # Panics
+///
+/// Panics if the workload is empty or the buffer is zero-sized.
+pub fn simulate(gemms: &[GemmShape], config: &SimConfig) -> SimReport {
+    assert!(!gemms.is_empty(), "cannot simulate an empty workload");
+    assert!(config.buffer_bytes > 0, "buffer must be non-empty");
+    let dram = DramModel::default();
+    let q = overlap_quality(config.accel.kind, config.buffer_bytes);
+    // Transformer layers repeat identical GEMM shapes; memoize the DRAM
+    // simulation per (bytes, stream-count) to avoid re-simulating them.
+    let mut dram_cache: std::collections::HashMap<(u64, usize), (u64, f64)> =
+        std::collections::HashMap::new();
+
+    let mut compute_cycles = 0u64;
+    let mut memory_cycles = 0u64;
+    let mut total_cycles = 0u64;
+    let mut overlapped = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut dram_energy = 0.0f64;
+    let mut engine_values = 0u64;
+
+    for g in gemms {
+        let traffic = match config.dataflow {
+            Dataflow::MinTraffic => gemm_traffic(g, &config.accel, config.buffer_bytes),
+            Dataflow::WeightStreaming { array_rows } => {
+                gemm_traffic_weight_streaming(g, &config.accel, config.buffer_bytes, array_rows)
+            }
+        };
+        let c = gemm_compute_cycles(g, &config.accel, &config.rates, &config.tile);
+        let m = if traffic.total_bytes() > 0 {
+            let key = (traffic.total_bytes(), traffic.streams.max(1));
+            let (cycles, energy) = *dram_cache.entry(key).or_insert_with(|| {
+                let per_stream = key.0 / key.1 as u64;
+                let result = dram.stream(&vec![per_stream.max(1); key.1]);
+                (result.cycles, result.energy_j)
+            });
+            dram_energy += energy;
+            cycles
+        } else {
+            0
+        };
+        let o = (q * c.min(m) as f64) as u64;
+        compute_cycles += c;
+        memory_cycles += m;
+        overlapped += o;
+        total_cycles += c + m - o;
+        dram_bytes += traffic.total_bytes();
+        // Values flowing through compression/quantization engines: outputs
+        // re-quantized (Mokey + OC+ON), plus decompressed loads when the
+        // memory format is compressed.
+        if config.accel.kind == ArchKind::Mokey || config.accel.weight_bits_mem < 16.0 {
+            engine_values += g.out_values() * g.count as u64;
+        }
+    }
+
+    // On-chip buffer traffic: each DRAM byte is written once and read back
+    // ~2× on its way through tiles (calibrated against Table III's on-chip
+    // energy share; see DESIGN.md).
+    let sram_bytes = 3 * dram_bytes;
+    let sram_j = sram_bytes as f64 * sram_pj_per_byte(config.buffer_bytes) * 1e-12;
+
+    let macs: u64 = gemms.iter().map(|g| g.macs()).sum();
+    let compute_j = (macs as f64 * config.accel.mac_energy_pj
+        + engine_values as f64 * ENGINE_PJ_PER_VALUE)
+        * 1e-12;
+
+    SimReport {
+        arch: config.accel.kind,
+        buffer_bytes: config.buffer_bytes,
+        compute_cycles,
+        memory_cycles,
+        total_cycles,
+        overlapped_cycles: overlapped,
+        dram_bytes,
+        energy: EnergyBreakdown { dram_j: dram_energy, sram_j, compute_j },
+        buffer_area_mm2: buffer_area_mm2(config.buffer_bytes, config.accel.interface),
+        compute_area_mm2: config.accel.compute_area_mm2,
+    }
+}
+
+/// Convenience: simulate the Tensor Cores baseline with a Mokey memory
+/// compression mode (paper Section IV-D).
+pub fn simulate_memcomp(
+    gemms: &[GemmShape],
+    buffer_bytes: usize,
+    mode: MemCompression,
+    rates: OutlierRates,
+) -> SimReport {
+    let accel = Accelerator::tensor_cores().with_compression(mode);
+    simulate(gemms, &SimConfig::new(accel, buffer_bytes).with_rates(rates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_transformer::workload::model_gemms;
+    use mokey_transformer::ModelConfig;
+
+    fn bert_base_gemms() -> Vec<GemmShape> {
+        model_gemms(&ModelConfig::bert_base(), 128, 1)
+    }
+
+    fn run(kind: ArchKind, buffer: usize) -> SimReport {
+        let accel = match kind {
+            ArchKind::TensorCores => Accelerator::tensor_cores(),
+            ArchKind::Gobo => Accelerator::gobo(),
+            ArchKind::Mokey => Accelerator::mokey(),
+        };
+        simulate(&bert_base_gemms(), &SimConfig::new(accel, buffer))
+    }
+
+    #[test]
+    fn mokey_outperforms_tensor_cores_across_sweep() {
+        // Fig. 10 shape: always faster, dramatically so at small buffers.
+        // (Our min-traffic baseline dataflow is stronger than the paper's,
+        // so the large-buffer factor is smaller than their 4.1x; see
+        // EXPERIMENTS.md.)
+        for buffer in [256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20] {
+            let tc = run(ArchKind::TensorCores, buffer);
+            let mokey = run(ArchKind::Mokey, buffer);
+            let speedup = mokey.speedup_over(&tc);
+            assert!(speedup > 1.0, "buffer {buffer}: speedup {speedup}");
+        }
+        let s_small =
+            run(ArchKind::Mokey, 256 << 10).speedup_over(&run(ArchKind::TensorCores, 256 << 10));
+        assert!(s_small > 3.0, "small-buffer speedup {s_small}");
+    }
+
+    #[test]
+    fn speedup_is_larger_at_small_buffers() {
+        // Fig. 10: ~11x at small buffers, ~4x at 4 MB.
+        let s_small =
+            run(ArchKind::Mokey, 256 << 10).speedup_over(&run(ArchKind::TensorCores, 256 << 10));
+        let s_large =
+            run(ArchKind::Mokey, 4 << 20).speedup_over(&run(ArchKind::TensorCores, 4 << 20));
+        assert!(
+            s_small > s_large,
+            "speedup should shrink with buffer: {s_small} vs {s_large}"
+        );
+    }
+
+    #[test]
+    fn energy_ordering_matches_table2() {
+        // Table II: TC 0.36 J > GOBO 0.17 J > Mokey 0.09 J.
+        let buffer = 512 << 10;
+        let tc = run(ArchKind::TensorCores, buffer);
+        let gobo = run(ArchKind::Gobo, buffer);
+        let mokey = run(ArchKind::Mokey, buffer);
+        assert!(tc.energy.total() > gobo.energy.total());
+        assert!(gobo.energy.total() > mokey.energy.total());
+    }
+
+    #[test]
+    fn cycle_ordering_matches_table2() {
+        // Table II: TC 167M > GOBO 52M > Mokey 29M.
+        let buffer = 512 << 10;
+        let tc = run(ArchKind::TensorCores, buffer);
+        let gobo = run(ArchKind::Gobo, buffer);
+        let mokey = run(ArchKind::Mokey, buffer);
+        assert!(tc.total_cycles > gobo.total_cycles);
+        assert!(gobo.total_cycles > mokey.total_cycles);
+    }
+
+    #[test]
+    fn larger_buffers_reduce_cycles() {
+        // Fig. 9's monotone trend.
+        for kind in [ArchKind::TensorCores, ArchKind::Mokey] {
+            let mut last = u64::MAX;
+            for buffer in [256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20] {
+                let r = run(kind, buffer);
+                assert!(
+                    r.total_cycles <= last,
+                    "{kind:?} cycles grew at {buffer}: {} > {last}",
+                    r.total_cycles
+                );
+                last = r.total_cycles;
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_rises_with_buffer_size() {
+        // Table III: TC 26.7% -> 76.5%, Mokey 57.7% -> 98.2%.
+        let tc_small = run(ArchKind::TensorCores, 256 << 10).overlap_percent();
+        let tc_large = run(ArchKind::TensorCores, 1 << 20).overlap_percent();
+        assert!(tc_large > tc_small);
+        let mk_small = run(ArchKind::Mokey, 256 << 10).overlap_percent();
+        let mk_large = run(ArchKind::Mokey, 1 << 20).overlap_percent();
+        assert!(mk_large > mk_small);
+        assert!(mk_small > tc_small, "Mokey overlaps better at iso-buffer");
+    }
+
+    #[test]
+    fn memcomp_speeds_up_tensor_cores() {
+        // Fig. 14 shape: large gains when memory-bound (small buffers),
+        // diminishing as the baseline becomes compute-bound.
+        let gemms = bert_base_gemms();
+        let rates = OutlierRates::default();
+        let base_small =
+            simulate(&gemms, &SimConfig::new(Accelerator::tensor_cores(), 256 << 10));
+        let oc_small = simulate_memcomp(&gemms, 256 << 10, MemCompression::OffChip, rates);
+        let s_small = oc_small.speedup_over(&base_small);
+        assert!(s_small > 2.0, "256KB OC speedup {s_small}");
+        for buffer in [256 << 10, 4 << 20] {
+            let base = simulate(
+                &gemms,
+                &SimConfig::new(Accelerator::tensor_cores(), buffer),
+            );
+            let oc = simulate_memcomp(&gemms, buffer, MemCompression::OffChip, rates);
+            assert!(oc.speedup_over(&base) >= 1.0, "buffer {buffer}: OC slower than base");
+            let ocon = simulate_memcomp(&gemms, buffer, MemCompression::OffChipOnChip, rates);
+            assert!(ocon.total_cycles <= oc.total_cycles, "OC+ON at least as fast as OC");
+        }
+    }
+
+    #[test]
+    fn dram_share_shrinks_with_buffer_size() {
+        // Paper: memory is 82% of energy at 256 KB and 53% at 4 MB for the
+        // Tensor Cores baseline. Our baseline dataflow moves far less
+        // traffic (see EXPERIMENTS.md), so the absolute share is lower,
+        // but it must be substantial at small buffers and shrink.
+        let small = run(ArchKind::TensorCores, 256 << 10);
+        let large = run(ArchKind::TensorCores, 4 << 20);
+        assert!(small.energy.dram_share() > 0.15, "share {}", small.energy.dram_share());
+        assert!(small.energy.dram_share() > large.energy.dram_share());
+    }
+
+    #[test]
+    fn mokey_total_area_is_smaller() {
+        // Table III: Mokey 20.5 mm² vs TC 30.7 mm² at 256 KB.
+        let tc = run(ArchKind::TensorCores, 256 << 10);
+        let mokey = run(ArchKind::Mokey, 256 << 10);
+        assert!(mokey.total_area_mm2() < tc.total_area_mm2());
+    }
+
+    #[test]
+    fn edp_exceeds_plain_energy_ratio() {
+        let tc = run(ArchKind::TensorCores, 256 << 10);
+        let mokey = run(ArchKind::Mokey, 256 << 10);
+        assert!(mokey.edp_ratio_over(&tc) > mokey.energy_ratio_over(&tc));
+    }
+}

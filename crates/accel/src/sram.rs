@@ -1,0 +1,102 @@
+//! On-chip buffer area and energy (the CACTI substitute).
+//!
+//! The paper models buffers with CACTI 6.0 at 65 nm. Rather than rebuild
+//! CACTI, this module is **calibrated against the paper's own published
+//! breakdowns** (Table III): buffer area for the wide-interface designs
+//! (Tensor Cores, GOBO — FP16 datapaths feeding 2048+ MACs) and for
+//! Mokey's narrow 5-bit interfaces:
+//!
+//! | capacity | TC area (mm²) | Mokey area (mm²) |
+//! |---|---|---|
+//! | 256 KB | 13.2 | 4.7 |
+//! | 512 KB | 16.8 | 8.0 |
+//! | 1 MB   | 24.7 | 14.6 |
+//!
+//! Both columns are linear in capacity to within the table's precision
+//! (Mokey exactly: `1.4 + 3.3·(KB/256)`), so the model extrapolates
+//! linearly to 2/4 MB.
+
+use serde::{Deserialize, Serialize};
+
+/// Buffer interface width class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterfaceWidth {
+    /// FP16 datapath feeding thousands of MACs (Tensor Cores, GOBO).
+    Wide,
+    /// Mokey's 5-bit index datapath ("requires on-chip buffers with
+    /// signiﬁcantly narrower data interfaces").
+    Narrow,
+}
+
+/// Buffer area in mm² (65 nm) for a capacity and interface width.
+///
+/// # Example
+///
+/// ```
+/// use mokey_accel::sram::{buffer_area_mm2, InterfaceWidth};
+///
+/// // Paper Table III anchor points.
+/// assert!((buffer_area_mm2(256 << 10, InterfaceWidth::Wide) - 13.2).abs() < 0.5);
+/// assert!((buffer_area_mm2(1 << 20, InterfaceWidth::Narrow) - 14.6).abs() < 0.5);
+/// ```
+pub fn buffer_area_mm2(bytes: usize, width: InterfaceWidth) -> f64 {
+    let units = bytes as f64 / (256.0 * 1024.0);
+    match width {
+        InterfaceWidth::Wide => 9.45 + 3.78 * units,
+        InterfaceWidth::Narrow => 1.4 + 3.3 * units,
+    }
+}
+
+/// SRAM access energy per byte (pJ), growing with bank size as roughly
+/// `sqrt(capacity)` (CACTI's wire-dominated regime). Calibrated so the
+/// Table III on-chip energies (~0.1 J for the Tensor Cores runs) are
+/// reproduced by the simulator's buffer-traffic accounting.
+pub fn sram_pj_per_byte(bytes: usize) -> f64 {
+    let units = bytes as f64 / (256.0 * 1024.0);
+    0.26 * units.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_points_match_table3() {
+        let close = |a: f64, b: f64| (a - b).abs() < 0.6;
+        assert!(close(buffer_area_mm2(256 << 10, InterfaceWidth::Wide), 13.2));
+        assert!(close(buffer_area_mm2(512 << 10, InterfaceWidth::Wide), 16.8));
+        assert!(close(buffer_area_mm2(1 << 20, InterfaceWidth::Wide), 24.7));
+        assert!(close(buffer_area_mm2(256 << 10, InterfaceWidth::Narrow), 4.7));
+        assert!(close(buffer_area_mm2(512 << 10, InterfaceWidth::Narrow), 8.0));
+        assert!(close(buffer_area_mm2(1 << 20, InterfaceWidth::Narrow), 14.6));
+    }
+
+    #[test]
+    fn narrow_interface_is_always_smaller() {
+        for kb in [256, 512, 1024, 2048, 4096] {
+            let wide = buffer_area_mm2(kb << 10, InterfaceWidth::Wide);
+            let narrow = buffer_area_mm2(kb << 10, InterfaceWidth::Narrow);
+            assert!(narrow < wide, "{kb} KB: narrow {narrow} >= wide {wide}");
+        }
+    }
+
+    #[test]
+    fn paper_claim_1mb_mokey_close_to_256kb_tc() {
+        // "Mokey's 1MB buffers use as much area as the 256KB buffers of
+        // Tensor Cores."
+        let mokey_1mb = buffer_area_mm2(1 << 20, InterfaceWidth::Narrow);
+        let tc_256kb = buffer_area_mm2(256 << 10, InterfaceWidth::Wide);
+        assert!(
+            (mokey_1mb - tc_256kb).abs() / tc_256kb < 0.15,
+            "mokey 1MB {mokey_1mb} vs TC 256KB {tc_256kb}"
+        );
+    }
+
+    #[test]
+    fn energy_grows_sublinearly() {
+        let e256 = sram_pj_per_byte(256 << 10);
+        let e1m = sram_pj_per_byte(1 << 20);
+        assert!(e1m > e256);
+        assert!(e1m < 4.0 * e256);
+    }
+}

@@ -1,0 +1,102 @@
+//! The paper's eight evaluation workloads (Table I rows), with their
+//! published outlier rates and sequence lengths.
+
+use crate::compute::OutlierRates;
+use mokey_transformer::tasks::TaskKind;
+use mokey_transformer::workload::{model_gemms, GemmShape};
+use mokey_transformer::ModelConfig;
+
+/// One model/task evaluation workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperWorkload {
+    /// Display name ("BERT-Base MNLI", …).
+    pub name: String,
+    /// Architecture.
+    pub model: ModelConfig,
+    /// Task style (fixes the sequence length).
+    pub task: TaskKind,
+    /// Published weight/activation outlier percentages (Table I).
+    pub rates: OutlierRates,
+    /// The paper's FP score for this row (Table I "FP Score").
+    pub fp_score: f64,
+}
+
+impl PaperWorkload {
+    /// Sequence length (128 for GLUE tasks, 384 for SQuAD; paper Section
+    /// IV-D).
+    pub fn seq_len(&self) -> usize {
+        self.task.paper_seq_len()
+    }
+
+    /// The GEMM workload at batch 1 (latency-mode inference, as in the
+    /// paper's per-model cycle counts).
+    pub fn gemms(&self) -> Vec<GemmShape> {
+        model_gemms(&self.model, self.seq_len(), 1)
+    }
+}
+
+/// The eight rows of Table I, with the published outlier rates.
+pub fn paper_workloads() -> Vec<PaperWorkload> {
+    let row = |name: &str, model: ModelConfig, task: TaskKind, w: f64, a: f64, fp: f64| {
+        PaperWorkload {
+            name: name.to_owned(),
+            model,
+            task,
+            rates: OutlierRates { weight: w / 100.0, activation: a / 100.0 },
+            fp_score: fp,
+        }
+    };
+    vec![
+        row("BERT-Base MNLI", ModelConfig::bert_base(), TaskKind::Mnli, 1.6, 4.5, 84.44),
+        row("BERT-Large MNLI", ModelConfig::bert_large(), TaskKind::Mnli, 1.51, 4.0, 86.65),
+        row("BERT-Large STS-B", ModelConfig::bert_large(), TaskKind::StsB, 1.51, 2.5, 90.25),
+        row("BERT-Large SQuAD", ModelConfig::bert_large(), TaskKind::Squad, 1.54, 1.7, 93.15),
+        row("RoBERTa-Large MNLI", ModelConfig::roberta_large(), TaskKind::Mnli, 1.48, 4.1, 90.58),
+        row("RoBERTa-Large STS-B", ModelConfig::roberta_large(), TaskKind::StsB, 1.48, 4.4, 92.41),
+        row("RoBERTa-Large SQuAD", ModelConfig::roberta_large(), TaskKind::Squad, 1.48, 2.9, 93.56),
+        row("DeBERTa-XL MNLI", ModelConfig::deberta_xl(), TaskKind::Mnli, 1.2, 4.3, 91.75),
+    ]
+}
+
+/// The buffer-capacity sweep of Figs. 9–15.
+pub fn buffer_sweep() -> Vec<usize> {
+    vec![256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_workloads_as_in_table1() {
+        let w = paper_workloads();
+        assert_eq!(w.len(), 8);
+        assert_eq!(w[0].name, "BERT-Base MNLI");
+        assert_eq!(w[3].seq_len(), 384); // SQuAD
+        assert_eq!(w[0].seq_len(), 128);
+    }
+
+    #[test]
+    fn outlier_rates_match_table1() {
+        let w = paper_workloads();
+        assert!((w[0].rates.activation - 0.045).abs() < 1e-9);
+        assert!((w[7].rates.weight - 0.012).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_gemms_are_nonempty_and_sized() {
+        for w in paper_workloads() {
+            let gemms = w.gemms();
+            assert!(!gemms.is_empty(), "{}", w.name);
+            assert_eq!(gemms.len(), w.model.layers * 8, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn sweep_is_the_paper_range() {
+        let sweep = buffer_sweep();
+        assert_eq!(sweep.first(), Some(&(256 << 10)));
+        assert_eq!(sweep.last(), Some(&(4 << 20)));
+        assert_eq!(sweep.len(), 5);
+    }
+}

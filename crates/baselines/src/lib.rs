@@ -1,0 +1,89 @@
+//! Quantization baselines for Table IV of the Mokey paper.
+//!
+//! The paper compares Mokey against five prior schemes on BERT-Base/MNLI:
+//!
+//! | method | params | acts | INT compute | post-training |
+//! |---|---|---|---|---|
+//! | Q8BERT | 8b | 8b | ✗ | ✗ |
+//! | I-BERT | 8b | 8b | ✓ | ✗ |
+//! | Q-BERT | 4b (group-wise dict) | 8b | ✗ | ✗ |
+//! | GOBO | 3b dict + FP32 outliers | FP32 | ✗ | ✓ |
+//! | TernaryBERT | 2b | 8b | ✗ | ✗ |
+//!
+//! Each baseline here implements the *quantizer* faithfully
+//! (post-training; the fine-tuning/distillation steps of Q8BERT/Q-BERT/
+//! TernaryBERT are not reproducible without their training sets, which is
+//! exactly the paper's point about those methods — Table IV's accuracy
+//! deltas for them are taken from their publications, while our harness
+//! measures the *post-training* behaviour of every scheme on the same
+//! synthetic task).
+
+mod linear;
+mod methods;
+mod model;
+
+pub use linear::LinearQuant;
+pub use methods::{Baseline, MethodInfo};
+pub use model::{prepare_baseline, BaselineModel};
+
+use mokey_transformer::footprint::footprint;
+use mokey_transformer::ModelConfig;
+
+/// Total-footprint compression ratio of a method versus the FP32 baseline
+/// (Table IV's "Compression Ratio"): weights and the per-inference
+/// activation working set, weighted as the paper's Fig. 1 accounting does.
+///
+/// # Example
+///
+/// ```
+/// use mokey_baselines::{compression_ratio, Baseline};
+/// use mokey_transformer::ModelConfig;
+///
+/// let r = compression_ratio(&Baseline::TernaryBert.info(), &ModelConfig::bert_base(), 128);
+/// // Table IV reports 10.8x for TernaryBERT.
+/// assert!(r > 8.0 && r < 14.0);
+/// ```
+pub fn compression_ratio(info: &MethodInfo, config: &ModelConfig, seq: usize) -> f64 {
+    // Value counts: parameters from the config, activations from the
+    // Fig. 1 accounting at 1 byte/value.
+    let params = config.param_count() as f64;
+    let acts = footprint(config, seq, 1.0).activation_bytes as f64;
+    let fp32 = (params + acts) * 32.0;
+    let quantized = params * info.param_bits + acts * info.act_bits;
+    fp32 / quantized
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_compression_ratios_are_reproduced() {
+        // Paper Table IV: Q8BERT 4.0, I-BERT 4.0, Q-BERT 6.9, GOBO 4.1,
+        // TernaryBERT 10.8, Mokey 7.9. Accept ±25% (the paper's activation
+        // accounting details differ slightly).
+        let config = ModelConfig::bert_base();
+        let within = |b: Baseline, expect: f64| {
+            let r = compression_ratio(&b.info(), &config, 128);
+            assert!(
+                (r / expect - 1.0).abs() < 0.25,
+                "{}: ratio {r} vs paper {expect}",
+                b.info().name
+            );
+        };
+        within(Baseline::Q8Bert, 4.0);
+        within(Baseline::IBert, 4.0);
+        within(Baseline::QBert, 6.9);
+        within(Baseline::Gobo, 4.1);
+        within(Baseline::TernaryBert, 10.8);
+        within(Baseline::Mokey, 7.9);
+    }
+
+    #[test]
+    fn mokey_compresses_more_than_8bit_methods() {
+        let config = ModelConfig::bert_base();
+        let mokey = compression_ratio(&Baseline::Mokey.info(), &config, 128);
+        let q8 = compression_ratio(&Baseline::Q8Bert.info(), &config, 128);
+        assert!(mokey > 1.5 * q8);
+    }
+}

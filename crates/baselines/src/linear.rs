@@ -1,0 +1,106 @@
+//! Uniform (linear) quantization, the workhorse of the 8-bit baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric uniform quantizer: `q = clamp(round(x / scale))`,
+/// `x̂ = q · scale`, with `2^(bits−1) − 1` positive levels.
+///
+/// # Example
+///
+/// ```
+/// use mokey_baselines::LinearQuant;
+///
+/// let q = LinearQuant::symmetric(1.0, 8);
+/// assert_eq!(q.apply(0.5), 0.5039370078740157_f64 as f32);
+/// assert_eq!(q.apply(100.0), 1.0); // saturates at max_abs
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearQuant {
+    scale: f64,
+    levels: i64,
+    bits: u32,
+}
+
+impl LinearQuant {
+    /// Builds a symmetric quantizer covering `[-max_abs, max_abs]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` or `max_abs` is not positive/finite.
+    pub fn symmetric(max_abs: f64, bits: u32) -> Self {
+        assert!(bits >= 2, "need at least 2 bits");
+        assert!(max_abs.is_finite() && max_abs > 0.0, "max_abs must be positive");
+        let levels = (1i64 << (bits - 1)) - 1;
+        Self { scale: max_abs / levels as f64, levels, bits }
+    }
+
+    /// Builds the quantizer from observed values (max-abs calibration, as
+    /// Q8BERT/I-BERT do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn fit(values: &[f32], bits: u32) -> Self {
+        assert!(!values.is_empty(), "cannot fit a quantizer to zero values");
+        let max_abs = values.iter().map(|v| f64::from(v.abs())).fold(0.0, f64::max).max(1e-12);
+        Self::symmetric(max_abs, bits)
+    }
+
+    /// Quantizes and dequantizes one value.
+    pub fn apply(&self, x: f32) -> f32 {
+        let q = (f64::from(x) / self.scale).round().clamp(-(self.levels as f64), self.levels as f64);
+        (q * self.scale) as f32
+    }
+
+    /// The quantization step.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let q = LinearQuant::symmetric(2.0, 8);
+        for i in -200..=200 {
+            let x = i as f32 * 0.01;
+            let err = (q.apply(x) - x).abs();
+            assert!(f64::from(err) <= q.scale() / 2.0 + 1e-9, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn saturates_outside_range() {
+        let q = LinearQuant::symmetric(1.0, 8);
+        assert_eq!(q.apply(5.0), 1.0);
+        assert_eq!(q.apply(-5.0), -1.0);
+    }
+
+    #[test]
+    fn fit_covers_extremes() {
+        let values = [-3.0f32, 0.1, 2.5];
+        let q = LinearQuant::fit(&values, 8);
+        assert_eq!(q.apply(-3.0), -3.0);
+    }
+
+    #[test]
+    fn fewer_bits_mean_coarser_steps() {
+        let q8 = LinearQuant::symmetric(1.0, 8);
+        let q4 = LinearQuant::symmetric(1.0, 4);
+        assert!(q4.scale() > q8.scale() * 10.0);
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        let q = LinearQuant::symmetric(1.0, 4);
+        assert_eq!(q.apply(0.0), 0.0);
+    }
+}

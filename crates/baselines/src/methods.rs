@@ -1,0 +1,331 @@
+//! The Table IV quantization methods.
+
+use crate::linear::LinearQuant;
+use mokey_clustering::{kmeans, KMeansConfig};
+use mokey_tensor::stats::Summary;
+use mokey_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A Table IV method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Baseline {
+    /// Q8BERT-style: symmetric 8-bit weights and activations.
+    Q8Bert,
+    /// I-BERT-style: 8-bit weights/activations, integer-only kernels.
+    IBert,
+    /// Q-BERT-style: group-wise 4-bit uniform weights, 8-bit activations.
+    QBert,
+    /// GOBO: per-tensor 3-bit k-means dictionary for Gaussian weights,
+    /// FP32 outliers, FP32 activations.
+    Gobo,
+    /// TernaryBERT-style: ternary weights (TWN thresholding), 8-bit
+    /// activations.
+    TernaryBert,
+    /// Mokey itself (handled by `mokey-core`; listed here so Table IV can
+    /// enumerate all rows uniformly).
+    Mokey,
+}
+
+/// Static properties of a method (the non-accuracy Table IV columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodInfo {
+    /// Display name.
+    pub name: &'static str,
+    /// Effective parameter bits per value (including dictionary/scale
+    /// metadata and outlier overheads).
+    pub param_bits: f64,
+    /// Effective activation bits per value.
+    pub act_bits: f64,
+    /// Whether all compute stays in the fixed-point domain.
+    pub int_compute: bool,
+    /// Whether the method works post-training (no fine-tuning).
+    pub post_training: bool,
+}
+
+impl Baseline {
+    /// All Table IV rows in the paper's order.
+    pub fn table4() -> Vec<Baseline> {
+        vec![
+            Baseline::Q8Bert,
+            Baseline::IBert,
+            Baseline::QBert,
+            Baseline::Gobo,
+            Baseline::TernaryBert,
+            Baseline::Mokey,
+        ]
+    }
+
+    /// Static method properties.
+    pub fn info(&self) -> MethodInfo {
+        match self {
+            Baseline::Q8Bert => MethodInfo {
+                name: "Q8BERT",
+                param_bits: 8.0,
+                act_bits: 8.0,
+                int_compute: false,
+                post_training: false,
+            },
+            Baseline::IBert => MethodInfo {
+                name: "I-BERT",
+                param_bits: 8.0,
+                act_bits: 8.0,
+                int_compute: true,
+                post_training: false,
+            },
+            Baseline::QBert => MethodInfo {
+                name: "Q-BERT",
+                // 4-bit values + one 16-bit scale per 128-value group.
+                param_bits: 4.0 + 16.0 / 128.0,
+                act_bits: 8.0,
+                int_compute: false,
+                post_training: false,
+            },
+            Baseline::Gobo => MethodInfo {
+                name: "GOBO",
+                // 3-bit indexes, ~0.5% FP32 outliers, 8-centroid FP32
+                // dictionary per tensor (amortized to ~0).
+                param_bits: 3.0 + 0.005 * 32.0,
+                act_bits: 32.0,
+                int_compute: false,
+                post_training: true,
+            },
+            Baseline::TernaryBert => MethodInfo {
+                name: "TernaryBERT",
+                param_bits: 2.0,
+                act_bits: 8.0,
+                int_compute: false,
+                post_training: false,
+            },
+            Baseline::Mokey => MethodInfo {
+                name: "Mokey",
+                // Fig. 5 container: 4b + 6/64 group + ~3% outlier pointers.
+                param_bits: 4.27,
+                act_bits: 4.27,
+                int_compute: true,
+                post_training: true,
+            },
+        }
+    }
+
+    /// Quantize-and-decode a weight matrix with this method.
+    ///
+    /// [`Baseline::Mokey`] is intentionally *not* handled here — the real
+    /// implementation lives in `mokey-core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`Baseline::Mokey`].
+    pub fn quantize_weights(&self, w: &Matrix) -> Matrix {
+        match self {
+            Baseline::Q8Bert | Baseline::IBert => {
+                let q = LinearQuant::fit(w.as_slice(), 8);
+                w.map(|x| q.apply(x))
+            }
+            Baseline::QBert => groupwise_4bit(w, 128),
+            Baseline::Gobo => gobo_weights(w),
+            Baseline::TernaryBert => ternary_weights(w),
+            Baseline::Mokey => panic!("Mokey weights are quantized by mokey-core"),
+        }
+    }
+
+    /// Activation quantizer for this method given a profiled summary
+    /// (`None` when the method leaves activations in floating point).
+    pub fn act_quantizer(&self, profile: &Summary) -> Option<LinearQuant> {
+        let max_abs = profile.max().abs().max(profile.min().abs()).max(1e-9);
+        match self {
+            Baseline::Q8Bert | Baseline::IBert | Baseline::QBert | Baseline::TernaryBert => {
+                Some(LinearQuant::symmetric(max_abs, 8))
+            }
+            Baseline::Gobo => None,
+            Baseline::Mokey => None, // handled by mokey-core dictionaries
+        }
+    }
+}
+
+/// Q-BERT-style group-wise quantization: consecutive groups of
+/// `group_size` output columns share a 4-bit symmetric quantizer.
+fn groupwise_4bit(w: &Matrix, group_size: usize) -> Matrix {
+    let mut out = w.clone();
+    let cols = w.cols();
+    for g_start in (0..cols).step_by(group_size) {
+        let g_end = (g_start + group_size).min(cols);
+        // Gather the group's values across all rows.
+        let mut max_abs = 0.0f64;
+        for r in 0..w.rows() {
+            for c in g_start..g_end {
+                max_abs = max_abs.max(f64::from(w[(r, c)].abs()));
+            }
+        }
+        let q = LinearQuant::symmetric(max_abs.max(1e-12), 4);
+        for r in 0..w.rows() {
+            for c in g_start..g_end {
+                out[(r, c)] = q.apply(w[(r, c)]);
+            }
+        }
+    }
+    out
+}
+
+/// GOBO weight quantization: split by |z| into the Gaussian group
+/// (k-means-style 8-centroid dictionary) and outliers (kept exact).
+fn gobo_weights(w: &Matrix) -> Matrix {
+    let s = Summary::of(w.as_slice());
+    let std = s.std().max(1e-12);
+    let mean = s.mean();
+    const OUTLIER_Z: f64 = 3.0;
+    let gaussian: Vec<f64> = w
+        .as_slice()
+        .iter()
+        .map(|&v| f64::from(v))
+        .filter(|&v| ((v - mean) / std).abs() <= OUTLIER_Z)
+        .collect();
+    if gaussian.len() < 8 {
+        return w.clone();
+    }
+    let clustering = kmeans(&gaussian, KMeansConfig { k: 8, max_iters: 60, seed: 0x90B0 });
+    w.map(|v| {
+        let z = ((f64::from(v)) - mean) / std;
+        if z.abs() > OUTLIER_Z {
+            v // outliers stay exact (FP32)
+        } else {
+            clustering.quantize(f64::from(v)) as f32
+        }
+    })
+}
+
+/// TWN-style ternarization: `delta = 0.7·E[|w|]`, scale = mean magnitude
+/// above the threshold.
+fn ternary_weights(w: &Matrix) -> Matrix {
+    let mean_abs: f64 = w.as_slice().iter().map(|v| f64::from(v.abs())).sum::<f64>()
+        / w.len().max(1) as f64;
+    let delta = 0.7 * mean_abs;
+    let above: Vec<f64> = w
+        .as_slice()
+        .iter()
+        .map(|v| f64::from(v.abs()))
+        .filter(|&a| a > delta)
+        .collect();
+    let scale = if above.is_empty() {
+        mean_abs
+    } else {
+        above.iter().sum::<f64>() / above.len() as f64
+    };
+    w.map(|v| {
+        if f64::from(v.abs()) <= delta {
+            0.0
+        } else if v > 0.0 {
+            scale as f32
+        } else {
+            -scale as f32
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_core::metrics::rmse;
+    use mokey_tensor::init::GaussianMixture;
+
+    fn weights() -> Matrix {
+        GaussianMixture::weight_like(0.0, 0.05).sample_matrix(96, 128, 77)
+    }
+
+    #[test]
+    fn eight_bit_methods_are_nearly_lossless() {
+        let w = weights();
+        for b in [Baseline::Q8Bert, Baseline::IBert] {
+            let q = b.quantize_weights(&w);
+            let err = rmse(w.as_slice(), q.as_slice());
+            assert!(err < 0.05 * 0.05, "{}: rmse {err}", b.info().name);
+        }
+    }
+
+    #[test]
+    fn groupwise_beats_per_tensor_at_4_bits() {
+        let w = weights();
+        let group = Baseline::QBert.quantize_weights(&w);
+        let q4 = LinearQuant::fit(w.as_slice(), 4);
+        let per_tensor = w.map(|x| q4.apply(x));
+        assert!(
+            rmse(w.as_slice(), group.as_slice()) <= rmse(w.as_slice(), per_tensor.as_slice()),
+            "group-wise should not lose to per-tensor"
+        );
+    }
+
+    #[test]
+    fn gobo_preserves_outliers_exactly() {
+        let w = weights();
+        let q = Baseline::Gobo.quantize_weights(&w);
+        let s = Summary::of(w.as_slice());
+        let mut outliers = 0;
+        for (a, b) in w.as_slice().iter().zip(q.as_slice()) {
+            let z = (f64::from(*a) - s.mean()) / s.std();
+            if z.abs() > 3.0 {
+                assert_eq!(a, b, "outlier {a} was modified");
+                outliers += 1;
+            }
+        }
+        assert!(outliers > 0, "fixture should contain outliers");
+    }
+
+    #[test]
+    fn gobo_uses_at_most_8_gaussian_levels() {
+        let w = weights();
+        let q = Baseline::Gobo.quantize_weights(&w);
+        let s = Summary::of(w.as_slice());
+        let mut levels: Vec<f32> = q
+            .as_slice()
+            .iter()
+            .zip(w.as_slice())
+            .filter(|(_, orig)| ((f64::from(**orig) - s.mean()) / s.std()).abs() <= 3.0)
+            .map(|(v, _)| *v)
+            .collect();
+        levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        levels.dedup();
+        assert!(levels.len() <= 8, "{} distinct Gaussian levels", levels.len());
+    }
+
+    #[test]
+    fn ternary_uses_three_levels() {
+        let w = weights();
+        let q = Baseline::TernaryBert.quantize_weights(&w);
+        let mut levels: Vec<f32> = q.as_slice().to_vec();
+        levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        levels.dedup();
+        assert!(levels.len() <= 3, "{} distinct ternary levels", levels.len());
+        // Symmetric around zero.
+        if levels.len() == 3 {
+            assert!((levels[0] + levels[2]).abs() < 1e-6);
+            assert_eq!(levels[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn error_ordering_follows_bit_budget() {
+        let w = weights();
+        let e8 = rmse(w.as_slice(), Baseline::Q8Bert.quantize_weights(&w).as_slice());
+        let e4 = rmse(w.as_slice(), Baseline::QBert.quantize_weights(&w).as_slice());
+        let e2 = rmse(w.as_slice(), Baseline::TernaryBert.quantize_weights(&w).as_slice());
+        assert!(e8 < e4 && e4 < e2, "e8={e8} e4={e4} e2={e2}");
+    }
+
+    #[test]
+    fn act_quantizer_presence_matches_method() {
+        let s = Summary::of(&[-1.0, 2.0, 0.5]);
+        assert!(Baseline::Q8Bert.act_quantizer(&s).is_some());
+        assert!(Baseline::Gobo.act_quantizer(&s).is_none());
+        assert!(Baseline::Mokey.act_quantizer(&s).is_none());
+    }
+
+    #[test]
+    fn table4_lists_six_methods() {
+        assert_eq!(Baseline::table4().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantized by mokey-core")]
+    fn mokey_weights_panic_here() {
+        let _ = Baseline::Mokey.quantize_weights(&weights());
+    }
+}

@@ -1,0 +1,179 @@
+//! Whole-model quantization with a baseline method, mirroring the Mokey
+//! pipeline in `mokey-transformer::quantize` so Table IV scores every
+//! scheme through the identical harness.
+
+use crate::methods::Baseline;
+use crate::LinearQuant;
+use mokey_transformer::exec::{Executor, ProfilingExecutor};
+use mokey_transformer::model::{Model, TaskOutput};
+use mokey_core::profile::{ActivationProfiler, ProfileConfig};
+use mokey_tensor::Matrix;
+use std::collections::BTreeMap;
+
+/// A model prepared for inference under a baseline quantization scheme.
+#[derive(Debug)]
+pub struct BaselineModel<'m> {
+    model: &'m Model,
+    weights: BTreeMap<String, Matrix>,
+    act_quants: BTreeMap<String, LinearQuant>,
+}
+
+/// Quantizes a model's weights with `method` and, when the method
+/// quantizes activations, profiles the given sequences to calibrate the
+/// per-tensor 8-bit ranges.
+///
+/// # Panics
+///
+/// Panics for [`Baseline::Mokey`] (use
+/// [`mokey_transformer::QuantizedModel`] instead) and when activation
+/// quantization is requested with no profiling inputs.
+pub fn prepare_baseline<'m>(
+    model: &'m Model,
+    method: Baseline,
+    profile_inputs: &[Vec<usize>],
+) -> BaselineModel<'m> {
+    assert!(
+        method != Baseline::Mokey,
+        "Mokey is prepared by mokey-transformer::QuantizedModel"
+    );
+    let mut weights = BTreeMap::new();
+    for (name, w) in model.weight_tensors() {
+        weights.insert(name, method.quantize_weights(w));
+    }
+
+    let mut act_quants = BTreeMap::new();
+    let needs_acts = {
+        let probe = mokey_tensor::stats::Summary::of(&[1.0f32]);
+        method.act_quantizer(&probe).is_some()
+    };
+    if needs_acts {
+        assert!(
+            !profile_inputs.is_empty(),
+            "activation quantization requires at least one profiling sequence"
+        );
+        let mut profiler = ActivationProfiler::new(ProfileConfig::default());
+        for tokens in profile_inputs {
+            let mut exec = ProfilingExecutor::new(&mut profiler);
+            let hidden = model.forward(&mut exec, tokens);
+            let _ = model.apply_head(&mut exec, &hidden);
+        }
+        for name in profiler.tensor_names().map(str::to_owned).collect::<Vec<_>>() {
+            if name.ends_with(".out") {
+                continue;
+            }
+            let profile = profiler.profile(&name).expect("profiled");
+            if let Some(q) = method.act_quantizer(profile.summary()) {
+                act_quants.insert(name, q);
+            }
+        }
+    }
+
+    BaselineModel { model, weights, act_quants }
+}
+
+impl BaselineModel<'_> {
+    /// Inference under the baseline scheme.
+    pub fn infer(&self, tokens: &[usize]) -> TaskOutput {
+        let mut exec = BaselineExecutor { ctx: self };
+        let hidden = self.model.forward(&mut exec, tokens);
+        self.model.apply_head(&mut exec, &hidden)
+    }
+
+    /// Batch inference (sequential; Table IV uses modest sample counts).
+    pub fn infer_batch(&self, inputs: &[Vec<usize>]) -> Vec<TaskOutput> {
+        inputs.iter().map(|tokens| self.infer(tokens)).collect()
+    }
+
+    /// Number of activation tensors with calibrated quantizers.
+    pub fn act_tensor_count(&self) -> usize {
+        self.act_quants.len()
+    }
+}
+
+struct BaselineExecutor<'a, 'm> {
+    ctx: &'a BaselineModel<'m>,
+}
+
+impl Executor for BaselineExecutor<'_, '_> {
+    fn activation(&mut self, name: &str, m: Matrix) -> Matrix {
+        let Some(q) = self.ctx.act_quants.get(name) else {
+            return m;
+        };
+        m.map(|x| q.apply(x))
+    }
+
+    fn weight_override(&self, name: &str) -> Option<&Matrix> {
+        self.ctx.weights.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_core::metrics::cosine_similarity;
+    use mokey_transformer::exec::FpExecutor;
+    use mokey_transformer::model::Head;
+    use mokey_transformer::ModelConfig;
+
+    fn tiny_model() -> Model {
+        let config = ModelConfig {
+            name: "tiny".into(),
+            layers: 2,
+            hidden: 64,
+            heads: 2,
+            ff: 128,
+            vocab: 300,
+            max_seq: 32,
+        };
+        Model::synthesize(&config, Head::Classification { classes: 3 }, 31)
+    }
+
+    #[test]
+    fn q8_outputs_track_fp_closely() {
+        let model = tiny_model();
+        let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(16, s)).collect();
+        let bm = prepare_baseline(&model, Baseline::Q8Bert, &profile);
+        assert!(bm.act_tensor_count() > 0);
+        let tokens = model.random_tokens(16, 50);
+        let TaskOutput::Logits(fp) = model.infer(&mut FpExecutor, &tokens) else {
+            unreachable!()
+        };
+        let TaskOutput::Logits(q) = bm.infer(&tokens) else { unreachable!() };
+        assert!(cosine_similarity(&fp, &q) > 0.95, "fp {fp:?} vs q8 {q:?}");
+    }
+
+    #[test]
+    fn gobo_needs_no_profiling() {
+        let model = tiny_model();
+        let bm = prepare_baseline(&model, Baseline::Gobo, &[]);
+        assert_eq!(bm.act_tensor_count(), 0);
+        let tokens = model.random_tokens(16, 51);
+        let TaskOutput::Logits(q) = bm.infer(&tokens) else { unreachable!() };
+        assert!(q.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn coarser_methods_deviate_more() {
+        let model = tiny_model();
+        let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(16, s)).collect();
+        let tokens = model.random_tokens(16, 52);
+        let TaskOutput::Logits(fp) = model.infer(&mut FpExecutor, &tokens) else {
+            unreachable!()
+        };
+        let deviation = |b: Baseline| -> f64 {
+            let bm = prepare_baseline(&model, b, &profile);
+            let TaskOutput::Logits(q) = bm.infer(&tokens) else { unreachable!() };
+            1.0 - cosine_similarity(&fp, &q)
+        };
+        let d8 = deviation(Baseline::Q8Bert);
+        let d2 = deviation(Baseline::TernaryBert);
+        assert!(d2 > d8, "ternary ({d2}) should deviate more than 8-bit ({d8})");
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared by mokey-transformer")]
+    fn mokey_is_rejected() {
+        let model = tiny_model();
+        let _ = prepare_baseline(&model, Baseline::Mokey, &[]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Bench for the Fig. 1 experiment: the footprint sweep itself plus the
+//! underlying accounting. Prints the figure's series once so `cargo bench`
+//! output doubles as a regeneration log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mokey_eval::figures::fig01;
+use mokey_transformer::footprint::footprint;
+use mokey_transformer::ModelConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = fig01();
+    println!("\n[fig01] BERT-Large FP16 footprint (seq, weights MB, acts MB, acts %):");
+    for row in &result.rows {
+        println!("  {:>5}  {:>8.0}  {:>8.0}  {:>5.1}%", row.0, row.1, row.2, row.3);
+    }
+
+    c.bench_function("fig01_sweep", |b| b.iter(|| black_box(fig01())));
+    let config = ModelConfig::bert_large();
+    c.bench_function("fig01_single_footprint", |b| {
+        b.iter(|| black_box(footprint(&config, black_box(2048), 2.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

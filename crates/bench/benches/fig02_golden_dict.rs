@@ -1,0 +1,39 @@
+//! Bench for Fig. 2: Golden Dictionary generation — the paper's one-time
+//! agglomerative-clustering cost (50,000 samples → 16 centroids).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mokey_clustering::ward_agglomerative;
+use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+use mokey_tensor::init::standard_normal_vec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let gd = GoldenDictionary::generate(&GoldenConfig::default());
+    println!("\n[fig02] Golden Dictionary half: {:?}", gd.half());
+
+    let mut group = c.benchmark_group("fig02");
+    for samples in [10_000usize, 50_000] {
+        let data = standard_normal_vec(samples, 1);
+        group.bench_with_input(
+            BenchmarkId::new("ward_clustering", samples),
+            &data,
+            |b, data| b.iter(|| black_box(ward_agglomerative(data, 16))),
+        );
+    }
+    group.bench_function("full_generation_single_repeat", |b| {
+        b.iter(|| {
+            black_box(GoldenDictionary::generate(&GoldenConfig {
+                repeats: 1,
+                ..Default::default()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

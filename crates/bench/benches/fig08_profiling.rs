@@ -1,0 +1,37 @@
+//! Bench for Fig. 8: the cost of one profiling trial (profile batch →
+//! dictionaries) and the resulting accuracy stability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mokey_eval::figures::fig08;
+use mokey_eval::scaled::{build_row, profile_inputs, table1_rows};
+use mokey_eval::Quality;
+use mokey_transformer::quantize::{QuantizeSpec, QuantizedModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = fig08(Quality::Quick);
+    println!(
+        "\n[fig08] trial scores {:?} (mean {:.2}, std {:.3})",
+        result.trial_scores, result.mean, result.std
+    );
+
+    let spec = &table1_rows()[0];
+    let (model, _) = build_row(spec, Quality::Quick);
+    let profile = profile_inputs(&model, spec, Quality::Quick);
+    c.bench_function("fig08_profile_and_build_dicts", |b| {
+        b.iter(|| {
+            black_box(QuantizedModel::prepare(
+                &model,
+                QuantizeSpec::weights_and_activations(),
+                &profile,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

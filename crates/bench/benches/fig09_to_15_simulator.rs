@@ -1,0 +1,59 @@
+//! Benches for Figs. 9–15: the accelerator-simulation sweep. Prints the
+//! geomean series of every figure so `cargo bench` regenerates the data,
+//! then times single simulations and the figure extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mokey_accel::arch::{Accelerator, MemCompression};
+use mokey_accel::sim::{simulate, SimConfig};
+use mokey_accel::workloads::paper_workloads;
+use mokey_eval::figures::SimMatrix;
+use mokey_eval::Quality;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let matrix = SimMatrix::run(Quality::Quick);
+    let print_geo = |name: &str, fig: &mokey_eval::figures::SweepFigure| {
+        let series: Vec<String> =
+            fig.geomean.iter().map(|(b, g)| format!("{}KB:{g:.2}", b >> 10)).collect();
+        println!("[{name}] geomean {}", series.join("  "));
+    };
+    println!();
+    print_geo("fig09 TC cycles", &matrix.fig09());
+    print_geo("fig10 speedup/TC", &matrix.fig10());
+    print_geo("fig11 energy-eff/TC", &matrix.fig11());
+    print_geo("fig12 speedup/GOBO", &matrix.fig12());
+    print_geo("fig13 energy-eff/GOBO", &matrix.fig13());
+    print_geo("fig14 OC speedup", &matrix.fig14(MemCompression::OffChip));
+    print_geo("fig14 OC+ON speedup", &matrix.fig14(MemCompression::OffChipOnChip));
+    print_geo("fig15 OC rel-energy", &matrix.fig15(MemCompression::OffChip));
+    print_geo("fig15 OC+ON rel-energy", &matrix.fig15(MemCompression::OffChipOnChip));
+
+    let workload = &paper_workloads()[0];
+    let gemms = workload.gemms();
+    let mut group = c.benchmark_group("simulator");
+    for (name, accel) in [
+        ("tensor_cores", Accelerator::tensor_cores()),
+        ("gobo", Accelerator::gobo()),
+        ("mokey", Accelerator::mokey()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("simulate_512k", name), &accel, |b, accel| {
+            b.iter(|| {
+                black_box(simulate(
+                    &gemms,
+                    &SimConfig::new(accel.clone(), 512 << 10).with_rates(workload.rates),
+                ))
+            })
+        });
+    }
+    group.bench_function("quick_matrix", |b| {
+        b.iter(|| black_box(SimMatrix::run(Quality::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Kernel microbenchmarks: the index-domain MAC path versus decoded-
+//! centroid and FP32 GEMMs — the software view of what the Mokey PE does
+//! in hardware — plus encode/quantizer throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mokey_bench::{activation_matrix, quantize, weight_matrix};
+use mokey_core::kernels;
+use mokey_core::quantizer::OutputQuantizer;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Dot-product paths at attention/FFN-like depths.
+    let mut group = c.benchmark_group("dot_product");
+    for k in [256usize, 1024, 4096] {
+        let a = activation_matrix(1, k);
+        let w = weight_matrix(1, k);
+        let qa = quantize(&a);
+        let qw = quantize(&w);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("indexed", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(kernels::dot_indexed(qa.codes(), qa.dict(), qw.codes(), qw.dict()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decoded", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(kernels::dot_decoded(qa.codes(), qa.dict(), qw.codes(), qw.dict()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fp32", k), &k, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for (x, y) in a.as_slice().iter().zip(w.as_slice()) {
+                    acc += x * y;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    // GEMM paths.
+    let a = activation_matrix(32, 256);
+    let w = weight_matrix(256, 64);
+    let qa = quantize(&a);
+    let qw = quantize(&w);
+    let mut gemm = c.benchmark_group("gemm_32x256x64");
+    gemm.bench_function("indexed", |b| b.iter(|| black_box(kernels::matmul_indexed(&qa, &qw))));
+    gemm.bench_function("decoded", |b| b.iter(|| black_box(kernels::matmul_decoded(&qa, &qw))));
+    gemm.bench_function("fp32", |b| b.iter(|| black_box(a.matmul(&w))));
+    gemm.finish();
+
+    // Encode/quantizer throughput (the Fig. 7 engine).
+    let acts = activation_matrix(64, 256);
+    let dict = quantize(&acts).dict().clone();
+    let engine = OutputQuantizer::new(dict.clone());
+    let mut enc = c.benchmark_group("encode");
+    enc.throughput(Throughput::Elements(acts.len() as u64));
+    enc.bench_function("dictionary_encode", |b| {
+        b.iter(|| {
+            for &v in acts.as_slice() {
+                black_box(dict.encode_value(v));
+            }
+        })
+    });
+    enc.bench_function("output_quantizer_engine", |b| {
+        b.iter(|| {
+            for &v in acts.as_slice() {
+                black_box(engine.quantize(v));
+            }
+        })
+    });
+    enc.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

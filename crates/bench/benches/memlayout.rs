@@ -1,0 +1,46 @@
+//! Memory-container microbenchmarks: the Fig. 5 pack/unpack paths, the
+//! 5-bit on-chip stream, and the DRAM bank-timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mokey_accel::dram::DramModel;
+use mokey_bench::{quantize, weight_matrix};
+use mokey_memlayout::{DramContainer, OnChipStream};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = weight_matrix(256, 1024);
+    let q = quantize(&w);
+    let codes = q.codes();
+    let packed = DramContainer::pack(codes);
+    println!(
+        "\n[memlayout] {} values -> {} bytes ({}x vs FP16)",
+        codes.len(),
+        packed.total_bytes(),
+        format!("{:.2}", packed.compression_ratio(16))
+    );
+
+    let mut group = c.benchmark_group("container");
+    group.throughput(Throughput::Elements(codes.len() as u64));
+    group.bench_function("dram_pack", |b| b.iter(|| black_box(DramContainer::pack(codes))));
+    group.bench_function("dram_unpack", |b| b.iter(|| black_box(packed.unpack())));
+    group.bench_function("onchip_pack", |b| b.iter(|| black_box(OnChipStream::pack(codes))));
+    let stream = OnChipStream::pack(codes);
+    group.bench_function("onchip_unpack", |b| b.iter(|| black_box(stream.unpack())));
+    group.finish();
+
+    let dram = DramModel::default();
+    let mut dgroup = c.benchmark_group("dram_model");
+    for mb in [1u64, 16] {
+        dgroup.bench_with_input(BenchmarkId::new("stream", mb), &mb, |b, &mb| {
+            b.iter(|| black_box(dram.stream(&[mb << 20, mb << 20])))
+        });
+    }
+    dgroup.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

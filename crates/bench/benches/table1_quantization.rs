@@ -1,0 +1,42 @@
+//! Bench for Table I: the quantization pipeline on one row (profile →
+//! dictionaries → weight pre-encode) plus quantized-inference throughput.
+//! Prints the Quick-quality row so the bench log shows the table's shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mokey_eval::scaled::{build_row, evaluate_row, profile_inputs, table1_rows};
+use mokey_eval::Quality;
+use mokey_transformer::quantize::{QuantizeSpec, QuantizedModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = &table1_rows()[0];
+    let row = evaluate_row(spec, Quality::Quick);
+    println!(
+        "\n[table1/quick] {} {}: FP {:.2} | W-only {:.2} (err {:+.2}, OT {:.2}%) | W+A {:.2} (err {:+.2}, OT {:.2}%)",
+        row.model, row.task, row.fp_score, row.w_score, row.w_err, row.w_ot_pct,
+        row.wa_score, row.wa_err, row.a_ot_pct
+    );
+
+    let (model, task) = build_row(spec, Quality::Quick);
+    let profile = profile_inputs(&model, spec, Quality::Quick);
+    c.bench_function("table1_weight_quantization", |b| {
+        b.iter(|| black_box(QuantizedModel::prepare(&model, QuantizeSpec::weights_only(), &[])))
+    });
+    let (qm, _) =
+        QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+    let tokens = &task.inputs[0];
+    c.bench_function("table1_quantized_forward", |b| b.iter(|| black_box(qm.infer(tokens))));
+    c.bench_function("table1_fp_forward", |b| {
+        b.iter(|| {
+            let mut exec = mokey_transformer::exec::FpExecutor;
+            black_box(model.infer(&mut exec, tokens))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

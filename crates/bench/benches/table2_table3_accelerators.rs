@@ -1,0 +1,44 @@
+//! Benches for Tables II/III: the three-architecture comparison at 512 KB
+//! (Table II) and the BERT-Large/SQuAD breakdown (Table III). Prints both
+//! tables' data from the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mokey_eval::tables::{table2, table3};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let t2 = table2();
+    println!("\n[table2] BERT-Base @ 512 KB:");
+    for r in &t2.rows {
+        println!(
+            "  {:<18} {:>5} units  {:>5.1} mm2  {:>8.1}M cycles  {:.4} J",
+            r.architecture,
+            r.units,
+            r.area_mm2,
+            r.cycles as f64 / 1e6,
+            r.energy_j
+        );
+    }
+    let t3 = table3();
+    println!("[table3] BERT-Large SQuAD (buffer, TC total cycles, Mokey total cycles, overlap%):");
+    for (buffer, tc, mokey) in &t3.rows {
+        println!(
+            "  {:>5} KB  TC {:>8.1}M ({:.0}%)  Mokey {:>7.1}M ({:.0}%)",
+            buffer >> 10,
+            tc.total_cycles as f64 / 1e6,
+            tc.overlap_percent(),
+            mokey.total_cycles as f64 / 1e6,
+            mokey.overlap_percent()
+        );
+    }
+
+    c.bench_function("table2_full", |b| b.iter(|| black_box(table2())));
+    c.bench_function("table3_full", |b| b.iter(|| black_box(table3())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

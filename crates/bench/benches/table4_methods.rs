@@ -1,0 +1,48 @@
+//! Bench for Table IV: per-method weight-quantization cost on a real
+//! weight matrix, plus the full Quick-quality table printout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mokey_baselines::Baseline;
+use mokey_bench::weight_matrix;
+use mokey_eval::tables::table4;
+use mokey_eval::Quality;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let t = table4(Quality::Quick);
+    println!("\n[table4/quick] FP score {:.2}", t.fp_score);
+    for r in &t.rows {
+        println!(
+            "  {:<12} {:>4.1}b/{:>4.1}b  score {:>6.2} (err {:+.2})  int:{} post:{}  {:>4.1}x",
+            r.method,
+            r.param_bits,
+            r.act_bits,
+            r.score,
+            r.err,
+            r.int_compute as u8,
+            r.post_training as u8,
+            r.compression
+        );
+    }
+
+    let w = weight_matrix(256, 512);
+    let mut group = c.benchmark_group("table4_weight_quantizers");
+    for method in [Baseline::Q8Bert, Baseline::QBert, Baseline::Gobo, Baseline::TernaryBert] {
+        group.bench_with_input(
+            BenchmarkId::new("quantize", method.info().name),
+            &method,
+            |b, m| b.iter(|| black_box(m.quantize_weights(&w))),
+        );
+    }
+    group.bench_function("quantize/Mokey", |b| {
+        b.iter(|| black_box(mokey_bench::quantize(&w)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Shared fixtures for the Criterion benches.
+
+use mokey_core::curve::ExpCurve;
+use mokey_core::encode::QuantizedTensor;
+use mokey_tensor::init::GaussianMixture;
+use mokey_tensor::Matrix;
+
+/// A deterministic weight-like matrix.
+pub fn weight_matrix(rows: usize, cols: usize) -> Matrix {
+    GaussianMixture::weight_like(0.0, 0.05).sample_matrix(rows, cols, 0xBEEF)
+}
+
+/// A deterministic activation-like matrix.
+pub fn activation_matrix(rows: usize, cols: usize) -> Matrix {
+    GaussianMixture::activation_like(0.2, 1.2).sample_matrix(rows, cols, 0xFEED)
+}
+
+/// Quantizes a matrix with its own dictionary and the paper curve.
+pub fn quantize(m: &Matrix) -> QuantizedTensor {
+    QuantizedTensor::encode_with_own_dict(m, &ExpCurve::paper(), &Default::default())
+}

@@ -1,0 +1,355 @@
+//! Ward-linkage agglomerative clustering.
+//!
+//! The paper (Section II-B): "The core of Mokey's dictionary generation
+//! method is Agglomerative Clustering (AC), a bottom-up approach which
+//! initially considers each value as a separate cluster and that proceeds to
+//! iteratively merge the closest clusters … In contrast to K-means … is not
+//! affected by the initial cluster selection and results in higher accuracy
+//! in the quantized model."
+//!
+//! Ward's criterion merges the pair whose union least increases the total
+//! within-cluster sum of squares; for clusters `(n₁, μ₁)` and `(n₂, μ₂)` the
+//! increase is `n₁·n₂/(n₁+n₂) · (μ₁−μ₂)²`.
+
+use crate::Clustering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One active cluster in the contiguous merge list.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    count: f64,
+    mean: f64,
+    /// Index of the previous active cluster, or `usize::MAX`.
+    prev: usize,
+    /// Index of the next active cluster, or `usize::MAX`.
+    next: usize,
+    /// Bumped on every merge so stale heap entries can be discarded.
+    generation: u64,
+    alive: bool,
+}
+
+/// Ward's merge cost between two clusters.
+fn ward_cost(a: &Node, b: &Node) -> f64 {
+    let d = a.mean - b.mean;
+    a.count * b.count / (a.count + b.count) * d * d
+}
+
+/// A heap entry proposing to merge cluster `left` with its successor.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    cost: f64,
+    left: usize,
+    left_gen: u64,
+    right: usize,
+    right_gen: u64,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost.partial_cmp(&other.cost).expect("NaN merge cost").then(self.left.cmp(&other.left))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ward-linkage agglomerative clustering of scalar values down to `k`
+/// clusters, `O(n log n)` via sorted contiguity.
+///
+/// In one dimension Ward clusters form contiguous intervals of the sorted
+/// input, so only adjacent merges need be considered; a lazy binary heap
+/// orders them by Ward cost. This reproduces scikit-learn's result on the
+/// bell-shaped inputs the Golden Dictionary uses (see the cross-check test
+/// against [`naive_agglomerative`]).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `values` is empty, `k > values.len()`, or any value
+/// is NaN.
+///
+/// # Example
+///
+/// ```
+/// use mokey_clustering::ward_agglomerative;
+///
+/// let c = ward_agglomerative(&[1.0, 1.1, 4.0, 4.1, 9.0], 3);
+/// assert_eq!(c.sizes(), &[2, 2, 1]);
+/// ```
+pub fn ward_agglomerative(values: &[f64], k: usize) -> Clustering {
+    assert!(k > 0, "k must be positive");
+    assert!(!values.is_empty(), "cannot cluster zero values");
+    assert!(k <= values.len(), "k = {k} exceeds sample count {}", values.len());
+    assert!(values.iter().all(|v| !v.is_nan()), "NaN values cannot be clustered");
+
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
+
+    // Pre-aggregate exact duplicates so the node list stays small on
+    // heavily quantized inputs.
+    let mut nodes: Vec<Node> = Vec::with_capacity(sorted.len());
+    for &v in &sorted {
+        match nodes.last_mut() {
+            Some(last) if last.mean == v => last.count += 1.0,
+            _ => nodes.push(Node {
+                count: 1.0,
+                mean: v,
+                prev: usize::MAX,
+                next: usize::MAX,
+                generation: 0,
+                alive: true,
+            }),
+        }
+    }
+    let distinct = nodes.len();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        node.prev = if i == 0 { usize::MAX } else { i - 1 };
+        node.next = if i + 1 == distinct { usize::MAX } else { i + 1 };
+    }
+
+    let mut active = distinct;
+    let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
+    for i in 0..distinct.saturating_sub(1) {
+        heap.push(Reverse(Candidate {
+            cost: ward_cost(&nodes[i], &nodes[i + 1]),
+            left: i,
+            left_gen: 0,
+            right: i + 1,
+            right_gen: 0,
+        }));
+    }
+
+    while active > k.min(distinct) {
+        let Reverse(cand) = heap.pop().expect("heap exhausted before reaching k clusters");
+        let (l, r) = (cand.left, cand.right);
+        if !nodes[l].alive
+            || !nodes[r].alive
+            || nodes[l].generation != cand.left_gen
+            || nodes[r].generation != cand.right_gen
+            || nodes[l].next != r
+        {
+            continue; // stale entry
+        }
+        // Merge r into l.
+        let total = nodes[l].count + nodes[r].count;
+        nodes[l].mean = (nodes[l].mean * nodes[l].count + nodes[r].mean * nodes[r].count) / total;
+        nodes[l].count = total;
+        nodes[l].generation += 1;
+        nodes[r].alive = false;
+        let rn = nodes[r].next;
+        nodes[l].next = rn;
+        if rn != usize::MAX {
+            nodes[rn].prev = l;
+        }
+        active -= 1;
+
+        // Refresh candidates with both neighbours.
+        let lp = nodes[l].prev;
+        if lp != usize::MAX {
+            heap.push(Reverse(Candidate {
+                cost: ward_cost(&nodes[lp], &nodes[l]),
+                left: lp,
+                left_gen: nodes[lp].generation,
+                right: l,
+                right_gen: nodes[l].generation,
+            }));
+        }
+        if rn != usize::MAX {
+            heap.push(Reverse(Candidate {
+                cost: ward_cost(&nodes[l], &nodes[rn]),
+                left: l,
+                left_gen: nodes[l].generation,
+                right: rn,
+                right_gen: nodes[rn].generation,
+            }));
+        }
+    }
+
+    let mut centroids = Vec::with_capacity(active);
+    let mut sizes = Vec::with_capacity(active);
+    let mut cursor = (0..distinct).find(|&i| nodes[i].alive && nodes[i].prev == usize::MAX);
+    // After merges the first alive node is the one with prev == MAX; walk
+    // the list. (Fallback scan keeps us safe if duplicates collapsed.)
+    if cursor.is_none() {
+        cursor = (0..distinct).find(|&i| nodes[i].alive);
+    }
+    let mut at = cursor.expect("at least one cluster must survive");
+    loop {
+        centroids.push(nodes[at].mean);
+        sizes.push(nodes[at].count as usize);
+        if nodes[at].next == usize::MAX {
+            break;
+        }
+        at = nodes[at].next;
+    }
+    Clustering::new(centroids, sizes)
+}
+
+/// Textbook unconstrained agglomerative clustering (Ward linkage), `O(n³)`.
+///
+/// Kept as the reference oracle: the paper itself notes AC "requires `O(n²)`
+/// memory and `O(n³)` runtime", which is exactly why Mokey runs it once on a
+/// representative distribution instead of per tensor.
+///
+/// # Panics
+///
+/// Same contract as [`ward_agglomerative`].
+pub fn naive_agglomerative(values: &[f64], k: usize) -> Clustering {
+    assert!(k > 0, "k must be positive");
+    assert!(!values.is_empty(), "cannot cluster zero values");
+    assert!(k <= values.len(), "k = {k} exceeds sample count {}", values.len());
+    assert!(values.iter().all(|v| !v.is_nan()), "NaN values cannot be clustered");
+
+    #[derive(Clone)]
+    struct C {
+        count: f64,
+        mean: f64,
+    }
+    let mut clusters: Vec<C> = values.iter().map(|&v| C { count: 1.0, mean: v }).collect();
+    while clusters.len() > k {
+        let mut best = (f64::INFINITY, 0, 1);
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let d = clusters[i].mean - clusters[j].mean;
+                let cost =
+                    clusters[i].count * clusters[j].count / (clusters[i].count + clusters[j].count)
+                        * d
+                        * d;
+                if cost < best.0 {
+                    best = (cost, i, j);
+                }
+            }
+        }
+        let (_, i, j) = best;
+        let total = clusters[i].count + clusters[j].count;
+        clusters[i].mean =
+            (clusters[i].mean * clusters[i].count + clusters[j].mean * clusters[j].count) / total;
+        clusters[i].count = total;
+        clusters.remove(j);
+    }
+    clusters.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("NaN mean"));
+    Clustering::new(
+        clusters.iter().map(|c| c.mean).collect(),
+        clusters.iter().map(|c| c.count as usize).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rand_distr::{Distribution, Normal};
+
+    #[test]
+    fn separates_obvious_groups() {
+        let values = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 20.0];
+        let c = ward_agglomerative(&values, 3);
+        assert_eq!(c.sizes(), &[3, 3, 1]);
+        assert!((c.centroids()[0] - 0.1).abs() < 1e-9);
+        assert!((c.centroids()[1] - 10.1).abs() < 1e-9);
+        assert_eq!(c.centroids()[2], 20.0);
+    }
+
+    #[test]
+    fn k_equals_n_returns_singletons() {
+        let values = [3.0, 1.0, 2.0];
+        let c = ward_agglomerative(&values, 3);
+        assert_eq!(c.centroids(), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.sizes(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn k_one_returns_global_mean() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let c = ward_agglomerative(&values, 1);
+        assert_eq!(c.len(), 1);
+        assert!((c.centroids()[0] - 2.5).abs() < 1e-12);
+        assert_eq!(c.sizes(), &[4]);
+    }
+
+    #[test]
+    fn duplicates_are_preaggregated_correctly() {
+        let values = [1.0, 1.0, 1.0, 5.0, 5.0];
+        let c = ward_agglomerative(&values, 2);
+        assert_eq!(c.centroids(), &[1.0, 5.0]);
+        assert_eq!(c.sizes(), &[3, 2]);
+        assert_eq!(c.total_size(), 5);
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_k_collapses() {
+        // 2 distinct values but k = 4: we can only produce 2 clusters.
+        let values = [1.0, 1.0, 2.0, 2.0];
+        let c = ward_agglomerative(&values, 4);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn matches_naive_on_random_gaussians() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        for trial in 0..5 {
+            let values: Vec<f64> = (0..120).map(|_| normal.sample(&mut rng)).collect();
+            let fast = ward_agglomerative(&values, 8);
+            let slow = naive_agglomerative(&values, 8);
+            assert_eq!(fast.len(), slow.len(), "trial {trial}");
+            for (f, s) in fast.centroids().iter().zip(slow.centroids()) {
+                assert!(
+                    (f - s).abs() < 1e-6,
+                    "trial {trial}: centroid mismatch {f} vs {s} (fast {:?} slow {:?})",
+                    fast.centroids(),
+                    slow.centroids()
+                );
+            }
+            assert_eq!(fast.sizes(), slow.sizes(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn mass_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let normal = Normal::new(2.0, 3.0).unwrap();
+        let values: Vec<f64> = (0..5000).map(|_| normal.sample(&mut rng)).collect();
+        let c = ward_agglomerative(&values, 16);
+        assert_eq!(c.total_size(), values.len());
+        // Weighted centroid mean equals the sample mean.
+        let weighted: f64 = c
+            .centroids()
+            .iter()
+            .zip(c.sizes())
+            .map(|(&m, &n)| m * n as f64)
+            .sum::<f64>()
+            / values.len() as f64;
+        let sample_mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((weighted - sample_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_large_inputs_quickly() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let values: Vec<f64> = (0..50_000).map(|_| normal.sample(&mut rng)).collect();
+        let c = ward_agglomerative(&values, 16);
+        assert_eq!(c.len(), 16);
+        // Centroids of a symmetric distribution should straddle zero.
+        assert!(c.centroids()[0] < 0.0 && c.centroids()[15] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = ward_agglomerative(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_values_panic() {
+        let _ = ward_agglomerative(&[1.0, f64::NAN], 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Lloyd's k-means with k-means++ seeding, for the GOBO baseline.
+//!
+//! GOBO (MICRO 2020) selects its weight-dictionary centroids with an
+//! iterative method "similar to k-means"; Table IV of the Mokey paper
+//! compares against it, so the baseline crate needs a faithful k-means.
+
+use crate::Clustering;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of centroids.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 8, max_iters: 50, seed: 0 }
+    }
+}
+
+/// 1-D k-means clustering with k-means++ seeding.
+///
+/// Values are sorted once; assignment uses the sorted-centroid midpoints, so
+/// each Lloyd iteration is `O(n)` after an `O(n log n)` setup.
+///
+/// # Panics
+///
+/// Panics if `config.k == 0`, `values` is empty, `config.k > values.len()`,
+/// or any value is NaN.
+///
+/// # Example
+///
+/// ```
+/// use mokey_clustering::{kmeans, KMeansConfig};
+///
+/// let c = kmeans(&[0.0, 0.1, 7.0, 7.1], KMeansConfig { k: 2, ..Default::default() });
+/// assert!((c.centroids()[0] - 0.05).abs() < 1e-9);
+/// assert!((c.centroids()[1] - 7.05).abs() < 1e-9);
+/// ```
+pub fn kmeans(values: &[f64], config: KMeansConfig) -> Clustering {
+    assert!(config.k > 0, "k must be positive");
+    assert!(!values.is_empty(), "cannot cluster zero values");
+    assert!(config.k <= values.len(), "k = {} exceeds sample count {}", config.k, values.len());
+    assert!(values.iter().all(|v| !v.is_nan()), "NaN values cannot be clustered");
+
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
+
+    let mut centroids = plus_plus_seed(&sorted, config.k, config.seed);
+    centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let mut sizes = vec![0usize; centroids.len()];
+    for _ in 0..config.max_iters {
+        // Assignment boundaries are midpoints of adjacent centroids.
+        let mut sums = vec![0.0f64; centroids.len()];
+        sizes.iter_mut().for_each(|s| *s = 0);
+        let mut ci = 0;
+        for &v in &sorted {
+            while ci + 1 < centroids.len() && v > (centroids[ci] + centroids[ci + 1]) / 2.0 {
+                ci += 1;
+            }
+            sums[ci] += v;
+            sizes[ci] += 1;
+        }
+        let mut moved = 0.0f64;
+        for i in 0..centroids.len() {
+            if sizes[i] > 0 {
+                let next = sums[i] / sizes[i] as f64;
+                moved += (next - centroids[i]).abs();
+                centroids[i] = next;
+            }
+        }
+        // Reset cursor effect: centroids stay sorted because assignment
+        // regions are ordered; drop empty clusters at convergence below.
+        if moved < 1e-12 {
+            break;
+        }
+    }
+
+    // Remove empty clusters (possible when duplicates dominate).
+    let mut final_centroids = Vec::with_capacity(centroids.len());
+    let mut final_sizes = Vec::with_capacity(centroids.len());
+    for (c, s) in centroids.into_iter().zip(sizes) {
+        if s > 0 {
+            final_centroids.push(c);
+            final_sizes.push(s);
+        }
+    }
+    Clustering::new(final_centroids, final_sizes)
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones sampled with
+/// probability proportional to squared distance from the nearest chosen one.
+fn plus_plus_seed(sorted: &[f64], k: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(sorted[rng.gen_range(0..sorted.len())]);
+    let mut d2: Vec<f64> =
+        sorted.iter().map(|&v| (v - centroids[0]) * (v - centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining distances zero (duplicates); pick any unseen
+            // value to avoid dividing by zero.
+            sorted[rng.gen_range(0..sorted.len())]
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = sorted[sorted.len() - 1];
+            for (i, &v) in sorted.iter().enumerate() {
+                target -= d2[i];
+                if target <= 0.0 {
+                    chosen = v;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(next);
+        for (i, &v) in sorted.iter().enumerate() {
+            let d = (v - next) * (v - next);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rand_distr::{Distribution, Normal};
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let values = [0.0, 0.1, 0.2, 50.0, 50.1, 50.2];
+        let c = kmeans(&values, KMeansConfig { k: 2, max_iters: 100, seed: 1 });
+        assert_eq!(c.len(), 2);
+        assert!((c.centroids()[0] - 0.1).abs() < 1e-9);
+        assert!((c.centroids()[1] - 50.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sse_not_worse_than_uniform_grid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let values: Vec<f64> = (0..4000).map(|_| normal.sample(&mut rng)).collect();
+        let c = kmeans(&values, KMeansConfig { k: 16, max_iters: 100, seed: 2 });
+        // A uniform 16-point grid over the sample range as a weak baseline.
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let grid: Vec<f64> = (0..16).map(|i| lo + (hi - lo) * (i as f64 + 0.5) / 16.0).collect();
+        let grid_c = Clustering::new(grid, vec![1; 16]);
+        assert!(c.sse(&values) < grid_c.sse(&values));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let values: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+        let a = kmeans(&values, KMeansConfig { k: 5, max_iters: 50, seed: 9 });
+        let b = kmeans(&values, KMeansConfig { k: 5, max_iters: 50, seed: 9 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_heavy_input_does_not_crash() {
+        let values = vec![1.0; 50];
+        let c = kmeans(&values, KMeansConfig { k: 3, max_iters: 10, seed: 0 });
+        assert!(c.len() >= 1);
+        assert_eq!(c.quantize(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds sample count")]
+    fn k_larger_than_n_panics() {
+        let _ = kmeans(&[1.0], KMeansConfig { k: 2, ..Default::default() });
+    }
+}

@@ -1,0 +1,168 @@
+//! 1-D clustering for dictionary-based quantization.
+//!
+//! The Mokey paper builds its Golden Dictionary by running **agglomerative
+//! clustering** (Ward linkage, as in scikit-learn's default) over 50,000
+//! samples of `N(0,1)` (Section II-B). It explicitly contrasts this with the
+//! **k-means**-style iterative centroid selection used by GOBO and Deep
+//! Compression, which this crate also provides for the baseline comparisons
+//! of Table IV.
+//!
+//! All data here is one-dimensional (scalar tensor values). That makes two
+//! implementations practical:
+//!
+//! * [`ward_agglomerative`] — heap-based, contiguity-constrained Ward
+//!   merging over sorted values, `O(n log n)`. In 1-D, Ward clusters are
+//!   contiguous intervals, so this matches the unconstrained algorithm on
+//!   the distributions the paper uses (cross-checked in tests against
+//!   [`naive_agglomerative`]).
+//! * [`naive_agglomerative`] — the textbook `O(n³)` unconstrained algorithm,
+//!   kept as a reference oracle for tests and tiny inputs.
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding.
+//!
+//! # Example
+//!
+//! ```
+//! use mokey_clustering::ward_agglomerative;
+//!
+//! let values = [0.0, 0.1, 0.2, 5.0, 5.1, 5.2];
+//! let c = ward_agglomerative(&values, 2);
+//! assert_eq!(c.len(), 2);
+//! assert!((c.centroids()[0] - 0.1).abs() < 1e-9);
+//! assert!((c.centroids()[1] - 5.1).abs() < 1e-9);
+//! ```
+
+mod agglomerative;
+mod kmeans;
+
+pub use agglomerative::{naive_agglomerative, ward_agglomerative};
+pub use kmeans::{kmeans, KMeansConfig};
+
+use serde::{Deserialize, Serialize};
+
+/// The result of clustering scalar values: sorted centroids with the member
+/// count of each cluster.
+///
+/// # Example
+///
+/// ```
+/// use mokey_clustering::ward_agglomerative;
+///
+/// let c = ward_agglomerative(&[1.0, 2.0, 10.0], 2);
+/// assert_eq!(c.sizes(), &[2, 1]);
+/// assert_eq!(c.assign(9.0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    centroids: Vec<f64>,
+    sizes: Vec<usize>,
+}
+
+impl Clustering {
+    /// Builds a clustering from parallel centroid/size arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays differ in length, are empty, or the centroids
+    /// are not sorted ascending.
+    pub fn new(centroids: Vec<f64>, sizes: Vec<usize>) -> Self {
+        assert_eq!(centroids.len(), sizes.len(), "centroid/size length mismatch");
+        assert!(!centroids.is_empty(), "clustering must have at least one cluster");
+        assert!(
+            centroids.windows(2).all(|w| w[0] <= w[1]),
+            "centroids must be sorted ascending"
+        );
+        Self { centroids, sizes }
+    }
+
+    /// Cluster centroids, sorted ascending.
+    pub fn centroids(&self) -> &[f64] {
+        &self.centroids
+    }
+
+    /// Member count per cluster, parallel to [`Clustering::centroids`].
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// `true` when there are no clusters (never constructed by this crate's
+    /// algorithms, but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Index of the nearest centroid (ties resolve to the lower index).
+    pub fn assign(&self, value: f64) -> usize {
+        // Binary search over sorted centroids, then compare neighbours.
+        match self.centroids.binary_search_by(|c| c.partial_cmp(&value).expect("NaN centroid")) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == 0 {
+                    0
+                } else if i == self.centroids.len() {
+                    self.centroids.len() - 1
+                } else if (value - self.centroids[i - 1]) <= (self.centroids[i] - value) {
+                    i - 1
+                } else {
+                    i
+                }
+            }
+        }
+    }
+
+    /// Quantizes a value to its nearest centroid.
+    pub fn quantize(&self, value: f64) -> f64 {
+        self.centroids[self.assign(value)]
+    }
+
+    /// Sum of squared distances from each value to its assigned centroid.
+    pub fn sse(&self, values: &[f64]) -> f64 {
+        values.iter().map(|&v| (v - self.quantize(v)).powi(2)).sum()
+    }
+
+    /// Total member count across clusters.
+    pub fn total_size(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_picks_nearest_with_lower_tie() {
+        let c = Clustering::new(vec![0.0, 1.0, 4.0], vec![1, 1, 1]);
+        assert_eq!(c.assign(-5.0), 0);
+        assert_eq!(c.assign(0.4), 0);
+        assert_eq!(c.assign(0.5), 0); // tie -> lower index
+        assert_eq!(c.assign(0.6), 1);
+        assert_eq!(c.assign(3.0), 2);
+        assert_eq!(c.assign(100.0), 2);
+    }
+
+    #[test]
+    fn quantize_returns_centroid_values() {
+        let c = Clustering::new(vec![-1.0, 2.0], vec![3, 4]);
+        assert_eq!(c.quantize(-0.1), -1.0);
+        assert_eq!(c.quantize(1.9), 2.0);
+        assert_eq!(c.total_size(), 7);
+    }
+
+    #[test]
+    fn sse_zero_when_values_on_centroids() {
+        let c = Clustering::new(vec![1.0, 5.0], vec![1, 1]);
+        assert_eq!(c.sse(&[1.0, 5.0, 5.0]), 0.0);
+        assert!(c.sse(&[1.5]) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_centroids_panic() {
+        let _ = Clustering::new(vec![2.0, 1.0], vec![1, 1]);
+    }
+}

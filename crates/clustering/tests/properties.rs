@@ -1,0 +1,86 @@
+//! Property-based tests for the clustering substrate.
+
+use mokey_clustering::{kmeans, naive_agglomerative, ward_agglomerative, KMeansConfig};
+use proptest::prelude::*;
+
+fn values_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 2..max_len)
+}
+
+proptest! {
+    /// Structural invariants of Ward clustering.
+    #[test]
+    fn ward_invariants(values in values_strategy(300), k in 1usize..12) {
+        let k = k.min(values.len());
+        let c = ward_agglomerative(&values, k);
+        // No more clusters than requested; every member accounted for.
+        prop_assert!(c.len() <= k);
+        prop_assert_eq!(c.total_size(), values.len());
+        // Centroids sorted and inside the data range.
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for w in c.centroids().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for &m in c.centroids() {
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+        // Mass-weighted centroid mean equals sample mean.
+        let weighted: f64 = c.centroids().iter().zip(c.sizes())
+            .map(|(&m, &n)| m * n as f64).sum::<f64>() / values.len() as f64;
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((weighted - mean).abs() < 1e-6);
+    }
+
+    /// More clusters never increase quantization SSE.
+    #[test]
+    fn ward_sse_monotone_in_k(values in values_strategy(200)) {
+        let k_max = 8usize.min(values.len());
+        let mut last = f64::INFINITY;
+        for k in 1..=k_max {
+            let sse = ward_agglomerative(&values, k).sse(&values);
+            prop_assert!(sse <= last + 1e-6, "sse grew from {last} to {sse} at k={k}");
+            last = sse;
+        }
+    }
+
+    /// Heap-based contiguous Ward matches the textbook O(n^3) algorithm on
+    /// small inputs.
+    #[test]
+    fn ward_matches_naive(values in values_strategy(60), k in 1usize..6) {
+        let k = k.min(values.len());
+        let fast = ward_agglomerative(&values, k);
+        let slow = naive_agglomerative(&values, k);
+        // The two may legitimately differ when a non-adjacent merge ties an
+        // adjacent one; compare quantization quality instead of structure.
+        let fast_sse = fast.sse(&values);
+        let slow_sse = slow.sse(&values);
+        prop_assert!(
+            fast_sse <= slow_sse * 1.05 + 1e-9,
+            "contiguous Ward lost badly: {fast_sse} vs naive {slow_sse}"
+        );
+    }
+
+    /// K-means invariants.
+    #[test]
+    fn kmeans_invariants(values in values_strategy(300), k in 1usize..12, seed in 0u64..5) {
+        let k = k.min(values.len());
+        let c = kmeans(&values, KMeansConfig { k, max_iters: 60, seed });
+        prop_assert!(c.len() <= k);
+        prop_assert_eq!(c.total_size(), values.len());
+        for w in c.centroids().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Assignment is consistent: a value quantizes to the centroid it is
+    /// nearest to.
+    #[test]
+    fn assignment_is_nearest(values in values_strategy(150), probe in -150.0f64..150.0) {
+        let c = ward_agglomerative(&values, 4.min(values.len()));
+        let assigned = c.quantize(probe);
+        for &m in c.centroids() {
+            prop_assert!((probe - assigned).abs() <= (probe - m).abs() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Exponential curve fit to the Golden Dictionary (paper Section II-D,
+//! Fig. 3).
+//!
+//! "We fit the `GD = a^int + b` curve on these 8 positive values where
+//! `a = 1.179`, `b = −0.977`, where `int` is an integer in range of `[0, 7]`
+//! and the fitting weights are in `[2^7, 2^0]` range."
+//!
+//! The exponential form is what unlocks index-domain computation:
+//! `a^i · a^j = a^(i+j)`, so products of centroids reduce to sums of
+//! indexes.
+
+use crate::golden::GoldenDictionary;
+use serde::{Deserialize, Serialize};
+
+/// The fitted exponential `magnitude(i) = a^i + b`.
+///
+/// # Example
+///
+/// ```
+/// use mokey_core::curve::ExpCurve;
+///
+/// let c = ExpCurve::paper();
+/// assert!((c.magnitude(0) - 0.023).abs() < 1e-3);
+/// assert!((c.magnitude(7) - 2.186).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpCurve {
+    /// Exponential base (paper: 1.179).
+    pub a: f64,
+    /// Additive offset (paper: −0.977).
+    pub b: f64,
+    /// Number of index values, i.e. half the dictionary size (paper: 8).
+    pub half_len: usize,
+}
+
+impl ExpCurve {
+    /// The constants published in the paper, for cross-checks and as a
+    /// drop-in when regeneration is not desired.
+    pub fn paper() -> Self {
+        Self { a: 1.179, b: -0.977, half_len: 8 }
+    }
+
+    /// Fits `a^i + b` to a Golden Dictionary with the paper's weighting
+    /// scheme: "a unit weight for the outer bin, and doubles the weight for
+    /// the bins as we move towards zero."
+    ///
+    /// For a fixed base `a` the optimal offset `b` is the weighted mean
+    /// residual (the model is linear in `b`), so the fit reduces to a 1-D
+    /// golden-section search over `a`.
+    pub fn fit(gd: &GoldenDictionary) -> Self {
+        let half = gd.half();
+        let weights: Vec<f64> =
+            (0..half.len()).map(|i| ((half.len() - 1 - i) as f64).exp2()).collect();
+        Self::fit_weighted(half, &weights)
+    }
+
+    /// Fits `a^i + b` to arbitrary ascending magnitudes with explicit
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths differ.
+    pub fn fit_weighted(magnitudes: &[f64], weights: &[f64]) -> Self {
+        assert!(!magnitudes.is_empty(), "cannot fit zero points");
+        assert_eq!(magnitudes.len(), weights.len(), "weight length mismatch");
+        let objective = |a: f64| -> (f64, f64) {
+            // Closed-form optimal b for this a, then weighted SSE.
+            let wsum: f64 = weights.iter().sum();
+            let b = magnitudes
+                .iter()
+                .enumerate()
+                .zip(weights)
+                .map(|((i, &m), &w)| w * (m - a.powi(i as i32)))
+                .sum::<f64>()
+                / wsum;
+            let sse = magnitudes
+                .iter()
+                .enumerate()
+                .zip(weights)
+                .map(|((i, &m), &w)| {
+                    let r = a.powi(i as i32) + b - m;
+                    w * r * r
+                })
+                .sum::<f64>();
+            (sse, b)
+        };
+
+        // Golden-section search over a ∈ (1, 3].
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        let (mut lo, mut hi) = (1.000_1f64, 3.0f64);
+        let mut x1 = hi - phi * (hi - lo);
+        let mut x2 = lo + phi * (hi - lo);
+        let (mut f1, _) = objective(x1);
+        let (mut f2, _) = objective(x2);
+        for _ in 0..200 {
+            if f1 < f2 {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - phi * (hi - lo);
+                f1 = objective(x1).0;
+            } else {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + phi * (hi - lo);
+                f2 = objective(x2).0;
+            }
+            if hi - lo < 1e-12 {
+                break;
+            }
+        }
+        let a = (lo + hi) / 2.0;
+        let (_, b) = objective(a);
+        Self { a, b, half_len: magnitudes.len() }
+    }
+
+    /// The curve magnitude at index `i`: `a^i + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= half_len` — indexes are 3-bit in the paper's 4-bit
+    /// scheme.
+    pub fn magnitude(&self, i: usize) -> f64 {
+        assert!(i < self.half_len, "index {i} out of range for half_len {}", self.half_len);
+        self.a.powi(i as i32) + self.b
+    }
+
+    /// All `half_len` magnitudes, ascending.
+    pub fn magnitudes(&self) -> Vec<f64> {
+        (0..self.half_len).map(|i| self.magnitude(i)).collect()
+    }
+
+    /// The power `a^e` for exponent sums (`e` up to `2·(half_len−1)` occurs
+    /// in the `SoI` term; up to 45 in outlier handling).
+    pub fn power(&self, e: usize) -> f64 {
+        self.a.powi(e as i32)
+    }
+
+    /// Weighted root-mean-square fit residual against a dictionary, for
+    /// reporting Fig. 3.
+    pub fn rms_error(&self, magnitudes: &[f64]) -> f64 {
+        let sse: f64 = magnitudes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (self.a.powi(i as i32) + self.b - m).powi(2))
+            .sum();
+        (sse / magnitudes.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::GoldenConfig;
+
+    #[test]
+    fn fit_recovers_exact_exponential() {
+        let truth = ExpCurve { a: 1.3, b: -0.9, half_len: 8 };
+        let mags = truth.magnitudes();
+        let weights = vec![1.0; 8];
+        let fitted = ExpCurve::fit_weighted(&mags, &weights);
+        assert!((fitted.a - 1.3).abs() < 1e-6, "a = {}", fitted.a);
+        assert!((fitted.b + 0.9).abs() < 1e-6, "b = {}", fitted.b);
+    }
+
+    #[test]
+    fn fit_to_generated_gd_matches_paper_constants() {
+        // The paper reports a = 1.179, b = -0.977 for its generated GD. A
+        // single Ward draw over N(0,1) is asymmetric (one side hugs zero),
+        // and the published b implies the paper's draw had its innermost
+        // magnitude near 0.02. Our mirror-averaged symmetric fold lands the
+        // innermost magnitude near 0.1, so `a` must match closely while `b`
+        // gets a wider band (see EXPERIMENTS.md, Fig. 3 entry).
+        let gd = GoldenDictionary::generate(&GoldenConfig::default());
+        let c = ExpCurve::fit(&gd);
+        assert!((c.a - 1.179).abs() < 0.06, "a = {} vs paper 1.179", c.a);
+        assert!((c.b + 0.977).abs() < 0.2, "b = {} vs paper -0.977", c.b);
+    }
+
+    #[test]
+    fn weighting_prioritizes_inner_bins() {
+        // Perturb the outermost magnitude: with the paper's 2^7..2^0
+        // weights the inner fit should barely move.
+        let gd = GoldenDictionary::generate(&GoldenConfig {
+            samples: 20_000,
+            repeats: 2,
+            ..Default::default()
+        });
+        let base = ExpCurve::fit(&gd);
+        let mut perturbed = gd.half().to_vec();
+        perturbed[7] += 0.3;
+        let weights: Vec<f64> = (0..8).map(|i| ((7 - i) as f64).exp2()).collect();
+        let moved = ExpCurve::fit_weighted(&perturbed, &weights);
+        let inner_shift = (moved.magnitude(0) - base.magnitude(0)).abs();
+        assert!(inner_shift < 0.02, "inner magnitude shifted by {inner_shift}");
+    }
+
+    #[test]
+    fn magnitudes_are_ascending() {
+        let c = ExpCurve::paper();
+        let mags = c.magnitudes();
+        assert!(mags.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn power_law_identity_holds() {
+        let c = ExpCurve::paper();
+        for i in 0..8usize {
+            for j in 0..8usize {
+                let prod = c.power(i) * c.power(j);
+                assert!((prod - c.power(i + j)).abs() < 1e-9 * prod.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn rms_error_of_perfect_fit_is_zero() {
+        let c = ExpCurve { a: 1.2, b: -0.5, half_len: 4 };
+        assert!(c.rms_error(&c.magnitudes()) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn magnitude_out_of_range_panics() {
+        let _ = ExpCurve::paper().magnitude(8);
+    }
+}

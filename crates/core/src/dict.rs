@@ -1,0 +1,414 @@
+//! Per-tensor dictionary generation (paper Sections II-C and II-E).
+//!
+//! "Mokey fits the Golden Dictionary (GD) to each tensor by first
+//! determining the mean (m) and the standard deviation (s) of the tensor's
+//! values … A simple linear transformation of GD is all that is needed:
+//! `GD × s + m`." Each tensor carries **two** dictionaries: a Gaussian (G)
+//! dictionary — the fitted exponential curve — for the bulk, and an Outlier
+//! (OT) dictionary for the rare wide-range values.
+
+use crate::curve::ExpCurve;
+use crate::encode::Code;
+use mokey_clustering::ward_agglomerative;
+use mokey_tensor::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// How the Gaussian/outlier boundary is chosen during dictionary
+/// construction.
+///
+/// The paper widens the exponent range to `int = 45` to cover outliers and
+/// gives them a dedicated 16-entry dictionary; the precise cut is a design
+/// parameter, so we expose the obvious policies (and use them in the
+/// ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OutlierPolicy {
+    /// Cut halfway between the outermost Gaussian magnitude `a^(h−1)+b` and
+    /// the next exponential step `a^h+b`. This is the natural reading of
+    /// the paper's scheme and the default.
+    CurveMidpoint,
+    /// Explicit cut in normalized (`z = (x−m)/s`) space.
+    Threshold(f64),
+    /// Choose the cut so that the given fraction of observed values falls
+    /// in the outlier set.
+    Fraction(f64),
+    /// No outlier dictionary: everything quantizes to the Gaussian curve
+    /// (values beyond its range clamp to the outermost bin). Used by the
+    /// G-only ablation.
+    Disabled,
+}
+
+/// Construction parameters for [`TensorDict`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TensorDictConfig {
+    /// Outlier split policy.
+    pub policy: OutlierPolicy,
+    /// Maximum OT dictionary magnitudes (paper: 16 entries = 8 magnitudes +
+    /// sign).
+    pub max_outlier_magnitudes: usize,
+    /// Exponent cap for outlier coverage (paper: "we need to widen the
+    /// index range to int = 45"). Normalized values beyond `a^cap + b`
+    /// clamp.
+    pub max_exponent: u32,
+}
+
+impl Default for TensorDictConfig {
+    fn default() -> Self {
+        Self { policy: OutlierPolicy::CurveMidpoint, max_outlier_magnitudes: 8, max_exponent: 45 }
+    }
+}
+
+/// A per-tensor dictionary pair: the scaled/shifted exponential curve (G)
+/// plus a clustered outlier dictionary (OT).
+///
+/// A stored [`Code`] decodes as `θ · magnitude[idx] · s + m`, where the
+/// magnitude comes from the G curve or the OT table according to the code's
+/// dictionary bit (paper Eq. 1/2).
+///
+/// # Example
+///
+/// ```
+/// use mokey_core::{curve::ExpCurve, dict::TensorDict};
+///
+/// let values: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.618).sin() * 0.1).collect();
+/// let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+/// let code = dict.encode_value(0.05);
+/// let back = dict.decode_code(code);
+/// assert!((back - 0.05).abs() < 0.03);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorDict {
+    curve: ExpCurve,
+    scale: f64,
+    shift: f64,
+    /// Cached Gaussian magnitudes `a^i + b` (z-space), ascending.
+    g_magnitudes: Vec<f64>,
+    /// Outlier magnitudes (z-space), ascending; may be empty.
+    ot_magnitudes: Vec<f64>,
+    /// z-space boundary used when the dictionary was *built* (encoding uses
+    /// nearest-centroid-overall, matching the Fig. 7 hardware).
+    cutoff: f64,
+}
+
+impl TensorDict {
+    /// Builds the dictionary pair for a concrete value set (weights, or
+    /// profiled activation samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn for_values(values: &[f32], curve: &ExpCurve, config: &TensorDictConfig) -> Self {
+        assert!(!values.is_empty(), "cannot build a dictionary for zero values");
+        let summary = Summary::of(values);
+        Self::from_stats(&summary, values, curve, config)
+    }
+
+    /// Builds the dictionary pair from precomputed statistics plus a sample
+    /// of values (the profiler's reservoir) used for outlier clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn from_stats(
+        summary: &Summary,
+        samples: &[f32],
+        curve: &ExpCurve,
+        config: &TensorDictConfig,
+    ) -> Self {
+        assert!(summary.count() > 0, "cannot build a dictionary from an empty summary");
+        let shift = summary.mean();
+        // Degenerate tensors (constant) get unit scale so z stays finite.
+        let scale = if summary.std() > 1e-30 { summary.std() } else { 1.0 };
+        let g_magnitudes = curve.magnitudes();
+        let g_max = *g_magnitudes.last().expect("curve has at least one magnitude");
+
+        let z_cap = curve.power(config.max_exponent as usize) + curve.b;
+        let zmags: Vec<f64> = samples
+            .iter()
+            .map(|&v| ((f64::from(v) - shift) / scale).abs().min(z_cap))
+            .collect();
+
+        let cutoff = match config.policy {
+            OutlierPolicy::Disabled => f64::INFINITY,
+            OutlierPolicy::CurveMidpoint => {
+                (g_max + curve.power(curve.half_len) + curve.b) / 2.0
+            }
+            OutlierPolicy::Threshold(t) => t,
+            OutlierPolicy::Fraction(f) => {
+                let f = f.clamp(0.0, 1.0);
+                let mut sorted = zmags.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite z"));
+                let idx = ((sorted.len() as f64) * (1.0 - f)) as usize;
+                sorted.get(idx).copied().unwrap_or(f64::INFINITY)
+            }
+        };
+
+        let outliers: Vec<f64> = zmags.iter().copied().filter(|&z| z > cutoff).collect();
+        let ot_magnitudes = if outliers.is_empty() || config.policy == OutlierPolicy::Disabled {
+            Vec::new()
+        } else {
+            let k = config.max_outlier_magnitudes.min(outliers.len()).max(1);
+            let clustering = ward_agglomerative(&outliers, k);
+            clustering.centroids().to_vec()
+        };
+
+        Self { curve: *curve, scale, shift, g_magnitudes, ot_magnitudes, cutoff }
+    }
+
+    /// Reconstructs a dictionary from its stored parts (the wire format of
+    /// `mokey-memlayout`'s archive): the Gaussian magnitudes are recomputed
+    /// from the curve, everything else is explicit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ot_magnitudes` is unsorted or `scale` is not positive.
+    pub fn from_parts(
+        curve: ExpCurve,
+        scale: f64,
+        shift: f64,
+        ot_magnitudes: Vec<f64>,
+        cutoff: f64,
+    ) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(
+            ot_magnitudes.windows(2).all(|w| w[0] <= w[1]),
+            "outlier magnitudes must be sorted"
+        );
+        let g_magnitudes = curve.magnitudes();
+        Self { curve, scale, shift, g_magnitudes, ot_magnitudes, cutoff }
+    }
+
+    /// The shared exponential curve.
+    pub fn curve(&self) -> &ExpCurve {
+        &self.curve
+    }
+
+    /// Per-tensor scale `s` (the standard deviation).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Per-tensor shift `m` (the mean).
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// Gaussian magnitudes in z-space (`a^i + b`), ascending.
+    pub fn g_magnitudes(&self) -> &[f64] {
+        &self.g_magnitudes
+    }
+
+    /// Outlier magnitudes in z-space, ascending (empty when the tensor had
+    /// no outliers or the policy disabled them).
+    pub fn ot_magnitudes(&self) -> &[f64] {
+        &self.ot_magnitudes
+    }
+
+    /// The z-space boundary used at construction time.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Encodes one value to its nearest centroid across **both**
+    /// dictionaries (ties prefer Gaussian), exactly as the Fig. 7 output
+    /// quantization engine does in hardware.
+    pub fn encode_value(&self, value: f32) -> Code {
+        let z = (f64::from(value) - self.shift) / self.scale;
+        let negative = z < 0.0;
+        let az = z.abs();
+        let (gi, gd) = nearest(&self.g_magnitudes, az);
+        if self.ot_magnitudes.is_empty() {
+            return Code::new(false, negative, gi as u8);
+        }
+        let (oi, od) = nearest(&self.ot_magnitudes, az);
+        if gd <= od {
+            Code::new(false, negative, gi as u8)
+        } else {
+            Code::new(true, negative, oi as u8)
+        }
+    }
+
+    /// Decodes a code back to a floating-point value:
+    /// `θ · magnitude · s + m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outlier code arrives while the OT dictionary is empty,
+    /// or the index exceeds the dictionary.
+    pub fn decode_code(&self, code: Code) -> f64 {
+        let table = if code.is_outlier() { &self.ot_magnitudes } else { &self.g_magnitudes };
+        let mag = *table
+            .get(code.index() as usize)
+            .unwrap_or_else(|| panic!("code {code:?} indexes outside the dictionary"));
+        let signed = if code.is_negative() { -mag } else { mag };
+        signed * self.scale + self.shift
+    }
+
+    /// The full signed centroid list (value space), ascending, paired with
+    /// the code that produces each — the comparator inputs of the Fig. 7
+    /// engine.
+    pub fn signed_centroids(&self) -> Vec<(f64, Code)> {
+        let mut out = Vec::with_capacity(2 * (self.g_magnitudes.len() + self.ot_magnitudes.len()));
+        for (table, is_ot) in [(&self.g_magnitudes, false), (&self.ot_magnitudes, true)] {
+            for (i, &m) in table.iter().enumerate() {
+                out.push((m * self.scale + self.shift, Code::new(is_ot, false, i as u8)));
+                out.push((-m * self.scale + self.shift, Code::new(is_ot, true, i as u8)));
+            }
+        }
+        out.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite centroids"));
+        out
+    }
+
+    /// Metadata footprint in bits: G dictionary (half × 16b), OT dictionary
+    /// (half × 16b), plus scale/shift constants (2 × 16b). Paper Section
+    /// II-G: "the space needed for this metadata pales in comparison with
+    /// the size of the respective tensors."
+    pub fn metadata_bits(&self) -> usize {
+        (self.g_magnitudes.len() + self.ot_magnitudes.len() + 2) * 16
+    }
+}
+
+/// Index and distance of the nearest entry in an ascending table.
+fn nearest(table: &[f64], value: f64) -> (usize, f64) {
+    debug_assert!(!table.is_empty());
+    match table.binary_search_by(|m| m.partial_cmp(&value).expect("finite magnitudes")) {
+        Ok(i) => (i, 0.0),
+        Err(i) => {
+            if i == 0 {
+                (0, (table[0] - value).abs())
+            } else if i == table.len() {
+                (table.len() - 1, (value - table[table.len() - 1]).abs())
+            } else {
+                let lo = (value - table[i - 1]).abs();
+                let hi = (table[i] - value).abs();
+                if lo <= hi {
+                    (i - 1, lo)
+                } else {
+                    (i, hi)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_tensor::init::GaussianMixture;
+
+    fn weight_values() -> Vec<f32> {
+        GaussianMixture::weight_like(0.01, 0.05).sample_matrix(100, 100, 42).into_vec()
+    }
+
+    #[test]
+    fn linear_transform_matches_paper_form() {
+        let values = weight_values();
+        let curve = ExpCurve::paper();
+        let dict = TensorDict::for_values(&values, &curve, &Default::default());
+        // Decoded G centroid i must equal ±(a^i + b)·s + m exactly.
+        for i in 0..8u8 {
+            let pos = dict.decode_code(Code::new(false, false, i));
+            let expect = (curve.a.powi(i32::from(i)) + curve.b) * dict.scale() + dict.shift();
+            assert!((pos - expect).abs() < 1e-12);
+            let neg = dict.decode_code(Code::new(false, true, i));
+            let expect_neg = -(curve.a.powi(i32::from(i)) + curve.b) * dict.scale() + dict.shift();
+            assert!((neg - expect_neg).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn encode_decode_error_bounded_for_bulk_values() {
+        let values = weight_values();
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        // For in-range values the error is at most half the largest gap
+        // between adjacent signed centroids.
+        let centroids = dict.signed_centroids();
+        let max_gap = centroids.windows(2).map(|w| w[1].0 - w[0].0).fold(0.0, f64::max);
+        let lo = centroids.first().unwrap().0;
+        let hi = centroids.last().unwrap().0;
+        for &v in values.iter().filter(|&&v| f64::from(v) > lo && f64::from(v) < hi) {
+            let err = (dict.decode_code(dict.encode_value(v)) - f64::from(v)).abs();
+            assert!(err <= max_gap / 2.0 + 1e-9, "error {err} exceeds half max gap {max_gap}");
+        }
+    }
+
+    #[test]
+    fn outlier_fraction_matches_paper_ballpark_for_weights() {
+        let values = weight_values();
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let outliers =
+            values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64;
+        let frac = outliers / values.len() as f64;
+        // Paper Table I: 1.2%–1.6% for weights. Allow a generous band.
+        assert!(frac > 0.001 && frac < 0.05, "weight outlier fraction {frac}");
+    }
+
+    #[test]
+    fn ot_magnitudes_sit_beyond_g_range() {
+        let values = weight_values();
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let g_max = *dict.g_magnitudes().last().unwrap();
+        assert!(!dict.ot_magnitudes().is_empty());
+        for &m in dict.ot_magnitudes() {
+            assert!(m > g_max, "OT magnitude {m} inside G range (max {g_max})");
+        }
+    }
+
+    #[test]
+    fn disabled_policy_has_no_outliers() {
+        let values = weight_values();
+        let config = TensorDictConfig { policy: OutlierPolicy::Disabled, ..Default::default() };
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &config);
+        assert!(dict.ot_magnitudes().is_empty());
+        assert!(values.iter().all(|&v| !dict.encode_value(v).is_outlier()));
+    }
+
+    #[test]
+    fn fraction_policy_hits_requested_rate() {
+        let values = weight_values();
+        let config =
+            TensorDictConfig { policy: OutlierPolicy::Fraction(0.05), ..Default::default() };
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &config);
+        let frac = values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64
+            / values.len() as f64;
+        assert!((frac - 0.05).abs() < 0.02, "fraction {frac} vs requested 0.05");
+    }
+
+    #[test]
+    fn constant_tensor_does_not_blow_up() {
+        let values = vec![3.0f32; 100];
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let code = dict.encode_value(3.0);
+        let back = dict.decode_code(code);
+        // Scale falls back to 1.0; the nearest magnitude is a^0+b = 0.023.
+        assert!((back - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_outermost_bin() {
+        let values = weight_values();
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let code = dict.encode_value(1e6);
+        assert!(code.is_outlier());
+        assert_eq!(code.index() as usize, dict.ot_magnitudes().len() - 1);
+    }
+
+    #[test]
+    fn signed_centroids_sorted_and_complete() {
+        let values = weight_values();
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let c = dict.signed_centroids();
+        assert_eq!(c.len(), 2 * (8 + dict.ot_magnitudes().len()));
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Every centroid decodes to itself.
+        for (v, code) in &c {
+            assert!((dict.decode_code(*code) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn metadata_is_small() {
+        let values = weight_values();
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        assert!(dict.metadata_bits() <= (8 + 8 + 2) * 16);
+    }
+}

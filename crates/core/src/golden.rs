@@ -1,0 +1,238 @@
+//! Golden Dictionary generation (paper Section II-B, Fig. 2).
+//!
+//! "First, generate a random Gaussian distribution with 50,000 samples with
+//! a mean of zero and a standard deviation of one. Then apply AC method on
+//! this distribution to produce the quantization dictionary. To create the
+//! Golden Dictionary, we repeat this process and compute an average over
+//! quantization dictionaries."
+
+use mokey_clustering::ward_agglomerative;
+use mokey_tensor::init::standard_normal_vec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Golden Dictionary generation.
+///
+/// The defaults replicate the paper: 50,000 `N(0,1)` samples clustered to
+/// `2^bits` centroids, averaged over several independent draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenConfig {
+    /// Samples per draw (paper: 50,000).
+    pub samples: usize,
+    /// Independent draws averaged together (paper: "repeat this process").
+    pub repeats: usize,
+    /// Quantization width in bits; the dictionary has `2^bits` entries of
+    /// which `2^(bits−1)` magnitudes are stored (paper: 4).
+    pub bits: u32,
+    /// Base RNG seed; draw `r` uses `seed + r`.
+    pub seed: u64,
+}
+
+impl Default for GoldenConfig {
+    fn default() -> Self {
+        Self { samples: 50_000, repeats: 8, bits: 4, seed: 0x6D6F_6B65 }
+    }
+}
+
+/// The model-independent Golden Dictionary: `2^(bits−1)` positive centroid
+/// magnitudes of a clustered standard normal, mirrored around zero.
+///
+/// "The Golden Dictionary is symmetric around zero requiring only half of
+/// the entries to be stored" (paper key characteristic #7).
+///
+/// # Example
+///
+/// ```
+/// use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+///
+/// let gd = GoldenDictionary::generate(&GoldenConfig { repeats: 2, ..Default::default() });
+/// assert_eq!(gd.half().len(), 8);
+/// // Magnitudes ascend and span the bulk of N(0,1).
+/// assert!(gd.half()[0] < 0.2 && gd.half()[7] > 1.8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldenDictionary {
+    half: Vec<f64>,
+    bits: u32,
+}
+
+impl GoldenDictionary {
+    /// Generates the dictionary per the paper's recipe.
+    ///
+    /// Each draw clusters fresh `N(0,1)` samples into `2^bits` clusters with
+    /// Ward-linkage agglomerative clustering, folds the signed centroids
+    /// into magnitudes (the distribution is symmetric, so positive and
+    /// mirrored-negative centroids are averaged), then averages across
+    /// draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` (at least two magnitudes are required) or
+    /// `samples`/`repeats` is zero.
+    pub fn generate(config: &GoldenConfig) -> Self {
+        assert!(config.bits >= 2, "need at least 2 bits, got {}", config.bits);
+        assert!(config.samples > 0 && config.repeats > 0, "samples and repeats must be positive");
+        let k = 1usize << config.bits;
+        let half_len = k / 2;
+        let mut acc = vec![0.0f64; half_len];
+        for r in 0..config.repeats {
+            let samples = standard_normal_vec(config.samples, config.seed + r as u64);
+            let clustering = ward_agglomerative(&samples, k);
+            let half = fold_symmetric(clustering.centroids(), half_len);
+            for (a, h) in acc.iter_mut().zip(&half) {
+                *a += h;
+            }
+        }
+        for a in &mut acc {
+            *a /= config.repeats as f64;
+        }
+        Self { half: acc, bits: config.bits }
+    }
+
+    /// Builds a dictionary from explicit magnitudes (for tests and for
+    /// loading a published dictionary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is empty, unsorted, or contains non-positive values.
+    pub fn from_half(half: Vec<f64>) -> Self {
+        assert!(!half.is_empty(), "dictionary half cannot be empty");
+        assert!(half.windows(2).all(|w| w[0] < w[1]), "magnitudes must be strictly ascending");
+        assert!(half.iter().all(|&m| m > 0.0), "magnitudes must be positive");
+        let bits = (half.len() * 2).ilog2();
+        Self { half, bits }
+    }
+
+    /// The stored positive magnitudes, ascending.
+    pub fn half(&self) -> &[f64] {
+        &self.half
+    }
+
+    /// Quantization width in bits (4 in the paper).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The full symmetric dictionary: `[-mₕ…-m₀, m₀…mₕ]`, ascending.
+    pub fn full(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self.half.iter().rev().map(|&m| -m).collect();
+        out.extend_from_slice(&self.half);
+        out
+    }
+}
+
+/// Folds `2h` signed centroids of a (nearly) symmetric clustering into `h`
+/// averaged positive magnitudes.
+///
+/// Centroid `i` from the negative side pairs with centroid `2h−1−i` from
+/// the positive side. When the clustering is slightly asymmetric (finite
+/// sample), averaging restores the symmetry the paper requires.
+fn fold_symmetric(centroids: &[f64], half_len: usize) -> Vec<f64> {
+    debug_assert!(centroids.len() >= 2 * half_len || centroids.len() >= half_len);
+    let n = centroids.len();
+    let mut half = Vec::with_capacity(half_len);
+    if n >= 2 * half_len {
+        for i in 0..half_len {
+            let pos = centroids[n - half_len + i];
+            let neg = centroids[half_len - 1 - i];
+            half.push((pos - neg) / 2.0);
+        }
+    } else {
+        // Degenerate draw (duplicate collapse): take positive magnitudes.
+        for &c in centroids.iter().filter(|&&c| c > 0.0).take(half_len) {
+            half.push(c);
+        }
+        while half.len() < half_len {
+            let last = half.last().copied().unwrap_or(1.0);
+            half.push(last * 1.5);
+        }
+    }
+    // Guard strict monotonicity against pathological draws.
+    for i in 1..half.len() {
+        if half[i] <= half[i - 1] {
+            half[i] = half[i - 1] * (1.0 + 1e-9);
+        }
+    }
+    half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GoldenConfig {
+        GoldenConfig { samples: 20_000, repeats: 3, bits: 4, seed: 1 }
+    }
+
+    #[test]
+    fn generates_eight_ascending_magnitudes() {
+        let gd = GoldenDictionary::generate(&small_config());
+        assert_eq!(gd.half().len(), 8);
+        assert!(gd.half().windows(2).all(|w| w[0] < w[1]));
+        assert!(gd.half().iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn magnitudes_match_expected_normal_clustering() {
+        // For N(0,1) cut into 16 Ward clusters, the extreme magnitude sits
+        // near 2.2σ and the innermost near 0.1σ (cf. paper Fig. 3 where the
+        // fitted curve spans ~0.02 to ~2.2).
+        let gd = GoldenDictionary::generate(&GoldenConfig::default());
+        let h = gd.half();
+        assert!(h[0] > 0.01 && h[0] < 0.25, "inner magnitude {}", h[0]);
+        assert!(h[7] > 1.8 && h[7] < 2.8, "outer magnitude {}", h[7]);
+    }
+
+    #[test]
+    fn full_dictionary_is_symmetric_and_sorted() {
+        let gd = GoldenDictionary::generate(&small_config());
+        let full = gd.full();
+        assert_eq!(full.len(), 16);
+        for i in 0..8 {
+            assert!((full[i] + full[15 - i]).abs() < 1e-12, "not symmetric at {i}");
+        }
+        assert!(full.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = GoldenDictionary::generate(&small_config());
+        let b = GoldenDictionary::generate(&small_config());
+        assert_eq!(a, b);
+        let c = GoldenDictionary::generate(&GoldenConfig { seed: 2, ..small_config() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn repeats_reduce_draw_variance() {
+        // The averaged dictionary should sit between individual draws:
+        // check that two different single draws differ more from each other
+        // than each differs from the 8-repeat average.
+        let single1 = GoldenDictionary::generate(&GoldenConfig { repeats: 1, seed: 10, ..Default::default() });
+        let single2 = GoldenDictionary::generate(&GoldenConfig { repeats: 1, seed: 11, ..Default::default() });
+        let avg = GoldenDictionary::generate(&GoldenConfig { repeats: 8, seed: 10, ..Default::default() });
+        let dist = |a: &GoldenDictionary, b: &GoldenDictionary| -> f64 {
+            a.half().iter().zip(b.half()).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert!(dist(&single1, &avg) <= dist(&single1, &single2) + 1e-6);
+    }
+
+    #[test]
+    fn three_bit_dictionary_has_four_magnitudes() {
+        let gd = GoldenDictionary::generate(&GoldenConfig { bits: 3, ..small_config() });
+        assert_eq!(gd.half().len(), 4);
+        assert_eq!(gd.full().len(), 8);
+    }
+
+    #[test]
+    fn from_half_roundtrips() {
+        let gd = GoldenDictionary::from_half(vec![0.1, 0.5, 1.0, 2.0]);
+        assert_eq!(gd.bits(), 3);
+        assert_eq!(gd.full(), vec![-2.0, -1.0, -0.5, -0.1, 0.1, 0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_half_rejects_unsorted() {
+        let _ = GoldenDictionary::from_half(vec![1.0, 0.5]);
+    }
+}

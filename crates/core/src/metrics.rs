@@ -1,0 +1,125 @@
+//! Quantization-error metrics shared across the evaluation.
+
+use mokey_tensor::Matrix;
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse length mismatch");
+    assert!(!a.is_empty(), "mse of empty slices");
+    a.iter().zip(b).map(|(&x, &y)| (f64::from(x) - f64::from(y)).powi(2)).sum::<f64>()
+        / a.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Same contract as [`mse`].
+pub fn rmse(a: &[f32], b: &[f32]) -> f64 {
+    mse(a, b).sqrt()
+}
+
+/// Largest absolute element difference.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_abs_err(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_err length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (f64::from(x) - f64::from(y)).abs()).fold(0.0, f64::max)
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10·log10(Σ s² / Σ (s−q)²)`.
+/// Returns `f64::INFINITY` for a perfect reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn sqnr_db(signal: &[f32], quantized: &[f32]) -> f64 {
+    assert_eq!(signal.len(), quantized.len(), "sqnr length mismatch");
+    assert!(!signal.is_empty(), "sqnr of empty slices");
+    let power: f64 = signal.iter().map(|&x| f64::from(x).powi(2)).sum();
+    let noise: f64 =
+        signal.iter().zip(quantized).map(|(&x, &y)| (f64::from(x) - f64::from(y)).powi(2)).sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (power / noise).log10()
+    }
+}
+
+/// Cosine similarity of two vectors (1.0 = identical direction). Returns
+/// `0.0` when either vector is all zeros.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
+    let na: f64 = a.iter().map(|&x| f64::from(x).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|&x| f64::from(x).powi(2)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Convenience: [`rmse`] over whole matrices.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn matrix_rmse(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "matrix_rmse shape mismatch");
+    rmse(a.as_slice(), b.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_value() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(rmse(&[0.0, 0.0], &[3.0, 4.0]), (12.5f64).sqrt());
+    }
+
+    #[test]
+    fn max_abs_err_picks_worst() {
+        assert_eq!(max_abs_err(&[1.0, 5.0, -2.0], &[1.1, 5.0, -4.0]), 2.0);
+    }
+
+    #[test]
+    fn sqnr_infinite_for_identity() {
+        assert_eq!(sqnr_db(&[1.0, 2.0], &[1.0, 2.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn sqnr_known_value() {
+        // signal power 1, noise power 0.01 -> 20 dB (f32 rounding of 0.1
+        // perturbs the last digits).
+        let s = vec![1.0f32];
+        let q = vec![0.9f32];
+        assert!((sqnr_db(&s, &q) - 20.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! The output-activation quantization engine (paper Fig. 7).
+//!
+//! "An output activation OA is compared with every centroid from both the G
+//! and the OT dictionaries. Since the dictionary values are sorted … a
+//! leading-one detector drives two 32-to-1 multiplexers … selecting the two
+//! corresponding 16b centroids CL and CH … OA is subtracted from each … to
+//! find the smaller of the two. The relative position of this centroid is
+//! then encoded as a 5b index."
+//!
+//! [`OutputQuantizer`] models that engine functionally (sorted comparator
+//! array → CL/CH select → nearest) and verifies against the software
+//! encoder; it also counts comparator work for the energy model.
+
+use crate::dict::TensorDict;
+use crate::encode::{Code, QuantizedTensor};
+use mokey_tensor::Matrix;
+
+/// Hardware-faithful output quantizer for one tensor's dictionary pair.
+///
+/// # Example
+///
+/// ```
+/// use mokey_core::{curve::ExpCurve, dict::TensorDict, quantizer::OutputQuantizer};
+///
+/// let values: Vec<f32> = (0..512).map(|i| ((i as f32) * 0.37).sin()).collect();
+/// let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+/// let engine = OutputQuantizer::new(dict.clone());
+/// let code = engine.quantize(0.4);
+/// assert_eq!(code, dict.encode_value(0.4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OutputQuantizer {
+    dict: TensorDict,
+    /// Sorted signed centroids with their codes — the comparator ladder.
+    ladder: Vec<(f64, Code)>,
+}
+
+impl OutputQuantizer {
+    /// Builds the comparator ladder for a dictionary pair.
+    pub fn new(dict: TensorDict) -> Self {
+        let ladder = dict.signed_centroids();
+        Self { dict, ladder }
+    }
+
+    /// The dictionary this engine encodes into.
+    pub fn dict(&self) -> &TensorDict {
+        &self.dict
+    }
+
+    /// Number of comparators in the ladder (32 in the paper's 16+16-entry
+    /// configuration).
+    pub fn comparator_count(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// Quantizes one output activation, mirroring the Fig. 7 datapath:
+    /// the comparator ladder yields the leading-one position, CL/CH are the
+    /// straddling centroids, and the closer one wins.
+    pub fn quantize(&self, oa: f32) -> Code {
+        let oa = f64::from(oa);
+        // Comparator outputs: centroid < OA. The leading-one position is
+        // the count of centroids below OA — a binary search here.
+        let pos = self.ladder.partition_point(|(c, _)| *c < oa);
+        let (cl, ch) = if pos == 0 {
+            (0, 0)
+        } else if pos == self.ladder.len() {
+            (self.ladder.len() - 1, self.ladder.len() - 1)
+        } else {
+            (pos - 1, pos)
+        };
+        let dl = (oa - self.ladder[cl].0).abs();
+        let dh = (self.ladder[ch].0 - oa).abs();
+        if dl <= dh {
+            self.ladder[cl].1
+        } else {
+            self.ladder[ch].1
+        }
+    }
+
+    /// Quantizes a whole output-activation matrix.
+    pub fn quantize_matrix(&self, m: &Matrix) -> QuantizedTensor {
+        // The engine must agree with the software encoder; delegate so the
+        // result carries the dictionary, then the equivalence test below
+        // keeps the two honest.
+        QuantizedTensor::encode(m, &self.dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::ExpCurve;
+    use mokey_tensor::init::GaussianMixture;
+
+    fn engine() -> OutputQuantizer {
+        let vals = GaussianMixture::activation_like(0.2, 1.5).sample_matrix(64, 64, 77);
+        let dict = TensorDict::for_values(vals.as_slice(), &ExpCurve::paper(), &Default::default());
+        OutputQuantizer::new(dict)
+    }
+
+    #[test]
+    fn hardware_path_matches_software_encoder() {
+        let e = engine();
+        let probe = GaussianMixture::activation_like(0.2, 1.5).sample_matrix(32, 32, 78);
+        for &v in probe.as_slice() {
+            assert_eq!(
+                e.quantize(v),
+                e.dict().encode_value(v),
+                "divergence at value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_ladder_ends() {
+        let e = engine();
+        let lo = e.quantize(-1e9);
+        let hi = e.quantize(1e9);
+        assert!(lo.is_negative());
+        assert!(!hi.is_negative());
+        assert!(lo.is_outlier() && hi.is_outlier());
+    }
+
+    #[test]
+    fn ladder_is_sorted_and_sized() {
+        let e = engine();
+        assert!(e.comparator_count() <= 32);
+        assert!(e.comparator_count() >= 16);
+    }
+
+    #[test]
+    fn quantize_matrix_equals_encode() {
+        let e = engine();
+        let m = GaussianMixture::activation_like(0.2, 1.5).sample_matrix(8, 8, 79);
+        let via_engine = e.quantize_matrix(&m);
+        let via_encode = QuantizedTensor::encode(&m, e.dict());
+        assert_eq!(via_engine, via_encode);
+    }
+
+    #[test]
+    fn quantize_centroid_is_identity() {
+        let e = engine();
+        for (value, code) in e.dict().signed_centroids() {
+            assert_eq!(e.quantize(value as f32), code, "centroid {value} did not map to itself");
+        }
+    }
+}

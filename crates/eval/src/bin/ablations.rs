@@ -1,0 +1,159 @@
+//! Ablations of Mokey's design choices (DESIGN.md §5.3): dictionary
+//! width, outlier policy, fitted-vs-published curve constants, and
+//! profiling batch size.
+
+use mokey_core::curve::ExpCurve;
+use mokey_core::dict::{OutlierPolicy, TensorDict, TensorDictConfig};
+use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+use mokey_core::metrics::sqnr_db;
+use mokey_eval::report::{save_json, Table};
+use mokey_eval::scaled::{build_row, table1_rows};
+use mokey_eval::Quality;
+use mokey_tensor::init::GaussianMixture;
+use mokey_transformer::quantize::{infer_quantized_batch, QuantizeSpec, QuantizedModel};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct AblationResults {
+    dictionary_bits: Vec<(u32, f64, f64)>,
+    outlier_policy: Vec<(String, f64, f64)>,
+    curve_source: Vec<(String, f64)>,
+    profile_batch: Vec<(usize, f64)>,
+}
+
+fn fidelity(values: &[f32], dict: &TensorDict) -> (f64, f64) {
+    let decoded: Vec<f32> =
+        values.iter().map(|&v| dict.decode_code(dict.encode_value(v)) as f32).collect();
+    let outliers =
+        values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64;
+    (sqnr_db(values, &decoded), 100.0 * outliers / values.len() as f64)
+}
+
+fn main() {
+    let weights = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(128, 256, 404);
+    let mut results = AblationResults {
+        dictionary_bits: Vec::new(),
+        outlier_policy: Vec::new(),
+        curve_source: Vec::new(),
+        profile_batch: Vec::new(),
+    };
+
+    // --- 1. Dictionary width (paper: "the more entries … the better it
+    // represents the original tensor distribution"). ---
+    println!("== Ablation 1: dictionary width ==\n");
+    let mut t = Table::new(vec!["bits".into(), "SQNR (dB)".into(), "outliers %".into()]);
+    for bits in [2u32, 3, 4] {
+        let gd = GoldenDictionary::generate(&GoldenConfig { bits, repeats: 4, ..Default::default() });
+        let curve = ExpCurve::fit(&gd);
+        let dict = TensorDict::for_values(weights.as_slice(), &curve, &Default::default());
+        let (sqnr, ot) = fidelity(weights.as_slice(), &dict);
+        t.row(vec![bits.to_string(), format!("{sqnr:.2}"), format!("{ot:.2}")]);
+        results.dictionary_bits.push((bits, sqnr, ot));
+    }
+    t.print();
+    println!("(The paper settles on 4 bits: '16-entry dictionaries prove sufficient'.)\n");
+
+    // --- 2. Outlier policy. ---
+    println!("== Ablation 2: outlier policy ==\n");
+    let mut t = Table::new(vec!["policy".into(), "SQNR (dB)".into(), "outliers %".into()]);
+    let curve = ExpCurve::paper();
+    for (name, policy) in [
+        ("G-only (disabled)", OutlierPolicy::Disabled),
+        ("curve midpoint (default)", OutlierPolicy::CurveMidpoint),
+        ("fraction 1%", OutlierPolicy::Fraction(0.01)),
+        ("fraction 5%", OutlierPolicy::Fraction(0.05)),
+        ("fraction 10%", OutlierPolicy::Fraction(0.10)),
+    ] {
+        let config = TensorDictConfig { policy, ..Default::default() };
+        let dict = TensorDict::for_values(weights.as_slice(), &curve, &config);
+        let (sqnr, ot) = fidelity(weights.as_slice(), &dict);
+        t.row(vec![name.into(), format!("{sqnr:.2}"), format!("{ot:.2}")]);
+        results.outlier_policy.push((name.into(), sqnr, ot));
+    }
+    t.print();
+    println!("(Without the OT dictionary, rare wide values clamp to the G range\nand SQNR collapses — the paper's motivation for the dual dictionary.)\n");
+
+    // --- 3. Fitted vs published curve constants. ---
+    println!("== Ablation 3: curve source ==\n");
+    let mut t = Table::new(vec!["curve".into(), "SQNR (dB)".into()]);
+    let gd = GoldenDictionary::generate(&GoldenConfig::default());
+    for (name, curve) in [
+        ("fitted from our GD", ExpCurve::fit(&gd)),
+        ("paper constants (1.179, -0.977)", ExpCurve::paper()),
+    ] {
+        let dict = TensorDict::for_values(weights.as_slice(), &curve, &Default::default());
+        let (sqnr, _) = fidelity(weights.as_slice(), &dict);
+        t.row(vec![name.into(), format!("{sqnr:.2}")]);
+        results.curve_source.push((name.into(), sqnr));
+    }
+    t.print();
+    println!("(Both parameterizations quantize equally well — the fit constants\nare not load-bearing beyond the exponential form itself.)\n");
+
+    // --- 4. Profiling batch size (paper: 'runs with even fewer input
+    // samples proved enough'). ---
+    println!("== Ablation 4: profiling batch size ==\n");
+    let spec = &table1_rows()[0];
+    let (model, task) = build_row(spec, Quality::Quick);
+    let mut t = Table::new(vec!["profile sequences".into(), "W+A score".into()]);
+    for batch in [1usize, 2, 4, 8] {
+        let profile: Vec<Vec<usize>> = (0..batch)
+            .map(|i| model.random_tokens(64, spec.seed ^ 0xAB1E ^ (i as u64) << 24))
+            .collect();
+        let (qm, _) =
+            QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+        let (outputs, _) = infer_quantized_batch(&qm, &task.inputs);
+        let score = task.score(&outputs);
+        t.row(vec![batch.to_string(), format!("{score:.2}")]);
+        results.profile_batch.push((batch, score));
+    }
+    t.print();
+    println!("(FP reference: {:.2}.)", task.fp_score);
+
+    // --- 5. Baseline dataflow sensitivity (EXPERIMENTS.md divergence 1):
+    // how much of the paper's larger speedups comes from its
+    // weight-streaming baseline. ---
+    println!("\n== Ablation 5: baseline dataflow sensitivity ==\n");
+    use mokey_accel::arch::Accelerator;
+    use mokey_accel::sim::{simulate, Dataflow, SimConfig};
+    use mokey_accel::workloads::paper_workloads;
+    let workload = paper_workloads()
+        .into_iter()
+        .find(|w| w.name == "BERT-Large SQuAD")
+        .expect("workload exists");
+    let gemms = workload.gemms();
+    let mut t = Table::new(vec![
+        "buffer".into(),
+        "speedup vs min-traffic TC".into(),
+        "speedup vs weight-streaming TC".into(),
+    ]);
+    let mut dataflow_rows = Vec::new();
+    for buffer in [256usize << 10, 1 << 20, 4 << 20] {
+        let mokey = simulate(
+            &gemms,
+            &SimConfig::new(Accelerator::mokey(), buffer).with_rates(workload.rates),
+        );
+        let tc_min = simulate(
+            &gemms,
+            &SimConfig::new(Accelerator::tensor_cores(), buffer).with_rates(workload.rates),
+        );
+        let tc_ws = simulate(
+            &gemms,
+            &SimConfig::new(Accelerator::tensor_cores(), buffer)
+                .with_rates(workload.rates)
+                .with_dataflow(Dataflow::WeightStreaming { array_rows: 32 }),
+        );
+        let s_min = mokey.speedup_over(&tc_min);
+        let s_ws = mokey.speedup_over(&tc_ws);
+        t.row(vec![
+            format!("{} KB", buffer >> 10),
+            format!("{s_min:.2}x"),
+            format!("{s_ws:.2}x"),
+        ]);
+        dataflow_rows.push((buffer, s_min, s_ws));
+    }
+    t.print();
+    println!("(Against a weight-streaming baseline — the reading of the paper's\nTensor Cores that matches its reported traffic — Mokey's speedups land\nin the paper's 4-15x band even at large buffers.)");
+
+    save_json("ablations", &results);
+    save_json("ablation_dataflow", &dataflow_rows);
+}

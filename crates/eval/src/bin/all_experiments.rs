@@ -1,0 +1,54 @@
+//! Runs every experiment in sequence (Figs. 1–15, Tables I–IV) and writes
+//! all JSON artifacts to `results/`.
+
+use mokey_accel::arch::MemCompression;
+use mokey_core::golden::GoldenConfig;
+use mokey_eval::figures::{fig01, fig02, fig03, fig08, SimMatrix};
+use mokey_eval::report::save_json;
+use mokey_eval::tables::{table1, table2, table3, table4};
+use mokey_eval::Quality;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("Running ALL Mokey reproduction experiments (this takes a few minutes)…\n");
+
+    println!("[1/9] Fig. 1 footprint");
+    save_json("fig01_footprint", &fig01());
+
+    println!("[2/9] Fig. 2 golden dictionary");
+    save_json("fig02_golden_dict", &fig02(&GoldenConfig::default()));
+
+    println!("[3/9] Fig. 3 curve fit");
+    save_json("fig03_curve_fit", &fig03(&GoldenConfig::default()));
+
+    println!("[4/9] Table I task performance (8 rows × 3 passes)");
+    save_json("table1_task_performance", &table1(Quality::Full));
+
+    println!("[5/9] Fig. 8 profiling stability (17 trials)");
+    save_json("fig08_profiling", &fig08(Quality::Full));
+
+    println!("[6/9] simulator matrix (Figs. 9-15)");
+    let matrix = SimMatrix::run(Quality::Full);
+    save_json("fig09_baseline_cycles", &matrix.fig09());
+    save_json("fig10_speedup_tc", &matrix.fig10());
+    save_json("fig11_energy_tc", &matrix.fig11());
+    save_json("fig12_speedup_gobo", &matrix.fig12());
+    save_json("fig13_energy_gobo", &matrix.fig13());
+    save_json("fig14_oc", &matrix.fig14(MemCompression::OffChip));
+    save_json("fig14_oc_on", &matrix.fig14(MemCompression::OffChipOnChip));
+    save_json("fig15_oc", &matrix.fig15(MemCompression::OffChip));
+    save_json("fig15_oc_on", &matrix.fig15(MemCompression::OffChipOnChip));
+
+    println!("[7/9] Table II");
+    save_json("table2_area_cycles_energy", &table2());
+
+    println!("[8/9] Table III");
+    save_json("table3_breakdown", &table3());
+
+    println!("[9/9] Table IV method comparison");
+    save_json("table4_method_comparison", &table4(Quality::Full));
+
+    println!("\nAll experiments complete in {:.1}s.", t0.elapsed().as_secs_f64());
+    println!("Individual binaries (fig01_footprint, table1_task_performance, …) print");
+    println!("the formatted tables; JSON artifacts are in results/.");
+}

@@ -1,0 +1,29 @@
+//! Fig. 1 — BERT-Large weight vs. activation memory footprint over
+//! sequence length.
+
+use mokey_eval::figures::fig01;
+use mokey_eval::report::{save_json, Table};
+
+fn main() {
+    println!("== Fig. 1: BERT-Large weight/activation footprint (FP16) ==\n");
+    let result = fig01();
+    let mut table = Table::new(vec![
+        "seq len".into(),
+        "weights (MB)".into(),
+        "activations (MB)".into(),
+        "total (MB)".into(),
+        "activations %".into(),
+    ]);
+    for (seq, w, a, pct) in &result.rows {
+        table.row(vec![
+            seq.to_string(),
+            format!("{w:.0}"),
+            format!("{a:.0}"),
+            format!("{:.0}", w + a),
+            format!("{pct:.1}%"),
+        ]);
+    }
+    table.print();
+    println!("\nPaper: activations dominate total footprint beyond 512 tokens.");
+    save_json("fig01_footprint", &result);
+}

@@ -1,0 +1,31 @@
+//! Fig. 2 — generating the Golden Dictionary from a random Gaussian
+//! distribution via agglomerative clustering.
+
+use mokey_core::golden::GoldenConfig;
+use mokey_eval::figures::fig02;
+use mokey_eval::report::save_json;
+
+fn main() {
+    println!("== Fig. 2: Golden Dictionary generation ==\n");
+    let config = GoldenConfig::default();
+    let result = fig02(&config);
+    println!(
+        "N(0,1) sample of {} values, Ward agglomerative clustering to 16 centroids,",
+        config.samples
+    );
+    println!("averaged over {} draws (seed {:#x}).\n", config.repeats, config.seed);
+
+    let max = result.histogram.iter().map(|(_, c)| *c).max().unwrap_or(1);
+    for (start, count) in &result.histogram {
+        let bar = "#".repeat(count * 50 / max);
+        println!("{start:>6.2} | {bar}");
+    }
+    println!("\nGolden Dictionary centroids (16, symmetric):");
+    for chunk in result.centroids.chunks(8) {
+        println!(
+            "  {}",
+            chunk.iter().map(|c| format!("{c:+.3}")).collect::<Vec<_>>().join("  ")
+        );
+    }
+    save_json("fig02_golden_dict", &result);
+}

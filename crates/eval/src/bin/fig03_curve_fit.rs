@@ -1,0 +1,31 @@
+//! Fig. 3 — fitting the exponential curve `a^i + b` to the Golden
+//! Dictionary.
+
+use mokey_core::golden::GoldenConfig;
+use mokey_eval::figures::fig03;
+use mokey_eval::report::{save_json, Table};
+
+fn main() {
+    println!("== Fig. 3: exponential fit to the Golden Dictionary ==\n");
+    let result = fig03(&GoldenConfig::default());
+    println!("fitted:  a = {:.4}, b = {:+.4}", result.a, result.b);
+    println!("paper:   a = {:.4}, b = {:+.4}", result.paper_a, result.paper_b);
+    println!("rms residual: {:.4}\n", result.rms);
+    let mut table =
+        Table::new(vec!["index".into(), "GD magnitude".into(), "a^i + b".into(), "error".into()]);
+    for (i, (gd, curve)) in result.points.iter().enumerate() {
+        table.row(vec![
+            i.to_string(),
+            format!("{gd:.4}"),
+            format!("{curve:.4}"),
+            format!("{:+.4}", curve - gd),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nNote: the paper's b = -0.977 implies its GD draw had a zero-straddling\n\
+         inner cluster; our symmetric fold lands the inner magnitude near 0.1,\n\
+         which only shifts b (see EXPERIMENTS.md, Fig. 3 entry)."
+    );
+    save_json("fig03_curve_fit", &result);
+}

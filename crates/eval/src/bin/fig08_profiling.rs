@@ -1,0 +1,20 @@
+//! Fig. 8 — the effect of the profiling batch on accuracy (stability
+//! across trials).
+
+use mokey_eval::figures::fig08;
+use mokey_eval::report::{save_json, Table};
+use mokey_eval::Quality;
+
+fn main() {
+    println!("== Fig. 8: profiling effect on accuracy (BERT-Base MNLI, scaled) ==\n");
+    let result = fig08(Quality::Full);
+    let mut table = Table::new(vec!["trial".into(), "W+A accuracy".into()]);
+    for (i, score) in result.trial_scores.iter().enumerate() {
+        table.row(vec![(i + 1).to_string(), format!("{score:.2}")]);
+    }
+    table.print();
+    println!("\nFP score: {:.2}", result.fp_score);
+    println!("mean: {:.2}, std: {:.3}", result.mean, result.std);
+    println!("Paper: \"the result of profiling is almost identical each time\".");
+    save_json("fig08_profiling", &result);
+}

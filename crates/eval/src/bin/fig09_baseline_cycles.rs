@@ -1,0 +1,34 @@
+//! Fig. 9 — baseline (Tensor Cores) inference cycle counts across
+//! workloads and buffer capacities.
+
+use mokey_eval::figures::SimMatrix;
+use mokey_eval::report::{fmt_bytes, save_json, Table};
+use mokey_eval::Quality;
+
+fn main() {
+    println!("== Fig. 9: baseline accelerator inference cycle counts ==\n");
+    let matrix = SimMatrix::run(Quality::Full);
+    let fig = matrix.fig09();
+    let buffers = matrix.buffers().to_vec();
+    let mut table = Table::new(
+        std::iter::once("workload".to_string())
+            .chain(buffers.iter().map(|&b| fmt_bytes(b)))
+            .collect(),
+    );
+    for name in matrix.workload_names() {
+        let mut cells = vec![name.clone()];
+        for &b in &buffers {
+            let v = fig
+                .cells
+                .iter()
+                .find(|c| c.workload == name && c.buffer_bytes == b)
+                .map(|c| c.value)
+                .unwrap_or(f64::NAN);
+            cells.push(format!("{:.1}M", v / 1e6));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\nLarger buffers reduce cycles (more reuse, better overlap), as in the paper.");
+    save_json("fig09_baseline_cycles", &fig);
+}

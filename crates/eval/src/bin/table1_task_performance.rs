@@ -1,0 +1,40 @@
+//! Table I — the effect of Mokey quantization on task performance.
+
+use mokey_eval::report::{save_json, Table};
+use mokey_eval::tables::table1;
+use mokey_eval::Quality;
+
+fn main() {
+    println!("== Table I: Mokey quantization vs task performance (scaled models) ==\n");
+    let result = table1(Quality::Full);
+    let mut table = Table::new(vec![
+        "Model".into(),
+        "Task".into(),
+        "Metric".into(),
+        "FP Score".into(),
+        "W OT%".into(),
+        "W-only Score".into(),
+        "Err".into(),
+        "A OT%".into(),
+        "W+A Score".into(),
+        "Err".into(),
+    ]);
+    for r in &result.rows {
+        table.row(vec![
+            r.model.clone(),
+            r.task.clone(),
+            r.metric.clone(),
+            format!("{:.2}", r.fp_score),
+            format!("{:.2}", r.w_ot_pct),
+            format!("{:.2}", r.w_score),
+            format!("{:+.2}", r.w_err),
+            format!("{:.2}", r.a_ot_pct),
+            format!("{:.2}", r.wa_score),
+            format!("{:+.2}", r.wa_err),
+        ]);
+    }
+    table.print();
+    println!("\nPaper: W-only errors within ±0.4, W+A errors below 1.0, weight");
+    println!("outliers 1.2-1.6%, activation outliers 1.7-4.5%.");
+    save_json("table1_task_performance", &result);
+}

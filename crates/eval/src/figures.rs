@@ -1,0 +1,401 @@
+//! Figure experiments (Figs. 1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15).
+
+use crate::scaled::{build_row, profile_inputs, table1_rows};
+use crate::Quality;
+use mokey_accel::arch::{Accelerator, ArchKind, MemCompression};
+use mokey_accel::sim::{simulate, simulate_memcomp, SimConfig, SimReport};
+use mokey_accel::workloads::{buffer_sweep, paper_workloads, PaperWorkload};
+use mokey_core::curve::ExpCurve;
+use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+use mokey_transformer::footprint::fig1_sweep;
+use mokey_transformer::quantize::{infer_quantized_batch, QuantizeSpec, QuantizedModel};
+use mokey_transformer::ModelConfig;
+use serde::Serialize;
+
+/// Fig. 1 — BERT-Large weight/activation footprint vs sequence length.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig01Result {
+    /// Rows: (sequence length, weight MB, activation MB, activation %).
+    pub rows: Vec<(usize, f64, f64, f64)>,
+}
+
+/// Runs Fig. 1 (FP16 storage, as in the paper).
+pub fn fig01() -> Fig01Result {
+    let rows = fig1_sweep(&ModelConfig::bert_large(), 2.0)
+        .into_iter()
+        .map(|(seq, fp)| {
+            let mb = |b: usize| b as f64 / (1 << 20) as f64;
+            (seq, mb(fp.weight_bytes), mb(fp.activation_bytes), fp.activation_percent())
+        })
+        .collect();
+    Fig01Result { rows }
+}
+
+/// Fig. 2 — Golden Dictionary generation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig02Result {
+    /// Histogram of the generated N(0,1) sample (bin start, count).
+    pub histogram: Vec<(f64, usize)>,
+    /// The 16 symmetric dictionary centroids.
+    pub centroids: Vec<f64>,
+}
+
+/// Runs Fig. 2: one Gaussian draw plus the averaged dictionary.
+pub fn fig02(config: &GoldenConfig) -> Fig02Result {
+    let samples = mokey_tensor::init::standard_normal_vec(config.samples, config.seed);
+    let mut histogram = Vec::new();
+    let bins = 40;
+    let (lo, hi) = (-4.0, 4.0);
+    let width = (hi - lo) / bins as f64;
+    for b in 0..bins {
+        let start = lo + b as f64 * width;
+        let count =
+            samples.iter().filter(|&&x| x >= start && x < start + width).count();
+        histogram.push((start, count));
+    }
+    let gd = GoldenDictionary::generate(config);
+    Fig02Result { histogram, centroids: gd.full() }
+}
+
+/// Fig. 3 — exponential fit to the Golden Dictionary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig03Result {
+    /// Fitted base.
+    pub a: f64,
+    /// Fitted offset.
+    pub b: f64,
+    /// The paper's published constants (1.179, −0.977).
+    pub paper_a: f64,
+    pub paper_b: f64,
+    /// Per-index (dictionary magnitude, fitted-curve magnitude).
+    pub points: Vec<(f64, f64)>,
+    /// RMS residual of the fit.
+    pub rms: f64,
+}
+
+/// Runs Fig. 3.
+pub fn fig03(config: &GoldenConfig) -> Fig03Result {
+    let gd = GoldenDictionary::generate(config);
+    let curve = ExpCurve::fit(&gd);
+    let paper = ExpCurve::paper();
+    let points = gd
+        .half()
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (m, curve.magnitude(i)))
+        .collect();
+    Fig03Result {
+        a: curve.a,
+        b: curve.b,
+        paper_a: paper.a,
+        paper_b: paper.b,
+        points,
+        rms: curve.rms_error(gd.half()),
+    }
+}
+
+/// Fig. 8 — profiling-trial stability of accuracy.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig08Result {
+    /// W+A quantized accuracy per profiling trial.
+    pub trial_scores: Vec<f64>,
+    /// Mean across trials.
+    pub mean: f64,
+    /// Standard deviation across trials (the paper's point: ~0).
+    pub std: f64,
+    /// FP reference score.
+    pub fp_score: f64,
+}
+
+/// Runs Fig. 8 on the scaled BERT-Base MNLI row: re-profile with a fresh
+/// random batch each trial and re-measure W+A accuracy.
+pub fn fig08(quality: Quality) -> Fig08Result {
+    let spec = &table1_rows()[0];
+    let (model, task) = build_row(spec, quality);
+    let mut trial_scores = Vec::new();
+    for trial in 0..quality.profiling_trials() {
+        let mut spec_t = spec.clone();
+        spec_t.seed = spec.seed ^ (0x1000 + trial as u64) << 16;
+        let profile = profile_inputs(&model, &spec_t, quality);
+        let (qm, _) =
+            QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+        let (outputs, _) = infer_quantized_batch(&qm, &task.inputs);
+        trial_scores.push(task.score(&outputs));
+    }
+    let mean = trial_scores.iter().sum::<f64>() / trial_scores.len() as f64;
+    let std = (trial_scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+        / trial_scores.len() as f64)
+        .sqrt();
+    Fig08Result { trial_scores, mean, std, fp_score: task.fp_score }
+}
+
+/// One cell of the simulator sweep figures.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepCell {
+    /// Workload display name.
+    pub workload: String,
+    /// Buffer capacity in bytes.
+    pub buffer_bytes: usize,
+    /// Value (cycles, speedup, or ratio depending on the figure).
+    pub value: f64,
+}
+
+/// A simulator-based figure: per-workload series plus the geometric mean.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepFigure {
+    /// Figure id ("fig09" …).
+    pub id: String,
+    /// All cells.
+    pub cells: Vec<SweepCell>,
+    /// Geometric mean per buffer size: (buffer, geomean).
+    pub geomean: Vec<(usize, f64)>,
+}
+
+impl SweepFigure {
+    /// Renders the sweep as a workload × buffer table, with an optional
+    /// geometric-mean row.
+    pub fn to_table(
+        &self,
+        workload_names: &[String],
+        buffers: &[usize],
+        fmt: impl Fn(f64) -> String,
+        with_geomean: bool,
+    ) -> crate::report::Table {
+        let mut table = crate::report::Table::new(
+            std::iter::once("workload".to_string())
+                .chain(buffers.iter().map(|&b| crate::report::fmt_bytes(b)))
+                .collect(),
+        );
+        for name in workload_names {
+            let mut cells = vec![name.clone()];
+            for &b in buffers {
+                let v = self
+                    .cells
+                    .iter()
+                    .find(|c| &c.workload == name && c.buffer_bytes == b)
+                    .map(|c| c.value)
+                    .unwrap_or(f64::NAN);
+                cells.push(fmt(v));
+            }
+            table.row(cells);
+        }
+        if with_geomean {
+            let mut geo = vec!["GEOMEAN".to_string()];
+            for (_, g) in &self.geomean {
+                geo.push(fmt(*g));
+            }
+            table.row(geo);
+        }
+        table
+    }
+}
+
+fn geomean_per_buffer(cells: &[SweepCell], buffers: &[usize]) -> Vec<(usize, f64)> {
+    buffers
+        .iter()
+        .map(|&b| {
+            let vals: Vec<f64> =
+                cells.iter().filter(|c| c.buffer_bytes == b).map(|c| c.value).collect();
+            let g = (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp();
+            (b, g)
+        })
+        .collect()
+}
+
+/// The full simulation matrix backing Figs. 9–15: every workload × buffer
+/// × architecture, plus the two compression modes on Tensor Cores.
+#[derive(Debug, Clone)]
+pub struct SimMatrix {
+    workloads: Vec<PaperWorkload>,
+    buffers: Vec<usize>,
+    /// `(workload idx, buffer idx)` → per-arch reports.
+    tc: Vec<Vec<SimReport>>,
+    gobo: Vec<Vec<SimReport>>,
+    mokey: Vec<Vec<SimReport>>,
+    oc: Vec<Vec<SimReport>>,
+    ocon: Vec<Vec<SimReport>>,
+}
+
+impl SimMatrix {
+    /// Runs the complete matrix. `Quality::Quick` trims to two workloads
+    /// and three buffer sizes.
+    pub fn run(quality: Quality) -> Self {
+        let mut workloads = paper_workloads();
+        let mut buffers = buffer_sweep();
+        if quality == Quality::Quick {
+            workloads.truncate(2);
+            buffers = vec![256 << 10, 1 << 20, 4 << 20];
+        }
+        let mut tc = Vec::new();
+        let mut gobo = Vec::new();
+        let mut mokey = Vec::new();
+        let mut oc = Vec::new();
+        let mut ocon = Vec::new();
+        for w in &workloads {
+            let gemms = w.gemms();
+            let mut row_tc = Vec::new();
+            let mut row_gobo = Vec::new();
+            let mut row_mokey = Vec::new();
+            let mut row_oc = Vec::new();
+            let mut row_ocon = Vec::new();
+            for &buffer in &buffers {
+                row_tc.push(simulate(
+                    &gemms,
+                    &SimConfig::new(Accelerator::tensor_cores(), buffer).with_rates(w.rates),
+                ));
+                row_gobo.push(simulate(
+                    &gemms,
+                    &SimConfig::new(Accelerator::gobo(), buffer).with_rates(w.rates),
+                ));
+                row_mokey.push(simulate(
+                    &gemms,
+                    &SimConfig::new(Accelerator::mokey(), buffer).with_rates(w.rates),
+                ));
+                row_oc.push(simulate_memcomp(&gemms, buffer, MemCompression::OffChip, w.rates));
+                row_ocon.push(simulate_memcomp(
+                    &gemms,
+                    buffer,
+                    MemCompression::OffChipOnChip,
+                    w.rates,
+                ));
+            }
+            tc.push(row_tc);
+            gobo.push(row_gobo);
+            mokey.push(row_mokey);
+            oc.push(row_oc);
+            ocon.push(row_ocon);
+        }
+        Self { workloads, buffers, tc, gobo, mokey, oc, ocon }
+    }
+
+    /// Workload names.
+    pub fn workload_names(&self) -> Vec<String> {
+        self.workloads.iter().map(|w| w.name.clone()).collect()
+    }
+
+    /// Buffer sizes.
+    pub fn buffers(&self) -> &[usize] {
+        &self.buffers
+    }
+
+    /// A report by indices.
+    pub fn report(&self, arch: ArchKind, wi: usize, bi: usize) -> &SimReport {
+        match arch {
+            ArchKind::TensorCores => &self.tc[wi][bi],
+            ArchKind::Gobo => &self.gobo[wi][bi],
+            ArchKind::Mokey => &self.mokey[wi][bi],
+        }
+    }
+
+    /// Compression-mode report by indices.
+    pub fn memcomp_report(&self, mode: MemCompression, wi: usize, bi: usize) -> &SimReport {
+        match mode {
+            MemCompression::OffChip => &self.oc[wi][bi],
+            MemCompression::OffChipOnChip => &self.ocon[wi][bi],
+            MemCompression::None => &self.tc[wi][bi],
+        }
+    }
+
+    fn sweep(&self, id: &str, f: impl Fn(usize, usize) -> f64) -> SweepFigure {
+        let mut cells = Vec::new();
+        for (wi, w) in self.workloads.iter().enumerate() {
+            for (bi, &b) in self.buffers.iter().enumerate() {
+                cells.push(SweepCell {
+                    workload: w.name.clone(),
+                    buffer_bytes: b,
+                    value: f(wi, bi),
+                });
+            }
+        }
+        let geomean = geomean_per_buffer(&cells, &self.buffers);
+        SweepFigure { id: id.into(), cells, geomean }
+    }
+
+    /// Fig. 9 — baseline Tensor Cores inference cycle counts.
+    pub fn fig09(&self) -> SweepFigure {
+        self.sweep("fig09", |wi, bi| self.tc[wi][bi].total_cycles as f64)
+    }
+
+    /// Fig. 10 — Mokey speedup over Tensor Cores.
+    pub fn fig10(&self) -> SweepFigure {
+        self.sweep("fig10", |wi, bi| self.mokey[wi][bi].speedup_over(&self.tc[wi][bi]))
+    }
+
+    /// Fig. 11 — Mokey energy efficiency over Tensor Cores (energy-delay
+    /// scale; see EXPERIMENTS.md for the reading of the paper's axis).
+    pub fn fig11(&self) -> SweepFigure {
+        self.sweep("fig11", |wi, bi| self.mokey[wi][bi].edp_ratio_over(&self.tc[wi][bi]))
+    }
+
+    /// Fig. 12 — Mokey speedup over GOBO.
+    pub fn fig12(&self) -> SweepFigure {
+        self.sweep("fig12", |wi, bi| self.mokey[wi][bi].speedup_over(&self.gobo[wi][bi]))
+    }
+
+    /// Fig. 13 — Mokey energy efficiency over GOBO.
+    pub fn fig13(&self) -> SweepFigure {
+        self.sweep("fig13", |wi, bi| self.mokey[wi][bi].edp_ratio_over(&self.gobo[wi][bi]))
+    }
+
+    /// Fig. 14 — Tensor Cores speedup with Mokey compression (per mode).
+    pub fn fig14(&self, mode: MemCompression) -> SweepFigure {
+        let id = match mode {
+            MemCompression::OffChip => "fig14_oc",
+            MemCompression::OffChipOnChip => "fig14_oc_on",
+            MemCompression::None => "fig14_none",
+        };
+        self.sweep(id, |wi, bi| {
+            self.memcomp_report(mode, wi, bi).speedup_over(&self.tc[wi][bi])
+        })
+    }
+
+    /// Fig. 15 — relative energy with Mokey compression (compressed /
+    /// baseline; lower is better, as in the paper).
+    pub fn fig15(&self, mode: MemCompression) -> SweepFigure {
+        let id = match mode {
+            MemCompression::OffChip => "fig15_oc",
+            MemCompression::OffChipOnChip => "fig15_oc_on",
+            MemCompression::None => "fig15_none",
+        };
+        self.sweep(id, |wi, bi| {
+            self.memcomp_report(mode, wi, bi).energy.total() / self.tc[wi][bi].energy.total()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_crossover_after_512() {
+        let f = fig01();
+        assert_eq!(f.rows.len(), 5);
+        let pct_at = |seq: usize| f.rows.iter().find(|r| r.0 == seq).unwrap().3;
+        assert!(pct_at(128) < 50.0);
+        assert!(pct_at(2048) > 75.0);
+    }
+
+    #[test]
+    fn fig03_constants_near_paper() {
+        let f = fig03(&GoldenConfig { samples: 20_000, repeats: 3, ..Default::default() });
+        assert!((f.a - f.paper_a).abs() < 0.08, "a {}", f.a);
+        assert!((f.b - f.paper_b).abs() < 0.25, "b {}", f.b);
+        assert_eq!(f.points.len(), 8);
+    }
+
+    #[test]
+    fn sim_matrix_quick_figures_have_right_shapes() {
+        let m = SimMatrix::run(Quality::Quick);
+        let f10 = m.fig10();
+        assert_eq!(f10.cells.len(), 2 * 3);
+        // Mokey speedup over TC is > 1 everywhere and larger at 256 KB
+        // than at 4 MB (geomean).
+        assert!(f10.cells.iter().all(|c| c.value > 1.0));
+        let g = &f10.geomean;
+        assert!(g.first().unwrap().1 > g.last().unwrap().1);
+        // Fig. 15: compression reduces energy (ratio < 1).
+        let f15 = m.fig15(MemCompression::OffChip);
+        assert!(f15.cells.iter().all(|c| c.value < 1.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Experiment runners regenerating every table and figure of the Mokey
+//! paper (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for paper-vs-measured results).
+//!
+//! Each experiment is a library function returning a serializable result
+//! struct; the `src/bin/*` binaries are thin wrappers that run at full
+//! quality, print the table, and drop JSON into `results/`. Integration
+//! tests and Criterion benches call the same functions at
+//! [`Quality::Quick`].
+
+pub mod figures;
+pub mod report;
+pub mod scaled;
+pub mod tables;
+
+/// Evaluation effort knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Small sample counts — used by tests and benches.
+    Quick,
+    /// Paper-scale sample counts — used by the binaries.
+    Full,
+}
+
+impl Quality {
+    /// Evaluation samples per task.
+    pub fn eval_samples(&self) -> usize {
+        match self {
+            Quality::Quick => 60,
+            Quality::Full => 400,
+        }
+    }
+
+    /// Profiling sequences (the paper uses a batch of 8).
+    pub fn profile_batch(&self) -> usize {
+        match self {
+            Quality::Quick => 2,
+            Quality::Full => 8,
+        }
+    }
+
+    /// Profiling trials for Fig. 8 (the paper shows 17).
+    pub fn profiling_trials(&self) -> usize {
+        match self {
+            Quality::Quick => 3,
+            Quality::Full => 17,
+        }
+    }
+}

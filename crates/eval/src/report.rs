@@ -1,0 +1,149 @@
+//! Human-readable tables and machine-readable result dumps.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use mokey_eval::report::Table;
+///
+/// let mut t = Table::new(vec!["model".into(), "score".into()]);
+/// t.row(vec!["BERT-Base".into(), "84.44".into()]);
+/// let text = t.render();
+/// assert!(text.contains("BERT-Base"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                line.push_str(&format!("{:<w$}", cells[i], w = widths[i] + 2));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Directory where experiment JSON lands: `results/` at the workspace
+/// root (found by walking up from the current directory to the first
+/// `Cargo.toml` with a `[workspace]` table), or `./results` as a fallback.
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                let results = dir.join("results");
+                let _ = std::fs::create_dir_all(&results);
+                return results;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    let fallback = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&fallback);
+    fallback
+}
+
+/// Serializes an experiment result to `results/<name>.json`. Failures are
+/// reported but non-fatal (the printed table is the primary artifact).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Formats a byte count as a short human string ("256 KB", "4 MB").
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MB", bytes >> 20)
+    } else {
+        format!("{} KB", bytes >> 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a".into(), "long header".into()]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long header"));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(256 << 10), "256 KB");
+        assert_eq!(fmt_bytes(4 << 20), "4 MB");
+    }
+}

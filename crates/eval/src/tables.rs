@@ -1,0 +1,220 @@
+//! Table experiments (Tables I, II, III, IV).
+
+use crate::scaled::{build_row, profile_inputs, table1_rows, Table1Row};
+use crate::Quality;
+use mokey_accel::arch::Accelerator;
+use mokey_accel::sim::{simulate, SimConfig, SimReport};
+use mokey_accel::workloads::paper_workloads;
+use mokey_baselines::{compression_ratio, prepare_baseline, Baseline};
+use mokey_transformer::quantize::{infer_quantized_batch, QuantizeSpec, QuantizedModel};
+use mokey_transformer::ModelConfig;
+use serde::Serialize;
+
+/// Table I — the full eight-row task-performance matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Result {
+    /// Evaluated rows.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs Table I.
+pub fn table1(quality: Quality) -> Table1Result {
+    let rows = table1_rows()
+        .iter()
+        .map(|spec| crate::scaled::evaluate_row(spec, quality))
+        .collect();
+    Table1Result { rows }
+}
+
+/// One Table II row: architecture, units, area, cycles, energy.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Architecture name.
+    pub architecture: String,
+    /// Compute units.
+    pub units: u64,
+    /// Compute area, mm².
+    pub area_mm2: f64,
+    /// Total cycles on BERT-Base at the 512 KB buffer.
+    pub cycles: u64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+}
+
+/// Table II — area/cycles/energy for BERT-Base at 512 KB.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Result {
+    /// TC / GOBO / Mokey rows.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Runs Table II.
+pub fn table2() -> Table2Result {
+    let workload = &paper_workloads()[0]; // BERT-Base MNLI
+    let gemms = workload.gemms();
+    let buffer = 512 << 10;
+    let rows = [Accelerator::tensor_cores(), Accelerator::gobo(), Accelerator::mokey()]
+        .into_iter()
+        .map(|accel| {
+            let report = simulate(
+                &gemms,
+                &SimConfig::new(accel.clone(), buffer).with_rates(workload.rates),
+            );
+            Table2Row {
+                architecture: accel.kind.name().into(),
+                units: accel.peak_macs,
+                area_mm2: accel.compute_area_mm2,
+                cycles: report.total_cycles,
+                energy_j: report.energy.total(),
+            }
+        })
+        .collect();
+    Table2Result { rows }
+}
+
+/// Table III — the BERT-Large/SQuAD breakdown at 256 KB / 512 KB / 1 MB.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Result {
+    /// (buffer bytes, Tensor Cores report, Mokey report).
+    pub rows: Vec<(usize, SimReport, SimReport)>,
+}
+
+/// Runs Table III.
+pub fn table3() -> Table3Result {
+    let workload = paper_workloads()
+        .into_iter()
+        .find(|w| w.name == "BERT-Large SQuAD")
+        .expect("workload exists");
+    let gemms = workload.gemms();
+    let rows = [256 << 10, 512 << 10, 1 << 20]
+        .into_iter()
+        .map(|buffer| {
+            let tc = simulate(
+                &gemms,
+                &SimConfig::new(Accelerator::tensor_cores(), buffer).with_rates(workload.rates),
+            );
+            let mokey = simulate(
+                &gemms,
+                &SimConfig::new(Accelerator::mokey(), buffer).with_rates(workload.rates),
+            );
+            (buffer, tc, mokey)
+        })
+        .collect();
+    Table3Result { rows }
+}
+
+/// One Table IV row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Method name.
+    pub method: String,
+    /// Parameter bits.
+    pub param_bits: f64,
+    /// Activation bits.
+    pub act_bits: f64,
+    /// Measured score on the synthetic BERT-Base MNLI task.
+    pub score: f64,
+    /// `fp_score − score`.
+    pub err: f64,
+    /// Fixed-point-only compute?
+    pub int_compute: bool,
+    /// Post-training (no fine-tuning)?
+    pub post_training: bool,
+    /// Total-footprint compression ratio vs FP32.
+    pub compression: f64,
+}
+
+/// Table IV — method comparison on BERT-Base MNLI.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Result {
+    /// FP32 reference score.
+    pub fp_score: f64,
+    /// One row per method.
+    pub rows: Vec<Table4Row>,
+}
+
+/// Runs Table IV: every baseline plus Mokey through the identical
+/// synthetic-task harness.
+pub fn table4(quality: Quality) -> Table4Result {
+    let spec = &table1_rows()[0]; // scaled BERT-Base MNLI
+    let (model, task) = build_row(spec, quality);
+    let profile = profile_inputs(&model, spec, quality);
+    let full_config = ModelConfig::bert_base();
+
+    let mut rows = Vec::new();
+    for method in Baseline::table4() {
+        let info = method.info();
+        let score = if method == Baseline::Mokey {
+            let (qm, _) = QuantizedModel::prepare(
+                &model,
+                QuantizeSpec::weights_and_activations(),
+                &profile,
+            );
+            let (outputs, _) = infer_quantized_batch(&qm, &task.inputs);
+            task.score(&outputs)
+        } else {
+            let bm = prepare_baseline(&model, method, &profile);
+            let outputs = bm.infer_batch(&task.inputs);
+            task.score(&outputs)
+        };
+        rows.push(Table4Row {
+            method: info.name.into(),
+            param_bits: info.param_bits,
+            act_bits: info.act_bits,
+            score,
+            err: task.fp_score - score,
+            int_compute: info.int_compute,
+            post_training: info.post_training,
+            compression: compression_ratio(&info, &full_config, 128),
+        });
+    }
+    Table4Result { fp_score: task.fp_score, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_orderings_match_paper() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 3);
+        // TC > GOBO > Mokey in both cycles and energy (Table II shape).
+        assert!(t.rows[0].cycles > t.rows[1].cycles);
+        assert!(t.rows[1].cycles > t.rows[2].cycles);
+        assert!(t.rows[0].energy_j > t.rows[1].energy_j);
+        assert!(t.rows[1].energy_j > t.rows[2].energy_j);
+        assert_eq!(t.rows[2].units, 3072);
+    }
+
+    #[test]
+    fn table3_shapes_match_paper() {
+        let t = table3();
+        assert_eq!(t.rows.len(), 3);
+        for (buffer, tc, mokey) in &t.rows {
+            assert!(mokey.total_cycles < tc.total_cycles, "buffer {buffer}");
+            assert!(mokey.total_area_mm2() < tc.total_area_mm2(), "buffer {buffer}");
+            assert!(mokey.energy.total() < tc.energy.total(), "buffer {buffer}");
+            assert!(mokey.overlap_percent() > tc.overlap_percent(), "buffer {buffer}");
+        }
+        // Cycles fall with buffer size for both architectures.
+        assert!(t.rows[0].1.total_cycles >= t.rows[2].1.total_cycles);
+        assert!(t.rows[0].2.total_cycles >= t.rows[2].2.total_cycles);
+    }
+
+    #[test]
+    fn table4_quick_has_all_methods() {
+        let t = table4(Quality::Quick);
+        assert_eq!(t.rows.len(), 6);
+        let mokey = t.rows.iter().find(|r| r.method == "Mokey").unwrap();
+        assert!(mokey.int_compute && mokey.post_training);
+        assert!(mokey.compression > 6.0);
+        // Mokey's accuracy delta stays small.
+        assert!(mokey.err.abs() < 12.0, "mokey err {}", mokey.err);
+        // TernaryBERT (2-bit, no distillation here) must lose more than
+        // the 8-bit methods.
+        let ternary = t.rows.iter().find(|r| r.method == "TernaryBERT").unwrap();
+        let q8 = t.rows.iter().find(|r| r.method == "Q8BERT").unwrap();
+        assert!(ternary.err >= q8.err - 1.0);
+    }
+}

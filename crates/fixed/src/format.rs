@@ -1,0 +1,210 @@
+//! The `(total bits, fractional bits)` Q-format descriptor.
+
+use crate::Fixed;
+use serde::{Deserialize, Serialize};
+
+/// A signed fixed-point format: `total_bits` two's-complement bits of which
+/// `frac_bits` sit right of the binary point.
+///
+/// `frac_bits` may exceed `total_bits` (all-fraction formats for sub-unit
+/// ranges) or be negative (coarse grids for very wide ranges); both occur
+/// when the paper's Eq. 7 is applied to real layer statistics.
+///
+/// # Example
+///
+/// ```
+/// use mokey_fixed::QFormat;
+///
+/// let q = QFormat::new(16, 8);
+/// assert_eq!(q.resolution(), 1.0 / 256.0);
+/// assert!((q.max_value() - 127.996).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    total_bits: u32,
+    frac_bits: i32,
+}
+
+impl QFormat {
+    /// Creates a format with the given bit budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= total_bits <= 62` (the raw value must fit an
+    /// `i64` with headroom for products).
+    pub fn new(total_bits: u32, frac_bits: i32) -> Self {
+        assert!(
+            (2..=62).contains(&total_bits),
+            "total_bits must be in [2, 62], got {total_bits}"
+        );
+        Self { total_bits, frac_bits }
+    }
+
+    /// Derives the format for a layer from its value range, per the paper's
+    /// Eq. 7: `frac = b − ceil(log2(max − min))`.
+    ///
+    /// A degenerate range (`max <= min`, e.g. a constant tensor) gets the
+    /// finest sensible grid: `frac = b − 1`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mokey_fixed::QFormat;
+    ///
+    /// // Range 6.0 -> ceil(log2 6) = 3 integer bits -> 13 fractional bits.
+    /// let q = QFormat::for_range(16, -3.0, 3.0);
+    /// assert_eq!(q.frac_bits(), 13);
+    /// ```
+    pub fn for_range(total_bits: u32, min: f64, max: f64) -> Self {
+        let range = max - min;
+        let frac = if range > 0.0 {
+            total_bits as i32 - range.log2().ceil() as i32
+        } else {
+            total_bits as i32 - 1
+        };
+        Self::new(total_bits, frac)
+    }
+
+    /// Total two's-complement bits.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Bits right of the binary point (may be negative or exceed
+    /// `total_bits`).
+    pub fn frac_bits(&self) -> i32 {
+        self.frac_bits
+    }
+
+    /// The grid step `2^-frac`.
+    pub fn resolution(&self) -> f64 {
+        (-self.frac_bits as f64).exp2()
+    }
+
+    /// Largest representable value: `(2^(b−1) − 1) · 2^−frac`.
+    pub fn max_value(&self) -> f64 {
+        (self.max_raw() as f64) * self.resolution()
+    }
+
+    /// Smallest (most negative) representable value: `−2^(b−1) · 2^−frac`.
+    pub fn min_value(&self) -> f64 {
+        (self.min_raw() as f64) * self.resolution()
+    }
+
+    /// Largest raw integer: `2^(b−1) − 1`.
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Smallest raw integer: `−2^(b−1)`.
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Quantizes a float to this format per the paper's Eq. 8, saturating at
+    /// the representable extremes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mokey_fixed::QFormat;
+    ///
+    /// let q = QFormat::new(8, 4);            // range [-8, 7.9375]
+    /// assert_eq!(q.quantize(100.0).to_f64(), q.max_value()); // saturates
+    /// ```
+    pub fn quantize(&self, value: f64) -> Fixed {
+        let scaled = (value * (self.frac_bits as f64).exp2()).round();
+        let raw = if scaled >= self.max_raw() as f64 {
+            self.max_raw()
+        } else if scaled <= self.min_raw() as f64 {
+            self.min_raw()
+        } else {
+            scaled as i64
+        };
+        Fixed::from_raw(raw, *self)
+    }
+
+    /// `true` when `value` quantizes without saturating.
+    pub fn represents(&self, value: f64) -> bool {
+        let scaled = (value * (self.frac_bits as f64).exp2()).round();
+        scaled <= self.max_raw() as f64 && scaled >= self.min_raw() as f64
+    }
+
+    /// Clamps a raw integer into this format's representable range.
+    pub fn saturate_raw(&self, raw: i64) -> i64 {
+        raw.clamp(self.min_raw(), self.max_raw())
+    }
+}
+
+impl std::fmt::Display for QFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}.{}", self.total_bits as i32 - self.frac_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_range_matches_eq7_examples() {
+        // b = 16, range = 6 -> ceil(log2 6) = 3 -> frac = 13.
+        assert_eq!(QFormat::for_range(16, -3.0, 3.0).frac_bits(), 13);
+        // range exactly a power of two: ceil(log2 8) = 3 -> frac = 13.
+        assert_eq!(QFormat::for_range(16, 0.0, 8.0).frac_bits(), 13);
+        // Sub-unit range: range 0.25 -> ceil(-2) = -2 -> frac = 18 > b.
+        assert_eq!(QFormat::for_range(16, 0.0, 0.25).frac_bits(), 18);
+        // Huge range: range 2^20 -> frac negative.
+        assert_eq!(QFormat::for_range(16, 0.0, 1_048_576.0).frac_bits(), -4);
+    }
+
+    #[test]
+    fn degenerate_range_gets_finest_grid() {
+        assert_eq!(QFormat::for_range(16, 1.0, 1.0).frac_bits(), 15);
+    }
+
+    #[test]
+    fn quantize_saturates_at_extremes() {
+        let q = QFormat::new(8, 0); // integers in [-128, 127]
+        assert_eq!(q.quantize(1000.0).raw(), 127);
+        assert_eq!(q.quantize(-1000.0).raw(), -128);
+        assert!(q.represents(100.0));
+        assert!(!q.represents(1000.0));
+    }
+
+    #[test]
+    fn resolution_and_bounds_consistent() {
+        let q = QFormat::new(16, 8);
+        assert_eq!(q.resolution(), 1.0 / 256.0);
+        assert_eq!(q.max_value(), 32767.0 / 256.0);
+        assert_eq!(q.min_value(), -32768.0 / 256.0);
+    }
+
+    #[test]
+    fn display_shows_q_notation() {
+        assert_eq!(QFormat::new(16, 13).to_string(), "Q3.13");
+    }
+
+    #[test]
+    #[should_panic(expected = "total_bits")]
+    fn new_rejects_tiny_widths() {
+        let _ = QFormat::new(1, 0);
+    }
+
+    #[test]
+    fn range_derived_format_covers_the_range() {
+        for (lo, hi) in [(-3.0, 3.0), (0.0, 10.0), (-0.1, 0.1), (-100.0, 250.0)] {
+            let q = QFormat::for_range(16, lo, hi);
+            // The span must fit in the representable width (Eq. 7 guarantees
+            // ceil(log2 range) integer bits; values may still need an offset
+            // when the range is not centred, which Mokey handles via the mean
+            // shift, so we check the *width*).
+            let width = q.max_value() - q.min_value();
+            assert!(
+                width >= (hi - lo) - q.resolution(),
+                "format {q} width {width} < range {}",
+                hi - lo
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Fixed-point arithmetic for the Mokey reproduction.
+//!
+//! Mokey's accelerator performs *all* computation in the fixed-point domain
+//! (paper Section II-F, "Integer Computation Throughout"): after profiling,
+//! every per-layer constant and every 16-bit datapath value is mapped from
+//! floating point to fixed point. Two pieces of the paper define that
+//! mapping:
+//!
+//! * Eq. 7 — fractional-bit selection per layer:
+//!   `frac = b − ceil(log2(max − min))`
+//! * Eq. 8 — value mapping:
+//!   `fx = round(fl · 2^frac) / 2^frac`
+//!
+//! [`QFormat`] captures the `(total bits, fractional bits)` pair and
+//! implements both equations; [`Fixed`] is a raw-integer value carrying its
+//! format, with saturating add and widening multiply so the 16-bit datapath
+//! of the accelerator can be emulated bit-faithfully.
+//!
+//! # Example
+//!
+//! ```
+//! use mokey_fixed::QFormat;
+//!
+//! // A layer whose values span [-2.5, 3.1], on a 16-bit datapath:
+//! let q = QFormat::for_range(16, -2.5, 3.1);
+//! let x = q.quantize(1.234_567);
+//! // Round-trip error is bounded by half a resolution step.
+//! assert!((x.to_f64() - 1.234_567).abs() <= q.resolution() / 2.0);
+//! ```
+
+mod format;
+mod value;
+
+pub use format::QFormat;
+pub use value::Fixed;
+
+/// Applies the paper's Eq. 8 directly on `f64`, snapping a value to the
+/// fixed-point grid with `frac` fractional bits *without* range saturation.
+///
+/// This is the "mathematician's view" of fixed point — useful for the
+/// simulator's error-model paths where saturation is handled separately.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(mokey_fixed::snap_to_grid(0.3, 2), 0.25);
+/// assert_eq!(mokey_fixed::snap_to_grid(0.3, 4), 0.3125);
+/// ```
+pub fn snap_to_grid(value: f64, frac_bits: i32) -> f64 {
+    let scale = (frac_bits as f64).exp2();
+    (value * scale).round() / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snap_to_grid_known_points() {
+        assert_eq!(snap_to_grid(1.0, 0), 1.0);
+        assert_eq!(snap_to_grid(1.4, 0), 1.0);
+        assert_eq!(snap_to_grid(1.5, 0), 2.0);
+        assert_eq!(snap_to_grid(-1.5, 0), -2.0);
+        // Negative frac bits coarsen beyond integers: grid step 8, and
+        // 100/8 = 12.5 rounds away from zero to 13 -> 104.
+        assert_eq!(snap_to_grid(100.0, -3), 104.0);
+        assert_eq!(snap_to_grid(99.0, -3), 96.0);
+    }
+
+    #[test]
+    fn snap_error_bounded_by_half_step() {
+        for i in 0..1000 {
+            let x = (i as f64) * 0.01371 - 7.0;
+            for frac in [0, 3, 8, 12] {
+                let snapped = snap_to_grid(x, frac);
+                assert!((snapped - x).abs() <= 0.5 / (frac as f64).exp2() + 1e-12);
+            }
+        }
+    }
+}

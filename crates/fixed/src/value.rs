@@ -1,0 +1,240 @@
+//! A fixed-point value: raw integer plus its [`QFormat`].
+
+use crate::QFormat;
+use serde::{Deserialize, Serialize};
+
+/// A signed fixed-point number.
+///
+/// The raw integer is interpreted as `raw · 2^−frac` in the carried
+/// [`QFormat`]. Arithmetic mirrors what narrow integer datapaths do:
+/// same-format saturating addition, widening multiplication with an explicit
+/// rescale to the destination format.
+///
+/// # Example
+///
+/// ```
+/// use mokey_fixed::QFormat;
+///
+/// let q = QFormat::new(16, 8);
+/// let a = q.quantize(1.5);
+/// let b = q.quantize(2.25);
+/// assert_eq!(a.saturating_add(b).to_f64(), 3.75);
+/// assert_eq!(a.mul_rescale(b, q).to_f64(), 3.375);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fixed {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// Wraps a raw integer in a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds the format's representable range — use
+    /// [`QFormat::saturate_raw`] first when saturation is intended.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        assert!(
+            raw >= format.min_raw() && raw <= format.max_raw(),
+            "raw value {raw} out of range for {format}"
+        );
+        Self { raw, format }
+    }
+
+    /// The zero value in a format.
+    pub fn zero(format: QFormat) -> Self {
+        Self { raw: 0, format }
+    }
+
+    /// The raw two's-complement integer.
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The carried format.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Converts back to floating point (exact: `raw · 2^−frac`).
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * self.format.resolution()
+    }
+
+    /// Saturating same-format addition, as a hardware accumulator would do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands carry different formats; fixed-point adders
+    /// have no implicit alignment.
+    pub fn saturating_add(self, other: Fixed) -> Fixed {
+        assert_eq!(self.format, other.format, "cannot add {} to {}", self.format, other.format);
+        let raw = self.format.saturate_raw(self.raw.saturating_add(other.raw));
+        Fixed { raw, format: self.format }
+    }
+
+    /// Saturating same-format subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands carry different formats.
+    pub fn saturating_sub(self, other: Fixed) -> Fixed {
+        assert_eq!(self.format, other.format, "cannot sub {} from {}", other.format, self.format);
+        let raw = self.format.saturate_raw(self.raw.saturating_sub(other.raw));
+        Fixed { raw, format: self.format }
+    }
+
+    /// Widening multiply followed by a rounding rescale into `target`.
+    ///
+    /// The raw product carries `frac_a + frac_b` fractional bits; hardware
+    /// then shifts (with round-to-nearest) into the destination format and
+    /// saturates. Both steps are modelled exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw product overflows `i64` (cannot happen for operand
+    /// widths ≤ 31 bits, which covers every datapath in this workspace).
+    pub fn mul_rescale(self, other: Fixed, target: QFormat) -> Fixed {
+        let prod = self
+            .raw
+            .checked_mul(other.raw)
+            .expect("fixed-point product overflowed i64; operands too wide");
+        let prod_frac = self.format.frac_bits() + other.format.frac_bits();
+        let raw = rescale_raw(prod, prod_frac, target.frac_bits());
+        Fixed { raw: target.saturate_raw(raw), format: target }
+    }
+
+    /// Re-expresses this value in another format (rounding, saturating).
+    pub fn convert(self, target: QFormat) -> Fixed {
+        let raw = rescale_raw(self.raw, self.format.frac_bits(), target.frac_bits());
+        Fixed { raw: target.saturate_raw(raw), format: target }
+    }
+
+    /// Negation (saturating: the most negative raw value negates to max).
+    pub fn saturating_neg(self) -> Fixed {
+        let raw = self.format.saturate_raw(self.raw.checked_neg().unwrap_or(i64::MAX));
+        Fixed { raw, format: self.format }
+    }
+}
+
+impl std::fmt::Display for Fixed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+/// Shifts a raw value from `from_frac` to `to_frac` fractional bits with
+/// round-to-nearest (ties away from zero), without saturation.
+fn rescale_raw(raw: i64, from_frac: i32, to_frac: i32) -> i64 {
+    let shift = to_frac - from_frac;
+    if shift >= 0 {
+        raw.checked_shl(shift as u32).expect("rescale overflow")
+    } else {
+        let down = (-shift) as u32;
+        if down >= 63 {
+            return 0;
+        }
+        let half = 1i64 << (down - 1);
+        if raw >= 0 {
+            (raw + half) >> down
+        } else {
+            -((-raw + half) >> down)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(bits: u32, frac: i32) -> QFormat {
+        QFormat::new(bits, frac)
+    }
+
+    #[test]
+    fn roundtrip_exact_grid_points() {
+        let fmt = q(16, 8);
+        for raw in [-32768i64, -256, -1, 0, 1, 255, 32767] {
+            let x = Fixed::from_raw(raw, fmt);
+            assert_eq!(fmt.quantize(x.to_f64()).raw(), raw);
+        }
+    }
+
+    #[test]
+    fn add_is_exact_within_range() {
+        let fmt = q(16, 8);
+        let a = fmt.quantize(1.5);
+        let b = fmt.quantize(-0.25);
+        assert_eq!(a.saturating_add(b).to_f64(), 1.25);
+        assert_eq!(a.saturating_sub(b).to_f64(), 1.75);
+    }
+
+    #[test]
+    fn add_saturates_instead_of_wrapping() {
+        let fmt = q(8, 0);
+        let max = Fixed::from_raw(127, fmt);
+        let one = Fixed::from_raw(1, fmt);
+        assert_eq!(max.saturating_add(one).raw(), 127);
+        let min = Fixed::from_raw(-128, fmt);
+        assert_eq!(min.saturating_sub(one).raw(), -128);
+    }
+
+    #[test]
+    fn mul_rescale_known_values() {
+        let fmt = q(16, 8);
+        let a = fmt.quantize(1.5);
+        let b = fmt.quantize(2.0);
+        assert_eq!(a.mul_rescale(b, fmt).to_f64(), 3.0);
+        // 0.5 * 0.5 = 0.25, exactly representable.
+        let h = fmt.quantize(0.5);
+        assert_eq!(h.mul_rescale(h, fmt).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn mul_rescale_rounds_to_nearest() {
+        // Q4 grid: step 1/16. 0.0625 * 0.0625 = 0.00390625 -> rounds to
+        // 0.0625 * 1/16 grid: nearest grid point of 0.0039 in frac=4 is 0.
+        let fmt = q(16, 4);
+        let eps = Fixed::from_raw(1, fmt); // 1/16
+        assert_eq!(eps.mul_rescale(eps, fmt).raw(), 0);
+        // 3/16 * 3/16 = 9/256 = 0.5625/16 -> rounds to 1/16.
+        let x = Fixed::from_raw(3, fmt);
+        assert_eq!(x.mul_rescale(x, fmt).raw(), 1);
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let wide = q(32, 16);
+        let narrow = q(16, 8);
+        let x = wide.quantize(3.1415);
+        let y = x.convert(narrow);
+        assert!((y.to_f64() - 3.1415).abs() <= narrow.resolution() / 2.0 + 1e-12);
+        // Converting back widens losslessly.
+        let z = y.convert(wide);
+        assert_eq!(z.to_f64(), y.to_f64());
+    }
+
+    #[test]
+    fn negation_saturates_min() {
+        let fmt = q(8, 0);
+        let min = Fixed::from_raw(-128, fmt);
+        assert_eq!(min.saturating_neg().raw(), 127);
+        let x = Fixed::from_raw(-5, fmt);
+        assert_eq!(x.saturating_neg().raw(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_raw_out_of_range_panics() {
+        let _ = Fixed::from_raw(128, q(8, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add")]
+    fn mixed_format_add_panics() {
+        let a = Fixed::zero(q(16, 8));
+        let b = Fixed::zero(q(16, 9));
+        let _ = a.saturating_add(b);
+    }
+}

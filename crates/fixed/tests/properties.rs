@@ -1,0 +1,95 @@
+//! Property-based tests for the fixed-point substrate.
+
+use mokey_fixed::{snap_to_grid, QFormat};
+use proptest::prelude::*;
+
+proptest! {
+    /// Eq. 8 round-trip: quantization error is at most half a grid step for
+    /// any in-range value.
+    #[test]
+    fn quantize_error_bounded(
+        value in -1000.0f64..1000.0,
+        bits in 8u32..32,
+        frac in -4i32..20,
+    ) {
+        let q = QFormat::new(bits, frac);
+        if q.represents(value) {
+            let fx = q.quantize(value);
+            prop_assert!(
+                (fx.to_f64() - value).abs() <= q.resolution() / 2.0 + 1e-12,
+                "error {} exceeds half-step {} for {q}",
+                (fx.to_f64() - value).abs(),
+                q.resolution() / 2.0
+            );
+        }
+    }
+
+    /// Quantization is idempotent: re-quantizing a grid value is exact.
+    #[test]
+    fn quantize_idempotent(value in -100.0f64..100.0, frac in 0i32..16) {
+        let q = QFormat::new(24, frac);
+        let once = q.quantize(value);
+        let twice = q.quantize(once.to_f64());
+        prop_assert_eq!(once.raw(), twice.raw());
+    }
+
+    /// Saturating add never leaves the representable range and is exact when
+    /// the true sum is representable.
+    #[test]
+    fn saturating_add_properties(a in -500.0f64..500.0, b in -500.0f64..500.0) {
+        let q = QFormat::new(12, 2);
+        let fa = q.quantize(a);
+        let fb = q.quantize(b);
+        let sum = fa.saturating_add(fb);
+        prop_assert!(sum.raw() <= q.max_raw() && sum.raw() >= q.min_raw());
+        let true_sum = fa.to_f64() + fb.to_f64();
+        if true_sum <= q.max_value() && true_sum >= q.min_value() {
+            prop_assert!((sum.to_f64() - true_sum).abs() < 1e-12);
+        }
+    }
+
+    /// Widening multiply then rescale: error against the exact product is at
+    /// most half a destination grid step (plus saturation).
+    #[test]
+    fn mul_rescale_error_bounded(a in -30.0f64..30.0, b in -30.0f64..30.0) {
+        let src = QFormat::new(16, 8);
+        let dst = QFormat::new(24, 10);
+        let fa = src.quantize(a);
+        let fb = src.quantize(b);
+        let prod = fa.mul_rescale(fb, dst);
+        let exact = fa.to_f64() * fb.to_f64();
+        if exact <= dst.max_value() && exact >= dst.min_value() {
+            prop_assert!(
+                (prod.to_f64() - exact).abs() <= dst.resolution() / 2.0 + 1e-12,
+                "product error too large: {} vs {}",
+                prod.to_f64(),
+                exact
+            );
+        }
+    }
+
+    /// Eq. 7 format always covers the span it was derived from.
+    #[test]
+    fn for_range_covers_span(lo in -1e4f64..1e4, span in 1e-3f64..1e4) {
+        let hi = lo + span;
+        let q = QFormat::for_range(16, lo, hi);
+        let width = q.max_value() - q.min_value();
+        prop_assert!(width + q.resolution() >= span);
+    }
+
+    /// Grid snapping is monotone: x <= y implies snap(x) <= snap(y).
+    #[test]
+    fn snap_to_grid_monotone(x in -100.0f64..100.0, y in -100.0f64..100.0, frac in -2i32..16) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(snap_to_grid(lo, frac) <= snap_to_grid(hi, frac));
+    }
+
+    /// Format conversion round-trip to a wider format is lossless.
+    #[test]
+    fn widening_conversion_lossless(v in -100.0f64..100.0) {
+        let narrow = QFormat::new(16, 6);
+        let wide = QFormat::new(32, 12);
+        let x = narrow.quantize(v);
+        prop_assert_eq!(x.convert(wide).to_f64(), x.to_f64());
+    }
+}

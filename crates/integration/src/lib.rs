@@ -1,0 +1,3 @@
+//! Shim crate that attaches the workspace-root `tests/` directory as
+//! integration-test targets (a virtual workspace cannot host tests
+//! directly). See the `[[test]]` entries in `Cargo.toml`.

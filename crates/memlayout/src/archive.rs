@@ -1,0 +1,368 @@
+//! A multi-tensor archive with a compact binary wire format — what
+//! "storing the quantized model along with its dictionaries and constants"
+//! (paper Section II-G) means concretely for this reproduction.
+
+use crate::DramContainer;
+use mokey_core::curve::ExpCurve;
+use mokey_core::dict::TensorDict;
+use mokey_core::encode::QuantizedTensor;
+use mokey_tensor::Matrix;
+use std::collections::BTreeMap;
+
+const MAGIC: &[u8; 4] = b"MOKY";
+const VERSION: u16 = 1;
+
+/// Errors produced when parsing an archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArchiveError {
+    /// The buffer does not start with the `MOKY` magic.
+    BadMagic,
+    /// The format version is unknown.
+    UnsupportedVersion(u16),
+    /// The buffer ended mid-field.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for ParseArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "buffer is not a Mokey archive"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported archive version {v}"),
+            Self::Truncated => write!(f, "archive ended unexpectedly"),
+            Self::BadString => write!(f, "archive contains an invalid string"),
+        }
+    }
+}
+
+impl std::error::Error for ParseArchiveError {}
+
+/// One archived tensor: shape, dictionary, packed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchivedTensor {
+    rows: usize,
+    cols: usize,
+    dict: TensorDict,
+    container: DramContainer,
+}
+
+impl ArchivedTensor {
+    /// Tensor shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The dictionary pair.
+    pub fn dict(&self) -> &TensorDict {
+        &self.dict
+    }
+
+    /// The packed payload.
+    pub fn container(&self) -> &DramContainer {
+        &self.container
+    }
+
+    /// Decodes to a dense matrix of centroid values.
+    pub fn decode(&self) -> Matrix {
+        let codes = self.container.unpack();
+        let data = codes.iter().map(|&c| self.dict.decode_code(c) as f32).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+/// A named collection of quantized tensors with a binary wire format.
+///
+/// # Example
+///
+/// ```
+/// use mokey_core::{curve::ExpCurve, encode::QuantizedTensor};
+/// use mokey_memlayout::TensorArchive;
+/// use mokey_tensor::init::GaussianMixture;
+///
+/// let w = GaussianMixture::weight_like(0.0, 0.1).sample_matrix(8, 8, 2);
+/// let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+/// let mut archive = TensorArchive::new();
+/// archive.insert("layer0.weight", &q);
+/// let bytes = archive.to_bytes();
+/// let restored = TensorArchive::from_bytes(&bytes)?;
+/// assert_eq!(restored.get("layer0.weight").unwrap().decode(), q.decode());
+/// # Ok::<(), mokey_memlayout::ParseArchiveError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TensorArchive {
+    entries: BTreeMap<String, ArchivedTensor>,
+}
+
+impl TensorArchive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a tensor under a name.
+    pub fn insert(&mut self, name: &str, tensor: &QuantizedTensor) {
+        let container = DramContainer::pack(tensor.codes());
+        self.entries.insert(
+            name.to_owned(),
+            ArchivedTensor {
+                rows: tensor.rows(),
+                cols: tensor.cols(),
+                dict: tensor.dict().clone(),
+                container,
+            },
+        );
+    }
+
+    /// Looks up a tensor by name.
+    pub fn get(&self, name: &str) -> Option<&ArchivedTensor> {
+        self.entries.get(name)
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the archive holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Total packed payload bits across all tensors.
+    pub fn total_payload_bits(&self) -> usize {
+        self.entries.values().map(|e| e.container.total_bits()).sum()
+    }
+
+    /// Total dictionary/constant metadata bits.
+    pub fn total_metadata_bits(&self) -> usize {
+        self.entries.values().map(|e| e.dict.metadata_bits()).sum()
+    }
+
+    /// Compression ratio versus `bits_per_value` dense storage, counting
+    /// metadata against Mokey.
+    pub fn compression_ratio(&self, bits_per_value: u32) -> f64 {
+        let dense: usize = self
+            .entries
+            .values()
+            .map(|e| e.rows * e.cols * bits_per_value as usize)
+            .sum();
+        let packed = self.total_payload_bits() + self.total_metadata_bits();
+        if packed == 0 {
+            1.0
+        } else {
+            dense as f64 / packed as f64
+        }
+    }
+
+    /// Serializes to the binary wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (name, e) in &self.entries {
+            write_str(&mut out, name);
+            out.extend_from_slice(&(e.rows as u32).to_le_bytes());
+            out.extend_from_slice(&(e.cols as u32).to_le_bytes());
+            // Dictionary: curve, scale/shift, cutoff, OT magnitudes.
+            let curve = e.dict.curve();
+            out.extend_from_slice(&curve.a.to_le_bytes());
+            out.extend_from_slice(&curve.b.to_le_bytes());
+            out.extend_from_slice(&(curve.half_len as u16).to_le_bytes());
+            out.extend_from_slice(&e.dict.scale().to_le_bytes());
+            out.extend_from_slice(&e.dict.shift().to_le_bytes());
+            out.extend_from_slice(&e.dict.cutoff().to_le_bytes());
+            out.extend_from_slice(&(e.dict.ot_magnitudes().len() as u16).to_le_bytes());
+            for &m in e.dict.ot_magnitudes() {
+                out.extend_from_slice(&m.to_le_bytes());
+            }
+            // Payload: both streams.
+            out.extend_from_slice(&(e.container.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(e.container.outlier_count() as u32).to_le_bytes());
+            write_bytes(&mut out, e.container.value_bytes());
+            write_bytes(&mut out, e.container.pointer_bytes());
+        }
+        out
+    }
+
+    /// Parses the binary wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseArchiveError`] on bad magic, unknown version, or a
+    /// truncated/corrupt buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ParseArchiveError> {
+        let mut r = Cursor { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ParseArchiveError::BadMagic);
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(ParseArchiveError::UnsupportedVersion(version));
+        }
+        let count = r.read_u32()?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let name = r.read_str()?;
+            let rows = r.read_u32()? as usize;
+            let cols = r.read_u32()? as usize;
+            let a = r.read_f64()?;
+            let b = r.read_f64()?;
+            let half_len = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes")) as usize;
+            let scale = r.read_f64()?;
+            let shift = r.read_f64()?;
+            let cutoff = r.read_f64()?;
+            let ot_len = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes")) as usize;
+            let mut ot = Vec::with_capacity(ot_len);
+            for _ in 0..ot_len {
+                ot.push(r.read_f64()?);
+            }
+            let curve = ExpCurve { a, b, half_len };
+            let dict = TensorDict::from_parts(curve, scale, shift, ot, cutoff);
+            let len = r.read_u32()? as usize;
+            let _outliers = r.read_u32()? as usize;
+            let values = r.read_bytes()?.to_vec();
+            let pointers = r.read_bytes()?.to_vec();
+            let container = DramContainer::from_parts_internal(values, pointers, len);
+            entries.insert(name, ArchivedTensor { rows, cols, dict, container });
+        }
+        Ok(Self { entries })
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseArchiveError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ParseArchiveError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, ParseArchiveError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn read_f64(&mut self) -> Result<f64, ParseArchiveError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn read_str(&mut self) -> Result<String, ParseArchiveError> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ParseArchiveError::BadString)
+    }
+
+    fn read_bytes(&mut self) -> Result<&'a [u8], ParseArchiveError> {
+        let len = self.read_u32()? as usize;
+        self.take(len)
+    }
+}
+
+impl DramContainer {
+    /// Internal reconstruction used by the archive parser: the streams were
+    /// produced by [`DramContainer::pack`], so the invariants hold.
+    pub(crate) fn from_parts_internal(values: Vec<u8>, pointers: Vec<u8>, len: usize) -> Self {
+        // Re-derive outlier count from the pointer stream for consistency.
+        let mut reader = crate::bitio::BitReader::new(&pointers);
+        let mut outliers = 0usize;
+        let mut remaining = len;
+        while remaining > 0 {
+            let group_len = remaining.min(crate::container::GROUP_SIZE);
+            let count = reader.read(6) as usize;
+            for _ in 0..count {
+                let _ = reader.read(6);
+            }
+            outliers += count;
+            remaining -= group_len;
+        }
+        Self::assemble(values, pointers, len, outliers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_tensor::init::GaussianMixture;
+
+    fn quantized(seed: u64) -> QuantizedTensor {
+        let m = GaussianMixture::weight_like(0.0, 0.07).sample_matrix(24, 40, seed);
+        QuantizedTensor::encode_with_own_dict(&m, &ExpCurve::paper(), &Default::default())
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_everything() {
+        let mut archive = TensorArchive::new();
+        for (i, name) in ["encoder.0.q", "encoder.0.k", "pooler"].iter().enumerate() {
+            archive.insert(name, &quantized(i as u64));
+        }
+        let bytes = archive.to_bytes();
+        let restored = TensorArchive::from_bytes(&bytes).expect("parse");
+        assert_eq!(restored.len(), 3);
+        for name in archive.names() {
+            let a = archive.get(name).unwrap();
+            let b = restored.get(name).unwrap();
+            assert_eq!(a.shape(), b.shape());
+            assert_eq!(a.decode(), b.decode(), "tensor {name} decoded differently");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(
+            TensorArchive::from_bytes(b"NOPE....."),
+            Err(ParseArchiveError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut archive = TensorArchive::new();
+        archive.insert("t", &quantized(1));
+        let bytes = archive.to_bytes();
+        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+            let err = TensorArchive::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ParseArchiveError::Truncated | ParseArchiveError::UnsupportedVersion(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compression_ratio_includes_metadata() {
+        let mut archive = TensorArchive::new();
+        archive.insert("w", &quantized(2));
+        let ratio = archive.compression_ratio(16);
+        assert!(ratio > 3.0 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_archive_roundtrips() {
+        let archive = TensorArchive::new();
+        let restored = TensorArchive::from_bytes(&archive.to_bytes()).unwrap();
+        assert!(restored.is_empty());
+    }
+}

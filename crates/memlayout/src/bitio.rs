@@ -1,0 +1,180 @@
+//! LSB-first bit-level writers and readers.
+//!
+//! The Fig. 5 container mixes 4-bit and 6-bit fields; these helpers keep
+//! the packing exact and testable.
+
+use bytes::{BufMut, BytesMut};
+
+/// Writes variable-width little-endian bit fields into a growing buffer.
+///
+/// # Example
+///
+/// ```
+/// use mokey_memlayout::bitio::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write(0b1011, 4);
+/// w.write(0b10, 2);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read(4), 0b1011);
+/// assert_eq!(r.read(2), 0b10);
+/// ```
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    current: u64,
+    filled: u32,
+    bits_written: usize,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32, or `value` has bits above
+    /// `width`.
+    pub fn write(&mut self, value: u32, width: u32) {
+        assert!((1..=32).contains(&width), "width must be in [1, 32]");
+        assert!(
+            u64::from(value) < (1u64 << width),
+            "value {value:#b} does not fit in {width} bits"
+        );
+        self.current |= u64::from(value) << self.filled;
+        self.filled += width;
+        self.bits_written += width as usize;
+        while self.filled >= 8 {
+            self.buf.put_u8((self.current & 0xFF) as u8);
+            self.current >>= 8;
+            self.filled -= 8;
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bits_written(&self) -> usize {
+        self.bits_written
+    }
+
+    /// Flushes the final partial byte (zero-padded) and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.buf.put_u8((self.current & 0xFF) as u8);
+        }
+        self.buf.to_vec()
+    }
+}
+
+/// Reads variable-width little-endian bit fields from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader positioned at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, bit_pos: 0 }
+    }
+
+    /// Reads the next `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32, or the read runs past the end.
+    pub fn read(&mut self, width: u32) -> u32 {
+        assert!((1..=32).contains(&width), "width must be in [1, 32]");
+        assert!(
+            self.bit_pos + width as usize <= self.bytes.len() * 8,
+            "bit read past end of buffer"
+        );
+        let mut out = 0u64;
+        for i in 0..width {
+            let pos = self.bit_pos + i as usize;
+            let bit = (self.bytes[pos / 8] >> (pos % 8)) & 1;
+            out |= u64::from(bit) << i;
+        }
+        self.bit_pos += width as usize;
+        out as u32
+    }
+
+    /// Current read position in bits.
+    pub fn bit_pos(&self) -> usize {
+        self.bit_pos
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.bit_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let fields = [(5u32, 3u32), (0, 1), (63, 6), (1, 1), (1023, 10), (7, 4)];
+        let mut w = BitWriter::new();
+        for &(v, width) in &fields {
+            w.write(v, width);
+        }
+        let total: u32 = fields.iter().map(|f| f.1).sum();
+        assert_eq!(w.bits_written(), total as usize);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in &fields {
+            assert_eq!(r.read(width), v);
+        }
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0001]);
+    }
+
+    #[test]
+    fn crossing_byte_boundaries() {
+        let mut w = BitWriter::new();
+        w.write(0b111111, 6);
+        w.write(0b101, 3); // straddles first/second byte
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(6), 0b111111);
+        assert_eq!(r.read(3), 0b101);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitWriter::new().write(16, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn read_past_end_panics() {
+        let mut r = BitReader::new(&[0u8]);
+        let _ = r.read(9);
+    }
+
+    #[test]
+    fn full_u32_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(u32::MAX, 32);
+        w.write(0x1234_5678, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(32), u32::MAX);
+        assert_eq!(r.read(32), 0x1234_5678);
+    }
+}

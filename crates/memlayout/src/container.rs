@@ -1,0 +1,250 @@
+//! The off-chip DRAM container (paper Fig. 5).
+//!
+//! "Conceptually, the regular 'Quantized value' 4b index array is split into
+//! groups of 64, 4b indexes. To identify those indexes that are outliers,
+//! the 'OT Pointers' list first stores outlier count per group, followed by
+//! a list of 6b indexes marking their relative position within the group."
+
+use crate::bitio::{BitReader, BitWriter};
+use mokey_core::encode::Code;
+use serde::{Deserialize, Serialize};
+
+/// Values per pointer group (fixed at 64 in the paper; positions are 6-bit).
+pub const GROUP_SIZE: usize = 64;
+
+/// Bits per packed value in the quantized-values stream.
+const VALUE_BITS: u32 = 4;
+/// Bits of the per-group outlier count and of each position entry.
+const FIELD_BITS: u32 = 6;
+
+/// A tensor packed into the two Fig. 5 streams.
+///
+/// # Example
+///
+/// ```
+/// use mokey_core::encode::Code;
+/// use mokey_memlayout::DramContainer;
+///
+/// let codes = vec![Code::new(false, false, 3); 100];
+/// let packed = DramContainer::pack(&codes);
+/// assert_eq!(packed.unpack(), codes);
+/// assert_eq!(packed.len(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramContainer {
+    /// Dense 4-bit (sign + index) value stream.
+    values: Vec<u8>,
+    /// Outlier-pointer stream: per group, 6-bit count then 6-bit positions.
+    pointers: Vec<u8>,
+    /// Number of encoded values.
+    len: usize,
+    /// Number of outliers (for accounting).
+    outliers: usize,
+}
+
+impl DramContainer {
+    /// Packs a code stream into the two DRAM streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group of 64 contains more than 63 outliers — the 6-bit
+    /// count field cannot express 64, and real tensors are nowhere near
+    /// that (paper: ≤ 5% outliers).
+    pub fn pack(codes: &[Code]) -> Self {
+        let mut values = BitWriter::new();
+        let mut pointers = BitWriter::new();
+        let mut outliers = 0usize;
+        for group in codes.chunks(GROUP_SIZE) {
+            let positions: Vec<u32> = group
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_outlier())
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert!(
+                positions.len() < GROUP_SIZE,
+                "group with {} outliers exceeds the 6-bit count field",
+                positions.len()
+            );
+            outliers += positions.len();
+            pointers.write(positions.len() as u32, FIELD_BITS);
+            for &p in &positions {
+                pointers.write(p, FIELD_BITS);
+            }
+            for &c in group {
+                values.write(u32::from(c.to_bits4()), VALUE_BITS);
+            }
+        }
+        Self {
+            values: values.finish(),
+            pointers: pointers.finish(),
+            len: codes.len(),
+            outliers,
+        }
+    }
+
+    /// Reassembles a container from previously packed streams (archive
+    /// parsing path). Callers guarantee the streams came from
+    /// [`DramContainer::pack`].
+    pub(crate) fn assemble(
+        values: Vec<u8>,
+        pointers: Vec<u8>,
+        len: usize,
+        outliers: usize,
+    ) -> Self {
+        Self { values, pointers, len, outliers }
+    }
+
+    /// Reconstructs the code stream (the decompression engine's address
+    /// path: walk both streams in lockstep).
+    pub fn unpack(&self) -> Vec<Code> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut values = BitReader::new(&self.values);
+        let mut pointers = BitReader::new(&self.pointers);
+        let mut remaining = self.len;
+        while remaining > 0 {
+            let group_len = remaining.min(GROUP_SIZE);
+            let count = pointers.read(FIELD_BITS) as usize;
+            let mut flags = [false; GROUP_SIZE];
+            for _ in 0..count {
+                flags[pointers.read(FIELD_BITS) as usize] = true;
+            }
+            for flag in flags.iter().take(group_len) {
+                let bits4 = values.read(VALUE_BITS) as u8;
+                out.push(Code::from_bits4(bits4, *flag));
+            }
+            remaining -= group_len;
+        }
+        out
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of outlier values.
+    pub fn outlier_count(&self) -> usize {
+        self.outliers
+    }
+
+    /// Bytes of the quantized-values stream.
+    pub fn value_bytes(&self) -> &[u8] {
+        &self.values
+    }
+
+    /// Bytes of the outlier-pointer stream.
+    pub fn pointer_bytes(&self) -> &[u8] {
+        &self.pointers
+    }
+
+    /// Exact payload size in bits (both streams, without byte padding):
+    /// `4·n` values plus `6` per group plus `6` per outlier.
+    pub fn total_bits(&self) -> usize {
+        let groups = self.len.div_ceil(GROUP_SIZE);
+        self.len * VALUE_BITS as usize
+            + groups * FIELD_BITS as usize
+            + self.outliers * FIELD_BITS as usize
+    }
+
+    /// Total stored bytes (with byte padding per stream).
+    pub fn total_bytes(&self) -> usize {
+        self.values.len() + self.pointers.len()
+    }
+
+    /// Compression ratio versus a dense encoding at `bits_per_value`
+    /// (16 for the FP16 baselines of the paper).
+    pub fn compression_ratio(&self, bits_per_value: u32) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        (self.len * bits_per_value as usize) as f64 / self.total_bits() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_codes(n: usize, outlier_rate: f64, seed: u64) -> Vec<Code> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Code::new(
+                    rng.gen_bool(outlier_rate),
+                    rng.gen_bool(0.5),
+                    rng.gen_range(0..8),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_with_outliers() {
+        for n in [1usize, 63, 64, 65, 1000, 4096] {
+            let codes = random_codes(n, 0.05, n as u64);
+            let packed = DramContainer::pack(&codes);
+            assert_eq!(packed.unpack(), codes, "roundtrip failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_without_outliers() {
+        let codes = random_codes(500, 0.0, 1);
+        let packed = DramContainer::pack(&codes);
+        assert_eq!(packed.outlier_count(), 0);
+        assert_eq!(packed.unpack(), codes);
+    }
+
+    #[test]
+    fn empty_container() {
+        let packed = DramContainer::pack(&[]);
+        assert!(packed.is_empty());
+        assert_eq!(packed.unpack(), vec![]);
+        assert_eq!(packed.total_bits(), 0);
+    }
+
+    #[test]
+    fn total_bits_formula_matches_paper_example() {
+        // The Fig. 5 example: group0 has outliers at positions 1 and 31.
+        let mut codes = vec![Code::new(false, false, 2); 64];
+        codes[1] = Code::new(true, false, 7);
+        codes[31] = Code::new(true, true, 0);
+        let packed = DramContainer::pack(&codes);
+        // 64 values * 4b + 1 group * 6b + 2 outliers * 6b = 274 bits.
+        assert_eq!(packed.total_bits(), 64 * 4 + 6 + 12);
+        assert_eq!(packed.unpack(), codes);
+    }
+
+    #[test]
+    fn compression_ratio_close_to_4x_at_low_outlier_rate() {
+        let codes = random_codes(65536, 0.015, 9);
+        let packed = DramContainer::pack(&codes);
+        let ratio = packed.compression_ratio(16);
+        // 16 / (4 + 6/64 + 0.015*6) ≈ 3.83
+        assert!(ratio > 3.7 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn streams_are_separately_accessible() {
+        let codes = random_codes(256, 0.1, 3);
+        let packed = DramContainer::pack(&codes);
+        // Values stream is exactly n/2 bytes for 4b values.
+        assert_eq!(packed.value_bytes().len(), 128);
+        assert!(!packed.pointer_bytes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 6-bit count field")]
+    fn all_outlier_group_panics() {
+        let codes = vec![Code::new(true, false, 0); 64];
+        let _ = DramContainer::pack(&codes);
+    }
+}

@@ -1,0 +1,164 @@
+//! Compression/decompression engine models (paper Section III-C and the
+//! Fig. 5 "Decompression Engine").
+//!
+//! When Mokey is used purely as a memory-compression assist, values are
+//! "transparently converted to fixed-point 16b or (FP16 if desired) when
+//! written or read from an appropriate level in the memory hierarchy … when
+//! reading values, lookup tables can convert the indexes into their
+//! corresponding centroids."
+
+use crate::DramContainer;
+use mokey_core::dict::TensorDict;
+use mokey_core::encode::{Code, QuantizedTensor};
+use mokey_core::quantizer::OutputQuantizer;
+use mokey_tensor::Matrix;
+
+/// Work counters of an engine pass, consumed by the accelerator's energy
+/// model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Values that flowed through the engine.
+    pub values: usize,
+    /// Centroid LUT lookups performed (one per decompressed value).
+    pub lut_lookups: usize,
+    /// Comparator evaluations performed (quantizer ladder, one ladder per
+    /// compressed value).
+    pub comparisons: usize,
+}
+
+/// The read-path engine: packed indexes → FP16/16b-fixed centroid values.
+///
+/// # Example
+///
+/// ```
+/// use mokey_core::{curve::ExpCurve, encode::QuantizedTensor};
+/// use mokey_memlayout::{engine::DecompressionEngine, DramContainer};
+/// use mokey_tensor::init::GaussianMixture;
+///
+/// let w = GaussianMixture::weight_like(0.0, 0.1).sample_matrix(8, 8, 1);
+/// let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+/// let packed = DramContainer::pack(q.codes());
+/// let engine = DecompressionEngine::new(q.dict().clone());
+/// let (values, stats) = engine.decompress(&packed);
+/// assert_eq!(values.len(), 64);
+/// assert_eq!(stats.lut_lookups, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecompressionEngine {
+    dict: TensorDict,
+}
+
+impl DecompressionEngine {
+    /// Builds the engine's LUT pair from a tensor dictionary.
+    pub fn new(dict: TensorDict) -> Self {
+        Self { dict }
+    }
+
+    /// The dictionary backing the LUTs.
+    pub fn dict(&self) -> &TensorDict {
+        &self.dict
+    }
+
+    /// Expands a packed container to dense `f32` values (modelling the
+    /// FP16/fixed-16 output of the hardware engine).
+    pub fn decompress(&self, packed: &DramContainer) -> (Vec<f32>, EngineStats) {
+        let codes = packed.unpack();
+        self.decompress_codes(&codes)
+    }
+
+    /// Expands an explicit code stream.
+    pub fn decompress_codes(&self, codes: &[Code]) -> (Vec<f32>, EngineStats) {
+        let values: Vec<f32> = codes.iter().map(|&c| self.dict.decode_code(c) as f32).collect();
+        let stats =
+            EngineStats { values: codes.len(), lut_lookups: codes.len(), comparisons: 0 };
+        (values, stats)
+    }
+}
+
+/// The write-path engine: dense values → packed indexes, via the Fig. 7
+/// quantizer ladder.
+#[derive(Debug, Clone)]
+pub struct CompressionEngine {
+    quantizer: OutputQuantizer,
+}
+
+impl CompressionEngine {
+    /// Builds the engine from a tensor dictionary.
+    pub fn new(dict: TensorDict) -> Self {
+        Self { quantizer: OutputQuantizer::new(dict) }
+    }
+
+    /// The dictionary backing the comparator ladder.
+    pub fn dict(&self) -> &TensorDict {
+        self.quantizer.dict()
+    }
+
+    /// Quantizes and packs a dense matrix into the off-chip container.
+    pub fn compress(&self, values: &Matrix) -> (DramContainer, EngineStats) {
+        let q = self.quantizer.quantize_matrix(values);
+        let packed = DramContainer::pack(q.codes());
+        let stats = EngineStats {
+            values: values.len(),
+            lut_lookups: 0,
+            comparisons: values.len() * self.quantizer.comparator_count(),
+        };
+        (packed, stats)
+    }
+
+    /// Quantizes without packing (the on-chip 5b path).
+    pub fn quantize(&self, values: &Matrix) -> (QuantizedTensor, EngineStats) {
+        let q = self.quantizer.quantize_matrix(values);
+        let stats = EngineStats {
+            values: values.len(),
+            lut_lookups: 0,
+            comparisons: values.len() * self.quantizer.comparator_count(),
+        };
+        (q, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_core::curve::ExpCurve;
+    use mokey_core::dict::TensorDict;
+    use mokey_tensor::init::GaussianMixture;
+
+    fn fixture() -> (Matrix, TensorDict) {
+        let m = GaussianMixture::activation_like(0.3, 1.1).sample_matrix(16, 24, 8);
+        let dict = TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default());
+        (m, dict)
+    }
+
+    #[test]
+    fn compress_then_decompress_is_quantize_decode() {
+        let (m, dict) = fixture();
+        let comp = CompressionEngine::new(dict.clone());
+        let decomp = DecompressionEngine::new(dict.clone());
+        let (packed, cstats) = comp.compress(&m);
+        let (values, dstats) = decomp.decompress(&packed);
+        assert_eq!(cstats.values, m.len());
+        assert_eq!(dstats.lut_lookups, m.len());
+        let direct = QuantizedTensor::encode(&m, &dict).decode();
+        assert_eq!(values, direct.as_slice());
+    }
+
+    #[test]
+    fn roundtrip_through_container_is_lossless_in_code_space() {
+        let (m, dict) = fixture();
+        let comp = CompressionEngine::new(dict.clone());
+        let (packed, _) = comp.compress(&m);
+        let codes = packed.unpack();
+        let direct = QuantizedTensor::encode(&m, &dict);
+        assert_eq!(codes, direct.codes());
+    }
+
+    #[test]
+    fn comparator_work_scales_with_ladder() {
+        let (m, dict) = fixture();
+        let comp = CompressionEngine::new(dict.clone());
+        let (_, stats) = comp.compress(&m);
+        let ladder = OutputQuantizer::new(dict).comparator_count();
+        assert_eq!(stats.comparisons, m.len() * ladder);
+    }
+}

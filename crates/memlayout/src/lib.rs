@@ -1,0 +1,42 @@
+//! Mokey's memory layout (paper Section III-A, Fig. 5).
+//!
+//! Off-chip, every value is a 4-bit index. A separate, sequential
+//! "OT Pointers" stream records, per group of 64 indexes, how many of them
+//! are outliers and their positions — so the bulk "Quantized Values" stream
+//! stays dense and DRAM-friendly (two streaming access patterns per
+//! tensor). On-chip, values expand to 5 bits (dictionary-select, sign,
+//! 3-bit index) to avoid the pointer metadata.
+//!
+//! * [`bitio`] — LSB-first bit readers/writers the containers build on.
+//! * [`DramContainer`] — the Fig. 5 off-chip format (4b values + pointer
+//!   stream), with exact bit accounting.
+//! * [`OnChipStream`] — the 5-bit on-chip form.
+//! * [`engine`] — compression/decompression engine models (index ↔ FP16)
+//!   for the memory-compression-only deployment (Section III-C).
+//! * [`TensorArchive`] — a multi-tensor container with a binary wire format
+//!   (what "storing the model" means in the examples).
+//!
+//! # Example
+//!
+//! ```
+//! use mokey_core::{curve::ExpCurve, encode::QuantizedTensor};
+//! use mokey_memlayout::DramContainer;
+//! use mokey_tensor::init::GaussianMixture;
+//!
+//! let w = GaussianMixture::weight_like(0.0, 0.1).sample_matrix(32, 32, 5);
+//! let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+//! let packed = DramContainer::pack(q.codes());
+//! assert_eq!(packed.unpack(), q.codes());
+//! assert!(packed.total_bits() < 32 * 32 * 16 / 3); // >3x under FP16
+//! ```
+
+pub mod bitio;
+pub mod engine;
+
+mod archive;
+mod container;
+mod onchip;
+
+pub use archive::{ArchivedTensor, ParseArchiveError, TensorArchive};
+pub use container::{DramContainer, GROUP_SIZE};
+pub use onchip::OnChipStream;

@@ -1,0 +1,64 @@
+//! Property-based tests for the memory containers: pack/unpack must be the
+//! identity for arbitrary code streams and outlier patterns.
+
+use mokey_core::encode::Code;
+use mokey_memlayout::{DramContainer, OnChipStream};
+use proptest::prelude::*;
+
+/// Arbitrary code streams with bounded per-group outlier density (the
+/// container's documented limit is < 64 outliers per group of 64; we keep
+/// realistic densities and add a dense-but-legal case separately).
+fn codes_strategy() -> impl Strategy<Value = Vec<Code>> {
+    prop::collection::vec(
+        (prop::bool::weighted(0.08), prop::bool::ANY, 0u8..8),
+        0..600,
+    )
+    .prop_map(|v| v.into_iter().map(|(o, n, i)| Code::new(o, n, i)).collect())
+}
+
+proptest! {
+    #[test]
+    fn dram_container_roundtrip(codes in codes_strategy()) {
+        let packed = DramContainer::pack(&codes);
+        let unpacked = packed.unpack();
+        prop_assert_eq!(unpacked, codes);
+    }
+
+    #[test]
+    fn dram_bit_accounting_exact(codes in codes_strategy()) {
+        let packed = DramContainer::pack(&codes);
+        let groups = codes.len().div_ceil(64);
+        let outliers = codes.iter().filter(|c| c.is_outlier()).count();
+        prop_assert_eq!(packed.total_bits(), codes.len() * 4 + groups * 6 + outliers * 6);
+        prop_assert_eq!(packed.outlier_count(), outliers);
+        // Byte padding never exceeds 1 byte per stream.
+        prop_assert!(packed.total_bytes() * 8 <= packed.total_bits() + 16);
+    }
+
+    #[test]
+    fn onchip_stream_roundtrip(codes in codes_strategy()) {
+        let stream = OnChipStream::pack(&codes);
+        prop_assert_eq!(stream.total_bits(), codes.len() * 5);
+        prop_assert_eq!(stream.unpack(), codes);
+    }
+
+    /// Compression ratio vs FP16 stays within the paper's ~4x band for
+    /// realistic outlier densities.
+    #[test]
+    fn compression_ratio_band(codes in codes_strategy()) {
+        prop_assume!(codes.len() >= 64);
+        let packed = DramContainer::pack(&codes);
+        let ratio = packed.compression_ratio(16);
+        prop_assert!(ratio > 2.5 && ratio <= 4.0, "ratio {ratio}");
+    }
+}
+
+#[test]
+fn dense_outlier_group_still_roundtrips() {
+    // 63 outliers in one group — the maximum the 6-bit count can express.
+    let mut codes = vec![Code::new(true, false, 1); 63];
+    codes.push(Code::new(false, true, 7));
+    let packed = DramContainer::pack(&codes);
+    assert_eq!(packed.unpack(), codes);
+    assert_eq!(packed.outlier_count(), 63);
+}

@@ -1,0 +1,34 @@
+//! Dense `f32` matrix substrate for the Mokey reproduction.
+//!
+//! The Mokey paper (ISCA 2022) quantizes transformer weights and activations;
+//! every other crate in this workspace consumes tensors. This crate provides
+//! the minimal-but-complete dense linear algebra the reproduction needs:
+//!
+//! * [`Matrix`] — row-major dense `f32` matrix with parallel GEMM
+//!   ([`Matrix::matmul`]) and the usual structural operations.
+//! * [`stats`] — per-tensor statistics (mean, standard deviation, extrema)
+//!   used by Mokey's per-tensor dictionary generation (paper Section II-C).
+//! * [`init`] — seeded random initialization, including the bell-shaped
+//!   mixture distributions that stand in for pre-trained checkpoints (see
+//!   `DESIGN.md` substitution table).
+//! * [`nn`] — softmax, layer normalization, GELU and friends, i.e. the
+//!   non-GEMM operators of a transformer encoder.
+//!
+//! # Example
+//!
+//! ```
+//! use mokey_tensor::Matrix;
+//!
+//! let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+//! let b = Matrix::identity(3);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod matrix;
+
+pub mod init;
+pub mod nn;
+pub mod stats;
+
+pub use matrix::Matrix;

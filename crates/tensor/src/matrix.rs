@@ -1,0 +1,543 @@
+//! Row-major dense `f32` matrix with parallel GEMM.
+
+use serde::{Deserialize, Serialize};
+
+/// Minimum number of scalar multiply-accumulates before [`Matrix::matmul`]
+/// bothers to spawn worker threads. Below this the sequential kernel wins —
+/// and callers that already parallelize across samples (the evaluation
+/// harness) must not oversubscribe with nested thread spawns, so the bar
+/// is deliberately high (~16 MFLOP, i.e. full-size transformer GEMMs).
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 24;
+
+/// A dense, row-major `f32` matrix.
+///
+/// This is the lingua franca of the workspace: transformer layers, the
+/// quantizer, and the baselines all exchange `Matrix` values. The layout is
+/// guaranteed row-major and contiguous, so `data[r * cols + c]` addresses
+/// element `(r, c)`; [`Matrix::row`] hands out contiguous row slices which
+/// the quantization kernels consume directly.
+///
+/// # Example
+///
+/// ```
+/// use mokey_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use mokey_tensor::Matrix;
+    /// let z = Matrix::zeros(2, 2);
+    /// assert_eq!(z.as_slice(), &[0.0; 4]);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows: expected width {cols}");
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The whole backing buffer in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Dense GEMM: `self * other`, parallelized over row blocks once the
+    /// problem is large enough to amortize thread spawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use mokey_tensor::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+    /// let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+    /// assert_eq!(a.matmul(&b).as_slice(), &[11.0]);
+    /// ```
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let flops = self.rows * self.cols * other.cols;
+        if flops < PARALLEL_FLOP_THRESHOLD || self.rows < 2 {
+            matmul_rows(&self.data, &other.data, &mut out.data, self.cols, other.cols);
+            return out;
+        }
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(self.rows);
+        let rows_per = self.rows.div_ceil(threads);
+        let k = self.cols;
+        let n = other.cols;
+        crossbeam::scope(|scope| {
+            let a_chunks = self.data.chunks(rows_per * k);
+            let o_chunks = out.data.chunks_mut(rows_per * n);
+            for (a_chunk, o_chunk) in a_chunks.zip(o_chunks) {
+                let b = &other.data;
+                scope.spawn(move |_| matmul_rows(a_chunk, b, o_chunk, k, n));
+            }
+        })
+        .expect("matmul worker panicked");
+        out
+    }
+
+    /// GEMM against a transposed right-hand side: `self * other^T`.
+    ///
+    /// Attention layers compute `Q · K^T`; doing it directly on `K` avoids
+    /// materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        Matrix::from_fn(self.rows, other.rows, |r, c| {
+            dot(self.row(r), other.row(c))
+        })
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Adds a row vector to every row (broadcast bias add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &[f32]) -> Matrix {
+        assert_eq!(bias.len(), self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for row in out.data.chunks_exact_mut(self.cols) {
+            for (x, b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f32) -> Matrix {
+        let data = self.data.iter().map(|x| x * k).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every element, in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Returns a copy with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Horizontal slice: rows `[start, start + count)` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the matrix.
+    pub fn slice_rows(&self, start: usize, count: usize) -> Matrix {
+        assert!(start + count <= self.rows, "row slice out of bounds");
+        Matrix {
+            rows: count,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + count) * self.cols].to_vec(),
+        }
+    }
+
+    /// Vertical slice: columns `[start, start + count)` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the matrix.
+    pub fn slice_cols(&self, start: usize, count: usize) -> Matrix {
+        assert!(start + count <= self.cols, "col slice out of bounds");
+        Matrix::from_fn(self.rows, count, |r, c| self.data[r * self.cols + start + c])
+    }
+
+    /// Concatenates matrices left-to-right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ or `parts` is empty.
+    pub fn concat_cols(parts: &[Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "cannot concat zero matrices");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "concat_cols row mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                out.row_mut(r)[offset..offset + p.cols].copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Largest absolute element difference against `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        const SHOWN: usize = 6;
+        for r in 0..self.rows.min(SHOWN) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(SHOWN) {
+                write!(f, "{:9.4} ", self.data[r * self.cols + c])?;
+            }
+            if self.cols > SHOWN {
+                write!(f, "…")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > SHOWN {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sequential row-block GEMM kernel: `out[i][j] += a[i][k] * b[k][j]`.
+///
+/// `a` holds `m` rows of width `k`; `b` holds `k` rows of width `n`; `out`
+/// holds `m` rows of width `n`. The i-k-j loop order keeps the inner loop
+/// streaming over contiguous memory.
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let m = a.len() / k;
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &b_val) in o_row.iter_mut().zip(b_row) {
+                *o += a_val * b_val;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |r, c| {
+            (0..a.cols()).map(|k| a[(r, k)] * b[(k, c)]).sum()
+        })
+    }
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(a.matmul(&Matrix::identity(4)), a);
+        assert_eq!(Matrix::identity(4).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Matrix::from_fn(5, 7, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(7, 3, |r, c| (r * c) as f32 * 0.25 - 1.0);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // 128x128x128 = 2M flops, above the parallel threshold.
+        let a = Matrix::from_fn(128, 128, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(128, 128, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.1);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(5, 6, |r, c| (r as f32) - (c as f32));
+        let direct = a.matmul_transposed(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(direct.max_abs_diff(&explicit) < 1e-5);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, -1.0]]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 1.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_per_row() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let out = a.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn slicing_rows_and_cols() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let rows = m.slice_rows(1, 2);
+        assert_eq!(rows.shape(), (2, 4));
+        assert_eq!(rows.row(0), m.row(1));
+        let cols = m.slice_cols(2, 2);
+        assert_eq!(cols.shape(), (4, 2));
+        assert_eq!(cols[(3, 1)], m[(3, 3)]);
+    }
+
+    #[test]
+    fn concat_cols_roundtrips_slice_cols() {
+        let m = Matrix::from_fn(3, 6, |r, c| (r * 6 + c) as f32);
+        let left = m.slice_cols(0, 2);
+        let right = m.slice_cols(2, 4);
+        assert_eq!(Matrix::concat_cols(&[left, right]), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let m = Matrix::zeros(1, 1);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-tensor statistics.
+//!
+//! Mokey's per-tensor dictionary generation (paper Section II-C) is a linear
+//! transform of the Golden Dictionary by the tensor's mean and standard
+//! deviation, and its fixed-point conversion (Eq. 7) needs the value range.
+//! [`Summary`] gathers all of that in one pass.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass summary statistics of a value collection (Welford online
+/// algorithm, so summaries can also be [merged](Summary::merge) across
+/// profiling batches).
+///
+/// # Example
+///
+/// ```
+/// use mokey_tensor::stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0]);
+/// assert!((s.mean() - 2.0).abs() < 1e-6);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary; fold samples in with [`Summary::push`].
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Summarizes a slice in one pass.
+    pub fn of(values: &[f32]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(f64::from(v));
+        }
+        s
+    }
+
+    /// Folds one sample into the summary (Welford's online update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples folded in.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (`0` when empty).
+    pub fn std(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty summary");
+        self.min
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty summary");
+        self.max
+    }
+
+    /// Value range `max − min`, or `0` when empty.
+    pub fn range(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_slice() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.count(), 10);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!(s.std().abs() < 1e-12);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn summary_matches_two_pass_reference() {
+        let vals: Vec<f32> = (0..1000).map(|i| ((i * 37) % 101) as f32 - 50.0).collect();
+        let s = Summary::of(&vals);
+        let mean: f64 = vals.iter().map(|&v| f64::from(v)).sum::<f64>() / vals.len() as f64;
+        let var: f64 =
+            vals.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.std() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let a: Vec<f32> = (0..500).map(|i| (i as f32).sin() * 3.0).collect();
+        let b: Vec<f32> = (0..700).map(|i| (i as f32).cos() * 7.0 + 1.0).collect();
+        let mut merged = Summary::of(&a);
+        merged.merge(&Summary::of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let single = Summary::of(&all);
+        assert_eq!(merged.count(), single.count());
+        assert!((merged.mean() - single.mean()).abs() < 1e-9);
+        assert!((merged.std() - single.std()).abs() < 1e-9);
+        assert_eq!(merged.min(), single.min());
+        assert_eq!(merged.max(), single.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let mut merged = s;
+        merged.merge(&Summary::new());
+        assert_eq!(merged, s);
+        let mut empty = Summary::new();
+        empty.merge(&s);
+        assert_eq!(empty, s);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Summary = (0..10).map(f64::from).collect();
+        assert_eq!(s.count(), 10);
+        assert!((s.mean() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_of_empty_is_zero() {
+        assert_eq!(Summary::new().range(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min of empty summary")]
+    fn min_of_empty_panics() {
+        let _ = Summary::new().min();
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the tensor substrate.
+
+use mokey_tensor::stats::Summary;
+use mokey_tensor::{nn, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing a matrix of bounded size with finite values.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(m in matrix_strategy(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(m in matrix_strategy(10)) {
+        let left = Matrix::identity(m.rows()).matmul(&m);
+        let right = m.matmul(&Matrix::identity(m.cols()));
+        prop_assert!(left.max_abs_diff(&m) < 1e-4);
+        prop_assert!(right.max_abs_diff(&m) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        (a, b, c) in (1usize..8, 1usize..8, 1usize..8).prop_flat_map(|(m, k, n)| {
+            (
+                prop::collection::vec(-10.0f32..10.0, m * k)
+                    .prop_map(move |d| Matrix::from_vec(m, k, d)),
+                prop::collection::vec(-10.0f32..10.0, k * n)
+                    .prop_map(move |d| Matrix::from_vec(k, n, d)),
+                prop::collection::vec(-10.0f32..10.0, k * n)
+                    .prop_map(move |d| Matrix::from_vec(k, n, d)),
+            )
+        })
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    #[test]
+    fn matmul_transposed_consistent(m in matrix_strategy(10), n in matrix_strategy(10)) {
+        // Reshape n to share m's column count by transposing when needed.
+        let b = Matrix::from_fn(7, m.cols(), |r, c| n.as_slice()[(r * 31 + c) % n.len()]);
+        let direct = m.matmul_transposed(&b);
+        let explicit = m.matmul(&b.transpose());
+        prop_assert!(direct.max_abs_diff(&explicit) < 1e-3);
+    }
+
+    #[test]
+    fn summary_bounds_contain_all_samples(vals in prop::collection::vec(-1e6f32..1e6, 1..500)) {
+        let s = Summary::of(&vals);
+        for &v in &vals {
+            prop_assert!(f64::from(v) >= s.min() - 1e-9);
+            prop_assert!(f64::from(v) <= s.max() + 1e-9);
+        }
+        prop_assert!(s.std() >= 0.0);
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_is_order_insensitive(
+        a in prop::collection::vec(-1e3f32..1e3, 1..200),
+        b in prop::collection::vec(-1e3f32..1e3, 1..200),
+    ) {
+        let mut ab = Summary::of(&a);
+        ab.merge(&Summary::of(&b));
+        let mut ba = Summary::of(&b);
+        ba.merge(&Summary::of(&a));
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-6);
+        prop_assert!((ab.std() - ba.std()).abs() < 1e-6);
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(m in matrix_strategy(10)) {
+        let mut sm = m.clone();
+        nn::softmax_rows(&mut sm);
+        for r in 0..sm.rows() {
+            let sum: f32 = sm.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(sm.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn slice_concat_roundtrip(m in matrix_strategy(10), split in 0usize..10) {
+        let split = split.min(m.cols().saturating_sub(1)).max(1).min(m.cols());
+        if split < m.cols() {
+            let left = m.slice_cols(0, split);
+            let right = m.slice_cols(split, m.cols() - split);
+            prop_assert_eq!(Matrix::concat_cols(&[left, right]), m);
+        }
+    }
+}

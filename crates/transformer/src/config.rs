@@ -1,0 +1,194 @@
+//! Model zoo configurations (paper Section IV-A).
+//!
+//! The dimensions below are the published architectures; they drive the
+//! footprint accounting (Fig. 1), the accelerator workloads (Figs. 9–15),
+//! and — scaled down via [`ModelConfig::scaled`] — the numeric accuracy
+//! experiments (Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// A BERT-family encoder architecture.
+///
+/// # Example
+///
+/// ```
+/// use mokey_transformer::ModelConfig;
+///
+/// let bert = ModelConfig::bert_large();
+/// assert_eq!(bert.layers, 24);
+/// // ~340M parameters, as the paper states.
+/// assert!((bert.param_count() as f64 / 1e6 - 340.0).abs() < 30.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name ("BERT-Base", …).
+    pub name: String,
+    /// Encoder layer count.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads (must divide `hidden`).
+    pub heads: usize,
+    /// Feed-forward inner width (4·hidden for the BERT family).
+    pub ff: usize,
+    /// Vocabulary size (token embedding rows).
+    pub vocab: usize,
+    /// Maximum sequence length (position embedding rows).
+    pub max_seq: usize,
+}
+
+impl ModelConfig {
+    /// BERT-Base: 12 encoders, 110M parameters (paper Section IV-A).
+    pub fn bert_base() -> Self {
+        Self {
+            name: "BERT-Base".into(),
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ff: 3072,
+            vocab: 30_522,
+            max_seq: 512,
+        }
+    }
+
+    /// BERT-Large: 24 encoders, 340M parameters.
+    pub fn bert_large() -> Self {
+        Self {
+            name: "BERT-Large".into(),
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            ff: 4096,
+            vocab: 30_522,
+            max_seq: 512,
+        }
+    }
+
+    /// RoBERTa-Large: same architecture as BERT-Large, larger vocabulary.
+    pub fn roberta_large() -> Self {
+        Self {
+            name: "RoBERTa-Large".into(),
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            ff: 4096,
+            vocab: 50_265,
+            max_seq: 512,
+        }
+    }
+
+    /// DeBERTa-XL: 48 encoders, ~750M parameters (paper Section IV-A).
+    pub fn deberta_xl() -> Self {
+        Self {
+            name: "DeBERTa-XL".into(),
+            layers: 48,
+            hidden: 1024,
+            heads: 16,
+            ff: 4096,
+            vocab: 128_100,
+            max_seq: 512,
+        }
+    }
+
+    /// All four evaluated architectures, in the paper's order.
+    pub fn zoo() -> Vec<Self> {
+        vec![Self::bert_base(), Self::bert_large(), Self::roberta_large(), Self::deberta_xl()]
+    }
+
+    /// Head dimension `hidden / heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `hidden`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.hidden % self.heads, 0, "heads must divide hidden");
+        self.hidden / self.heads
+    }
+
+    /// Total parameter count: embeddings + per-layer attention/FFN/LN
+    /// weights and biases.
+    pub fn param_count(&self) -> usize {
+        let h = self.hidden;
+        let embeddings = self.vocab * h + self.max_seq * h + 2 * h; // token + position + LN
+        let per_layer = 4 * (h * h + h)      // QKVO + biases
+            + (h * self.ff + self.ff)        // FF1
+            + (self.ff * h + h)              // FF2
+            + 4 * h; // two layer norms
+        embeddings + self.layers * per_layer
+    }
+
+    /// Parameter bytes at the given width (FP16 = 2 bytes in the paper's
+    /// baselines).
+    pub fn param_bytes(&self, bytes_per_value: usize) -> usize {
+        self.param_count() * bytes_per_value
+    }
+
+    /// A proportionally scaled-down configuration for numeric experiments
+    /// (same depth-to-width character, tractable GEMMs). Head count scales
+    /// with width so the head dimension stays constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the divisors do not divide the configuration evenly.
+    pub fn scaled(&self, width_div: usize, layer_div: usize) -> Self {
+        assert!(width_div > 0 && layer_div > 0, "divisors must be positive");
+        assert_eq!(self.hidden % width_div, 0, "width_div must divide hidden");
+        assert_eq!(self.heads % width_div.min(self.heads), 0, "width_div incompatible with heads");
+        let heads = (self.heads / width_div).max(1);
+        Self {
+            name: format!("{}/s{}x{}", self.name, width_div, layer_div),
+            layers: (self.layers / layer_div).max(1),
+            hidden: self.hidden / width_div,
+            heads,
+            ff: self.ff / width_div,
+            vocab: 2048,
+            max_seq: self.max_seq.min(128),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_published_sizes() {
+        // Published: 110M / 340M / 355M / ~750M.
+        let within = |config: ModelConfig, millions: f64, tol: f64| {
+            let m = config.param_count() as f64 / 1e6;
+            assert!((m - millions).abs() < tol, "{}: {m}M vs {millions}M", config.name);
+        };
+        within(ModelConfig::bert_base(), 110.0, 10.0);
+        within(ModelConfig::bert_large(), 340.0, 30.0);
+        within(ModelConfig::roberta_large(), 355.0, 30.0);
+        within(ModelConfig::deberta_xl(), 750.0, 80.0);
+    }
+
+    #[test]
+    fn head_dim_is_64_for_the_zoo() {
+        for config in ModelConfig::zoo() {
+            assert_eq!(config.head_dim(), 64, "{}", config.name);
+        }
+    }
+
+    #[test]
+    fn scaled_config_preserves_head_dim() {
+        let scaled = ModelConfig::bert_base().scaled(4, 3);
+        assert_eq!(scaled.hidden, 192);
+        assert_eq!(scaled.layers, 4);
+        assert_eq!(scaled.head_dim(), 64);
+        assert_eq!(scaled.ff, 768);
+    }
+
+    #[test]
+    fn param_bytes_fp16() {
+        let config = ModelConfig::bert_base();
+        assert_eq!(config.param_bytes(2), config.param_count() * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width_div must divide hidden")]
+    fn bad_scale_divisor_panics() {
+        let _ = ModelConfig::bert_base().scaled(5, 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Execution hooks: one forward-pass implementation, three behaviours.
+//!
+//! [`Model::forward`](crate::Model::forward) routes every activation
+//! tensor, weight lookup, and GEMM output through an [`Executor`]:
+//!
+//! * [`FpExecutor`] — identity hooks: the FP32 reference path.
+//! * [`ProfilingExecutor`] — observes activations and GEMM output ranges
+//!   into an [`ActivationProfiler`] (the paper's one-batch profiling run).
+//! * [`QuantizedExecutor`] — Mokey inference: activations are quantized to
+//!   codes and decoded to centroids at every GEMM input, weights are
+//!   replaced by their decoded centroid matrices, and GEMM outputs snap to
+//!   the per-tensor 16-bit fixed-point grid (paper Eq. 7/8). Numerically,
+//!   this is exactly the index-domain datapath — the equivalence is
+//!   property-tested in `mokey-core::kernels`.
+
+use mokey_core::dict::TensorDict;
+use mokey_core::profile::ActivationProfiler;
+use mokey_fixed::{snap_to_grid, QFormat};
+use mokey_tensor::Matrix;
+use std::collections::BTreeMap;
+
+/// Hooks invoked by the shared forward-pass implementation.
+///
+/// All methods default to the identity, so the FP path costs nothing.
+pub trait Executor {
+    /// Observes/transforms a named activation tensor before it feeds a
+    /// GEMM.
+    fn activation(&mut self, _name: &str, m: Matrix) -> Matrix {
+        m
+    }
+
+    /// Returns a replacement for a named weight tensor, if this executor
+    /// substitutes weights (quantized execution).
+    fn weight_override(&self, _name: &str) -> Option<&Matrix> {
+        None
+    }
+
+    /// Observes/transforms a named GEMM output (bias already added).
+    fn gemm_output(&mut self, _name: &str, m: Matrix) -> Matrix {
+        m
+    }
+}
+
+/// The FP32 reference path: every hook is the identity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpExecutor;
+
+impl Executor for FpExecutor {}
+
+/// Records every activation and GEMM-output distribution into an
+/// [`ActivationProfiler`] — the paper's profiling run over a single batch.
+///
+/// GEMM outputs are recorded under `"<weight name>.out"`; their ranges
+/// later define the Eq. 7 output fixed-point formats.
+#[derive(Debug)]
+pub struct ProfilingExecutor<'a> {
+    profiler: &'a mut ActivationProfiler,
+}
+
+impl<'a> ProfilingExecutor<'a> {
+    /// Wraps a profiler for one or more forward passes.
+    pub fn new(profiler: &'a mut ActivationProfiler) -> Self {
+        Self { profiler }
+    }
+}
+
+impl Executor for ProfilingExecutor<'_> {
+    fn activation(&mut self, name: &str, m: Matrix) -> Matrix {
+        self.profiler.observe(name, &m);
+        m
+    }
+
+    fn gemm_output(&mut self, name: &str, m: Matrix) -> Matrix {
+        self.profiler.observe(&format!("{name}.out"), &m);
+        m
+    }
+}
+
+/// Everything the quantized path needs, shared read-only across worker
+/// threads.
+#[derive(Debug, Clone)]
+pub struct QuantizedContext {
+    /// Decoded centroid weight matrices (present when weights are
+    /// quantized).
+    pub weights: BTreeMap<String, Matrix>,
+    /// Per-activation-tensor dictionaries (present when activations are
+    /// quantized).
+    pub act_dicts: BTreeMap<String, TensorDict>,
+    /// Per-GEMM-output 16-bit fixed-point formats (Eq. 7 from profiled
+    /// ranges).
+    pub out_formats: BTreeMap<String, QFormat>,
+}
+
+/// Counters describing one quantized forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantizedStats {
+    /// Activation values encoded.
+    pub act_values: usize,
+    /// Of those, how many hit the outlier dictionary (Table I's "A OT %").
+    pub act_outliers: usize,
+}
+
+impl QuantizedStats {
+    /// Merges counters from another pass.
+    pub fn merge(&mut self, other: &QuantizedStats) {
+        self.act_values += other.act_values;
+        self.act_outliers += other.act_outliers;
+    }
+
+    /// Outlier fraction (0 when nothing was encoded).
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.act_values == 0 {
+            0.0
+        } else {
+            self.act_outliers as f64 / self.act_values as f64
+        }
+    }
+}
+
+/// Mokey quantized inference.
+#[derive(Debug)]
+pub struct QuantizedExecutor<'a> {
+    ctx: &'a QuantizedContext,
+    stats: QuantizedStats,
+}
+
+impl<'a> QuantizedExecutor<'a> {
+    /// Creates an executor over a shared context.
+    pub fn new(ctx: &'a QuantizedContext) -> Self {
+        Self { ctx, stats: QuantizedStats::default() }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> QuantizedStats {
+        self.stats
+    }
+}
+
+impl Executor for QuantizedExecutor<'_> {
+    fn activation(&mut self, name: &str, m: Matrix) -> Matrix {
+        let Some(dict) = self.ctx.act_dicts.get(name) else {
+            return m;
+        };
+        let mut out = m;
+        for v in out.as_mut_slice() {
+            let code = dict.encode_value(*v);
+            self.stats.act_values += 1;
+            if code.is_outlier() {
+                self.stats.act_outliers += 1;
+            }
+            *v = dict.decode_code(code) as f32;
+        }
+        out
+    }
+
+    fn weight_override(&self, name: &str) -> Option<&Matrix> {
+        self.ctx.weights.get(name)
+    }
+
+    fn gemm_output(&mut self, name: &str, m: Matrix) -> Matrix {
+        let Some(fmt) = self.ctx.out_formats.get(name) else {
+            return m;
+        };
+        let frac = fmt.frac_bits();
+        let mut out = m;
+        for v in out.as_mut_slice() {
+            *v = snap_to_grid(f64::from(*v), frac) as f32;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_core::curve::ExpCurve;
+    use mokey_core::profile::ProfileConfig;
+    use mokey_tensor::init::GaussianMixture;
+
+    #[test]
+    fn fp_executor_is_identity() {
+        let m = GaussianMixture::pure(0.0, 1.0).sample_matrix(4, 4, 1);
+        let mut e = FpExecutor;
+        assert_eq!(e.activation("x", m.clone()), m);
+        assert_eq!(e.gemm_output("x", m.clone()), m);
+        assert!(e.weight_override("x").is_none());
+    }
+
+    #[test]
+    fn profiling_executor_records_everything() {
+        let mut profiler = ActivationProfiler::new(ProfileConfig::default());
+        let m = GaussianMixture::pure(0.5, 2.0).sample_matrix(8, 8, 2);
+        {
+            let mut e = ProfilingExecutor::new(&mut profiler);
+            let _ = e.activation("a", m.clone());
+            let _ = e.gemm_output("w", m.clone());
+        }
+        assert_eq!(profiler.profile("a").unwrap().seen(), 64);
+        assert_eq!(profiler.profile("w.out").unwrap().seen(), 64);
+    }
+
+    #[test]
+    fn quantized_executor_decodes_to_centroids_and_counts() {
+        let m = GaussianMixture::activation_like(0.0, 1.0).sample_matrix(16, 16, 3);
+        let dict = TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default());
+        let mut act_dicts = BTreeMap::new();
+        act_dicts.insert("a".to_string(), dict.clone());
+        let ctx = QuantizedContext {
+            weights: BTreeMap::new(),
+            act_dicts,
+            out_formats: BTreeMap::new(),
+        };
+        let mut e = QuantizedExecutor::new(&ctx);
+        let out = e.activation("a", m.clone());
+        assert_eq!(e.stats().act_values, 256);
+        // Every output value must be a signed centroid.
+        let centroids: Vec<f64> = dict.signed_centroids().iter().map(|(v, _)| *v).collect();
+        for &v in out.as_slice() {
+            let d = centroids.iter().map(|&c| (c - f64::from(v)).abs()).fold(f64::INFINITY, f64::min);
+            assert!(d < 1e-5, "{v} is not a centroid");
+        }
+        // Unknown tensors pass through untouched.
+        let untouched = e.activation("unknown", m.clone());
+        assert_eq!(untouched, m);
+    }
+
+    #[test]
+    fn gemm_output_snaps_to_grid() {
+        let mut out_formats = BTreeMap::new();
+        out_formats.insert("w".to_string(), QFormat::new(16, 4));
+        let ctx = QuantizedContext {
+            weights: BTreeMap::new(),
+            act_dicts: BTreeMap::new(),
+            out_formats,
+        };
+        let mut e = QuantizedExecutor::new(&ctx);
+        let m = Matrix::from_rows(&[&[0.3, 1.26]]);
+        let snapped = e.gemm_output("w", m);
+        assert_eq!(snapped.as_slice(), &[0.3125, 1.25]);
+    }
+}

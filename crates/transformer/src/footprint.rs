@@ -1,0 +1,123 @@
+//! Weight/activation memory accounting (paper Fig. 1).
+//!
+//! "Transformer models also incur a quadratic growth in activation
+//! footprint when scaling the input sequence … When the sequence length
+//! exceeds 512 tokens, activations dominate total memory footprint."
+//!
+//! Activation accounting counts, per encoder layer, every intermediate a
+//! dataflow must be able to buffer: the layer input, Q/K/V, the attention
+//! probability matrices (heads × seq²  — the quadratic term), the context,
+//! the attention output, the FFN input/intermediate/output. Weights are the
+//! full parameter set.
+
+use crate::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Memory footprint split, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// All model parameters.
+    pub weight_bytes: usize,
+    /// All per-layer activation intermediates at the given sequence length.
+    pub activation_bytes: usize,
+}
+
+impl Footprint {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.weight_bytes + self.activation_bytes
+    }
+
+    /// Activation share of the total, in percent.
+    pub fn activation_percent(&self) -> f64 {
+        100.0 * self.activation_bytes as f64 / self.total() as f64
+    }
+}
+
+/// Computes the Fig. 1 footprint for a model at a sequence length, with
+/// `bytes_per_value` storage (2 for the FP16 baselines, 0.5 for Mokey's
+/// 4-bit indexes).
+///
+/// # Example
+///
+/// ```
+/// use mokey_transformer::{footprint::footprint, ModelConfig};
+///
+/// let fp = footprint(&ModelConfig::bert_large(), 512, 2.0);
+/// // Fig. 1: activations overtake weights beyond 512 tokens.
+/// let fp2 = footprint(&ModelConfig::bert_large(), 2048, 2.0);
+/// assert!(fp.activation_percent() < 60.0);
+/// assert!(fp2.activation_percent() > 75.0);
+/// ```
+pub fn footprint(config: &ModelConfig, seq: usize, bytes_per_value: f64) -> Footprint {
+    let weight_bytes = (config.param_count() as f64 * bytes_per_value) as usize;
+    let h = config.hidden;
+    // Per layer: input + Q + K + V + context + attn-out + ffn-in + ffn-out
+    // (8 seq×hidden tensors), probs (heads × seq²), FFN mid (seq × ff).
+    let per_layer = 8 * seq * h + config.heads * seq * seq + seq * config.ff;
+    let activation_values = config.layers * per_layer;
+    Footprint {
+        weight_bytes,
+        activation_bytes: (activation_values as f64 * bytes_per_value) as usize,
+    }
+}
+
+/// The Fig. 1 sweep: footprints for the paper's sequence lengths.
+pub fn fig1_sweep(config: &ModelConfig, bytes_per_value: f64) -> Vec<(usize, Footprint)> {
+    [128usize, 256, 512, 1024, 2048]
+        .iter()
+        .map(|&seq| (seq, footprint(config, seq, bytes_per_value)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_layer_activation_buffer_matches_paper_range() {
+        // Paper intro: "For sequences of up to 128 tokens … buffering
+        // activations between layers requires anywhere between 1.5MB to 2MB
+        // depending on the model, layer, and dataflow."
+        let config = ModelConfig::bert_large();
+        let fp = footprint(&config, 128, 2.0);
+        let per_layer_mb = fp.activation_bytes as f64 / config.layers as f64 / (1 << 20) as f64;
+        assert!(
+            per_layer_mb > 1.0 && per_layer_mb < 4.0,
+            "per-layer activation buffer {per_layer_mb} MB"
+        );
+    }
+
+    #[test]
+    fn activations_dominate_beyond_512() {
+        let config = ModelConfig::bert_large();
+        let at = |seq: usize| footprint(&config, seq, 2.0).activation_percent();
+        assert!(at(128) < 50.0, "at 128: {}", at(128));
+        assert!(at(1024) > 50.0, "at 1024: {}", at(1024));
+        assert!(at(2048) > at(1024), "monotone growth");
+    }
+
+    #[test]
+    fn quadratic_term_grows_superlinearly() {
+        let config = ModelConfig::bert_large();
+        let a1 = footprint(&config, 512, 2.0).activation_bytes as f64;
+        let a2 = footprint(&config, 1024, 2.0).activation_bytes as f64;
+        assert!(a2 / a1 > 2.0, "doubling seq must more than double activations");
+    }
+
+    #[test]
+    fn total_footprint_scale_matches_fig1() {
+        // Fig. 1 shows ~5-6 GB total at seq 2048 for BERT-Large FP16.
+        let fp = footprint(&ModelConfig::bert_large(), 2048, 2.0);
+        let gb = fp.total() as f64 / (1u64 << 30) as f64;
+        assert!(gb > 2.5 && gb < 8.0, "total {gb} GB at 2048");
+    }
+
+    #[test]
+    fn sweep_covers_paper_points() {
+        let sweep = fig1_sweep(&ModelConfig::bert_large(), 2.0);
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep[0].0, 128);
+        assert_eq!(sweep[4].0, 2048);
+    }
+}

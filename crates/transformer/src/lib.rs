@@ -1,0 +1,36 @@
+//! Transformer-encoder inference substrate for the Mokey reproduction.
+//!
+//! The paper evaluates Mokey on pre-trained Hugging Face checkpoints
+//! (BERT-Base/Large, RoBERTa-Large, DeBERTa-XL) over GLUE/SQuAD tasks.
+//! Neither the checkpoints nor the datasets are reproducible inputs for
+//! this repository, so — per the `DESIGN.md` substitution table — this
+//! crate provides:
+//!
+//! * [`config`] — the model zoo *shapes* (faithful layer/hidden/head/FFN
+//!   dimensions; these drive the footprint and accelerator experiments).
+//! * [`model`] — a complete encoder-stack inference engine (multi-head
+//!   attention, GELU FFN, layer norm, pooler/task heads) over synthetic
+//!   seeded weights whose distributions match what Mokey exploits.
+//! * [`exec`] — execution hooks: FP32 reference, activation profiling, and
+//!   fully quantized execution (weights decoded to centroids, activations
+//!   quantized at every GEMM input, outputs snapped to the per-tensor
+//!   16-bit fixed-point grid of paper Eq. 7/8).
+//! * [`quantize`] — the end-to-end Mokey pipeline: profile → build
+//!   dictionaries → quantize → run.
+//! * [`tasks`] — synthetic MNLI/STS-B/SQuAD-style tasks whose FP operating
+//!   point is calibrated to the paper's reported scores, plus the metrics
+//!   (accuracy, Spearman, span-F1) used by Table I.
+//! * [`footprint`] — the Fig. 1 weight/activation memory accounting.
+//! * [`workload`] — GEMM shape extraction for the accelerator simulator.
+
+pub mod config;
+pub mod exec;
+pub mod footprint;
+pub mod model;
+pub mod quantize;
+pub mod tasks;
+pub mod workload;
+
+pub use config::ModelConfig;
+pub use model::{Head, Model, TaskOutput};
+pub use quantize::{QuantizeSpec, QuantizedModel};

@@ -1,0 +1,432 @@
+//! The encoder-stack model: synthetic weights, faithful forward pass.
+//!
+//! Weight distributions follow the bell-shaped-with-rare-outliers character
+//! the paper exploits (Section II: "most of values are densely populated
+//! around their mean … and a small fraction of values (covering a wider
+//! range) are outliers"), via [`GaussianMixture::weight_like`].
+
+use crate::config::ModelConfig;
+use crate::exec::Executor;
+use mokey_tensor::init::GaussianMixture;
+use mokey_tensor::{nn, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Task head attached after the encoder stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Head {
+    /// CLS pooler + classifier over `classes` labels (MNLI-style).
+    Classification {
+        /// Number of output classes (3 for MNLI).
+        classes: usize,
+    },
+    /// CLS pooler + scalar regressor (STS-B-style).
+    Regression,
+    /// Per-token start/end span logits (SQuAD-style).
+    Span,
+}
+
+/// Output of a task head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutput {
+    /// Class logits (length = `classes`).
+    Logits(Vec<f32>),
+    /// Scalar regression score.
+    Score(f32),
+    /// Per-position start and end logits.
+    Span(Vec<f32>, Vec<f32>),
+}
+
+/// One encoder layer's parameters.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    /// Query/key/value/output projections, each `hidden × hidden`.
+    pub wq: Matrix,
+    pub bq: Vec<f32>,
+    pub wk: Matrix,
+    pub bk: Vec<f32>,
+    pub wv: Matrix,
+    pub bv: Vec<f32>,
+    pub wo: Matrix,
+    pub bo: Vec<f32>,
+    /// Post-attention layer norm.
+    pub ln1_gamma: Vec<f32>,
+    pub ln1_beta: Vec<f32>,
+    /// Feed-forward: `hidden × ff` then `ff × hidden`.
+    pub w1: Matrix,
+    pub b1: Vec<f32>,
+    pub w2: Matrix,
+    pub b2: Vec<f32>,
+    /// Post-FFN layer norm.
+    pub ln2_gamma: Vec<f32>,
+    pub ln2_beta: Vec<f32>,
+}
+
+/// A complete synthetic model: embeddings, encoder stack, task head.
+///
+/// # Example
+///
+/// ```
+/// use mokey_transformer::{Head, Model, ModelConfig};
+/// use mokey_transformer::exec::FpExecutor;
+///
+/// let config = ModelConfig::bert_base().scaled(12, 12); // tiny
+/// let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 1);
+/// let tokens: Vec<usize> = (0..16).map(|i| i * 7 % config.vocab).collect();
+/// let out = model.forward(&mut FpExecutor, &tokens);
+/// assert_eq!(out.shape(), (16, config.hidden));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    config: ModelConfig,
+    head: Head,
+    /// Token embedding table, `vocab × hidden`.
+    pub token_embedding: Matrix,
+    /// Position embedding table, `max_seq × hidden`.
+    pub position_embedding: Matrix,
+    emb_ln_gamma: Vec<f32>,
+    emb_ln_beta: Vec<f32>,
+    /// Encoder layers.
+    pub layers: Vec<EncoderLayer>,
+    /// Pooler weight (classification/regression heads).
+    pub pooler_w: Matrix,
+    pooler_b: Vec<f32>,
+    /// Head projection: `hidden × classes`, `hidden × 1`, or `hidden × 2`.
+    pub head_w: Matrix,
+    head_b: Vec<f32>,
+}
+
+fn vec_normal(n: usize, mean: f64, std: f64, rng: &mut StdRng) -> Vec<f32> {
+    let d = Normal::new(mean, std).expect("valid normal");
+    (0..n).map(|_| d.sample(rng) as f32).collect()
+}
+
+impl Model {
+    /// Generates a model with seeded synthetic weights.
+    ///
+    /// Linear weights use the outlier-bearing mixture at Xavier-ish scale;
+    /// layer-norm gains sit near 1 and biases near 0, as in trained
+    /// checkpoints.
+    pub fn synthesize(config: &ModelConfig, head: Head, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = config.hidden;
+        let mat = |rows: usize, cols: usize, rng: &mut StdRng| {
+            let std = (2.0 / (rows + cols) as f64).sqrt();
+            GaussianMixture::weight_like(0.0, std).sample_matrix_with(rows, cols, rng)
+        };
+        let layers = (0..config.layers)
+            .map(|_| EncoderLayer {
+                wq: mat(h, h, &mut rng),
+                bq: vec_normal(h, 0.0, 0.02, &mut rng),
+                wk: mat(h, h, &mut rng),
+                bk: vec_normal(h, 0.0, 0.02, &mut rng),
+                wv: mat(h, h, &mut rng),
+                bv: vec_normal(h, 0.0, 0.02, &mut rng),
+                wo: mat(h, h, &mut rng),
+                bo: vec_normal(h, 0.0, 0.02, &mut rng),
+                ln1_gamma: vec_normal(h, 1.0, 0.1, &mut rng),
+                ln1_beta: vec_normal(h, 0.0, 0.05, &mut rng),
+                w1: mat(h, config.ff, &mut rng),
+                b1: vec_normal(config.ff, 0.0, 0.02, &mut rng),
+                w2: mat(config.ff, h, &mut rng),
+                b2: vec_normal(h, 0.0, 0.02, &mut rng),
+                ln2_gamma: vec_normal(h, 1.0, 0.1, &mut rng),
+                ln2_beta: vec_normal(h, 0.0, 0.05, &mut rng),
+            })
+            .collect();
+        let head_cols = match head {
+            Head::Classification { classes } => classes,
+            Head::Regression => 1,
+            Head::Span => 2,
+        };
+        Self {
+            config: config.clone(),
+            head,
+            token_embedding: GaussianMixture::weight_like(0.0, 0.05)
+                .sample_matrix_with(config.vocab, h, &mut rng),
+            position_embedding: GaussianMixture::weight_like(0.0, 0.02)
+                .sample_matrix_with(config.max_seq, h, &mut rng),
+            emb_ln_gamma: vec_normal(h, 1.0, 0.1, &mut rng),
+            emb_ln_beta: vec_normal(h, 0.0, 0.05, &mut rng),
+            layers,
+            pooler_w: mat(h, h, &mut rng),
+            pooler_b: vec_normal(h, 0.0, 0.02, &mut rng),
+            // Wider head weights give the synthetic tasks confident logit
+            // margins, as trained classifiers have.
+            head_w: GaussianMixture::weight_like(0.0, 0.3)
+                .sample_matrix_with(h, head_cols, &mut rng),
+            head_b: vec_normal(head_cols, 0.0, 0.02, &mut rng),
+        }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The attached task head.
+    pub fn head(&self) -> Head {
+        self.head
+    }
+
+    /// Embeds a token sequence (token + position embeddings, layer norm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token id is out of vocabulary or the sequence exceeds
+    /// `max_seq`.
+    pub fn embed(&self, tokens: &[usize]) -> Matrix {
+        assert!(tokens.len() <= self.config.max_seq, "sequence too long");
+        let h = self.config.hidden;
+        let mut x = Matrix::zeros(tokens.len(), h);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.config.vocab, "token {t} out of vocabulary");
+            let emb = self.token_embedding.row(t);
+            let pos = self.position_embedding.row(i);
+            let row = x.row_mut(i);
+            for j in 0..h {
+                row[j] = emb[j] + pos[j];
+            }
+        }
+        nn::layer_norm(&mut x, &self.emb_ln_gamma, &self.emb_ln_beta, 1e-6);
+        x
+    }
+
+    /// Full forward pass through the encoder stack, with every GEMM input,
+    /// GEMM output, and weight routed through the [`Executor`] hooks.
+    /// Returns the final hidden states (`seq × hidden`).
+    pub fn forward(&self, exec: &mut dyn Executor, tokens: &[usize]) -> Matrix {
+        let x = self.embed(tokens);
+        self.forward_embedded(exec, x)
+    }
+
+    /// Forward pass from pre-embedded inputs.
+    pub fn forward_embedded(&self, exec: &mut dyn Executor, mut x: Matrix) -> Matrix {
+        let heads = self.config.heads;
+        let dh = self.config.head_dim();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let pre = format!("L{li}");
+            // --- Attention ---
+            let input = exec.activation(&format!("{pre}.attn.input"), x.clone());
+            let q = self.linear(exec, &format!("{pre}.attn.wq"), &input, &layer.wq, &layer.bq);
+            let k = self.linear(exec, &format!("{pre}.attn.wk"), &input, &layer.wk, &layer.bk);
+            let v = self.linear(exec, &format!("{pre}.attn.wv"), &input, &layer.wv, &layer.bv);
+            let q = exec.activation(&format!("{pre}.attn.q"), q);
+            let k = exec.activation(&format!("{pre}.attn.k"), k);
+            let v = exec.activation(&format!("{pre}.attn.v"), v);
+
+            let seq = x.rows();
+            let mut context = Matrix::zeros(seq, self.config.hidden);
+            let scale = 1.0 / (dh as f32).sqrt();
+            let mut all_probs = Matrix::zeros(seq * heads, seq);
+            for hd in 0..heads {
+                let qh = q.slice_cols(hd * dh, dh);
+                let kh = k.slice_cols(hd * dh, dh);
+                // Activation × activation GEMM #1: Q·K^T.
+                let mut scores = qh.matmul_transposed(&kh).scale(scale);
+                nn::softmax_rows(&mut scores);
+                for r in 0..seq {
+                    all_probs.row_mut(hd * seq + r).copy_from_slice(scores.row(r));
+                }
+            }
+            let probs = exec.activation(&format!("{pre}.attn.probs"), all_probs);
+            for hd in 0..heads {
+                let vh = v.slice_cols(hd * dh, dh);
+                let scores = probs.slice_rows(hd * seq, seq);
+                // Activation × activation GEMM #2: P·V.
+                let ctx_h = scores.matmul(&vh);
+                for r in 0..seq {
+                    context.row_mut(r)[hd * dh..(hd + 1) * dh].copy_from_slice(ctx_h.row(r));
+                }
+            }
+            let context = exec.activation(&format!("{pre}.attn.context"), context);
+            let attn_out =
+                self.linear(exec, &format!("{pre}.attn.wo"), &context, &layer.wo, &layer.bo);
+            let mut x1 = attn_out.add(&input);
+            nn::layer_norm(&mut x1, &layer.ln1_gamma, &layer.ln1_beta, 1e-6);
+
+            // --- Feed-forward ---
+            let ffn_in = exec.activation(&format!("{pre}.ffn.input"), x1);
+            let mut mid = self.linear(exec, &format!("{pre}.ffn.w1"), &ffn_in, &layer.w1, &layer.b1);
+            nn::gelu_inplace(&mut mid);
+            let mid = exec.activation(&format!("{pre}.ffn.mid"), mid);
+            let ffn_out = self.linear(exec, &format!("{pre}.ffn.w2"), &mid, &layer.w2, &layer.b2);
+            let mut x2 = ffn_out.add(&ffn_in);
+            nn::layer_norm(&mut x2, &layer.ln2_gamma, &layer.ln2_beta, 1e-6);
+            x = x2;
+        }
+        x
+    }
+
+    /// Applies the task head to final hidden states.
+    pub fn apply_head(&self, exec: &mut dyn Executor, hidden: &Matrix) -> TaskOutput {
+        match self.head {
+            Head::Classification { .. } | Head::Regression => {
+                let cls = hidden.slice_rows(0, 1);
+                let cls = exec.activation("head.cls", cls);
+                let mut pooled =
+                    self.linear(exec, "head.pooler", &cls, &self.pooler_w, &self.pooler_b);
+                nn::tanh_inplace(&mut pooled);
+                let pooled = exec.activation("head.pooled", pooled);
+                let logits = self.linear(exec, "head.proj", &pooled, &self.head_w, &self.head_b);
+                match self.head {
+                    Head::Classification { .. } => TaskOutput::Logits(logits.row(0).to_vec()),
+                    _ => TaskOutput::Score(logits[(0, 0)]),
+                }
+            }
+            Head::Span => {
+                let hs = exec.activation("head.span_input", hidden.clone());
+                let logits = self.linear(exec, "head.proj", &hs, &self.head_w, &self.head_b);
+                TaskOutput::Span(logits.col(0), logits.col(1))
+            }
+        }
+    }
+
+    /// Convenience: forward + head in one call.
+    pub fn infer(&self, exec: &mut dyn Executor, tokens: &[usize]) -> TaskOutput {
+        let hidden = self.forward(exec, tokens);
+        self.apply_head(exec, &hidden)
+    }
+
+    /// One GEMM with bias, routed through the executor: the weight may be
+    /// substituted (quantized), the input transformed, and the output
+    /// snapped to a fixed-point grid.
+    fn linear(
+        &self,
+        exec: &mut dyn Executor,
+        weight_name: &str,
+        x: &Matrix,
+        w: &Matrix,
+        b: &[f32],
+    ) -> Matrix {
+        let out = {
+            let w_eff = exec.weight_override(weight_name).unwrap_or(w);
+            x.matmul(w_eff).add_row_broadcast(b)
+        };
+        exec.gemm_output(weight_name, out)
+    }
+
+    /// Names and references of every quantizable weight tensor (the
+    /// paper's "parameters and embeddings").
+    pub fn weight_tensors(&self) -> Vec<(String, &Matrix)> {
+        let mut out: Vec<(String, &Matrix)> = vec![
+            ("embedding.token".into(), &self.token_embedding),
+            ("embedding.position".into(), &self.position_embedding),
+            ("head.pooler".into(), &self.pooler_w),
+            ("head.proj".into(), &self.head_w),
+        ];
+        for (li, layer) in self.layers.iter().enumerate() {
+            let pre = format!("L{li}");
+            out.push((format!("{pre}.attn.wq"), &layer.wq));
+            out.push((format!("{pre}.attn.wk"), &layer.wk));
+            out.push((format!("{pre}.attn.wv"), &layer.wv));
+            out.push((format!("{pre}.attn.wo"), &layer.wo));
+            out.push((format!("{pre}.ffn.w1"), &layer.w1));
+            out.push((format!("{pre}.ffn.w2"), &layer.w2));
+        }
+        out
+    }
+
+    /// Generates a random in-vocabulary token sequence.
+    pub fn random_tokens(&self, len: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len.min(self.config.max_seq)).map(|_| rng.gen_range(0..self.config.vocab)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::FpExecutor;
+
+    fn tiny() -> (ModelConfig, Model) {
+        let config = ModelConfig {
+            name: "tiny".into(),
+            layers: 2,
+            hidden: 64,
+            heads: 2,
+            ff: 128,
+            vocab: 500,
+            max_seq: 64,
+        };
+        let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 7);
+        (config, model)
+    }
+
+    #[test]
+    fn forward_shapes_are_correct() {
+        let (config, model) = tiny();
+        let tokens = model.random_tokens(20, 1);
+        let hidden = model.forward(&mut FpExecutor, &tokens);
+        assert_eq!(hidden.shape(), (20, config.hidden));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let (_, model) = tiny();
+        let tokens = model.random_tokens(16, 2);
+        let a = model.forward(&mut FpExecutor, &tokens);
+        let b = model.forward(&mut FpExecutor, &tokens);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_inputs_give_different_outputs() {
+        let (_, model) = tiny();
+        let a = model.forward(&mut FpExecutor, &model.random_tokens(16, 3));
+        let b = model.forward(&mut FpExecutor, &model.random_tokens(16, 4));
+        assert!(a.max_abs_diff(&b) > 1e-3);
+    }
+
+    #[test]
+    fn hidden_states_are_normalized_and_finite() {
+        let (config, model) = tiny();
+        let hidden = model.forward(&mut FpExecutor, &model.random_tokens(12, 5));
+        assert!(hidden.as_slice().iter().all(|x| x.is_finite()));
+        // Post-layer-norm rows have bounded scale.
+        for r in 0..hidden.rows() {
+            let ss: f32 = hidden.row(r).iter().map(|x| x * x).sum::<f32>() / config.hidden as f32;
+            assert!(ss < 10.0, "row {r} rms too large: {}", ss.sqrt());
+        }
+    }
+
+    #[test]
+    fn classification_head_emits_logits() {
+        let (_, model) = tiny();
+        let out = model.infer(&mut FpExecutor, &model.random_tokens(10, 6));
+        match out {
+            TaskOutput::Logits(l) => assert_eq!(l.len(), 3),
+            other => panic!("expected logits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_head_emits_position_logits() {
+        let config = tiny().0;
+        let model = Model::synthesize(&config, Head::Span, 8);
+        let out = model.infer(&mut FpExecutor, &model.random_tokens(10, 6));
+        match out {
+            TaskOutput::Span(s, e) => {
+                assert_eq!(s.len(), 10);
+                assert_eq!(e.len(), 10);
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weight_tensor_inventory_is_complete() {
+        let (config, model) = tiny();
+        let tensors = model.weight_tensors();
+        // 4 (embeddings + heads) + 6 per layer.
+        assert_eq!(tensors.len(), 4 + 6 * config.layers);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_panics() {
+        let (_, model) = tiny();
+        let _ = model.embed(&[10_000]);
+    }
+}

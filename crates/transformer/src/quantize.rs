@@ -1,0 +1,337 @@
+//! The end-to-end Mokey pipeline over a model (paper Section II-G):
+//! profile → build per-tensor dictionaries → pre-encode weights → run.
+
+use crate::exec::{ProfilingExecutor, QuantizedContext, QuantizedExecutor, QuantizedStats};
+use crate::model::{Model, TaskOutput};
+use mokey_core::curve::ExpCurve;
+use mokey_core::dict::{TensorDict, TensorDictConfig};
+use mokey_core::encode::QuantizedTensor;
+use mokey_core::profile::{ActivationProfiler, ProfileConfig};
+use mokey_fixed::QFormat;
+use std::collections::BTreeMap;
+
+/// What to quantize (Table I evaluates both columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizeSpec {
+    /// Quantize parameters and embeddings (offline, statically known).
+    pub weights: bool,
+    /// Quantize activations (profiled dictionaries, runtime encoding).
+    pub activations: bool,
+    /// Dictionary construction parameters.
+    pub dict_config: TensorDictConfig,
+    /// The fitted exponential curve shared by all dictionaries.
+    pub curve: ExpCurve,
+}
+
+impl QuantizeSpec {
+    /// Weights-only quantization (Table I, "Weight only Quant.").
+    pub fn weights_only() -> Self {
+        Self {
+            weights: true,
+            activations: false,
+            dict_config: TensorDictConfig::default(),
+            curve: ExpCurve::paper(),
+        }
+    }
+
+    /// Weights + activations (Table I, "Weight + Activation Quant.").
+    pub fn weights_and_activations() -> Self {
+        Self { activations: true, ..Self::weights_only() }
+    }
+}
+
+/// Per-tensor and aggregate statistics from quantizing a model.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizationReport {
+    /// Outlier fraction per weight tensor.
+    pub weight_outlier_fractions: BTreeMap<String, f64>,
+    /// Total weight values encoded.
+    pub weight_values: usize,
+    /// Total weight values that hit the outlier dictionary.
+    pub weight_outliers: usize,
+    /// Number of activation tensors with dictionaries.
+    pub activation_tensors: usize,
+}
+
+impl QuantizationReport {
+    /// Aggregate weight outlier percentage (Table I's "W OT %").
+    pub fn weight_outlier_percent(&self) -> f64 {
+        if self.weight_values == 0 {
+            0.0
+        } else {
+            100.0 * self.weight_outliers as f64 / self.weight_values as f64
+        }
+    }
+}
+
+/// A model prepared for Mokey inference.
+///
+/// # Example
+///
+/// ```
+/// use mokey_transformer::{Head, Model, ModelConfig, QuantizeSpec, QuantizedModel};
+///
+/// let config = ModelConfig::bert_base().scaled(12, 12);
+/// let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 1);
+/// let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(16, s)).collect();
+/// let (qmodel, report) = QuantizedModel::prepare(
+///     &model, QuantizeSpec::weights_and_activations(), &profile);
+/// assert!(report.weight_outlier_percent() < 5.0);
+/// let (out, stats) = qmodel.infer(&model.random_tokens(16, 99));
+/// assert!(stats.act_values > 0);
+/// # let _ = out;
+/// ```
+#[derive(Debug)]
+pub struct QuantizedModel<'m> {
+    model: &'m Model,
+    ctx: QuantizedContext,
+}
+
+impl<'m> QuantizedModel<'m> {
+    /// Prepares quantized inference: profiles activations over the given
+    /// sequences (the paper uses a single batch of 8), builds dictionaries,
+    /// and pre-encodes weights.
+    pub fn prepare(
+        model: &'m Model,
+        spec: QuantizeSpec,
+        profile_inputs: &[Vec<usize>],
+    ) -> (Self, QuantizationReport) {
+        let mut report = QuantizationReport::default();
+
+        // Step: pre-encode weights offline.
+        let mut weights = BTreeMap::new();
+        if spec.weights {
+            for (name, w) in model.weight_tensors() {
+                let dict = TensorDict::for_values(w.as_slice(), &spec.curve, &spec.dict_config);
+                let q = QuantizedTensor::encode(w, &dict);
+                report.weight_values += q.codes().len();
+                report.weight_outliers += q.outlier_count();
+                report
+                    .weight_outlier_fractions
+                    .insert(name.clone(), q.outlier_fraction());
+                weights.insert(name, q.decode());
+            }
+        }
+
+        // Step: profile activations, derive dictionaries and Eq. 7 output
+        // formats.
+        let mut act_dicts = BTreeMap::new();
+        let mut out_formats = BTreeMap::new();
+        if spec.activations {
+            assert!(
+                !profile_inputs.is_empty(),
+                "activation quantization requires at least one profiling sequence"
+            );
+            let mut profiler = ActivationProfiler::new(ProfileConfig::default());
+            for tokens in profile_inputs {
+                let mut exec = ProfilingExecutor::new(&mut profiler);
+                let hidden = model.forward(&mut exec, tokens);
+                let _ = model.apply_head(&mut exec, &hidden);
+            }
+            for name in profiler.tensor_names().map(str::to_owned).collect::<Vec<_>>() {
+                let profile = profiler.profile(&name).expect("profiled name");
+                if let Some(weight_name) = name.strip_suffix(".out") {
+                    let s = profile.summary();
+                    out_formats
+                        .insert(weight_name.to_owned(), QFormat::for_range(16, s.min(), s.max()));
+                } else {
+                    act_dicts.insert(name, profile.build_dict(&spec.curve, &spec.dict_config));
+                }
+            }
+            report.activation_tensors = act_dicts.len();
+        }
+
+        let ctx = QuantizedContext { weights, act_dicts, out_formats };
+        (Self { model, ctx }, report)
+    }
+
+    /// The underlying FP model.
+    pub fn model(&self) -> &Model {
+        self.model
+    }
+
+    /// The quantization context (dictionaries, decoded weights, formats).
+    pub fn context(&self) -> &QuantizedContext {
+        &self.ctx
+    }
+
+    /// The activation dictionary of a named tensor, if present.
+    pub fn act_dict(&self, name: &str) -> Option<&TensorDict> {
+        self.ctx.act_dicts.get(name)
+    }
+
+    /// Quantized inference on one sequence, returning the head output and
+    /// the activation-encoding counters.
+    pub fn infer(&self, tokens: &[usize]) -> (TaskOutput, QuantizedStats) {
+        let mut exec = QuantizedExecutor::new(&self.ctx);
+        let hidden = self.model.forward(&mut exec, tokens);
+        let out = self.model.apply_head(&mut exec, &hidden);
+        (out, exec.stats())
+    }
+
+    /// Quantized forward pass only (final hidden states).
+    pub fn forward(&self, tokens: &[usize]) -> (mokey_tensor::Matrix, QuantizedStats) {
+        let mut exec = QuantizedExecutor::new(&self.ctx);
+        let hidden = self.model.forward(&mut exec, tokens);
+        (hidden, exec.stats())
+    }
+}
+
+/// Runs FP inference over many sequences in parallel.
+pub fn infer_fp_batch(model: &Model, inputs: &[Vec<usize>]) -> Vec<TaskOutput> {
+    parallel_map(inputs, |tokens| {
+        let mut exec = crate::exec::FpExecutor;
+        let hidden = model.forward(&mut exec, tokens);
+        model.apply_head(&mut exec, &hidden)
+    })
+}
+
+/// Runs quantized inference over many sequences in parallel, merging the
+/// activation counters.
+pub fn infer_quantized_batch(
+    qmodel: &QuantizedModel<'_>,
+    inputs: &[Vec<usize>],
+) -> (Vec<TaskOutput>, QuantizedStats) {
+    let results = parallel_map(inputs, |tokens| qmodel.infer(tokens));
+    let mut stats = QuantizedStats::default();
+    let mut outputs = Vec::with_capacity(results.len());
+    for (out, s) in results {
+        stats.merge(&s);
+        outputs.push(out);
+    }
+    (outputs, stats)
+}
+
+/// Order-preserving parallel map over a slice.
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("inference worker panicked");
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::exec::FpExecutor;
+    use crate::model::Head;
+
+    fn tiny_model() -> Model {
+        let config = ModelConfig {
+            name: "tiny".into(),
+            layers: 2,
+            hidden: 64,
+            heads: 2,
+            ff: 128,
+            vocab: 300,
+            max_seq: 32,
+        };
+        Model::synthesize(&config, Head::Classification { classes: 3 }, 11)
+    }
+
+    fn profile_inputs(model: &Model) -> Vec<Vec<usize>> {
+        (0..4).map(|s| model.random_tokens(16, 1000 + s)).collect()
+    }
+
+    #[test]
+    fn weight_only_quantization_reports_outliers() {
+        let model = tiny_model();
+        let (qm, report) = QuantizedModel::prepare(&model, QuantizeSpec::weights_only(), &[]);
+        assert!(report.weight_values > 0);
+        let pct = report.weight_outlier_percent();
+        assert!(pct > 0.1 && pct < 6.0, "weight OT% {pct}");
+        assert!(qm.context().act_dicts.is_empty());
+        assert_eq!(report.weight_outlier_fractions.len(), model.weight_tensors().len());
+    }
+
+    #[test]
+    fn quantized_outputs_track_fp_outputs() {
+        let model = tiny_model();
+        let (qm, _) = QuantizedModel::prepare(
+            &model,
+            QuantizeSpec::weights_and_activations(),
+            &profile_inputs(&model),
+        );
+        let tokens = model.random_tokens(16, 5000);
+        let fp = match model.infer(&mut FpExecutor, &tokens) {
+            TaskOutput::Logits(l) => l,
+            _ => unreachable!(),
+        };
+        let (q, stats) = qm.infer(&tokens);
+        let TaskOutput::Logits(q) = q else { unreachable!() };
+        assert!(stats.act_values > 0);
+        // Quantized logits correlate strongly with FP logits.
+        let cos = mokey_core::metrics::cosine_similarity(&fp, &q);
+        assert!(cos > 0.8, "cosine {cos}; fp {fp:?} q {q:?}");
+    }
+
+    #[test]
+    fn activation_outlier_rate_in_paper_band() {
+        let model = tiny_model();
+        let (qm, _) = QuantizedModel::prepare(
+            &model,
+            QuantizeSpec::weights_and_activations(),
+            &profile_inputs(&model),
+        );
+        let mut stats = QuantizedStats::default();
+        for s in 0..4 {
+            let (_, st) = qm.infer(&model.random_tokens(16, 7000 + s));
+            stats.merge(&st);
+        }
+        let pct = 100.0 * stats.outlier_fraction();
+        // Paper Table I: 1.7–4.5%. Synthetic activations may run a little
+        // wider; enforce a sane band.
+        assert!(pct > 0.2 && pct < 12.0, "activation OT% {pct}");
+    }
+
+    #[test]
+    fn batch_inference_matches_sequential() {
+        let model = tiny_model();
+        let inputs: Vec<Vec<usize>> = (0..6).map(|s| model.random_tokens(12, 100 + s)).collect();
+        let batch = infer_fp_batch(&model, &inputs);
+        for (tokens, out) in inputs.iter().zip(&batch) {
+            let direct = model.infer(&mut FpExecutor, tokens);
+            assert_eq!(&direct, out);
+        }
+    }
+
+    #[test]
+    fn quantized_batch_merges_stats() {
+        let model = tiny_model();
+        let (qm, _) = QuantizedModel::prepare(
+            &model,
+            QuantizeSpec::weights_and_activations(),
+            &profile_inputs(&model),
+        );
+        let inputs: Vec<Vec<usize>> = (0..4).map(|s| model.random_tokens(12, 200 + s)).collect();
+        let (outputs, stats) = infer_quantized_batch(&qm, &inputs);
+        assert_eq!(outputs.len(), 4);
+        let mut expect = QuantizedStats::default();
+        for tokens in &inputs {
+            expect.merge(&qm.infer(tokens).1);
+        }
+        assert_eq!(stats, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires at least one profiling sequence")]
+    fn activation_quant_without_profile_panics() {
+        let model = tiny_model();
+        let _ = QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &[]);
+    }
+}

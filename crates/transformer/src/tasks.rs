@@ -1,0 +1,578 @@
+//! Synthetic evaluation tasks calibrated to the paper's FP scores.
+//!
+//! The paper scores pre-trained checkpoints on MNLI (accuracy), STS-B
+//! (Spearman) and SQuAD v1 (F1). Those datasets are substituted (see
+//! `DESIGN.md`). Two properties of the real setting must be preserved for
+//! Table I's *error deltas* to be meaningful:
+//!
+//! 1. **The FP operating point**: the FP model must score what the paper
+//!    reports (e.g. 84.44 for BERT-Base MNLI). Real models miss the
+//!    remaining ~15% on genuinely ambiguous examples (aleatoric noise),
+//!    not on examples they are unsure about.
+//! 2. **Margin concentration**: trained models are *confident* on the
+//!    examples they get right — decision margins are large relative to
+//!    the logit perturbation a 4-bit quantizer induces. Random synthetic
+//!    models have no such concentration, so a naive construction
+//!    overstates quantization damage by an order of magnitude.
+//!
+//! The decision tasks (MNLI, SQuAD) therefore build their dev sets in the
+//! trained-model regime: candidate inputs are drawn, the FP model's
+//! decisive samples (top margins) form the "easy" mass whose labels are
+//! the FP decisions, and a calibrated fraction of ambiguous samples with
+//! uniformly random labels supplies the aleatoric miss mass. The FP score
+//! then sits at the paper's value by construction, and quantization error
+//! shows up — exactly as in the paper — only where it flips genuinely
+//! close decisions. The regression task (STS-B) keeps the additive-noise
+//! calibration since rank correlation degrades smoothly (no decision
+//! thresholds); its deltas run larger than the paper's and EXPERIMENTS.md
+//! discusses why.
+
+use crate::model::{Model, TaskOutput};
+use crate::quantize::infer_fp_batch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Which benchmark a task mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// 3-class NLI, metric: matched accuracy (%).
+    Mnli,
+    /// Sentence-similarity regression, metric: Spearman × 100.
+    StsB,
+    /// Span extraction, metric: token-overlap F1 × 100.
+    Squad,
+}
+
+impl TaskKind {
+    /// The sequence length the paper uses for this task (Section IV-D:
+    /// "BERT-Large and RoBERTa-Large on the SQuAD task used a sequence
+    /// length of 384 tokens, while for other model/tasks use a sequence
+    /// length of 128").
+    pub fn paper_seq_len(&self) -> usize {
+        match self {
+            TaskKind::Squad => 384,
+            _ => 128,
+        }
+    }
+}
+
+/// Task construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Benchmark style.
+    pub kind: TaskKind,
+    /// Sequence length of each sample.
+    pub seq_len: usize,
+    /// Number of evaluation samples.
+    pub n_eval: usize,
+    /// FP score to calibrate to (the paper's "FP Score" column).
+    pub fp_target: f64,
+    /// Dataset RNG seed.
+    pub seed: u64,
+}
+
+/// Ground-truth labels, per task style.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Labels {
+    /// Class index per sample.
+    Class(Vec<usize>),
+    /// Regression target per sample.
+    Score(Vec<f64>),
+    /// Gold `(start, end)` span per sample.
+    Span(Vec<(usize, usize)>),
+}
+
+/// A calibrated dataset: inputs, labels, and the achieved FP score.
+#[derive(Debug, Clone)]
+pub struct CalibratedTask {
+    /// Token sequences.
+    pub inputs: Vec<Vec<usize>>,
+    labels: Labels,
+    /// Label-noise sigma (regression tasks; 0 for decision tasks).
+    pub noise_sigma: f64,
+    /// The FP model's score on the calibrated labels (≈ `fp_target`).
+    pub fp_score: f64,
+    kind: TaskKind,
+}
+
+/// Candidate-pool oversampling factor for margin selection.
+const POOL_FACTOR: usize = 3;
+
+impl CalibratedTask {
+    /// Generates inputs, runs the FP model, and calibrates labels so the
+    /// FP score hits `spec.fp_target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task kind does not match the model's head or
+    /// `n_eval == 0`.
+    pub fn build(model: &Model, spec: &TaskSpec) -> Self {
+        assert!(spec.n_eval > 0, "need at least one evaluation sample");
+        match spec.kind {
+            TaskKind::Mnli => Self::build_classification(model, spec),
+            TaskKind::Squad => Self::build_span(model, spec),
+            TaskKind::StsB => Self::build_regression(model, spec),
+        }
+    }
+
+    fn draw_inputs(model: &Model, spec: &TaskSpec, n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| model.random_tokens(spec.seq_len, spec.seed.wrapping_add(i as u64)))
+            .collect()
+    }
+
+    /// MNLI-style: margin-selected decisive samples plus a calibrated
+    /// ambiguous mass with uniform labels.
+    fn build_classification(model: &Model, spec: &TaskSpec) -> Self {
+        let pool = Self::draw_inputs(model, spec, POOL_FACTOR * spec.n_eval);
+        let fp = infer_fp_batch(model, &pool);
+        let classes = match &fp[0] {
+            TaskOutput::Logits(l) => l.len(),
+            _ => panic!("MNLI task needs a classification head"),
+        };
+        // Rank candidates by decision margin (top1 − top2).
+        let mut by_margin: Vec<usize> = (0..pool.len()).collect();
+        let margin = |out: &TaskOutput| -> f64 {
+            let TaskOutput::Logits(l) = out else { unreachable!() };
+            let (m1, m2) = top2(l);
+            f64::from(m1 - m2)
+        };
+        by_margin.sort_by(|&i, &j| {
+            margin(&fp[j]).partial_cmp(&margin(&fp[i])).expect("finite margins")
+        });
+        let chosen: Vec<usize> = by_margin.into_iter().take(spec.n_eval).collect();
+
+        // Aleatoric mass: fraction p gets uniform labels so that the FP
+        // expectation is the target: (1−p)·100 + p·100/k = target.
+        let k = classes as f64;
+        let p = ((100.0 - spec.fp_target) / 100.0 * k / (k - 1.0)).clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xCA11_B8A7);
+        let mut labels = Vec::with_capacity(chosen.len());
+        let mut inputs = Vec::with_capacity(chosen.len());
+        for &i in &chosen {
+            let TaskOutput::Logits(l) = &fp[i] else { unreachable!() };
+            let label = if rng.gen::<f64>() < p {
+                rng.gen_range(0..classes)
+            } else {
+                argmax(l)
+            };
+            labels.push(label);
+            inputs.push(pool[i].clone());
+        }
+        let labels = Labels::Class(labels);
+        let fp_chosen: Vec<TaskOutput> = chosen.iter().map(|&i| fp[i].clone()).collect();
+        let fp_score = score_outputs(spec.kind, &fp_chosen, &labels);
+        Self { inputs, labels, noise_sigma: 0.0, fp_score, kind: spec.kind }
+    }
+
+    /// SQuAD-style: margin-selected spans plus a calibrated fraction of
+    /// random gold spans.
+    fn build_span(model: &Model, spec: &TaskSpec) -> Self {
+        let pool = Self::draw_inputs(model, spec, POOL_FACTOR * spec.n_eval);
+        let fp = infer_fp_batch(model, &pool);
+        let margin = |out: &TaskOutput| -> f64 {
+            let TaskOutput::Span(s, e) = out else {
+                panic!("SQuAD task needs a span head")
+            };
+            let (s1, s2) = top2(s);
+            let (e1, e2) = top2(e);
+            f64::from((s1 - s2).min(e1 - e2))
+        };
+        let mut by_margin: Vec<usize> = (0..pool.len()).collect();
+        by_margin.sort_by(|&i, &j| {
+            margin(&fp[j]).partial_cmp(&margin(&fp[i])).expect("finite margins")
+        });
+        let chosen: Vec<usize> = by_margin.into_iter().take(spec.n_eval).collect();
+
+        // Random gold spans score ~r̄ F1 against the FP span; solve
+        // (1−p)·100 + p·r̄ = target.
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xCA11_B8A7);
+        let seq = spec.seq_len;
+        let random_span = |rng: &mut StdRng| -> (usize, usize) {
+            let a = rng.gen_range(0..seq);
+            let len = rng.gen_range(1..=8.min(seq));
+            (a, (a + len - 1).min(seq - 1))
+        };
+        // Estimate r̄ empirically.
+        let mut trial_rng = StdRng::seed_from_u64(spec.seed ^ 0x5EED);
+        let mut rbar = 0.0;
+        for &i in chosen.iter().take(64.min(chosen.len())) {
+            let TaskOutput::Span(s, e) = &fp[i] else { unreachable!() };
+            let fp_span = ordered(argmax(s), argmax(e));
+            rbar += 100.0 * span_f1(random_span(&mut trial_rng), fp_span);
+        }
+        rbar /= 64.min(chosen.len()) as f64;
+        let p = ((100.0 - spec.fp_target) / (100.0 - rbar).max(1e-9)).clamp(0.0, 1.0);
+
+        let mut labels = Vec::with_capacity(chosen.len());
+        let mut inputs = Vec::with_capacity(chosen.len());
+        for &i in &chosen {
+            let TaskOutput::Span(s, e) = &fp[i] else { unreachable!() };
+            let gold = if rng.gen::<f64>() < p {
+                random_span(&mut rng)
+            } else {
+                ordered(argmax(s), argmax(e))
+            };
+            labels.push(gold);
+            inputs.push(pool[i].clone());
+        }
+        let labels = Labels::Span(labels);
+        let fp_chosen: Vec<TaskOutput> = chosen.iter().map(|&i| fp[i].clone()).collect();
+        let fp_score = score_outputs(spec.kind, &fp_chosen, &labels);
+        Self { inputs, labels, noise_sigma: 0.0, fp_score, kind: spec.kind }
+    }
+
+    /// STS-B-style: additive label noise with bisection calibration (rank
+    /// correlation degrades smoothly — no margin structure to emulate).
+    fn build_regression(model: &Model, spec: &TaskSpec) -> Self {
+        let inputs = Self::draw_inputs(model, spec, spec.n_eval);
+        let fp = infer_fp_batch(model, &inputs);
+        let scores: Vec<f64> = fp
+            .iter()
+            .map(|out| {
+                let TaskOutput::Score(s) = out else {
+                    panic!("STS-B task needs a regression head")
+                };
+                f64::from(*s)
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xCA11_B8A7);
+        let normal = Normal::new(0.0, 1.0).expect("N(0,1)");
+        let noise: Vec<f64> = (0..scores.len()).map(|_| normal.sample(&mut rng)).collect();
+        let scale =
+            (scores.iter().map(|s| s.abs()).sum::<f64>() / scores.len() as f64).max(1e-6);
+
+        let spearman_at = |sigma: f64| -> f64 {
+            let labels: Vec<f64> =
+                scores.iter().zip(&noise).map(|(s, g)| s + sigma * g).collect();
+            100.0 * spearman(&scores, &labels)
+        };
+        let (mut lo, mut hi) = (0.0f64, scale * 0.25);
+        let mut guard = 0;
+        while spearman_at(hi) > spec.fp_target && guard < 24 {
+            hi *= 2.0;
+            guard += 1;
+        }
+        for _ in 0..40 {
+            let mid = (lo + hi) / 2.0;
+            if spearman_at(mid) > spec.fp_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let sigma = (lo + hi) / 2.0;
+        let labels =
+            Labels::Score(scores.iter().zip(&noise).map(|(s, g)| s + sigma * g).collect());
+        let fp_score = score_outputs(spec.kind, &fp, &labels);
+        Self { inputs, labels, noise_sigma: sigma, fp_score, kind: spec.kind }
+    }
+
+    /// Scores a set of model outputs against the calibrated labels, on the
+    /// paper's scale (percent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outputs' variant does not match the task kind or the
+    /// count differs from the dataset.
+    pub fn score(&self, outputs: &[TaskOutput]) -> f64 {
+        assert_eq!(outputs.len(), self.inputs.len(), "output count mismatch");
+        score_outputs(self.kind, outputs, &self.labels)
+    }
+
+    /// The labels (for tests).
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+}
+
+fn top2(v: &[f32]) -> (f32, f32) {
+    let mut m1 = f32::NEG_INFINITY;
+    let mut m2 = f32::NEG_INFINITY;
+    for &x in v {
+        if x > m1 {
+            m2 = m1;
+            m1 = x;
+        } else if x > m2 {
+            m2 = x;
+        }
+    }
+    (m1, m2)
+}
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn ordered(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn score_outputs(kind: TaskKind, outputs: &[TaskOutput], labels: &Labels) -> f64 {
+    match (kind, labels) {
+        (TaskKind::Mnli, Labels::Class(gold)) => {
+            let correct = outputs
+                .iter()
+                .zip(gold)
+                .filter(|(out, &g)| {
+                    let TaskOutput::Logits(l) = out else {
+                        panic!("classification output expected")
+                    };
+                    argmax(l) == g
+                })
+                .count();
+            100.0 * correct as f64 / outputs.len() as f64
+        }
+        (TaskKind::StsB, Labels::Score(gold)) => {
+            let preds: Vec<f64> = outputs
+                .iter()
+                .map(|out| {
+                    let TaskOutput::Score(s) = out else { panic!("regression output expected") };
+                    f64::from(*s)
+                })
+                .collect();
+            100.0 * spearman(&preds, gold)
+        }
+        (TaskKind::Squad, Labels::Span(gold)) => {
+            let mut total = 0.0;
+            for (out, &g) in outputs.iter().zip(gold) {
+                let TaskOutput::Span(s, e) = out else { panic!("span output expected") };
+                let pred = ordered(argmax(s), argmax(e));
+                total += span_f1(pred, g);
+            }
+            100.0 * total / outputs.len() as f64
+        }
+        _ => panic!("label variant does not match task kind"),
+    }
+}
+
+/// Spearman rank correlation with average ranks for ties.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 elements.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman length mismatch");
+    assert!(a.len() >= 2, "spearman needs at least 2 points");
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("finite values"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// SQuAD-style token-overlap F1 between two (inclusive) spans.
+pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f64 {
+    let (ps, pe) = pred;
+    let (gs, ge) = gold;
+    let overlap_start = ps.max(gs);
+    let overlap_end = pe.min(ge);
+    if overlap_end < overlap_start {
+        return 0.0;
+    }
+    let overlap = (overlap_end - overlap_start + 1) as f64;
+    let p_len = (pe - ps + 1) as f64;
+    let g_len = (ge - gs + 1) as f64;
+    let precision = overlap / p_len;
+    let recall = overlap / g_len;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::Head;
+
+    fn tiny_model(head: Head, seed: u64) -> Model {
+        let config = ModelConfig {
+            name: "tiny".into(),
+            layers: 2,
+            hidden: 64,
+            heads: 2,
+            ff: 128,
+            vocab: 300,
+            max_seq: 48,
+        };
+        Model::synthesize(&config, head, seed)
+    }
+
+    #[test]
+    fn spearman_perfect_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((spearman(&a, &[10.0, 20.0, 30.0, 40.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &[4.0, 3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_f1_reference_values() {
+        assert_eq!(span_f1((5, 10), (5, 10)), 1.0);
+        assert_eq!(span_f1((0, 1), (5, 10)), 0.0);
+        // pred [0,5] (6 tokens), gold [3,8] (6 tokens), overlap [3,5] (3):
+        // p = r = 0.5 -> f1 = 0.5.
+        assert!((span_f1((0, 5), (3, 8)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mnli_calibration_hits_target() {
+        let model = tiny_model(Head::Classification { classes: 3 }, 21);
+        let spec = TaskSpec {
+            kind: TaskKind::Mnli,
+            seq_len: 16,
+            n_eval: 400,
+            fp_target: 84.44,
+            seed: 1,
+        };
+        let task = CalibratedTask::build(&model, &spec);
+        assert!(
+            (task.fp_score - 84.44).abs() < 4.0,
+            "calibrated fp score {} vs target 84.44",
+            task.fp_score
+        );
+    }
+
+    #[test]
+    fn stsb_calibration_hits_target() {
+        let model = tiny_model(Head::Regression, 22);
+        let spec = TaskSpec {
+            kind: TaskKind::StsB,
+            seq_len: 16,
+            n_eval: 300,
+            fp_target: 90.25,
+            seed: 2,
+        };
+        let task = CalibratedTask::build(&model, &spec);
+        assert!(
+            (task.fp_score - 90.25).abs() < 2.5,
+            "calibrated fp score {} vs target 90.25",
+            task.fp_score
+        );
+        assert!(task.noise_sigma > 0.0);
+    }
+
+    #[test]
+    fn squad_calibration_hits_target() {
+        let model = tiny_model(Head::Span, 23);
+        let spec = TaskSpec {
+            kind: TaskKind::Squad,
+            seq_len: 24,
+            n_eval: 200,
+            fp_target: 93.15,
+            seed: 3,
+        };
+        let task = CalibratedTask::build(&model, &spec);
+        assert!(
+            (task.fp_score - 93.15).abs() < 4.0,
+            "calibrated fp score {} vs target 93.15",
+            task.fp_score
+        );
+    }
+
+    #[test]
+    fn perfect_outputs_score_is_fp_score() {
+        let model = tiny_model(Head::Classification { classes: 3 }, 24);
+        let spec = TaskSpec {
+            kind: TaskKind::Mnli,
+            seq_len: 12,
+            n_eval: 120,
+            fp_target: 80.0,
+            seed: 4,
+        };
+        let task = CalibratedTask::build(&model, &spec);
+        let fp_outputs = infer_fp_batch(&model, &task.inputs);
+        let score = task.score(&fp_outputs);
+        assert!((score - task.fp_score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decision_tasks_select_decisive_samples() {
+        // The chosen samples' FP margins must exceed the pool median (the
+        // trained-regime emulation).
+        let model = tiny_model(Head::Classification { classes: 3 }, 25);
+        let spec = TaskSpec {
+            kind: TaskKind::Mnli,
+            seq_len: 12,
+            n_eval: 50,
+            fp_target: 84.0,
+            seed: 6,
+        };
+        let task = CalibratedTask::build(&model, &spec);
+        let chosen_fp = infer_fp_batch(&model, &task.inputs);
+        let pool: Vec<Vec<usize>> =
+            (0..150).map(|i| model.random_tokens(12, spec.seed.wrapping_add(i as u64))).collect();
+        let pool_fp = infer_fp_batch(&model, &pool);
+        let margin = |out: &TaskOutput| {
+            let TaskOutput::Logits(l) = out else { unreachable!() };
+            let (a, b) = super::top2(l);
+            f64::from(a - b)
+        };
+        let mut pool_margins: Vec<f64> = pool_fp.iter().map(margin).collect();
+        pool_margins.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = pool_margins[pool_margins.len() / 2];
+        let chosen_mean: f64 =
+            chosen_fp.iter().map(margin).sum::<f64>() / chosen_fp.len() as f64;
+        assert!(chosen_mean > median, "chosen mean {chosen_mean} <= pool median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "output count mismatch")]
+    fn score_with_wrong_count_panics() {
+        let model = tiny_model(Head::Classification { classes: 3 }, 25);
+        let spec =
+            TaskSpec { kind: TaskKind::Mnli, seq_len: 8, n_eval: 10, fp_target: 80.0, seed: 5 };
+        let task = CalibratedTask::build(&model, &spec);
+        let _ = task.score(&[]);
+    }
+}

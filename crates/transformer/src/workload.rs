@@ -1,0 +1,224 @@
+//! GEMM workload extraction for the accelerator simulator.
+//!
+//! The paper's performance/energy evaluation (Figs. 9–15, Tables II/III)
+//! runs transformer inference through a cycle-level simulator. The
+//! simulator does not need numerics — it needs the exact sequence of GEMM
+//! shapes, which operand is a (statically resident) weight versus a
+//! (streamed, runtime-produced) activation, and how many identical
+//! instances occur (heads × batch).
+
+use crate::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Whether a GEMM operand is a parameter tensor or a runtime activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperandKind {
+    /// Statically known parameter (loaded from DRAM, never written back).
+    Weight,
+    /// Runtime activation (produced by a previous layer, re-quantized by
+    /// Mokey on the fly).
+    Activation,
+}
+
+/// One GEMM shape in the inference workload: `count` independent instances
+/// of an `m×k · k×n` product.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Layer-qualified name (e.g. `"L3.ffn.w1"`).
+    pub name: String,
+    /// Output rows (tokens × batch for projection layers).
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Number of independent instances (heads × batch for attention).
+    pub count: usize,
+    /// Left operand kind (always activation in inference).
+    pub lhs: OperandKind,
+    /// Right operand kind (weight for projections, activation for
+    /// attention).
+    pub rhs: OperandKind,
+}
+
+impl GemmShape {
+    /// Multiply-accumulate operations across all instances.
+    pub fn macs(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.n as u64) * (self.count as u64)
+    }
+
+    /// Left operand values per instance.
+    pub fn lhs_values(&self) -> u64 {
+        (self.m as u64) * (self.k as u64)
+    }
+
+    /// Right operand values per instance.
+    pub fn rhs_values(&self) -> u64 {
+        (self.k as u64) * (self.n as u64)
+    }
+
+    /// Output values per instance.
+    pub fn out_values(&self) -> u64 {
+        (self.m as u64) * (self.n as u64)
+    }
+}
+
+/// Extracts the full inference GEMM workload for a model at a sequence
+/// length and batch size.
+///
+/// Embedding gathers and element-wise operators (layer norm, softmax,
+/// GELU) are not GEMMs; their traffic is <1% of the projection layers' and
+/// is excluded, as in iso-GEMM accelerator comparisons.
+///
+/// # Example
+///
+/// ```
+/// use mokey_transformer::{workload::model_gemms, ModelConfig};
+///
+/// let gemms = model_gemms(&ModelConfig::bert_base(), 128, 1);
+/// let total_macs: u64 = gemms.iter().map(|g| g.macs()).sum();
+/// // ~11.2 GMACs for BERT-Base at seq 128 (cf. Table II discussion).
+/// assert!(total_macs > 10_000_000_000 && total_macs < 13_000_000_000);
+/// ```
+pub fn model_gemms(config: &ModelConfig, seq: usize, batch: usize) -> Vec<GemmShape> {
+    let h = config.hidden;
+    let dh = config.head_dim();
+    let mut out = Vec::with_capacity(config.layers * 8);
+    for li in 0..config.layers {
+        let pre = format!("L{li}");
+        for proj in ["wq", "wk", "wv"] {
+            out.push(GemmShape {
+                name: format!("{pre}.attn.{proj}"),
+                m: batch * seq,
+                k: h,
+                n: h,
+                count: 1,
+                lhs: OperandKind::Activation,
+                rhs: OperandKind::Weight,
+            });
+        }
+        out.push(GemmShape {
+            name: format!("{pre}.attn.scores"),
+            m: seq,
+            k: dh,
+            n: seq,
+            count: batch * config.heads,
+            lhs: OperandKind::Activation,
+            rhs: OperandKind::Activation,
+        });
+        out.push(GemmShape {
+            name: format!("{pre}.attn.pv"),
+            m: seq,
+            k: seq,
+            n: dh,
+            count: batch * config.heads,
+            lhs: OperandKind::Activation,
+            rhs: OperandKind::Activation,
+        });
+        out.push(GemmShape {
+            name: format!("{pre}.attn.wo"),
+            m: batch * seq,
+            k: h,
+            n: h,
+            count: 1,
+            lhs: OperandKind::Activation,
+            rhs: OperandKind::Weight,
+        });
+        out.push(GemmShape {
+            name: format!("{pre}.ffn.w1"),
+            m: batch * seq,
+            k: h,
+            n: config.ff,
+            count: 1,
+            lhs: OperandKind::Activation,
+            rhs: OperandKind::Weight,
+        });
+        out.push(GemmShape {
+            name: format!("{pre}.ffn.w2"),
+            m: batch * seq,
+            k: config.ff,
+            n: h,
+            count: 1,
+            lhs: OperandKind::Activation,
+            rhs: OperandKind::Weight,
+        });
+    }
+    out
+}
+
+/// Total MACs of a workload.
+pub fn total_macs(gemms: &[GemmShape]) -> u64 {
+    gemms.iter().map(|g| g.macs()).sum()
+}
+
+/// Total weight values that must stream from DRAM (each weight read once
+/// per inference at minimum).
+pub fn total_weight_values(gemms: &[GemmShape]) -> u64 {
+    gemms
+        .iter()
+        .filter(|g| g.rhs == OperandKind::Weight)
+        .map(|g| g.rhs_values() * g.count as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_squad_matches_table3_compute() {
+        // Table III: BERT-Large on SQuAD (seq 384, batch 1) needs 60M
+        // cycles on 2048 MACs/cycle -> ~123 GMACs.
+        let gemms = model_gemms(&ModelConfig::bert_large(), 384, 1);
+        let macs = total_macs(&gemms);
+        let cycles_at_2048 = macs / 2048;
+        assert!(
+            (55_000_000..70_000_000).contains(&cycles_at_2048),
+            "cycles {cycles_at_2048}"
+        );
+    }
+
+    #[test]
+    fn weight_traffic_matches_parameter_count() {
+        let config = ModelConfig::bert_base();
+        let gemms = model_gemms(&config, 128, 1);
+        let weight_values = total_weight_values(&gemms);
+        // GEMM weights exclude embeddings/LN/biases: 12 layers × (4 h² +
+        // 2 h·ff).
+        let expect = config.layers as u64
+            * (4 * (config.hidden as u64).pow(2)
+                + 2 * config.hidden as u64 * config.ff as u64);
+        assert_eq!(weight_values, expect);
+    }
+
+    #[test]
+    fn attention_gemms_scale_with_batch_and_heads() {
+        let config = ModelConfig::bert_base();
+        let g1 = model_gemms(&config, 128, 1);
+        let g8 = model_gemms(&config, 128, 8);
+        let scores1 = g1.iter().find(|g| g.name == "L0.attn.scores").unwrap();
+        let scores8 = g8.iter().find(|g| g.name == "L0.attn.scores").unwrap();
+        assert_eq!(scores1.count, config.heads);
+        assert_eq!(scores8.count, 8 * config.heads);
+        assert_eq!(scores8.macs(), 8 * scores1.macs());
+    }
+
+    #[test]
+    fn activation_activation_gemms_are_marked() {
+        let gemms = model_gemms(&ModelConfig::bert_base(), 64, 1);
+        let aa: Vec<_> = gemms.iter().filter(|g| g.rhs == OperandKind::Activation).collect();
+        // scores + pv per layer.
+        assert_eq!(aa.len(), 2 * 12);
+        assert!(aa.iter().all(|g| g.lhs == OperandKind::Activation));
+    }
+
+    #[test]
+    fn quadratic_attention_growth() {
+        let config = ModelConfig::bert_base();
+        let m128 = total_macs(&model_gemms(&config, 128, 1));
+        let m512 = total_macs(&model_gemms(&config, 512, 1));
+        // Attention term grows 16x, projections 4x; total growth between.
+        let ratio = m512 as f64 / m128 as f64;
+        assert!(ratio > 4.0 && ratio < 16.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Compress a whole transformer with Mokey and archive it in the Fig. 5
+//! container format.
+//!
+//! ```sh
+//! cargo run --release -p mokey-eval --example compress_model
+//! ```
+
+use mokey_core::curve::ExpCurve;
+use mokey_core::encode::QuantizedTensor;
+use mokey_memlayout::TensorArchive;
+use mokey_transformer::model::{Head, Model};
+use mokey_transformer::ModelConfig;
+
+fn main() {
+    // A scaled BERT-Base with synthetic weights (see DESIGN.md for the
+    // checkpoint substitution).
+    let config = ModelConfig::bert_base().scaled(4, 2);
+    let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 42);
+    println!("model: {} ({} parameters)\n", config.name, config.param_count());
+
+    let curve = ExpCurve::paper();
+    let mut archive = TensorArchive::new();
+    let mut total_values = 0usize;
+    let mut total_outliers = 0usize;
+    for (name, w) in model.weight_tensors() {
+        let q = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default());
+        total_values += q.codes().len();
+        total_outliers += q.outlier_count();
+        archive.insert(&name, &q);
+    }
+
+    println!("tensors archived: {}", archive.len());
+    println!(
+        "weight outliers: {:.2}% (paper: ~1.5%)",
+        100.0 * total_outliers as f64 / total_values as f64
+    );
+    println!(
+        "payload: {:.2} MB, metadata: {:.1} KB",
+        archive.total_payload_bits() as f64 / 8.0 / 1e6,
+        archive.total_metadata_bits() as f64 / 8.0 / 1e3,
+    );
+    println!("compression vs FP16: {:.2}x", archive.compression_ratio(16));
+    println!("compression vs FP32: {:.2}x", archive.compression_ratio(32));
+
+    // Round-trip through the binary wire format.
+    let bytes = archive.to_bytes();
+    let restored = TensorArchive::from_bytes(&bytes).expect("well-formed archive");
+    let name = restored.names().next().expect("non-empty").to_owned();
+    let original = archive.get(&name).unwrap().decode();
+    let recovered = restored.get(&name).unwrap().decode();
+    assert_eq!(original, recovered);
+    println!("\nwire format: {} bytes, round-trip verified for '{}'.", bytes.len(), name);
+}

@@ -1,0 +1,84 @@
+//! Integration: the accelerator simulator must reproduce the paper's
+//! orderings across the full workload × buffer matrix.
+
+use mokey_accel::arch::{ArchKind, MemCompression};
+use mokey_eval::figures::SimMatrix;
+use mokey_eval::Quality;
+
+#[test]
+fn full_matrix_orderings() {
+    let matrix = SimMatrix::run(Quality::Quick);
+    let n_workloads = matrix.workload_names().len();
+    let n_buffers = matrix.buffers().len();
+    for wi in 0..n_workloads {
+        for bi in 0..n_buffers {
+            let tc = matrix.report(ArchKind::TensorCores, wi, bi);
+            let gobo = matrix.report(ArchKind::Gobo, wi, bi);
+            let mokey = matrix.report(ArchKind::Mokey, wi, bi);
+            // Fig. 10/12: Mokey fastest; GOBO between.
+            assert!(mokey.total_cycles <= gobo.total_cycles, "w{wi} b{bi}: mokey vs gobo");
+            assert!(gobo.total_cycles <= tc.total_cycles, "w{wi} b{bi}: gobo vs tc");
+            // Fig. 11/13 (energy): same ordering.
+            assert!(mokey.energy.total() <= gobo.energy.total(), "w{wi} b{bi}: energy");
+            assert!(gobo.energy.total() <= tc.energy.total(), "w{wi} b{bi}: energy");
+            // Mokey moves the least DRAM traffic.
+            assert!(mokey.dram_bytes <= tc.dram_bytes, "w{wi} b{bi}: traffic");
+            // Iso-buffer-capacity, smaller total area (Table III).
+            assert!(mokey.total_area_mm2() < tc.total_area_mm2(), "w{wi} b{bi}: area");
+        }
+    }
+}
+
+#[test]
+fn cycles_monotone_in_buffer_capacity() {
+    let matrix = SimMatrix::run(Quality::Quick);
+    let n_workloads = matrix.workload_names().len();
+    let n_buffers = matrix.buffers().len();
+    for arch in [ArchKind::TensorCores, ArchKind::Gobo, ArchKind::Mokey] {
+        for wi in 0..n_workloads {
+            for bi in 1..n_buffers {
+                let prev = matrix.report(arch, wi, bi - 1).total_cycles;
+                let cur = matrix.report(arch, wi, bi).total_cycles;
+                assert!(cur <= prev, "{arch:?} w{wi}: cycles grew {prev} -> {cur}");
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_compression_never_hurts() {
+    let matrix = SimMatrix::run(Quality::Quick);
+    let n_workloads = matrix.workload_names().len();
+    let n_buffers = matrix.buffers().len();
+    for wi in 0..n_workloads {
+        for bi in 0..n_buffers {
+            let base = matrix.report(ArchKind::TensorCores, wi, bi);
+            let oc = matrix.memcomp_report(MemCompression::OffChip, wi, bi);
+            let ocon = matrix.memcomp_report(MemCompression::OffChipOnChip, wi, bi);
+            assert!(oc.total_cycles <= base.total_cycles, "w{wi} b{bi}: OC");
+            assert!(ocon.total_cycles <= oc.total_cycles, "w{wi} b{bi}: OC+ON");
+            assert!(oc.energy.total() <= base.energy.total(), "w{wi} b{bi}: OC energy");
+        }
+    }
+}
+
+#[test]
+fn squad_workloads_benefit_most_from_mokey() {
+    // Paper Section IV-D: long-sequence (SQuAD) workloads benefit most
+    // because activations grow quadratically. Compare MNLI vs SQuAD
+    // speedups on the same architecture at the smallest buffer.
+    let matrix = SimMatrix::run(Quality::Full);
+    let fig10 = matrix.fig10();
+    let at = |workload: &str| {
+        fig10
+            .cells
+            .iter()
+            .find(|c| c.workload == workload && c.buffer_bytes == 256 << 10)
+            .map(|c| c.value)
+            .expect("cell exists")
+    };
+    assert!(
+        at("BERT-Large SQuAD") > at("BERT-Large MNLI"),
+        "SQuAD should gain more than MNLI at 256 KB"
+    );
+}

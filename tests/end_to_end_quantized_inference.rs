@@ -1,0 +1,148 @@
+//! End-to-end integration: a synthetic transformer quantized with Mokey
+//! must track its FP32 reference through the full inference pipeline, and
+//! the index-domain kernels must agree with the decoded execution on real
+//! model tensors (not just synthetic fixtures).
+
+use mokey_core::encode::QuantizedTensor;
+use mokey_core::kernels;
+use mokey_core::metrics::cosine_similarity;
+use mokey_transformer::exec::FpExecutor;
+use mokey_transformer::model::{Head, Model, TaskOutput};
+use mokey_transformer::quantize::{QuantizeSpec, QuantizedModel};
+use mokey_transformer::tasks::{CalibratedTask, TaskKind, TaskSpec};
+use mokey_transformer::ModelConfig;
+
+fn tiny_model(seed: u64) -> Model {
+    let config = ModelConfig {
+        name: "itest".into(),
+        layers: 3,
+        hidden: 96,
+        heads: 3,
+        ff: 192,
+        vocab: 512,
+        max_seq: 48,
+    };
+    Model::synthesize(&config, Head::Classification { classes: 3 }, seed)
+}
+
+#[test]
+fn quantized_logits_track_fp_logits() {
+    let model = tiny_model(1);
+    let profile: Vec<Vec<usize>> = (0..4).map(|s| model.random_tokens(24, 100 + s)).collect();
+    let (qm, report) =
+        QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+    assert!(report.weight_outlier_percent() < 6.0);
+    let n = 8;
+    let mut cos_sum = 0.0f64;
+    let mut agree = 0usize;
+    let argmax = |v: &[f32]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    for s in 0..n {
+        let tokens = model.random_tokens(24, 500 + s as u64);
+        let TaskOutput::Logits(fp) = model.infer(&mut FpExecutor, &tokens) else { unreachable!() };
+        let (TaskOutput::Logits(q), _) = qm.infer(&tokens) else { unreachable!() };
+        cos_sum += cosine_similarity(&fp, &q);
+        if argmax(&fp) == argmax(&q) {
+            agree += 1;
+        }
+    }
+    let mean_cos = cos_sum / n as f64;
+    assert!(mean_cos > 0.75, "mean logit cosine {mean_cos}");
+    assert!(agree * 8 >= n * 5, "argmax agreement {agree}/{n}");
+}
+
+#[test]
+fn task_accuracy_survives_quantization() {
+    let model = tiny_model(2);
+    let spec =
+        TaskSpec { kind: TaskKind::Mnli, seq_len: 24, n_eval: 120, fp_target: 84.44, seed: 9 };
+    let task = CalibratedTask::build(&model, &spec);
+    let profile: Vec<Vec<usize>> = (0..4).map(|s| model.random_tokens(24, 700 + s)).collect();
+
+    let (qm_w, _) = QuantizedModel::prepare(&model, QuantizeSpec::weights_only(), &[]);
+    let (out_w, _) = mokey_transformer::quantize::infer_quantized_batch(&qm_w, &task.inputs);
+    let w_score = task.score(&out_w);
+
+    let (qm_wa, _) =
+        QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+    let (out_wa, stats) = mokey_transformer::quantize::infer_quantized_batch(&qm_wa, &task.inputs);
+    let wa_score = task.score(&out_wa);
+
+    // Paper Table I: weight-only within ~±0.4, W+A within ~1.0. Synthetic
+    // scaled models are noisier; enforce generous but meaningful bounds.
+    assert!((task.fp_score - w_score).abs() < 8.0, "W-only err {}", task.fp_score - w_score);
+    assert!((task.fp_score - wa_score).abs() < 10.0, "W+A err {}", task.fp_score - wa_score);
+    assert!(stats.outlier_fraction() < 0.12, "A OT {}", stats.outlier_fraction());
+}
+
+#[test]
+fn index_kernels_agree_on_real_model_tensors() {
+    // Take an actual weight matrix and an actual activation tensor from a
+    // forward pass, quantize both, and check the three compute paths.
+    let model = tiny_model(3);
+    let tokens = model.random_tokens(24, 42);
+    let hidden = model.forward(&mut FpExecutor, &tokens);
+    let w = &model.layers[0].wq;
+
+    let curve = mokey_core::curve::ExpCurve::paper();
+    let qa = QuantizedTensor::encode_with_own_dict(&hidden, &curve, &Default::default());
+    let qw = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default());
+
+    // Row of activations × column of weights.
+    let a_row = qa.row_codes(0);
+    let w_t = w.transpose();
+    let qw_t = QuantizedTensor::encode_with_own_dict(&w_t, &curve, &Default::default());
+    let w_col = qw_t.row_codes(5);
+
+    let indexed = kernels::dot_indexed(a_row, qa.dict(), w_col, qw_t.dict());
+    let decoded = kernels::dot_decoded(a_row, qa.dict(), w_col, qw_t.dict());
+    assert!(
+        (indexed - decoded).abs() <= 1e-9 * decoded.abs().max(1.0),
+        "index vs decoded: {indexed} vs {decoded}"
+    );
+
+    // And the whole GEMM path matches the decoded GEMM.
+    let small_a = QuantizedTensor::encode(
+        &hidden.slice_rows(0, 4),
+        qa.dict(),
+    );
+    let small_w = QuantizedTensor::encode(
+        &w.slice_cols(0, 6),
+        qw.dict(),
+    );
+    let via_index = kernels::matmul_indexed(&small_a, &small_w);
+    let via_decode = kernels::matmul_decoded(&small_a, &small_w);
+    assert!(via_index.max_abs_diff(&via_decode) < 1e-3);
+}
+
+#[test]
+fn weight_only_beats_or_matches_full_quantization_fidelity() {
+    // Quantizing less must not produce *worse* logit fidelity.
+    let model = tiny_model(4);
+    let profile: Vec<Vec<usize>> = (0..4).map(|s| model.random_tokens(24, 900 + s)).collect();
+    let (qm_w, _) = QuantizedModel::prepare(&model, QuantizeSpec::weights_only(), &[]);
+    let (qm_wa, _) =
+        QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+    let mut w_cos = 0.0;
+    let mut wa_cos = 0.0;
+    let n = 6;
+    for s in 0..n {
+        let tokens = model.random_tokens(24, 1200 + s);
+        let TaskOutput::Logits(fp) = model.infer(&mut FpExecutor, &tokens) else { unreachable!() };
+        let (TaskOutput::Logits(qw), _) = qm_w.infer(&tokens) else { unreachable!() };
+        let (TaskOutput::Logits(qwa), _) = qm_wa.infer(&tokens) else { unreachable!() };
+        w_cos += cosine_similarity(&fp, &qw);
+        wa_cos += cosine_similarity(&fp, &qwa);
+    }
+    assert!(
+        w_cos >= wa_cos - 0.35,
+        "weight-only fidelity ({}) unexpectedly below W+A ({})",
+        w_cos / n as f64,
+        wa_cos / n as f64
+    );
+}
