@@ -159,10 +159,7 @@ mod tests {
             &MokeyTileParams::default(),
         );
         // Table III: 60M cycles for BERT-Large SQuAD on 2048 MACs/cycle.
-        assert!(
-            (55_000_000..70_000_000).contains(&cycles),
-            "TC cycles {cycles}"
-        );
+        assert!((55_000_000..70_000_000).contains(&cycles), "TC cycles {cycles}");
     }
 
     #[test]
@@ -171,14 +168,10 @@ mod tests {
         let gemms = model_gemms(&ModelConfig::bert_large(), 384, 1);
         let mokey = Accelerator::mokey();
         let rates = OutlierRates { weight: 0.0154, activation: 0.017 }; // SQuAD row
-        let cycles =
-            workload_compute_cycles(&gemms, &mokey, &rates, &MokeyTileParams::default());
+        let cycles = workload_compute_cycles(&gemms, &mokey, &rates, &MokeyTileParams::default());
         let ideal: u64 = gemms.iter().map(|g| g.macs()).sum::<u64>() / 3072;
         assert!(cycles > ideal, "must pay outlier/pp overhead");
-        assert!(
-            cycles < ideal * 2,
-            "overhead too large: {cycles} vs ideal {ideal}"
-        );
+        assert!(cycles < ideal * 2, "overhead too large: {cycles} vs ideal {ideal}");
         let tc_cycles = workload_compute_cycles(
             &gemms,
             &Accelerator::tensor_cores(),

@@ -124,9 +124,8 @@ impl DramModel {
         // Per-stream cursors (addresses in bursts), spread across address
         // space AND staggered across banks — a real allocator does not
         // align every tensor to the same bank.
-        let mut cursors: Vec<u64> = (0..stream_bytes.len())
-            .map(|i| ((i as u64) << 24) + (i as u64) * 256 * 3)
-            .collect();
+        let mut cursors: Vec<u64> =
+            (0..stream_bytes.len()).map(|i| ((i as u64) << 24) + (i as u64) * 256 * 3).collect();
         let mut remaining: Vec<u64> = stream_bytes
             .iter()
             .map(|&b| {
@@ -189,9 +188,8 @@ impl DramModel {
         let sim_cycles = end_half.div_ceil(2).max(1);
         let cycles = (sim_cycles as f64 * scale).ceil() as u64;
         let total_activates = (activates as f64 * scale).ceil() as u64;
-        let energy_j = (total_bytes as f64 * c.pj_per_byte
-            + total_activates as f64 * c.activate_pj)
-            * 1e-12;
+        let energy_j =
+            (total_bytes as f64 * c.pj_per_byte + total_activates as f64 * c.activate_pj) * 1e-12;
         DramResult { cycles, bytes: total_bytes, activates: total_activates, energy_j }
     }
 

@@ -286,10 +286,7 @@ mod tests {
             run(ArchKind::Mokey, 256 << 10).speedup_over(&run(ArchKind::TensorCores, 256 << 10));
         let s_large =
             run(ArchKind::Mokey, 4 << 20).speedup_over(&run(ArchKind::TensorCores, 4 << 20));
-        assert!(
-            s_small > s_large,
-            "speedup should shrink with buffer: {s_small} vs {s_large}"
-        );
+        assert!(s_small > s_large, "speedup should shrink with buffer: {s_small} vs {s_large}");
     }
 
     #[test]
@@ -349,16 +346,12 @@ mod tests {
         // diminishing as the baseline becomes compute-bound.
         let gemms = bert_base_gemms();
         let rates = OutlierRates::default();
-        let base_small =
-            simulate(&gemms, &SimConfig::new(Accelerator::tensor_cores(), 256 << 10));
+        let base_small = simulate(&gemms, &SimConfig::new(Accelerator::tensor_cores(), 256 << 10));
         let oc_small = simulate_memcomp(&gemms, 256 << 10, MemCompression::OffChip, rates);
         let s_small = oc_small.speedup_over(&base_small);
         assert!(s_small > 2.0, "256KB OC speedup {s_small}");
         for buffer in [256 << 10, 4 << 20] {
-            let base = simulate(
-                &gemms,
-                &SimConfig::new(Accelerator::tensor_cores(), buffer),
-            );
+            let base = simulate(&gemms, &SimConfig::new(Accelerator::tensor_cores(), buffer));
             let oc = simulate_memcomp(&gemms, buffer, MemCompression::OffChip, rates);
             assert!(oc.speedup_over(&base) >= 1.0, "buffer {buffer}: OC slower than base");
             let ocon = simulate_memcomp(&gemms, buffer, MemCompression::OffChipOnChip, rates);

@@ -37,15 +37,14 @@ impl PaperWorkload {
 
 /// The eight rows of Table I, with the published outlier rates.
 pub fn paper_workloads() -> Vec<PaperWorkload> {
-    let row = |name: &str, model: ModelConfig, task: TaskKind, w: f64, a: f64, fp: f64| {
-        PaperWorkload {
+    let row =
+        |name: &str, model: ModelConfig, task: TaskKind, w: f64, a: f64, fp: f64| PaperWorkload {
             name: name.to_owned(),
             model,
             task,
             rates: OutlierRates { weight: w / 100.0, activation: a / 100.0 },
             fp_score: fp,
-        }
-    };
+        };
     vec![
         row("BERT-Base MNLI", ModelConfig::bert_base(), TaskKind::Mnli, 1.6, 4.5, 84.44),
         row("BERT-Large MNLI", ModelConfig::bert_large(), TaskKind::Mnli, 1.51, 4.0, 86.65),

@@ -48,7 +48,8 @@ impl LinearQuant {
 
     /// Quantizes and dequantizes one value.
     pub fn apply(&self, x: f32) -> f32 {
-        let q = (f64::from(x) / self.scale).round().clamp(-(self.levels as f64), self.levels as f64);
+        let q =
+            (f64::from(x) / self.scale).round().clamp(-(self.levels as f64), self.levels as f64);
         (q * self.scale) as f32
     }
 

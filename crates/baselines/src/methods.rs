@@ -196,20 +196,13 @@ fn gobo_weights(w: &Matrix) -> Matrix {
 /// TWN-style ternarization: `delta = 0.7·E[|w|]`, scale = mean magnitude
 /// above the threshold.
 fn ternary_weights(w: &Matrix) -> Matrix {
-    let mean_abs: f64 = w.as_slice().iter().map(|v| f64::from(v.abs())).sum::<f64>()
-        / w.len().max(1) as f64;
+    let mean_abs: f64 =
+        w.as_slice().iter().map(|v| f64::from(v.abs())).sum::<f64>() / w.len().max(1) as f64;
     let delta = 0.7 * mean_abs;
-    let above: Vec<f64> = w
-        .as_slice()
-        .iter()
-        .map(|v| f64::from(v.abs()))
-        .filter(|&a| a > delta)
-        .collect();
-    let scale = if above.is_empty() {
-        mean_abs
-    } else {
-        above.iter().sum::<f64>() / above.len() as f64
-    };
+    let above: Vec<f64> =
+        w.as_slice().iter().map(|v| f64::from(v.abs())).filter(|&a| a > delta).collect();
+    let scale =
+        if above.is_empty() { mean_abs } else { above.iter().sum::<f64>() / above.len() as f64 };
     w.map(|v| {
         if f64::from(v.abs()) <= delta {
             0.0

@@ -4,10 +4,10 @@
 
 use crate::methods::Baseline;
 use crate::LinearQuant;
-use mokey_transformer::exec::{Executor, ProfilingExecutor};
-use mokey_transformer::model::{Model, TaskOutput};
 use mokey_core::profile::{ActivationProfiler, ProfileConfig};
 use mokey_tensor::Matrix;
+use mokey_transformer::exec::{Executor, ProfilingExecutor};
+use mokey_transformer::model::{Model, TaskOutput};
 use std::collections::BTreeMap;
 
 /// A model prepared for inference under a baseline quantization scheme.
@@ -32,10 +32,7 @@ pub fn prepare_baseline<'m>(
     method: Baseline,
     profile_inputs: &[Vec<usize>],
 ) -> BaselineModel<'m> {
-    assert!(
-        method != Baseline::Mokey,
-        "Mokey is prepared by mokey-transformer::QuantizedModel"
-    );
+    assert!(method != Baseline::Mokey, "Mokey is prepared by mokey-transformer::QuantizedModel");
     let mut weights = BTreeMap::new();
     for (name, w) in model.weight_tensors() {
         weights.insert(name, method.quantize_weights(w));
@@ -135,9 +132,7 @@ mod tests {
         let bm = prepare_baseline(&model, Baseline::Q8Bert, &profile);
         assert!(bm.act_tensor_count() > 0);
         let tokens = model.random_tokens(16, 50);
-        let TaskOutput::Logits(fp) = model.infer(&mut FpExecutor, &tokens) else {
-            unreachable!()
-        };
+        let TaskOutput::Logits(fp) = model.infer(&mut FpExecutor, &tokens) else { unreachable!() };
         let TaskOutput::Logits(q) = bm.infer(&tokens) else { unreachable!() };
         assert!(cosine_similarity(&fp, &q) > 0.95, "fp {fp:?} vs q8 {q:?}");
     }
@@ -157,9 +152,7 @@ mod tests {
         let model = tiny_model();
         let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(16, s)).collect();
         let tokens = model.random_tokens(16, 52);
-        let TaskOutput::Logits(fp) = model.infer(&mut FpExecutor, &tokens) else {
-            unreachable!()
-        };
+        let TaskOutput::Logits(fp) = model.infer(&mut FpExecutor, &tokens) else { unreachable!() };
         let deviation = |b: Baseline| -> f64 {
             let bm = prepare_baseline(&model, b, &profile);
             let TaskOutput::Logits(q) = bm.infer(&tokens) else { unreachable!() };

@@ -14,11 +14,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig02");
     for samples in [10_000usize, 50_000] {
         let data = standard_normal_vec(samples, 1);
-        group.bench_with_input(
-            BenchmarkId::new("ward_clustering", samples),
-            &data,
-            |b, data| b.iter(|| black_box(ward_agglomerative(data, 16))),
-        );
+        group.bench_with_input(BenchmarkId::new("ward_clustering", samples), &data, |b, data| {
+            b.iter(|| black_box(ward_agglomerative(data, 16)))
+        });
     }
     group.bench_function("full_generation_single_repeat", |b| {
         b.iter(|| {

@@ -45,9 +45,7 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
-    group.bench_function("quick_matrix", |b| {
-        b.iter(|| black_box(SimMatrix::run(Quality::Quick)))
-    });
+    group.bench_function("quick_matrix", |b| b.iter(|| black_box(SimMatrix::run(Quality::Quick))));
     group.finish();
 }
 

@@ -18,14 +18,10 @@ fn bench(c: &mut Criterion) {
         let qw = quantize(&w);
         group.throughput(Throughput::Elements(k as u64));
         group.bench_with_input(BenchmarkId::new("indexed", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(kernels::dot_indexed(qa.codes(), qa.dict(), qw.codes(), qw.dict()))
-            })
+            b.iter(|| black_box(kernels::dot_indexed(qa.codes(), qa.dict(), qw.codes(), qw.dict())))
         });
         group.bench_with_input(BenchmarkId::new("decoded", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(kernels::dot_decoded(qa.codes(), qa.dict(), qw.codes(), qw.dict()))
-            })
+            b.iter(|| black_box(kernels::dot_decoded(qa.codes(), qa.dict(), qw.codes(), qw.dict())))
         });
         group.bench_with_input(BenchmarkId::new("fp32", k), &k, |b, _| {
             b.iter(|| {

@@ -13,10 +13,10 @@ fn bench(c: &mut Criterion) {
     let codes = q.codes();
     let packed = DramContainer::pack(codes);
     println!(
-        "\n[memlayout] {} values -> {} bytes ({}x vs FP16)",
+        "\n[memlayout] {} values -> {} bytes ({:.2}x vs FP16)",
         codes.len(),
         packed.total_bytes(),
-        format!("{:.2}", packed.compression_ratio(16))
+        packed.compression_ratio(16)
     );
 
     let mut group = c.benchmark_group("container");

@@ -34,9 +34,7 @@ fn bench(c: &mut Criterion) {
             |b, m| b.iter(|| black_box(m.quantize_weights(&w))),
         );
     }
-    group.bench_function("quantize/Mokey", |b| {
-        b.iter(|| black_box(mokey_bench::quantize(&w)))
-    });
+    group.bench_function("quantize/Mokey", |b| b.iter(|| black_box(mokey_bench::quantize(&w))));
     group.finish();
 }
 

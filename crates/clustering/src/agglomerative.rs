@@ -216,10 +216,10 @@ pub fn naive_agglomerative(values: &[f64], k: usize) -> Clustering {
         for i in 0..clusters.len() {
             for j in i + 1..clusters.len() {
                 let d = clusters[i].mean - clusters[j].mean;
-                let cost =
-                    clusters[i].count * clusters[j].count / (clusters[i].count + clusters[j].count)
-                        * d
-                        * d;
+                let cost = clusters[i].count * clusters[j].count
+                    / (clusters[i].count + clusters[j].count)
+                    * d
+                    * d;
                 if cost < best.0 {
                     best = (cost, i, j);
                 }
@@ -319,13 +319,9 @@ mod tests {
         let c = ward_agglomerative(&values, 16);
         assert_eq!(c.total_size(), values.len());
         // Weighted centroid mean equals the sample mean.
-        let weighted: f64 = c
-            .centroids()
-            .iter()
-            .zip(c.sizes())
-            .map(|(&m, &n)| m * n as f64)
-            .sum::<f64>()
-            / values.len() as f64;
+        let weighted: f64 =
+            c.centroids().iter().zip(c.sizes()).map(|(&m, &n)| m * n as f64).sum::<f64>()
+                / values.len() as f64;
         let sample_mean = values.iter().sum::<f64>() / values.len() as f64;
         assert!((weighted - sample_mean).abs() < 1e-9);
     }

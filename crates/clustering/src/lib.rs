@@ -67,10 +67,7 @@ impl Clustering {
     pub fn new(centroids: Vec<f64>, sizes: Vec<usize>) -> Self {
         assert_eq!(centroids.len(), sizes.len(), "centroid/size length mismatch");
         assert!(!centroids.is_empty(), "clustering must have at least one cluster");
-        assert!(
-            centroids.windows(2).all(|w| w[0] <= w[1]),
-            "centroids must be sorted ascending"
-        );
+        assert!(centroids.windows(2).all(|w| w[0] <= w[1]), "centroids must be sorted ascending");
         Self { centroids, sizes }
     }
 

@@ -122,16 +122,12 @@ impl TensorDict {
         let g_max = *g_magnitudes.last().expect("curve has at least one magnitude");
 
         let z_cap = curve.power(config.max_exponent as usize) + curve.b;
-        let zmags: Vec<f64> = samples
-            .iter()
-            .map(|&v| ((f64::from(v) - shift) / scale).abs().min(z_cap))
-            .collect();
+        let zmags: Vec<f64> =
+            samples.iter().map(|&v| ((f64::from(v) - shift) / scale).abs().min(z_cap)).collect();
 
         let cutoff = match config.policy {
             OutlierPolicy::Disabled => f64::INFINITY,
-            OutlierPolicy::CurveMidpoint => {
-                (g_max + curve.power(curve.half_len) + curve.b) / 2.0
-            }
+            OutlierPolicy::CurveMidpoint => (g_max + curve.power(curve.half_len) + curve.b) / 2.0,
             OutlierPolicy::Threshold(t) => t,
             OutlierPolicy::Fraction(f) => {
                 let f = f.clamp(0.0, 1.0);
@@ -335,8 +331,7 @@ mod tests {
     fn outlier_fraction_matches_paper_ballpark_for_weights() {
         let values = weight_values();
         let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
-        let outliers =
-            values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64;
+        let outliers = values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64;
         let frac = outliers / values.len() as f64;
         // Paper Table I: 1.2%–1.6% for weights. Allow a generous band.
         assert!(frac > 0.001 && frac < 0.05, "weight outlier fraction {frac}");

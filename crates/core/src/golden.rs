@@ -207,9 +207,21 @@ mod tests {
         // The averaged dictionary should sit between individual draws:
         // check that two different single draws differ more from each other
         // than each differs from the 8-repeat average.
-        let single1 = GoldenDictionary::generate(&GoldenConfig { repeats: 1, seed: 10, ..Default::default() });
-        let single2 = GoldenDictionary::generate(&GoldenConfig { repeats: 1, seed: 11, ..Default::default() });
-        let avg = GoldenDictionary::generate(&GoldenConfig { repeats: 8, seed: 10, ..Default::default() });
+        let single1 = GoldenDictionary::generate(&GoldenConfig {
+            repeats: 1,
+            seed: 10,
+            ..Default::default()
+        });
+        let single2 = GoldenDictionary::generate(&GoldenConfig {
+            repeats: 1,
+            seed: 11,
+            ..Default::default()
+        });
+        let avg = GoldenDictionary::generate(&GoldenConfig {
+            repeats: 8,
+            seed: 10,
+            ..Default::default()
+        });
         let dist = |a: &GoldenDictionary, b: &GoldenDictionary| -> f64 {
             a.half().iter().zip(b.half()).map(|(x, y)| (x - y).abs()).sum()
         };

@@ -114,7 +114,8 @@ impl DotBreakdown {
         let (sa, ma) = (a_dict.scale(), a_dict.shift());
         let (sw, mw) = (w_dict.scale(), w_dict.shift());
 
-        let soi_v: f64 = self.soi.iter().enumerate().map(|(e, &c)| c as f64 * a.powi(e as i32)).sum();
+        let soi_v: f64 =
+            self.soi.iter().enumerate().map(|(e, &c)| c as f64 * a.powi(e as i32)).sum();
         let weigh = |hist: &[i64]| -> f64 {
             hist.iter().enumerate().map(|(i, &c)| c as f64 * a.powi(i as i32)).sum()
         };
@@ -134,12 +135,7 @@ impl DotBreakdown {
     /// intermediate accumulation is snapped to the stated grids before use,
     /// emulating the 16-bit datapath of Section II-F. Histogram counts stay
     /// exact integers (they are counters in hardware).
-    pub fn reduce_fixed(
-        &self,
-        a_dict: &TensorDict,
-        w_dict: &TensorDict,
-        out: QFormat,
-    ) -> f64 {
+    pub fn reduce_fixed(&self, a_dict: &TensorDict, w_dict: &TensorDict, out: QFormat) -> f64 {
         let curve = a_dict.curve();
         let a = curve.a;
         let b = curve.b;
@@ -394,10 +390,7 @@ mod tests {
         let out = QFormat::for_range(16, -float.abs() * 2.0 - 1.0, float.abs() * 2.0 + 1.0);
         let fixed = dot_indexed_fixed(qa.codes(), qa.dict(), qw.codes(), qw.dict(), out);
         let tol = float.abs().max(1.0) * 0.02 + out.resolution();
-        assert!(
-            (fixed - float).abs() < tol,
-            "fixed {fixed} vs float {float} (tol {tol})"
-        );
+        assert!((fixed - float).abs() < tol, "fixed {fixed} vs float {float} (tol {tol})");
     }
 
     #[test]
@@ -427,12 +420,8 @@ mod tests {
         let curve = ExpCurve::paper();
         let a = GaussianMixture::activation_like(0.2, 1.0).sample_matrix(1, 4096, 5);
         let w = GaussianMixture::weight_like(0.0, 0.04).sample_matrix(1, 4096, 6);
-        let fp: f64 = a
-            .as_slice()
-            .iter()
-            .zip(w.as_slice())
-            .map(|(&x, &y)| f64::from(x) * f64::from(y))
-            .sum();
+        let fp: f64 =
+            a.as_slice().iter().zip(w.as_slice()).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
         let qa = QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default());
         let qw = QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default());
         let q = dot_indexed(qa.codes(), qa.dict(), qw.codes(), qw.dict());

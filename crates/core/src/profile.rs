@@ -155,10 +155,7 @@ impl ActivationProfiler {
         curve: &ExpCurve,
         config: &TensorDictConfig,
     ) -> BTreeMap<String, TensorDict> {
-        self.profiles
-            .iter()
-            .map(|(name, p)| (name.clone(), p.build_dict(curve, config)))
-            .collect()
+        self.profiles.iter().map(|(name, p)| (name.clone(), p.build_dict(curve, config))).collect()
     }
 }
 

@@ -103,11 +103,7 @@ mod tests {
         let e = engine();
         let probe = GaussianMixture::activation_like(0.2, 1.5).sample_matrix(32, 32, 78);
         for &v in probe.as_slice() {
-            assert_eq!(
-                e.quantize(v),
-                e.dict().encode_value(v),
-                "divergence at value {v}"
-            );
+            assert_eq!(e.quantize(v), e.dict().encode_value(v), "divergence at value {v}");
         }
     }
 

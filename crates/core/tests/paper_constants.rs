@@ -1,0 +1,124 @@
+//! Regression tests pinning the Mokey paper's published constants and the
+//! reproducibility guarantees the rest of the workspace builds on.
+//!
+//! Paper: "Mokey: Enabling Narrow Fixed-Point Inference for Out-of-the-Box
+//! Floating-Point Transformer Models" (ISCA 2022).
+
+use mokey_core::curve::ExpCurve;
+use mokey_core::encode::QuantizedTensor;
+use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+use mokey_core::metrics::{max_abs_err, rmse, sqnr_db};
+use mokey_tensor::init::GaussianMixture;
+
+/// Section II-D: "we fit the GD = a^int + b curve … where a = 1.179,
+/// b = −0.977". `ExpCurve::paper()` must carry exactly these published
+/// constants.
+#[test]
+fn paper_curve_constants_are_pinned() {
+    let c = ExpCurve::paper();
+    assert_eq!(c.a, 1.179);
+    assert_eq!(c.b, -0.977);
+    assert_eq!(c.half_len, 8);
+    // Derived anchor points of the published curve: a^0 + b and a^7 + b.
+    assert!((c.magnitude(0) - 0.023).abs() < 1e-3);
+    assert!((c.magnitude(7) - 2.1898).abs() < 1e-3);
+}
+
+/// The fitter must *recover* the paper constants when pointed at the
+/// paper's own curve: magnitudes generated from a = 1.179, b = −0.977 fit
+/// back to those values within the golden-section search tolerance.
+#[test]
+fn fit_recovers_paper_constants_from_paper_curve() {
+    let paper = ExpCurve::paper();
+    let magnitudes: Vec<f64> = (0..8).map(|i| paper.magnitude(i)).collect();
+    // Section II-D weighting: "a unit weight for the outer bin, and
+    // doubles the weight for the bins as we move towards zero".
+    let weights: Vec<f64> = (0..8).map(|i| ((7 - i) as f64).exp2()).collect();
+    let fitted = ExpCurve::fit_weighted(&magnitudes, &weights);
+    assert!((fitted.a - 1.179).abs() < 1e-6, "a drifted: {}", fitted.a);
+    assert!((fitted.b + 0.977).abs() < 1e-6, "b drifted: {}", fitted.b);
+}
+
+/// Fitting a freshly generated Golden Dictionary lands in a band around
+/// the paper constants. The band is wider than the recovery test above
+/// because our N(0,1) draw folds the two zero-straddling inner centroids
+/// into one magnitude near 0.125 (the paper's draw had an inner bin near
+/// 0.023), which mostly shifts `b`; see the seed's Fig. 3 note.
+#[test]
+fn fit_of_generated_golden_dictionary_is_near_paper() {
+    let gd = GoldenDictionary::generate(&GoldenConfig { repeats: 2, ..Default::default() });
+    let fitted = ExpCurve::fit(&gd);
+    assert!((1.15..=1.25).contains(&fitted.a), "a outside paper band: {}", fitted.a);
+    assert!((-1.05..=-0.75).contains(&fitted.b), "b outside paper band: {}", fitted.b);
+    // The fit must describe the dictionary well: worst per-bin residual
+    // under 0.15 on magnitudes that reach ~2.8.
+    let worst = gd
+        .half()
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (fitted.magnitude(i) - m).abs())
+        .fold(0.0, f64::max);
+    assert!(worst < 0.15, "worst fit residual {worst}");
+}
+
+/// Section II-B: the Golden Dictionary recipe is deterministic given a
+/// seed — identical configs must produce bit-identical dictionaries, and
+/// different seeds must not.
+#[test]
+fn golden_dictionary_is_deterministic_under_fixed_seed() {
+    let config = GoldenConfig { samples: 10_000, repeats: 2, ..Default::default() };
+    let a = GoldenDictionary::generate(&config);
+    let b = GoldenDictionary::generate(&config);
+    assert_eq!(a, b, "same seed must reproduce the same dictionary");
+
+    let c = GoldenDictionary::generate(&GoldenConfig { seed: config.seed + 1, ..config });
+    assert_ne!(a, c, "a different seed should perturb the dictionary");
+
+    // Structural invariants from the paper: 2^(bits-1) = 8 ascending
+    // positive magnitudes spanning the bulk of N(0,1).
+    assert_eq!(a.half().len(), 8);
+    assert!(a.half().windows(2).all(|w| w[0] < w[1]));
+    assert!(a.half()[0] > 0.0 && a.half()[7] > 1.8 && a.half()[7] < 4.0);
+}
+
+/// Encode/decode round-trip error bounds on a weight-like tensor
+/// (Section II-C / Table I operating point): 4-bit Mokey quantization of
+/// transformer-like weights keeps SQNR near 20 dB and absolute errors
+/// within the outlier-bin span.
+#[test]
+fn quantized_tensor_roundtrip_error_bounds() {
+    let w = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(128, 384, 0xBEEF);
+    let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+    let decoded = q.decode();
+    assert_eq!(decoded.shape(), w.shape());
+
+    let sqnr = sqnr_db(w.as_slice(), decoded.as_slice());
+    assert!(sqnr > 18.0, "SQNR regressed: {sqnr:.2} dB");
+
+    let rms = rmse(w.as_slice(), decoded.as_slice());
+    assert!(rms < 0.02, "RMSE regressed: {rms}");
+
+    // Bulk (non-outlier) error is bounded by half the largest centroid
+    // gap; outliers are clamped to the outlier bins, so the global max
+    // error stays within the tensor's own value range.
+    let max_err = max_abs_err(w.as_slice(), decoded.as_slice());
+    let span = w.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    assert!(max_err <= f64::from(span), "max error {max_err} exceeds value span {span}");
+
+    // Paper key characteristic: ~1.5% weight outliers at this operating
+    // point (Table I reports 1.2–1.6%).
+    let frac = q.outlier_fraction();
+    assert!((0.001..=0.03).contains(&frac), "outlier fraction drifted: {frac}");
+}
+
+/// Re-encoding an already decoded tensor with the same dictionary is
+/// exact: decode ∘ encode is idempotent (grid values are fixed points).
+#[test]
+fn roundtrip_is_idempotent_on_grid_values() {
+    let w = GaussianMixture::weight_like(0.0, 0.08).sample_matrix(32, 64, 42);
+    let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+    let once = q.decode();
+    let q2 = QuantizedTensor::encode(&once, q.dict());
+    let twice = q2.decode();
+    assert!(once.max_abs_diff(&twice) < 1e-6, "decode∘encode not idempotent");
+}

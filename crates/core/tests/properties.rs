@@ -14,9 +14,9 @@ use proptest::prelude::*;
 /// Arbitrary tensors with varied mean/std and tail heaviness.
 fn tensor_strategy() -> impl Strategy<Value = Vec<f32>> {
     (
-        -2.0f64..2.0,              // mean
-        0.01f64..3.0,              // std
-        prop::collection::vec(-4.0f64..4.0, 32..256), // z-scores
+        -2.0f64..2.0,                                    // mean
+        0.01f64..3.0,                                    // std
+        prop::collection::vec(-4.0f64..4.0, 32..256),    // z-scores
         prop::collection::vec(prop::bool::ANY, 32..256), // tail flags
     )
         .prop_map(|(mean, std, zs, tails)| {

@@ -24,8 +24,7 @@ struct AblationResults {
 fn fidelity(values: &[f32], dict: &TensorDict) -> (f64, f64) {
     let decoded: Vec<f32> =
         values.iter().map(|&v| dict.decode_code(dict.encode_value(v)) as f32).collect();
-    let outliers =
-        values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64;
+    let outliers = values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64;
     (sqnr_db(values, &decoded), 100.0 * outliers / values.len() as f64)
 }
 
@@ -43,7 +42,8 @@ fn main() {
     println!("== Ablation 1: dictionary width ==\n");
     let mut t = Table::new(vec!["bits".into(), "SQNR (dB)".into(), "outliers %".into()]);
     for bits in [2u32, 3, 4] {
-        let gd = GoldenDictionary::generate(&GoldenConfig { bits, repeats: 4, ..Default::default() });
+        let gd =
+            GoldenDictionary::generate(&GoldenConfig { bits, repeats: 4, ..Default::default() });
         let curve = ExpCurve::fit(&gd);
         let dict = TensorDict::for_values(weights.as_slice(), &curve, &Default::default());
         let (sqnr, ot) = fidelity(weights.as_slice(), &dict);
@@ -144,11 +144,7 @@ fn main() {
         );
         let s_min = mokey.speedup_over(&tc_min);
         let s_ws = mokey.speedup_over(&tc_ws);
-        t.row(vec![
-            format!("{} KB", buffer >> 10),
-            format!("{s_min:.2}x"),
-            format!("{s_ws:.2}x"),
-        ]);
+        t.row(vec![format!("{} KB", buffer >> 10), format!("{s_min:.2}x"), format!("{s_ws:.2}x")]);
         dataflow_rows.push((buffer, s_min, s_ws));
     }
     t.print();

@@ -22,10 +22,7 @@ fn main() {
     }
     println!("\nGolden Dictionary centroids (16, symmetric):");
     for chunk in result.centroids.chunks(8) {
-        println!(
-            "  {}",
-            chunk.iter().map(|c| format!("{c:+.3}")).collect::<Vec<_>>().join("  ")
-        );
+        println!("  {}", chunk.iter().map(|c| format!("{c:+.3}")).collect::<Vec<_>>().join("  "));
     }
     save_json("fig02_golden_dict", &result);
 }

@@ -49,8 +49,7 @@ pub fn fig02(config: &GoldenConfig) -> Fig02Result {
     let width = (hi - lo) / bins as f64;
     for b in 0..bins {
         let start = lo + b as f64 * width;
-        let count =
-            samples.iter().filter(|&&x| x >= start && x < start + width).count();
+        let count = samples.iter().filter(|&&x| x >= start && x < start + width).count();
         histogram.push((start, count));
     }
     let gd = GoldenDictionary::generate(config);
@@ -78,12 +77,7 @@ pub fn fig03(config: &GoldenConfig) -> Fig03Result {
     let gd = GoldenDictionary::generate(config);
     let curve = ExpCurve::fit(&gd);
     let paper = ExpCurve::paper();
-    let points = gd
-        .half()
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| (m, curve.magnitude(i)))
-        .collect();
+    let points = gd.half().iter().enumerate().map(|(i, &m)| (m, curve.magnitude(i))).collect();
     Fig03Result {
         a: curve.a,
         b: curve.b,
@@ -344,9 +338,7 @@ impl SimMatrix {
             MemCompression::OffChipOnChip => "fig14_oc_on",
             MemCompression::None => "fig14_none",
         };
-        self.sweep(id, |wi, bi| {
-            self.memcomp_report(mode, wi, bi).speedup_over(&self.tc[wi][bi])
-        })
+        self.sweep(id, |wi, bi| self.memcomp_report(mode, wi, bi).speedup_over(&self.tc[wi][bi]))
     }
 
     /// Fig. 15 — relative energy with Mokey compression (compressed /

@@ -47,14 +47,70 @@ pub fn table1_rows() -> Vec<RowSpec> {
         seed,
     };
     vec![
-        row("BERT-Base", ModelConfig::bert_base().scaled(6, 4), TaskKind::Mnli, "Acc-m", 84.44, 101),
-        row("BERT-Large", ModelConfig::bert_large().scaled(8, 6), TaskKind::Mnli, "Acc-m", 86.65, 102),
-        row("BERT-Large", ModelConfig::bert_large().scaled(8, 6), TaskKind::StsB, "Spearman", 90.25, 103),
-        row("BERT-Large", ModelConfig::bert_large().scaled(8, 6), TaskKind::Squad, "F1", 93.15, 104),
-        row("RoBERTa-Large", ModelConfig::roberta_large().scaled(8, 6), TaskKind::Mnli, "Acc-m", 90.58, 105),
-        row("RoBERTa-Large", ModelConfig::roberta_large().scaled(8, 6), TaskKind::StsB, "Spearman", 92.41, 106),
-        row("RoBERTa-Large", ModelConfig::roberta_large().scaled(8, 6), TaskKind::Squad, "F1", 93.56, 107),
-        row("DeBERTa-XL", ModelConfig::deberta_xl().scaled(8, 8), TaskKind::Mnli, "Acc-m", 91.75, 108),
+        row(
+            "BERT-Base",
+            ModelConfig::bert_base().scaled(6, 4),
+            TaskKind::Mnli,
+            "Acc-m",
+            84.44,
+            101,
+        ),
+        row(
+            "BERT-Large",
+            ModelConfig::bert_large().scaled(8, 6),
+            TaskKind::Mnli,
+            "Acc-m",
+            86.65,
+            102,
+        ),
+        row(
+            "BERT-Large",
+            ModelConfig::bert_large().scaled(8, 6),
+            TaskKind::StsB,
+            "Spearman",
+            90.25,
+            103,
+        ),
+        row(
+            "BERT-Large",
+            ModelConfig::bert_large().scaled(8, 6),
+            TaskKind::Squad,
+            "F1",
+            93.15,
+            104,
+        ),
+        row(
+            "RoBERTa-Large",
+            ModelConfig::roberta_large().scaled(8, 6),
+            TaskKind::Mnli,
+            "Acc-m",
+            90.58,
+            105,
+        ),
+        row(
+            "RoBERTa-Large",
+            ModelConfig::roberta_large().scaled(8, 6),
+            TaskKind::StsB,
+            "Spearman",
+            92.41,
+            106,
+        ),
+        row(
+            "RoBERTa-Large",
+            ModelConfig::roberta_large().scaled(8, 6),
+            TaskKind::Squad,
+            "F1",
+            93.56,
+            107,
+        ),
+        row(
+            "DeBERTa-XL",
+            ModelConfig::deberta_xl().scaled(8, 8),
+            TaskKind::Mnli,
+            "Acc-m",
+            91.75,
+            108,
+        ),
     ]
 }
 

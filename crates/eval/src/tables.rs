@@ -19,10 +19,8 @@ pub struct Table1Result {
 
 /// Runs Table I.
 pub fn table1(quality: Quality) -> Table1Result {
-    let rows = table1_rows()
-        .iter()
-        .map(|spec| crate::scaled::evaluate_row(spec, quality))
-        .collect();
+    let rows =
+        table1_rows().iter().map(|spec| crate::scaled::evaluate_row(spec, quality)).collect();
     Table1Result { rows }
 }
 
@@ -56,10 +54,8 @@ pub fn table2() -> Table2Result {
     let rows = [Accelerator::tensor_cores(), Accelerator::gobo(), Accelerator::mokey()]
         .into_iter()
         .map(|accel| {
-            let report = simulate(
-                &gemms,
-                &SimConfig::new(accel.clone(), buffer).with_rates(workload.rates),
-            );
+            let report =
+                simulate(&gemms, &SimConfig::new(accel.clone(), buffer).with_rates(workload.rates));
             Table2Row {
                 architecture: accel.kind.name().into(),
                 units: accel.peak_macs,
@@ -145,11 +141,8 @@ pub fn table4(quality: Quality) -> Table4Result {
     for method in Baseline::table4() {
         let info = method.info();
         let score = if method == Baseline::Mokey {
-            let (qm, _) = QuantizedModel::prepare(
-                &model,
-                QuantizeSpec::weights_and_activations(),
-                &profile,
-            );
+            let (qm, _) =
+                QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
             let (outputs, _) = infer_quantized_batch(&qm, &task.inputs);
             task.score(&outputs)
         } else {

@@ -33,10 +33,7 @@ impl QFormat {
     /// Panics unless `2 <= total_bits <= 62` (the raw value must fit an
     /// `i64` with headroom for products).
     pub fn new(total_bits: u32, frac_bits: i32) -> Self {
-        assert!(
-            (2..=62).contains(&total_bits),
-            "total_bits must be in [2, 62], got {total_bits}"
-        );
+        assert!((2..=62).contains(&total_bits), "total_bits must be in [2, 62], got {total_bits}");
         Self { total_bits, frac_bits }
     }
 

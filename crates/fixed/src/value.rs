@@ -207,9 +207,9 @@ mod tests {
     fn convert_between_formats() {
         let wide = q(32, 16);
         let narrow = q(16, 8);
-        let x = wide.quantize(3.1415);
+        let x = wide.quantize(std::f64::consts::PI);
         let y = x.convert(narrow);
-        assert!((y.to_f64() - 3.1415).abs() <= narrow.resolution() / 2.0 + 1e-12);
+        assert!((y.to_f64() - std::f64::consts::PI).abs() <= narrow.resolution() / 2.0 + 1e-12);
         // Converting back widens losslessly.
         let z = y.convert(wide);
         assert_eq!(z.to_f64(), y.to_f64());

@@ -1,0 +1,52 @@
+//! Smoke tests over the workspace-root `examples/`: each example's `main`
+//! is included as a module and executed, so an example that panics, hits
+//! an assertion, or stops compiling fails `cargo test` instead of rotting
+//! silently.
+//!
+//! The examples print to stdout; the test harness captures that output,
+//! so a green run stays quiet.
+
+mod quickstart_example {
+    include!("../../../examples/quickstart.rs");
+
+    #[test]
+    fn quickstart_runs() {
+        main();
+    }
+}
+
+mod compress_model_example {
+    include!("../../../examples/compress_model.rs");
+
+    #[test]
+    fn compress_model_runs() {
+        main();
+    }
+}
+
+mod profile_activations_example {
+    include!("../../../examples/profile_activations.rs");
+
+    #[test]
+    fn profile_activations_runs() {
+        main();
+    }
+}
+
+mod memory_compression_example {
+    include!("../../../examples/memory_compression.rs");
+
+    #[test]
+    fn memory_compression_runs() {
+        main();
+    }
+}
+
+mod accelerate_inference_example {
+    include!("../../../examples/accelerate_inference.rs");
+
+    #[test]
+    fn accelerate_inference_runs() {
+        main();
+    }
+}

@@ -147,11 +147,8 @@ impl TensorArchive {
     /// Compression ratio versus `bits_per_value` dense storage, counting
     /// metadata against Mokey.
     pub fn compression_ratio(&self, bits_per_value: u32) -> f64 {
-        let dense: usize = self
-            .entries
-            .values()
-            .map(|e| e.rows * e.cols * bits_per_value as usize)
-            .sum();
+        let dense: usize =
+            self.entries.values().map(|e| e.rows * e.cols * bits_per_value as usize).sum();
         let packed = self.total_payload_bits() + self.total_metadata_bits();
         if packed == 0 {
             1.0
@@ -331,10 +328,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        assert_eq!(
-            TensorArchive::from_bytes(b"NOPE....."),
-            Err(ParseArchiveError::BadMagic)
-        );
+        assert_eq!(TensorArchive::from_bytes(b"NOPE....."), Err(ParseArchiveError::BadMagic));
     }
 
     #[test]
@@ -345,7 +339,10 @@ mod tests {
         for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
             let err = TensorArchive::from_bytes(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, ParseArchiveError::Truncated | ParseArchiveError::UnsupportedVersion(_)),
+                matches!(
+                    err,
+                    ParseArchiveError::Truncated | ParseArchiveError::UnsupportedVersion(_)
+                ),
                 "cut at {cut} gave {err:?}"
             );
         }

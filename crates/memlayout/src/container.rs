@@ -75,12 +75,7 @@ impl DramContainer {
                 values.write(u32::from(c.to_bits4()), VALUE_BITS);
             }
         }
-        Self {
-            values: values.finish(),
-            pointers: pointers.finish(),
-            len: codes.len(),
-            outliers,
-        }
+        Self { values: values.finish(), pointers: pointers.finish(), len: codes.len(), outliers }
     }
 
     /// Reassembles a container from previously packed streams (archive
@@ -176,13 +171,7 @@ mod tests {
     fn random_codes(n: usize, outlier_rate: f64, seed: u64) -> Vec<Code> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| {
-                Code::new(
-                    rng.gen_bool(outlier_rate),
-                    rng.gen_bool(0.5),
-                    rng.gen_range(0..8),
-                )
-            })
+            .map(|_| Code::new(rng.gen_bool(outlier_rate), rng.gen_bool(0.5), rng.gen_range(0..8)))
             .collect()
     }
 

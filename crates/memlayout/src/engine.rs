@@ -69,8 +69,7 @@ impl DecompressionEngine {
     /// Expands an explicit code stream.
     pub fn decompress_codes(&self, codes: &[Code]) -> (Vec<f32>, EngineStats) {
         let values: Vec<f32> = codes.iter().map(|&c| self.dict.decode_code(c) as f32).collect();
-        let stats =
-            EngineStats { values: codes.len(), lut_lookups: codes.len(), comparisons: 0 };
+        let stats = EngineStats { values: codes.len(), lut_lookups: codes.len(), comparisons: 0 };
         (values, stats)
     }
 }

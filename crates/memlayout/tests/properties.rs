@@ -9,11 +9,8 @@ use proptest::prelude::*;
 /// container's documented limit is < 64 outliers per group of 64; we keep
 /// realistic densities and add a dense-but-legal case separately).
 fn codes_strategy() -> impl Strategy<Value = Vec<Code>> {
-    prop::collection::vec(
-        (prop::bool::weighted(0.08), prop::bool::ANY, 0u8..8),
-        0..600,
-    )
-    .prop_map(|v| v.into_iter().map(|(o, n, i)| Code::new(o, n, i)).collect())
+    prop::collection::vec((prop::bool::weighted(0.08), prop::bool::ANY, 0u8..8), 0..600)
+        .prop_map(|v| v.into_iter().map(|(o, n, i)| Code::new(o, n, i)).collect())
 }
 
 proptest! {

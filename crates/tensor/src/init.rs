@@ -90,8 +90,7 @@ impl GaussianMixture {
             .expect("invalid tail distribution");
         let data = (0..rows * cols)
             .map(|_| {
-                let x = if self.outlier_fraction > 0.0 && rng.gen::<f64>() < self.outlier_fraction
-                {
+                let x = if self.outlier_fraction > 0.0 && rng.gen::<f64>() < self.outlier_fraction {
                     tail.sample(rng)
                 } else {
                     bulk.sample(rng)
@@ -145,8 +144,12 @@ mod tests {
     #[test]
     fn mixture_has_heavier_tail_than_pure() {
         let pure = GaussianMixture::pure(0.0, 1.0).sample_matrix(100, 1000, 1);
-        let mixed = GaussianMixture { outlier_fraction: 0.05, outlier_scale: 6.0, ..GaussianMixture::pure(0.0, 1.0) }
-            .sample_matrix(100, 1000, 1);
+        let mixed = GaussianMixture {
+            outlier_fraction: 0.05,
+            outlier_scale: 6.0,
+            ..GaussianMixture::pure(0.0, 1.0)
+        }
+        .sample_matrix(100, 1000, 1);
         let beyond = |m: &crate::Matrix| m.as_slice().iter().filter(|x| x.abs() > 4.0).count();
         assert!(beyond(&mixed) > beyond(&pure) * 5, "tail mass should grow");
     }

@@ -215,15 +215,14 @@ impl Matrix {
         let rows_per = self.rows.div_ceil(threads);
         let k = self.cols;
         let n = other.cols;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let a_chunks = self.data.chunks(rows_per * k);
             let o_chunks = out.data.chunks_mut(rows_per * n);
             for (a_chunk, o_chunk) in a_chunks.zip(o_chunks) {
                 let b = &other.data;
-                scope.spawn(move |_| matmul_rows(a_chunk, b, o_chunk, k, n));
+                scope.spawn(move || matmul_rows(a_chunk, b, o_chunk, k, n));
             }
-        })
-        .expect("matmul worker panicked");
+        });
         out
     }
 
@@ -241,9 +240,7 @@ impl Matrix {
             "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        Matrix::from_fn(self.rows, other.rows, |r, c| {
-            dot(self.row(r), other.row(c))
-        })
+        Matrix::from_fn(self.rows, other.rows, |r, c| dot(self.row(r), other.row(c)))
     }
 
     /// Element-wise sum.
@@ -344,11 +341,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

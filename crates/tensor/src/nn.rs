@@ -62,7 +62,7 @@ pub fn layer_norm(m: &mut Matrix, gamma: &[f32], beta: &[f32], eps: f32) {
 /// GELU activation (tanh approximation, as used by BERT):
 /// `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
 pub fn gelu(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
 }
 

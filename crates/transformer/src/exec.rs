@@ -205,18 +205,16 @@ mod tests {
         let dict = TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default());
         let mut act_dicts = BTreeMap::new();
         act_dicts.insert("a".to_string(), dict.clone());
-        let ctx = QuantizedContext {
-            weights: BTreeMap::new(),
-            act_dicts,
-            out_formats: BTreeMap::new(),
-        };
+        let ctx =
+            QuantizedContext { weights: BTreeMap::new(), act_dicts, out_formats: BTreeMap::new() };
         let mut e = QuantizedExecutor::new(&ctx);
         let out = e.activation("a", m.clone());
         assert_eq!(e.stats().act_values, 256);
         // Every output value must be a signed centroid.
         let centroids: Vec<f64> = dict.signed_centroids().iter().map(|(v, _)| *v).collect();
         for &v in out.as_slice() {
-            let d = centroids.iter().map(|&c| (c - f64::from(v)).abs()).fold(f64::INFINITY, f64::min);
+            let d =
+                centroids.iter().map(|&c| (c - f64::from(v)).abs()).fold(f64::INFINITY, f64::min);
             assert!(d < 1e-5, "{v} is not a centroid");
         }
         // Unknown tensors pass through untouched.
@@ -228,11 +226,8 @@ mod tests {
     fn gemm_output_snaps_to_grid() {
         let mut out_formats = BTreeMap::new();
         out_formats.insert("w".to_string(), QFormat::new(16, 4));
-        let ctx = QuantizedContext {
-            weights: BTreeMap::new(),
-            act_dicts: BTreeMap::new(),
-            out_formats,
-        };
+        let ctx =
+            QuantizedContext { weights: BTreeMap::new(), act_dicts: BTreeMap::new(), out_formats };
         let mut e = QuantizedExecutor::new(&ctx);
         let m = Matrix::from_rows(&[&[0.3, 1.26]]);
         let snapped = e.gemm_output("w", m);

@@ -143,10 +143,16 @@ impl Model {
         Self {
             config: config.clone(),
             head,
-            token_embedding: GaussianMixture::weight_like(0.0, 0.05)
-                .sample_matrix_with(config.vocab, h, &mut rng),
-            position_embedding: GaussianMixture::weight_like(0.0, 0.02)
-                .sample_matrix_with(config.max_seq, h, &mut rng),
+            token_embedding: GaussianMixture::weight_like(0.0, 0.05).sample_matrix_with(
+                config.vocab,
+                h,
+                &mut rng,
+            ),
+            position_embedding: GaussianMixture::weight_like(0.0, 0.02).sample_matrix_with(
+                config.max_seq,
+                h,
+                &mut rng,
+            ),
             emb_ln_gamma: vec_normal(h, 1.0, 0.1, &mut rng),
             emb_ln_beta: vec_normal(h, 0.0, 0.05, &mut rng),
             layers,
@@ -248,7 +254,8 @@ impl Model {
 
             // --- Feed-forward ---
             let ffn_in = exec.activation(&format!("{pre}.ffn.input"), x1);
-            let mut mid = self.linear(exec, &format!("{pre}.ffn.w1"), &ffn_in, &layer.w1, &layer.b1);
+            let mut mid =
+                self.linear(exec, &format!("{pre}.ffn.w1"), &ffn_in, &layer.w1, &layer.b1);
             nn::gelu_inplace(&mut mid);
             let mid = exec.activation(&format!("{pre}.ffn.mid"), mid);
             let ffn_out = self.linear(exec, &format!("{pre}.ffn.w2"), &mid, &layer.w2, &layer.b2);

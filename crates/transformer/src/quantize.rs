@@ -106,9 +106,7 @@ impl<'m> QuantizedModel<'m> {
                 let q = QuantizedTensor::encode(w, &dict);
                 report.weight_values += q.codes().len();
                 report.weight_outliers += q.outlier_count();
-                report
-                    .weight_outlier_fractions
-                    .insert(name.clone(), q.outlier_fraction());
+                report.weight_outlier_fractions.insert(name.clone(), q.outlier_fraction());
                 weights.insert(name, q.decode());
             }
         }
@@ -204,23 +202,23 @@ pub fn infer_quantized_batch(
 
 /// Order-preserving parallel map over a slice.
 fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len().max(1));
+    let threads =
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("inference worker panicked");
+    });
     out.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 

@@ -138,9 +138,8 @@ impl CalibratedTask {
             let (m1, m2) = top2(l);
             f64::from(m1 - m2)
         };
-        by_margin.sort_by(|&i, &j| {
-            margin(&fp[j]).partial_cmp(&margin(&fp[i])).expect("finite margins")
-        });
+        by_margin
+            .sort_by(|&i, &j| margin(&fp[j]).partial_cmp(&margin(&fp[i])).expect("finite margins"));
         let chosen: Vec<usize> = by_margin.into_iter().take(spec.n_eval).collect();
 
         // Aleatoric mass: fraction p gets uniform labels so that the FP
@@ -152,11 +151,7 @@ impl CalibratedTask {
         let mut inputs = Vec::with_capacity(chosen.len());
         for &i in &chosen {
             let TaskOutput::Logits(l) = &fp[i] else { unreachable!() };
-            let label = if rng.gen::<f64>() < p {
-                rng.gen_range(0..classes)
-            } else {
-                argmax(l)
-            };
+            let label = if rng.gen::<f64>() < p { rng.gen_range(0..classes) } else { argmax(l) };
             labels.push(label);
             inputs.push(pool[i].clone());
         }
@@ -172,17 +167,14 @@ impl CalibratedTask {
         let pool = Self::draw_inputs(model, spec, POOL_FACTOR * spec.n_eval);
         let fp = infer_fp_batch(model, &pool);
         let margin = |out: &TaskOutput| -> f64 {
-            let TaskOutput::Span(s, e) = out else {
-                panic!("SQuAD task needs a span head")
-            };
+            let TaskOutput::Span(s, e) = out else { panic!("SQuAD task needs a span head") };
             let (s1, s2) = top2(s);
             let (e1, e2) = top2(e);
             f64::from((s1 - s2).min(e1 - e2))
         };
         let mut by_margin: Vec<usize> = (0..pool.len()).collect();
-        by_margin.sort_by(|&i, &j| {
-            margin(&fp[j]).partial_cmp(&margin(&fp[i])).expect("finite margins")
-        });
+        by_margin
+            .sort_by(|&i, &j| margin(&fp[j]).partial_cmp(&margin(&fp[i])).expect("finite margins"));
         let chosen: Vec<usize> = by_margin.into_iter().take(spec.n_eval).collect();
 
         // Random gold spans score ~r̄ F1 against the FP span; solve
@@ -240,12 +232,10 @@ impl CalibratedTask {
         let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xCA11_B8A7);
         let normal = Normal::new(0.0, 1.0).expect("N(0,1)");
         let noise: Vec<f64> = (0..scores.len()).map(|_| normal.sample(&mut rng)).collect();
-        let scale =
-            (scores.iter().map(|s| s.abs()).sum::<f64>() / scores.len() as f64).max(1e-6);
+        let scale = (scores.iter().map(|s| s.abs()).sum::<f64>() / scores.len() as f64).max(1e-6);
 
         let spearman_at = |sigma: f64| -> f64 {
-            let labels: Vec<f64> =
-                scores.iter().zip(&noise).map(|(s, g)| s + sigma * g).collect();
+            let labels: Vec<f64> = scores.iter().zip(&noise).map(|(s, g)| s + sigma * g).collect();
             100.0 * spearman(&scores, &labels)
         };
         let (mut lo, mut hi) = (0.0f64, scale * 0.25);
@@ -263,8 +253,7 @@ impl CalibratedTask {
             }
         }
         let sigma = (lo + hi) / 2.0;
-        let labels =
-            Labels::Score(scores.iter().zip(&noise).map(|(s, g)| s + sigma * g).collect());
+        let labels = Labels::Score(scores.iter().zip(&noise).map(|(s, g)| s + sigma * g).collect());
         let fp_score = score_outputs(spec.kind, &fp, &labels);
         Self { inputs, labels, noise_sigma: sigma, fp_score, kind: spec.kind }
     }
@@ -468,13 +457,8 @@ mod tests {
     #[test]
     fn mnli_calibration_hits_target() {
         let model = tiny_model(Head::Classification { classes: 3 }, 21);
-        let spec = TaskSpec {
-            kind: TaskKind::Mnli,
-            seq_len: 16,
-            n_eval: 400,
-            fp_target: 84.44,
-            seed: 1,
-        };
+        let spec =
+            TaskSpec { kind: TaskKind::Mnli, seq_len: 16, n_eval: 400, fp_target: 84.44, seed: 1 };
         let task = CalibratedTask::build(&model, &spec);
         assert!(
             (task.fp_score - 84.44).abs() < 4.0,
@@ -486,13 +470,8 @@ mod tests {
     #[test]
     fn stsb_calibration_hits_target() {
         let model = tiny_model(Head::Regression, 22);
-        let spec = TaskSpec {
-            kind: TaskKind::StsB,
-            seq_len: 16,
-            n_eval: 300,
-            fp_target: 90.25,
-            seed: 2,
-        };
+        let spec =
+            TaskSpec { kind: TaskKind::StsB, seq_len: 16, n_eval: 300, fp_target: 90.25, seed: 2 };
         let task = CalibratedTask::build(&model, &spec);
         assert!(
             (task.fp_score - 90.25).abs() < 2.5,
@@ -505,13 +484,8 @@ mod tests {
     #[test]
     fn squad_calibration_hits_target() {
         let model = tiny_model(Head::Span, 23);
-        let spec = TaskSpec {
-            kind: TaskKind::Squad,
-            seq_len: 24,
-            n_eval: 200,
-            fp_target: 93.15,
-            seed: 3,
-        };
+        let spec =
+            TaskSpec { kind: TaskKind::Squad, seq_len: 24, n_eval: 200, fp_target: 93.15, seed: 3 };
         let task = CalibratedTask::build(&model, &spec);
         assert!(
             (task.fp_score - 93.15).abs() < 4.0,
@@ -523,13 +497,8 @@ mod tests {
     #[test]
     fn perfect_outputs_score_is_fp_score() {
         let model = tiny_model(Head::Classification { classes: 3 }, 24);
-        let spec = TaskSpec {
-            kind: TaskKind::Mnli,
-            seq_len: 12,
-            n_eval: 120,
-            fp_target: 80.0,
-            seed: 4,
-        };
+        let spec =
+            TaskSpec { kind: TaskKind::Mnli, seq_len: 12, n_eval: 120, fp_target: 80.0, seed: 4 };
         let task = CalibratedTask::build(&model, &spec);
         let fp_outputs = infer_fp_batch(&model, &task.inputs);
         let score = task.score(&fp_outputs);
@@ -541,13 +510,8 @@ mod tests {
         // The chosen samples' FP margins must exceed the pool median (the
         // trained-regime emulation).
         let model = tiny_model(Head::Classification { classes: 3 }, 25);
-        let spec = TaskSpec {
-            kind: TaskKind::Mnli,
-            seq_len: 12,
-            n_eval: 50,
-            fp_target: 84.0,
-            seed: 6,
-        };
+        let spec =
+            TaskSpec { kind: TaskKind::Mnli, seq_len: 12, n_eval: 50, fp_target: 84.0, seed: 6 };
         let task = CalibratedTask::build(&model, &spec);
         let chosen_fp = infer_fp_batch(&model, &task.inputs);
         let pool: Vec<Vec<usize>> =
@@ -561,8 +525,7 @@ mod tests {
         let mut pool_margins: Vec<f64> = pool_fp.iter().map(margin).collect();
         pool_margins.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = pool_margins[pool_margins.len() / 2];
-        let chosen_mean: f64 =
-            chosen_fp.iter().map(margin).sum::<f64>() / chosen_fp.len() as f64;
+        let chosen_mean: f64 = chosen_fp.iter().map(margin).sum::<f64>() / chosen_fp.len() as f64;
         assert!(chosen_mean > median, "chosen mean {chosen_mean} <= pool median {median}");
     }
 

@@ -172,10 +172,7 @@ mod tests {
         let gemms = model_gemms(&ModelConfig::bert_large(), 384, 1);
         let macs = total_macs(&gemms);
         let cycles_at_2048 = macs / 2048;
-        assert!(
-            (55_000_000..70_000_000).contains(&cycles_at_2048),
-            "cycles {cycles_at_2048}"
-        );
+        assert!((55_000_000..70_000_000).contains(&cycles_at_2048), "cycles {cycles_at_2048}");
     }
 
     #[test]
@@ -186,8 +183,7 @@ mod tests {
         // GEMM weights exclude embeddings/LN/biases: 12 layers × (4 h² +
         // 2 h·ff).
         let expect = config.layers as u64
-            * (4 * (config.hidden as u64).pow(2)
-                + 2 * config.hidden as u64 * config.ff as u64);
+            * (4 * (config.hidden as u64).pow(2) + 2 * config.hidden as u64 * config.ff as u64);
         assert_eq!(weight_values, expect);
     }
 

@@ -1,9 +1,9 @@
-//! Simulate the Mokey accelerator against the Tensor Cores baseline on
-//! BERT-Large/SQuAD across buffer capacities.
-//!
-//! ```sh
-//! cargo run --release -p mokey-eval --example accelerate_inference
-//! ```
+// Simulate the Mokey accelerator against the Tensor Cores baseline on
+// BERT-Large/SQuAD across buffer capacities.
+//
+// ```sh
+// cargo run --release -p mokey-eval --example accelerate_inference
+// ```
 
 use mokey_accel::arch::Accelerator;
 use mokey_accel::sim::{simulate, SimConfig};

@@ -1,9 +1,9 @@
-//! Compress a whole transformer with Mokey and archive it in the Fig. 5
-//! container format.
-//!
-//! ```sh
-//! cargo run --release -p mokey-eval --example compress_model
-//! ```
+// Compress a whole transformer with Mokey and archive it in the Fig. 5
+// container format.
+//
+// ```sh
+// cargo run --release -p mokey-eval --example compress_model
+// ```
 
 use mokey_core::curve::ExpCurve;
 use mokey_core::encode::QuantizedTensor;

@@ -1,11 +1,11 @@
-//! Use Mokey purely as a memory-compression assist over a Tensor Cores
-//! accelerator (paper Section IV-D): values travel as 4-bit indexes and
-//! expand to FP16 at the chip boundary (OC) or at the compute units
-//! (OC+ON).
-//!
-//! ```sh
-//! cargo run --release -p mokey-eval --example memory_compression
-//! ```
+// Use Mokey purely as a memory-compression assist over a Tensor Cores
+// accelerator (paper Section IV-D): values travel as 4-bit indexes and
+// expand to FP16 at the chip boundary (OC) or at the compute units
+// (OC+ON).
+//
+// ```sh
+// cargo run --release -p mokey-eval --example memory_compression
+// ```
 
 use mokey_accel::arch::{Accelerator, MemCompression};
 use mokey_accel::sim::{simulate, simulate_memcomp, SimConfig};

@@ -1,10 +1,10 @@
-//! The activation-profiling workflow: run one small batch through the FP
-//! model, build per-tensor dictionaries, and verify the profile is stable
-//! across batches (the paper's Fig. 8 property).
-//!
-//! ```sh
-//! cargo run --release -p mokey-eval --example profile_activations
-//! ```
+// The activation-profiling workflow: run one small batch through the FP
+// model, build per-tensor dictionaries, and verify the profile is stable
+// across batches (the paper's Fig. 8 property).
+//
+// ```sh
+// cargo run --release -p mokey-eval --example profile_activations
+// ```
 
 use mokey_core::curve::ExpCurve;
 use mokey_core::profile::{ActivationProfiler, ProfileConfig};

@@ -1,8 +1,8 @@
-//! Quickstart: quantize a tensor with Mokey and compute on indexes.
-//!
-//! ```sh
-//! cargo run --release -p mokey-eval --example quickstart
-//! ```
+// Quickstart: quantize a tensor with Mokey and compute on indexes.
+//
+// ```sh
+// cargo run --release -p mokey-eval --example quickstart
+// ```
 
 use mokey_core::curve::ExpCurve;
 use mokey_core::encode::QuantizedTensor;

@@ -107,14 +107,8 @@ fn index_kernels_agree_on_real_model_tensors() {
     );
 
     // And the whole GEMM path matches the decoded GEMM.
-    let small_a = QuantizedTensor::encode(
-        &hidden.slice_rows(0, 4),
-        qa.dict(),
-    );
-    let small_w = QuantizedTensor::encode(
-        &w.slice_cols(0, 6),
-        qw.dict(),
-    );
+    let small_a = QuantizedTensor::encode(&hidden.slice_rows(0, 4), qa.dict());
+    let small_w = QuantizedTensor::encode(&w.slice_cols(0, 6), qw.dict());
     let via_index = kernels::matmul_indexed(&small_a, &small_w);
     let via_decode = kernels::matmul_decoded(&small_a, &small_w);
     assert!(via_index.max_abs_diff(&via_decode) < 1e-3);

@@ -65,8 +65,7 @@ fn compression_engines_are_mutually_inverse() {
     let model = model();
     let curve = ExpCurve::paper();
     let w = &model.layers[1].w1;
-    let dict =
-        mokey_core::dict::TensorDict::for_values(w.as_slice(), &curve, &Default::default());
+    let dict = mokey_core::dict::TensorDict::for_values(w.as_slice(), &curve, &Default::default());
     let comp = CompressionEngine::new(dict.clone());
     let decomp = DecompressionEngine::new(dict);
 

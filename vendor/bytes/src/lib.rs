@@ -1,0 +1,119 @@
+//! Offline stand-in for the `bytes` crate: the small [`BytesMut`] /
+//! [`BufMut`] surface the memory-layout bit writers use, backed by a
+//! plain `Vec<u8>`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { inner: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer, yielding its bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+
+    /// Clears the buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+/// Byte-appending operations.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_read_back() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xAB);
+        b.put_u16_le(0x1234);
+        assert_eq!(b.to_vec(), vec![0xAB, 0x34, 0x12]);
+        assert_eq!(b.len(), 3);
+    }
+}

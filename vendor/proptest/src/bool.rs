@@ -1,0 +1,35 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniformly random booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The uniform boolean strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Booleans that are `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted(p)
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted(f64);
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(self.0)
+    }
+}

@@ -1,0 +1,7 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// The `prop::` path alias (`prop::collection::vec`, `prop::bool::ANY`).
+pub use crate as prop;

@@ -1,0 +1,312 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stand-in.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; the input item is parsed directly from the
+//! `proc_macro::TokenStream`. Supported shapes — which cover every derive
+//! site in this workspace — are non-generic structs (named, tuple, unit)
+//! and enums (unit, tuple and struct variants). Generic types produce a
+//! `compile_error!` naming the limitation rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    /// `struct S { a: T, b: U }` with field names.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` with arity.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }` with per-variant (name, shape).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, body)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &body),
+                Mode::Deserialize => format!("impl ::serde::Deserialize for {name} {{}}"),
+            };
+            code.parse().expect("generated impl must parse")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error must parse"),
+    }
+}
+
+/// Extracts `(type name, body)` from a struct/enum item.
+fn parse_item(input: TokenStream) -> Result<(String, Body), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    let name;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // attribute: `#` followed by a bracket group
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        i += 1;
+                        // skip `pub(crate)`-style restrictions
+                        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(if s == "struct" { "struct" } else { "enum" });
+                        i += 1;
+                        break;
+                    }
+                    // `union`, `unsafe`, etc. are unsupported
+                    other => return Err(format!("derive stand-in: unsupported item `{other}`")),
+                }
+            }
+            _ => return Err("derive stand-in: unexpected token before item keyword".into()),
+        }
+    }
+    let kind = kind.ok_or("derive stand-in: no struct/enum keyword found")?;
+    match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            name = id.to_string();
+            i += 1;
+        }
+        _ => return Err("derive stand-in: missing type name".into()),
+    }
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive stand-in: generic type `{name}` is not supported (add impls by hand)"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            } else {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Body::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => Body::UnitStruct,
+        _ => return Err(format!("derive stand-in: malformed {kind} body for `{name}`")),
+    };
+    Ok((name, body))
+}
+
+/// Field names of a `{ ... }` struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // skip attributes and visibility
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // expect `:`, then skip the type up to a top-level comma
+                // (commas inside `<...>` belong to the type)
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => return Err("derive stand-in: expected `:` after field name".into()),
+                }
+                let mut angle = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => return Err("derive stand-in: unexpected token in struct body".into()),
+        }
+    }
+    Ok(fields)
+}
+
+/// Arity of a tuple-struct/tuple-variant body (top-level comma count + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in stream {
+        any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                let shape = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantShape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantShape::Named(parse_named_fields(g.stream())?)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // skip a possible `= discriminant` then the trailing comma
+                while i < tokens.len() {
+                    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                variants.push((vname, shape));
+            }
+            _ => return Err("derive stand-in: unexpected token in enum body".into()),
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let to_value_body = match body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(n) => {
+            if *n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({v:?}), {inner})])",
+                            binds.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({v:?}), ::serde::Value::Object(::std::vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {to_value_body} }}\n}}"
+    )
+}
