@@ -2,14 +2,17 @@
 //! least squares replacing MATLAB's toolbox).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mokey_core::curve::ExpCurve;
+use mokey_core::curve::{ExpCurve, PAPER_A, PAPER_B};
 use mokey_core::golden::{GoldenConfig, GoldenDictionary};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let gd = GoldenDictionary::generate(&GoldenConfig::default());
     let curve = ExpCurve::fit(&gd);
-    println!("\n[fig03] fitted a = {:.4}, b = {:+.4} (paper 1.179 / -0.977)", curve.a, curve.b);
+    println!(
+        "\n[fig03] fitted a = {:.4}, b = {:+.4} (paper {PAPER_A} / {PAPER_B})",
+        curve.a, curve.b
+    );
 
     c.bench_function("fig03_curve_fit", |b| b.iter(|| black_box(ExpCurve::fit(&gd))));
 }

@@ -1,0 +1,117 @@
+//! Throughput smoke benchmark for `QuantSession::quantize_model`: serial
+//! vs parallel weight quantization of a scaled BERT-Base, reported as
+//! values/second and written to `BENCH_pipeline.json` at the workspace
+//! root so future PRs have a perf trajectory to compare against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mokey_pipeline::{Parallelism, QuantSession, QuantizeSpec};
+use mokey_transformer::model::{Head, Model};
+use mokey_transformer::ModelConfig;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Workspace root: the first ancestor whose `Cargo.toml` declares
+/// `[workspace]` (mirrors `mokey_eval::report::results_dir`).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Measures one `quantize_model` weight pass in values/second. Every
+/// iteration uses a fresh session so dictionary fits are never served
+/// from cache.
+fn values_per_sec(model: &Model, par: Parallelism, iters: u32) -> (usize, f64) {
+    let mut values = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let session = QuantSession::builder().parallelism(par).cache_dicts(false).build();
+        let mq = session
+            .quantize_model(model, QuantizeSpec::weights_only(), &[])
+            .expect("non-degenerate weights");
+        values = mq.report.weight_values;
+        black_box(mq);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    (values, values as f64 * f64::from(iters) / elapsed)
+}
+
+fn bench(c: &mut Criterion) {
+    let config = ModelConfig::bert_base().scaled(6, 4);
+    let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 2024);
+
+    // Bit-identity check: the parallel path must produce exactly the
+    // serial codes (the acceptance invariant of the pipeline refactor).
+    let serial = QuantSession::builder().parallelism(Parallelism::Serial).build();
+    let parallel = QuantSession::builder().parallelism(Parallelism::Auto).build();
+    let ms = serial.quantize_model(&model, QuantizeSpec::weights_only(), &[]).unwrap();
+    let mp = parallel.quantize_model(&model, QuantizeSpec::weights_only(), &[]).unwrap();
+    assert_eq!(ms.weights, mp.weights, "parallel codes diverged from serial");
+
+    let iters = 3;
+    let (values, serial_vps) = values_per_sec(&model, Parallelism::Serial, iters);
+    let (_, parallel_vps) = values_per_sec(&model, Parallelism::Auto, iters);
+    let threads = Parallelism::Auto.workers(usize::MAX);
+    println!(
+        "\n[pipeline] {} weight values: serial {:.2} Mvals/s, parallel {:.2} Mvals/s ({}x on {} threads)",
+        values,
+        serial_vps / 1e6,
+        parallel_vps / 1e6,
+        parallel_vps / serial_vps,
+        threads,
+    );
+
+    let baseline = format!(
+        "{{\n  \"bench\": \"quantize_model_weights\",\n  \"model\": \"{}\",\n  \"weight_values\": {},\n  \"serial_values_per_sec\": {:.0},\n  \"parallel_values_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"threads\": {}\n}}\n",
+        config.name, values, serial_vps, parallel_vps, parallel_vps / serial_vps, threads,
+    );
+    let path = workspace_root().join("BENCH_pipeline.json");
+    match std::fs::write(&path, baseline) {
+        Ok(()) => println!("[pipeline] baseline written to {}", path.display()),
+        Err(e) => println!("[pipeline] could not write {}: {e}", path.display()),
+    }
+
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("quantize_model_serial", |b| {
+        b.iter(|| {
+            let session =
+                QuantSession::builder().parallelism(Parallelism::Serial).cache_dicts(false).build();
+            black_box(session.quantize_model(&model, QuantizeSpec::weights_only(), &[]).unwrap())
+        })
+    });
+    group.bench_function("quantize_model_parallel", |b| {
+        b.iter(|| {
+            let session =
+                QuantSession::builder().parallelism(Parallelism::Auto).cache_dicts(false).build();
+            black_box(session.quantize_model(&model, QuantizeSpec::weights_only(), &[]).unwrap())
+        })
+    });
+    group.bench_function("quantize_model_cached", |b| {
+        // Warm cache: the steady-state cost of re-quantizing a model
+        // through a long-lived session.
+        let session = QuantSession::with_defaults();
+        let _ = session.quantize_model(&model, QuantizeSpec::weights_only(), &[]).unwrap();
+        b.iter(|| {
+            black_box(session.quantize_model(&model, QuantizeSpec::weights_only(), &[]).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mokey_eval::scaled::{build_row, evaluate_row, profile_inputs, table1_rows};
 use mokey_eval::Quality;
+use mokey_pipeline::QuantSession;
 use mokey_transformer::quantize::{QuantizeSpec, QuantizedModel};
 use std::hint::black_box;
 
@@ -20,10 +21,29 @@ fn bench(c: &mut Criterion) {
     let (model, task) = build_row(spec, Quality::Quick);
     let profile = profile_inputs(&model, spec, Quality::Quick);
     c.bench_function("table1_weight_quantization", |b| {
-        b.iter(|| black_box(QuantizedModel::prepare(&model, QuantizeSpec::weights_only(), &[])))
+        b.iter(|| {
+            // A fresh cache-less session per iteration: measures the full
+            // cold flow (every dictionary fit paid, no carry-over).
+            let session = QuantSession::builder().cache_dicts(false).build();
+            black_box(
+                QuantizedModel::prepare_with_session(
+                    &session,
+                    &model,
+                    QuantizeSpec::weights_only(),
+                    &[],
+                )
+                .expect("non-degenerate weights"),
+            )
+        })
     });
-    let (qm, _) =
-        QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+    let session = QuantSession::with_defaults();
+    let (qm, _) = QuantizedModel::prepare_with_session(
+        &session,
+        &model,
+        QuantizeSpec::weights_and_activations(),
+        &profile,
+    )
+    .expect("non-degenerate tensors");
     let tokens = &task.inputs[0];
     c.bench_function("table1_quantized_forward", |b| b.iter(|| black_box(qm.infer(tokens))));
     c.bench_function("table1_fp_forward", |b| {

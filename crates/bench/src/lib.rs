@@ -1,7 +1,7 @@
 //! Shared fixtures for the Criterion benches.
 
-use mokey_core::curve::ExpCurve;
 use mokey_core::encode::QuantizedTensor;
+use mokey_pipeline::QuantSession;
 use mokey_tensor::init::GaussianMixture;
 use mokey_tensor::Matrix;
 
@@ -15,7 +15,13 @@ pub fn activation_matrix(rows: usize, cols: usize) -> Matrix {
     GaussianMixture::activation_like(0.2, 1.2).sample_matrix(rows, cols, 0xFEED)
 }
 
-/// Quantizes a matrix with its own dictionary and the paper curve.
+/// A pipeline session for bench fixtures: paper curve constants, cache
+/// disabled (fixtures quantize each tensor once).
+pub fn session() -> QuantSession {
+    QuantSession::builder().cache_dicts(false).build()
+}
+
+/// Quantizes a matrix through a fixture pipeline session.
 pub fn quantize(m: &Matrix) -> QuantizedTensor {
-    QuantizedTensor::encode_with_own_dict(m, &ExpCurve::paper(), &Default::default())
+    session().quantize_tensor("bench", m).expect("bench fixtures are non-degenerate")
 }

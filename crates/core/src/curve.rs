@@ -12,6 +12,15 @@
 use crate::golden::GoldenDictionary;
 use serde::{Deserialize, Serialize};
 
+/// The paper's published exponential base `a` (Section II-D, Fig. 3).
+///
+/// Exported so every consumer (figures, ablations, benches, regression
+/// tests) references one definition instead of re-typing the literal.
+pub const PAPER_A: f64 = 1.179;
+
+/// The paper's published additive offset `b` (Section II-D, Fig. 3).
+pub const PAPER_B: f64 = -0.977;
+
 /// The fitted exponential `magnitude(i) = a^i + b`.
 ///
 /// # Example
@@ -34,10 +43,10 @@ pub struct ExpCurve {
 }
 
 impl ExpCurve {
-    /// The constants published in the paper, for cross-checks and as a
-    /// drop-in when regeneration is not desired.
+    /// The constants published in the paper ([`PAPER_A`], [`PAPER_B`]),
+    /// for cross-checks and as a drop-in when regeneration is not desired.
     pub fn paper() -> Self {
-        Self { a: 1.179, b: -0.977, half_len: 8 }
+        Self { a: PAPER_A, b: PAPER_B, half_len: 8 }
     }
 
     /// Fits `a^i + b` to a Golden Dictionary with the paper's weighting
@@ -174,8 +183,8 @@ mod tests {
         // gets a wider band (see EXPERIMENTS.md, Fig. 3 entry).
         let gd = GoldenDictionary::generate(&GoldenConfig::default());
         let c = ExpCurve::fit(&gd);
-        assert!((c.a - 1.179).abs() < 0.06, "a = {} vs paper 1.179", c.a);
-        assert!((c.b + 0.977).abs() < 0.2, "b = {} vs paper -0.977", c.b);
+        assert!((c.a - PAPER_A).abs() < 0.06, "a = {} vs paper {PAPER_A}", c.a);
+        assert!((c.b - PAPER_B).abs() < 0.2, "b = {} vs paper {PAPER_B}", c.b);
     }
 
     #[test]

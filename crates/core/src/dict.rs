@@ -12,6 +12,59 @@ use crate::encode::Code;
 use mokey_clustering::ward_agglomerative;
 use mokey_tensor::stats::Summary;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a per-tensor dictionary could not be built.
+///
+/// Degenerate tensors used to panic (empty) or silently produce a
+/// unit-scale dictionary (constant); both now surface as typed errors so
+/// pipeline consumers can attach the tensor name and fail cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictError {
+    /// The tensor had no values.
+    Empty,
+    /// Every value is (numerically) identical: the standard deviation is
+    /// zero, so the `GD·s + m` transform collapses and no meaningful
+    /// dictionary exists.
+    Constant,
+    /// The tensor contained NaN or infinite values.
+    NonFinite,
+}
+
+impl fmt::Display for DictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DictError::Empty => write!(f, "cannot build a dictionary for zero values"),
+            DictError::Constant => {
+                write!(f, "tensor is constant (zero variance); no dictionary transform exists")
+            }
+            DictError::NonFinite => write!(f, "tensor contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for DictError {}
+
+/// Reusable buffers for dictionary construction.
+///
+/// Building a [`TensorDict`] needs three transient `Vec`s (normalized
+/// magnitudes, a sorted copy for the [`OutlierPolicy::Fraction`] cut, and
+/// the outlier subset). A pipeline quantizing thousands of tensors hands
+/// each worker one `DictScratch` so those buffers are allocated once per
+/// worker instead of three times per tensor.
+#[derive(Debug, Default)]
+pub struct DictScratch {
+    zmags: Vec<f64>,
+    sorted: Vec<f64>,
+    outliers: Vec<f64>,
+}
+
+impl DictScratch {
+    /// A scratch arena with empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// How the Gaussian/outlier boundary is chosen during dictionary
 /// construction.
@@ -70,7 +123,8 @@ impl Default for TensorDictConfig {
 /// use mokey_core::{curve::ExpCurve, dict::TensorDict};
 ///
 /// let values: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.618).sin() * 0.1).collect();
-/// let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+/// let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default())
+///     .expect("non-degenerate tensor");
 /// let code = dict.encode_value(0.05);
 /// let back = dict.decode_code(code);
 /// assert!((back - 0.05).abs() < 0.03);
@@ -93,11 +147,15 @@ impl TensorDict {
     /// Builds the dictionary pair for a concrete value set (weights, or
     /// profiled activation samples).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values` is empty.
-    pub fn for_values(values: &[f32], curve: &ExpCurve, config: &TensorDictConfig) -> Self {
-        assert!(!values.is_empty(), "cannot build a dictionary for zero values");
+    /// Returns a [`DictError`] when the tensor is empty, constant, or
+    /// contains non-finite values.
+    pub fn for_values(
+        values: &[f32],
+        curve: &ExpCurve,
+        config: &TensorDictConfig,
+    ) -> Result<Self, DictError> {
         let summary = Summary::of(values);
         Self::from_stats(&summary, values, curve, config)
     }
@@ -105,25 +163,53 @@ impl TensorDict {
     /// Builds the dictionary pair from precomputed statistics plus a sample
     /// of values (the profiler's reservoir) used for outlier clustering.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the summary is empty.
+    /// Returns a [`DictError`] when the summary describes an empty,
+    /// constant, or non-finite tensor.
     pub fn from_stats(
         summary: &Summary,
         samples: &[f32],
         curve: &ExpCurve,
         config: &TensorDictConfig,
-    ) -> Self {
-        assert!(summary.count() > 0, "cannot build a dictionary from an empty summary");
+    ) -> Result<Self, DictError> {
+        Self::from_stats_scratch(summary, samples, curve, config, &mut DictScratch::new())
+    }
+
+    /// [`TensorDict::from_stats`] with caller-owned scratch buffers — the
+    /// hot path for pipelines that build thousands of dictionaries, where
+    /// per-tensor `Vec` churn would dominate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DictError`] when the summary describes an empty,
+    /// constant, or non-finite tensor.
+    pub fn from_stats_scratch(
+        summary: &Summary,
+        samples: &[f32],
+        curve: &ExpCurve,
+        config: &TensorDictConfig,
+        scratch: &mut DictScratch,
+    ) -> Result<Self, DictError> {
+        if summary.count() == 0 {
+            return Err(DictError::Empty);
+        }
         let shift = summary.mean();
-        // Degenerate tensors (constant) get unit scale so z stays finite.
-        let scale = if summary.std() > 1e-30 { summary.std() } else { 1.0 };
+        let scale = summary.std();
+        if !shift.is_finite() || !scale.is_finite() || !summary.min().is_finite() {
+            return Err(DictError::NonFinite);
+        }
+        if scale <= 1e-30 {
+            return Err(DictError::Constant);
+        }
         let g_magnitudes = curve.magnitudes();
         let g_max = *g_magnitudes.last().expect("curve has at least one magnitude");
 
         let z_cap = curve.power(config.max_exponent as usize) + curve.b;
-        let zmags: Vec<f64> =
-            samples.iter().map(|&v| ((f64::from(v) - shift) / scale).abs().min(z_cap)).collect();
+        scratch.zmags.clear();
+        scratch
+            .zmags
+            .extend(samples.iter().map(|&v| ((f64::from(v) - shift) / scale).abs().min(z_cap)));
 
         let cutoff = match config.policy {
             OutlierPolicy::Disabled => f64::INFINITY,
@@ -131,23 +217,26 @@ impl TensorDict {
             OutlierPolicy::Threshold(t) => t,
             OutlierPolicy::Fraction(f) => {
                 let f = f.clamp(0.0, 1.0);
-                let mut sorted = zmags.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite z"));
-                let idx = ((sorted.len() as f64) * (1.0 - f)) as usize;
-                sorted.get(idx).copied().unwrap_or(f64::INFINITY)
+                scratch.sorted.clear();
+                scratch.sorted.extend_from_slice(&scratch.zmags);
+                scratch.sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite z"));
+                let idx = ((scratch.sorted.len() as f64) * (1.0 - f)) as usize;
+                scratch.sorted.get(idx).copied().unwrap_or(f64::INFINITY)
             }
         };
 
-        let outliers: Vec<f64> = zmags.iter().copied().filter(|&z| z > cutoff).collect();
-        let ot_magnitudes = if outliers.is_empty() || config.policy == OutlierPolicy::Disabled {
-            Vec::new()
-        } else {
-            let k = config.max_outlier_magnitudes.min(outliers.len()).max(1);
-            let clustering = ward_agglomerative(&outliers, k);
-            clustering.centroids().to_vec()
-        };
+        scratch.outliers.clear();
+        scratch.outliers.extend(scratch.zmags.iter().copied().filter(|&z| z > cutoff));
+        let ot_magnitudes =
+            if scratch.outliers.is_empty() || config.policy == OutlierPolicy::Disabled {
+                Vec::new()
+            } else {
+                let k = config.max_outlier_magnitudes.min(scratch.outliers.len()).max(1);
+                let clustering = ward_agglomerative(&scratch.outliers, k);
+                clustering.centroids().to_vec()
+            };
 
-        Self { curve: *curve, scale, shift, g_magnitudes, ot_magnitudes, cutoff }
+        Ok(Self { curve: *curve, scale, shift, g_magnitudes, ot_magnitudes, cutoff })
     }
 
     /// Reconstructs a dictionary from its stored parts (the wire format of
@@ -299,7 +388,7 @@ mod tests {
     fn linear_transform_matches_paper_form() {
         let values = weight_values();
         let curve = ExpCurve::paper();
-        let dict = TensorDict::for_values(&values, &curve, &Default::default());
+        let dict = TensorDict::for_values(&values, &curve, &Default::default()).unwrap();
         // Decoded G centroid i must equal ±(a^i + b)·s + m exactly.
         for i in 0..8u8 {
             let pos = dict.decode_code(Code::new(false, false, i));
@@ -314,7 +403,8 @@ mod tests {
     #[test]
     fn encode_decode_error_bounded_for_bulk_values() {
         let values = weight_values();
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default()).unwrap();
         // For in-range values the error is at most half the largest gap
         // between adjacent signed centroids.
         let centroids = dict.signed_centroids();
@@ -330,7 +420,8 @@ mod tests {
     #[test]
     fn outlier_fraction_matches_paper_ballpark_for_weights() {
         let values = weight_values();
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default()).unwrap();
         let outliers = values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64;
         let frac = outliers / values.len() as f64;
         // Paper Table I: 1.2%–1.6% for weights. Allow a generous band.
@@ -340,7 +431,8 @@ mod tests {
     #[test]
     fn ot_magnitudes_sit_beyond_g_range() {
         let values = weight_values();
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default()).unwrap();
         let g_max = *dict.g_magnitudes().last().unwrap();
         assert!(!dict.ot_magnitudes().is_empty());
         for &m in dict.ot_magnitudes() {
@@ -352,7 +444,7 @@ mod tests {
     fn disabled_policy_has_no_outliers() {
         let values = weight_values();
         let config = TensorDictConfig { policy: OutlierPolicy::Disabled, ..Default::default() };
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &config);
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &config).unwrap();
         assert!(dict.ot_magnitudes().is_empty());
         assert!(values.iter().all(|&v| !dict.encode_value(v).is_outlier()));
     }
@@ -362,26 +454,54 @@ mod tests {
         let values = weight_values();
         let config =
             TensorDictConfig { policy: OutlierPolicy::Fraction(0.05), ..Default::default() };
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &config);
+        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &config).unwrap();
         let frac = values.iter().filter(|&&v| dict.encode_value(v).is_outlier()).count() as f64
             / values.len() as f64;
         assert!((frac - 0.05).abs() < 0.02, "fraction {frac} vs requested 0.05");
     }
 
     #[test]
-    fn constant_tensor_does_not_blow_up() {
-        let values = vec![3.0f32; 100];
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
-        let code = dict.encode_value(3.0);
-        let back = dict.decode_code(code);
-        // Scale falls back to 1.0; the nearest magnitude is a^0+b = 0.023.
-        assert!((back - 3.0).abs() < 0.05);
+    fn degenerate_tensors_are_rejected_with_typed_errors() {
+        let curve = ExpCurve::paper();
+        let config = TensorDictConfig::default();
+        assert_eq!(TensorDict::for_values(&[], &curve, &config), Err(DictError::Empty));
+        assert_eq!(
+            TensorDict::for_values(&[3.0f32; 100], &curve, &config),
+            Err(DictError::Constant)
+        );
+        assert_eq!(
+            TensorDict::for_values(&[0.1, f32::NAN, 0.2], &curve, &config),
+            Err(DictError::NonFinite)
+        );
+        assert_eq!(
+            TensorDict::for_values(&[0.1, f32::INFINITY], &curve, &config),
+            Err(DictError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_buffers() {
+        let values = weight_values();
+        let curve = ExpCurve::paper();
+        let mut scratch = DictScratch::new();
+        for policy in
+            [OutlierPolicy::CurveMidpoint, OutlierPolicy::Fraction(0.03), OutlierPolicy::Disabled]
+        {
+            let config = TensorDictConfig { policy, ..Default::default() };
+            let summary = Summary::of(&values);
+            let fresh = TensorDict::from_stats(&summary, &values, &curve, &config).unwrap();
+            let reused =
+                TensorDict::from_stats_scratch(&summary, &values, &curve, &config, &mut scratch)
+                    .unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]
     fn extreme_values_clamp_to_outermost_bin() {
         let values = weight_values();
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default()).unwrap();
         let code = dict.encode_value(1e6);
         assert!(code.is_outlier());
         assert_eq!(code.index() as usize, dict.ot_magnitudes().len() - 1);
@@ -390,7 +510,8 @@ mod tests {
     #[test]
     fn signed_centroids_sorted_and_complete() {
         let values = weight_values();
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default()).unwrap();
         let c = dict.signed_centroids();
         assert_eq!(c.len(), 2 * (8 + dict.ot_magnitudes().len()));
         assert!(c.windows(2).all(|w| w[0].0 <= w[1].0));
@@ -403,7 +524,8 @@ mod tests {
     #[test]
     fn metadata_is_small() {
         let values = weight_values();
-        let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default()).unwrap();
         assert!(dict.metadata_bits() <= (8 + 8 + 2) * 16);
     }
 }

@@ -6,7 +6,7 @@
 //! "the values can be expanded to 5b (dictionary selection/1b, sign/1b,
 //! centroid index/3b) indexes" — [`Code`] is that 5-bit form.
 
-use crate::dict::TensorDict;
+use crate::dict::{DictError, TensorDict};
 use mokey_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -119,7 +119,8 @@ impl Code {
 /// use mokey_tensor::init::GaussianMixture;
 ///
 /// let w = GaussianMixture::weight_like(0.0, 0.1).sample_matrix(16, 16, 3);
-/// let dict = TensorDict::for_values(w.as_slice(), &ExpCurve::paper(), &Default::default());
+/// let dict = TensorDict::for_values(w.as_slice(), &ExpCurve::paper(), &Default::default())
+///     .expect("non-degenerate tensor");
 /// let q = QuantizedTensor::encode(&w, &dict);
 /// assert_eq!(q.shape(), (16, 16));
 /// assert!(q.outlier_fraction() < 0.1);
@@ -142,19 +143,33 @@ impl QuantizedTensor {
     /// Convenience: builds the dictionary from the matrix itself, then
     /// encodes (the weight-quantization path, where values are statically
     /// known).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DictError`] when the matrix is a degenerate tensor
+    /// (empty, constant, or non-finite).
     pub fn encode_with_own_dict(
         matrix: &Matrix,
         curve: &crate::curve::ExpCurve,
         config: &crate::dict::TensorDictConfig,
-    ) -> Self {
-        let dict = TensorDict::for_values(matrix.as_slice(), curve, config);
-        Self::encode(matrix, &dict)
+    ) -> Result<Self, DictError> {
+        let dict = TensorDict::for_values(matrix.as_slice(), curve, config)?;
+        Ok(Self::encode(matrix, &dict))
     }
 
     /// Decodes back to a dense matrix of centroid values.
     pub fn decode(&self) -> Matrix {
         let data = self.codes.iter().map(|&c| self.dict.decode_code(c) as f32).collect();
         Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Decodes into a caller-owned buffer (cleared first), avoiding the
+    /// per-tensor output allocation of [`QuantizedTensor::decode`] when a
+    /// pipeline streams many tensors through one scratch buffer.
+    pub fn decode_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.codes.len());
+        out.extend(self.codes.iter().map(|&c| self.dict.decode_code(c) as f32));
     }
 
     /// Shape `(rows, cols)`.
@@ -224,7 +239,8 @@ mod tests {
 
     fn sample_tensor() -> (Matrix, TensorDict) {
         let m = GaussianMixture::weight_like(0.02, 0.08).sample_matrix(32, 48, 9);
-        let dict = TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default()).unwrap();
         (m, dict)
     }
 
@@ -267,6 +283,15 @@ mod tests {
             (se / m.len() as f64).sqrt()
         };
         assert!(rms < 0.08 * 0.5, "rms {rms} too large");
+    }
+
+    #[test]
+    fn decode_into_matches_decode_and_reuses_buffer() {
+        let (m, dict) = sample_tensor();
+        let q = QuantizedTensor::encode(&m, &dict);
+        let mut buf = vec![9.0f32; 10_000]; // pre-filled and oversized on purpose
+        q.decode_into(&mut buf);
+        assert_eq!(buf.as_slice(), q.decode().as_slice());
     }
 
     #[test]

@@ -212,8 +212,8 @@ impl DotBreakdown {
 /// let a = GaussianMixture::activation_like(0.1, 1.0).sample_matrix(1, 256, 1);
 /// let w = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(1, 256, 2);
 /// let curve = ExpCurve::paper();
-/// let qa = QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default());
-/// let qw = QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default());
+/// let qa = QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default()).unwrap();
+/// let qw = QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default()).unwrap();
 /// let indexed = kernels::dot_indexed(qa.codes(), qa.dict(), qw.codes(), qw.dict());
 /// let reference = kernels::dot_decoded(qa.codes(), qa.dict(), qw.codes(), qw.dict());
 /// assert!((indexed - reference).abs() < 1e-9 * reference.abs().max(1.0));
@@ -332,8 +332,8 @@ mod tests {
         let a = GaussianMixture::activation_like(0.3, 1.2).sample_matrix(1, n, seed);
         let w = GaussianMixture::weight_like(-0.01, 0.06).sample_matrix(1, n, seed + 1000);
         (
-            QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default()),
-            QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default()),
+            QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default()).unwrap(),
+            QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default()).unwrap(),
         )
     }
 
@@ -398,8 +398,8 @@ mod tests {
         let curve = ExpCurve::paper();
         let a = GaussianMixture::activation_like(0.0, 1.0).sample_matrix(6, 64, 21);
         let w = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(64, 5, 22);
-        let qa = QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default());
-        let qw = QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default());
+        let qa = QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default()).unwrap();
+        let qw = QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default()).unwrap();
         let indexed = matmul_indexed(&qa, &qw);
         let decoded = matmul_decoded(&qa, &qw);
         assert_eq!(indexed.shape(), (6, 5));
@@ -422,8 +422,8 @@ mod tests {
         let w = GaussianMixture::weight_like(0.0, 0.04).sample_matrix(1, 4096, 6);
         let fp: f64 =
             a.as_slice().iter().zip(w.as_slice()).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
-        let qa = QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default());
-        let qw = QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default());
+        let qa = QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default()).unwrap();
+        let qw = QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default()).unwrap();
         let q = dot_indexed(qa.codes(), qa.dict(), qw.codes(), qw.dict());
         // 4-bit quantization of both operands: expect a few percent of the
         // vector norm. Scale tolerance by ||a||·||w||/sqrt(n).

@@ -42,7 +42,8 @@
 //!
 //! // Quantize a weight-like tensor.
 //! let w = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(64, 64, 1);
-//! let dict = TensorDict::for_values(w.as_slice(), &curve, &Default::default());
+//! let dict = TensorDict::for_values(w.as_slice(), &curve, &Default::default())
+//!     .expect("non-degenerate tensor");
 //! let q = QuantizedTensor::encode(&w, &dict);
 //! let restored = q.decode();
 //! assert!(w.max_abs_diff(&restored) < 0.25); // bounded by outlier bins
@@ -57,8 +58,8 @@ pub mod metrics;
 pub mod profile;
 pub mod quantizer;
 
-pub use curve::ExpCurve;
-pub use dict::{OutlierPolicy, TensorDict, TensorDictConfig};
+pub use curve::{ExpCurve, PAPER_A, PAPER_B};
+pub use dict::{DictError, DictScratch, OutlierPolicy, TensorDict, TensorDictConfig};
 pub use encode::{Code, QuantizedTensor};
 pub use golden::{GoldenConfig, GoldenDictionary};
 pub use profile::{ActivationProfiler, ProfileConfig};

@@ -11,7 +11,7 @@
 //! bounded reservoir sample (for outlier-dictionary clustering).
 
 use crate::curve::ExpCurve;
-use crate::dict::{TensorDict, TensorDictConfig};
+use crate::dict::{DictError, DictScratch, TensorDict, TensorDictConfig};
 use mokey_tensor::stats::Summary;
 use mokey_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -88,12 +88,31 @@ impl TensorProfile {
 
     /// Builds the tensor's dictionary pair from the profile.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if nothing was observed.
-    pub fn build_dict(&self, curve: &ExpCurve, config: &TensorDictConfig) -> TensorDict {
-        assert!(self.seen > 0, "cannot build a dictionary from an empty profile");
+    /// Returns a [`DictError`] when the profiled tensor is degenerate
+    /// (nothing observed, constant, or non-finite).
+    pub fn build_dict(
+        &self,
+        curve: &ExpCurve,
+        config: &TensorDictConfig,
+    ) -> Result<TensorDict, DictError> {
         TensorDict::from_stats(&self.summary, &self.reservoir, curve, config)
+    }
+
+    /// [`TensorProfile::build_dict`] with caller-owned scratch buffers (the
+    /// parallel-pipeline hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DictError`] when the profiled tensor is degenerate.
+    pub fn build_dict_scratch(
+        &self,
+        curve: &ExpCurve,
+        config: &TensorDictConfig,
+        scratch: &mut DictScratch,
+    ) -> Result<TensorDict, DictError> {
+        TensorDict::from_stats_scratch(&self.summary, &self.reservoir, curve, config, scratch)
     }
 }
 
@@ -110,7 +129,7 @@ impl TensorProfile {
 ///     let acts = GaussianMixture::activation_like(0.5, 2.0).sample_matrix(8, 128, batch);
 ///     profiler.observe("encoder0.ffn.input", &acts);
 /// }
-/// let dicts = profiler.build_dicts(&ExpCurve::paper(), &Default::default());
+/// let dicts = profiler.build_dicts(&ExpCurve::paper(), &Default::default()).unwrap();
 /// assert!(dicts.contains_key("encoder0.ffn.input"));
 /// ```
 #[derive(Debug)]
@@ -150,12 +169,25 @@ impl ActivationProfiler {
     }
 
     /// Builds dictionaries for every observed tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending tensor's name alongside its [`DictError`]
+    /// when any profiled tensor is degenerate.
     pub fn build_dicts(
         &self,
         curve: &ExpCurve,
         config: &TensorDictConfig,
-    ) -> BTreeMap<String, TensorDict> {
-        self.profiles.iter().map(|(name, p)| (name.clone(), p.build_dict(curve, config))).collect()
+    ) -> Result<BTreeMap<String, TensorDict>, (String, DictError)> {
+        let mut scratch = DictScratch::new();
+        self.profiles
+            .iter()
+            .map(|(name, p)| {
+                p.build_dict_scratch(curve, config, &mut scratch)
+                    .map(|d| (name.clone(), d))
+                    .map_err(|e| (name.clone(), e))
+            })
+            .collect()
     }
 }
 
@@ -193,11 +225,12 @@ mod tests {
         let acts = GaussianMixture::activation_like(1.0, 3.0).sample_matrix(64, 256, 5);
         let mut profiler = ActivationProfiler::new(ProfileConfig::default());
         profiler.observe("t", &acts);
-        let dicts = profiler.build_dicts(&ExpCurve::paper(), &Default::default());
+        let dicts = profiler.build_dicts(&ExpCurve::paper(), &Default::default()).unwrap();
         let dict = &dicts["t"];
         // Mean/std come from the full stream, so they match exactly.
         let direct =
-            TensorDict::for_values(acts.as_slice(), &ExpCurve::paper(), &Default::default());
+            TensorDict::for_values(acts.as_slice(), &ExpCurve::paper(), &Default::default())
+                .unwrap();
         assert!((dict.scale() - direct.scale()).abs() < 1e-9);
         assert!((dict.shift() - direct.shift()).abs() < 1e-9);
     }
@@ -222,7 +255,11 @@ mod tests {
         let build = |seed: u64| {
             let mut profiler = ActivationProfiler::new(ProfileConfig::default());
             profiler.observe("x", &dist.sample_matrix(8, 4096, seed));
-            profiler.build_dicts(&ExpCurve::paper(), &Default::default()).remove("x").unwrap()
+            profiler
+                .build_dicts(&ExpCurve::paper(), &Default::default())
+                .unwrap()
+                .remove("x")
+                .unwrap()
         };
         let d1 = build(100);
         let d2 = build(200);
@@ -234,9 +271,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty profile")]
     fn empty_profile_cannot_build_dict() {
         let p = TensorProfile::new(&ProfileConfig::default(), 0);
-        let _ = p.build_dict(&ExpCurve::paper(), &Default::default());
+        let err = p.build_dict(&ExpCurve::paper(), &Default::default()).unwrap_err();
+        assert_eq!(err, DictError::Empty);
     }
 }

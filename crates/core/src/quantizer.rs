@@ -23,7 +23,7 @@ use mokey_tensor::Matrix;
 /// use mokey_core::{curve::ExpCurve, dict::TensorDict, quantizer::OutputQuantizer};
 ///
 /// let values: Vec<f32> = (0..512).map(|i| ((i as f32) * 0.37).sin()).collect();
-/// let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default());
+/// let dict = TensorDict::for_values(&values, &ExpCurve::paper(), &Default::default()).unwrap();
 /// let engine = OutputQuantizer::new(dict.clone());
 /// let code = engine.quantize(0.4);
 /// assert_eq!(code, dict.encode_value(0.4));
@@ -94,7 +94,8 @@ mod tests {
 
     fn engine() -> OutputQuantizer {
         let vals = GaussianMixture::activation_like(0.2, 1.5).sample_matrix(64, 64, 77);
-        let dict = TensorDict::for_values(vals.as_slice(), &ExpCurve::paper(), &Default::default());
+        let dict = TensorDict::for_values(vals.as_slice(), &ExpCurve::paper(), &Default::default())
+            .unwrap();
         OutputQuantizer::new(dict)
     }
 

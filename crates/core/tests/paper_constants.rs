@@ -4,7 +4,7 @@
 //! Paper: "Mokey: Enabling Narrow Fixed-Point Inference for Out-of-the-Box
 //! Floating-Point Transformer Models" (ISCA 2022).
 
-use mokey_core::curve::ExpCurve;
+use mokey_core::curve::{ExpCurve, PAPER_A, PAPER_B};
 use mokey_core::encode::QuantizedTensor;
 use mokey_core::golden::{GoldenConfig, GoldenDictionary};
 use mokey_core::metrics::{max_abs_err, rmse, sqnr_db};
@@ -16,9 +16,11 @@ use mokey_tensor::init::GaussianMixture;
 #[test]
 fn paper_curve_constants_are_pinned() {
     let c = ExpCurve::paper();
-    assert_eq!(c.a, 1.179);
-    assert_eq!(c.b, -0.977);
+    assert_eq!(c.a, PAPER_A);
+    assert_eq!(c.b, PAPER_B);
     assert_eq!(c.half_len, 8);
+    assert_eq!(PAPER_A, 1.179);
+    assert_eq!(PAPER_B, -0.977);
     // Derived anchor points of the published curve: a^0 + b and a^7 + b.
     assert!((c.magnitude(0) - 0.023).abs() < 1e-3);
     assert!((c.magnitude(7) - 2.1898).abs() < 1e-3);
@@ -35,8 +37,8 @@ fn fit_recovers_paper_constants_from_paper_curve() {
     // doubles the weight for the bins as we move towards zero".
     let weights: Vec<f64> = (0..8).map(|i| ((7 - i) as f64).exp2()).collect();
     let fitted = ExpCurve::fit_weighted(&magnitudes, &weights);
-    assert!((fitted.a - 1.179).abs() < 1e-6, "a drifted: {}", fitted.a);
-    assert!((fitted.b + 0.977).abs() < 1e-6, "b drifted: {}", fitted.b);
+    assert!((fitted.a - PAPER_A).abs() < 1e-6, "a drifted: {}", fitted.a);
+    assert!((fitted.b - PAPER_B).abs() < 1e-6, "b drifted: {}", fitted.b);
 }
 
 /// Fitting a freshly generated Golden Dictionary lands in a band around
@@ -88,7 +90,8 @@ fn golden_dictionary_is_deterministic_under_fixed_seed() {
 #[test]
 fn quantized_tensor_roundtrip_error_bounds() {
     let w = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(128, 384, 0xBEEF);
-    let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+    let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default())
+        .expect("non-degenerate tensor");
     let decoded = q.decode();
     assert_eq!(decoded.shape(), w.shape());
 
@@ -116,7 +119,8 @@ fn quantized_tensor_roundtrip_error_bounds() {
 #[test]
 fn roundtrip_is_idempotent_on_grid_values() {
     let w = GaussianMixture::weight_like(0.0, 0.08).sample_matrix(32, 64, 42);
-    let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+    let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default())
+        .expect("non-degenerate tensor");
     let once = q.decode();
     let q2 = QuantizedTensor::encode(&once, q.dict());
     let twice = q2.decode();

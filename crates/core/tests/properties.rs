@@ -32,7 +32,7 @@ fn tensor_strategy() -> impl Strategy<Value = Vec<f32>> {
 
 fn dict_for(values: &[f32], policy: OutlierPolicy) -> TensorDict {
     let config = TensorDictConfig { policy, ..Default::default() };
-    TensorDict::for_values(values, &ExpCurve::paper(), &config)
+    TensorDict::for_values(values, &ExpCurve::paper(), &config).expect("non-degenerate fixture")
 }
 
 proptest! {

@@ -2,13 +2,14 @@
 //! width, outlier policy, fitted-vs-published curve constants, and
 //! profiling batch size.
 
-use mokey_core::curve::ExpCurve;
+use mokey_core::curve::{PAPER_A, PAPER_B};
 use mokey_core::dict::{OutlierPolicy, TensorDict, TensorDictConfig};
-use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+use mokey_core::golden::GoldenConfig;
 use mokey_core::metrics::sqnr_db;
 use mokey_eval::report::{save_json, Table};
 use mokey_eval::scaled::{build_row, table1_rows};
 use mokey_eval::Quality;
+use mokey_pipeline::{CurveSource, QuantSession};
 use mokey_tensor::init::GaussianMixture;
 use mokey_transformer::quantize::{infer_quantized_batch, QuantizeSpec, QuantizedModel};
 use serde::Serialize;
@@ -42,10 +43,9 @@ fn main() {
     println!("== Ablation 1: dictionary width ==\n");
     let mut t = Table::new(vec!["bits".into(), "SQNR (dB)".into(), "outliers %".into()]);
     for bits in [2u32, 3, 4] {
-        let gd =
-            GoldenDictionary::generate(&GoldenConfig { bits, repeats: 4, ..Default::default() });
-        let curve = ExpCurve::fit(&gd);
-        let dict = TensorDict::for_values(weights.as_slice(), &curve, &Default::default());
+        let config = GoldenConfig { bits, repeats: 4, ..Default::default() };
+        let session = QuantSession::builder().curve_source(CurveSource::Fitted(config)).build();
+        let dict = session.dict_for("ablation.width", weights.as_slice()).expect("non-degenerate");
         let (sqnr, ot) = fidelity(weights.as_slice(), &dict);
         t.row(vec![bits.to_string(), format!("{sqnr:.2}"), format!("{ot:.2}")]);
         results.dictionary_bits.push((bits, sqnr, ot));
@@ -56,7 +56,6 @@ fn main() {
     // --- 2. Outlier policy. ---
     println!("== Ablation 2: outlier policy ==\n");
     let mut t = Table::new(vec!["policy".into(), "SQNR (dB)".into(), "outliers %".into()]);
-    let curve = ExpCurve::paper();
     for (name, policy) in [
         ("G-only (disabled)", OutlierPolicy::Disabled),
         ("curve midpoint (default)", OutlierPolicy::CurveMidpoint),
@@ -65,7 +64,8 @@ fn main() {
         ("fraction 10%", OutlierPolicy::Fraction(0.10)),
     ] {
         let config = TensorDictConfig { policy, ..Default::default() };
-        let dict = TensorDict::for_values(weights.as_slice(), &curve, &config);
+        let session = QuantSession::builder().dict_config(config).build();
+        let dict = session.dict_for("ablation.policy", weights.as_slice()).expect("non-degenerate");
         let (sqnr, ot) = fidelity(weights.as_slice(), &dict);
         t.row(vec![name.into(), format!("{sqnr:.2}"), format!("{ot:.2}")]);
         results.outlier_policy.push((name.into(), sqnr, ot));
@@ -76,15 +76,15 @@ fn main() {
     // --- 3. Fitted vs published curve constants. ---
     println!("== Ablation 3: curve source ==\n");
     let mut t = Table::new(vec!["curve".into(), "SQNR (dB)".into()]);
-    let gd = GoldenDictionary::generate(&GoldenConfig::default());
-    for (name, curve) in [
-        ("fitted from our GD", ExpCurve::fit(&gd)),
-        ("paper constants (1.179, -0.977)", ExpCurve::paper()),
+    for (name, source) in [
+        ("fitted from our GD".to_string(), CurveSource::Fitted(GoldenConfig::default())),
+        (format!("paper constants ({PAPER_A}, {PAPER_B})"), CurveSource::Paper),
     ] {
-        let dict = TensorDict::for_values(weights.as_slice(), &curve, &Default::default());
+        let session = QuantSession::builder().curve_source(source).build();
+        let dict = session.dict_for("ablation.curve", weights.as_slice()).expect("non-degenerate");
         let (sqnr, _) = fidelity(weights.as_slice(), &dict);
-        t.row(vec![name.into(), format!("{sqnr:.2}")]);
-        results.curve_source.push((name.into(), sqnr));
+        t.row(vec![name.clone(), format!("{sqnr:.2}")]);
+        results.curve_source.push((name, sqnr));
     }
     t.print();
     println!("(Both parameterizations quantize equally well — the fit constants\nare not load-bearing beyond the exponential form itself.)\n");
@@ -94,13 +94,19 @@ fn main() {
     println!("== Ablation 4: profiling batch size ==\n");
     let spec = &table1_rows()[0];
     let (model, task) = build_row(spec, Quality::Quick);
+    let session = QuantSession::with_defaults();
     let mut t = Table::new(vec!["profile sequences".into(), "W+A score".into()]);
     for batch in [1usize, 2, 4, 8] {
         let profile: Vec<Vec<usize>> = (0..batch)
             .map(|i| model.random_tokens(64, spec.seed ^ 0xAB1E ^ (i as u64) << 24))
             .collect();
-        let (qm, _) =
-            QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+        let (qm, _) = QuantizedModel::prepare_with_session(
+            &session,
+            &model,
+            QuantizeSpec::weights_and_activations(),
+            &profile,
+        )
+        .expect("profiled activations are non-degenerate");
         let (outputs, _) = infer_quantized_batch(&qm, &task.inputs);
         let score = task.score(&outputs);
         t.row(vec![batch.to_string(), format!("{score:.2}")]);

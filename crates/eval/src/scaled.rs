@@ -8,6 +8,7 @@
 //! and simulator experiments keep the full dimensions.
 
 use crate::Quality;
+use mokey_pipeline::QuantSession;
 use mokey_transformer::model::{Head, Model};
 use mokey_transformer::quantize::{infer_quantized_batch, QuantizeSpec, QuantizedModel};
 use mokey_transformer::tasks::{CalibratedTask, TaskKind, TaskSpec};
@@ -183,18 +184,29 @@ pub fn profile_inputs(model: &Model, spec: &RowSpec, quality: Quality) -> Vec<Ve
 
 /// Evaluates one Table I row end to end: FP calibration, weight-only
 /// quantization, weights+activations quantization.
+///
+/// Both quantization passes share one [`QuantSession`], so the W+A pass
+/// reuses every weight dictionary the weight-only pass built.
 pub fn evaluate_row(spec: &RowSpec, quality: Quality) -> Table1Row {
     let (model, task) = build_row(spec, quality);
     let profile = profile_inputs(&model, spec, quality);
+    let session = QuantSession::with_defaults();
 
     // Weight-only.
-    let (qm_w, report_w) = QuantizedModel::prepare(&model, QuantizeSpec::weights_only(), &[]);
+    let (qm_w, report_w) =
+        QuantizedModel::prepare_with_session(&session, &model, QuantizeSpec::weights_only(), &[])
+            .expect("synthetic weights are non-degenerate");
     let (out_w, _) = infer_quantized_batch(&qm_w, &task.inputs);
     let w_score = task.score(&out_w);
 
     // Weights + activations.
-    let (qm_wa, _) =
-        QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+    let (qm_wa, _) = QuantizedModel::prepare_with_session(
+        &session,
+        &model,
+        QuantizeSpec::weights_and_activations(),
+        &profile,
+    )
+    .expect("profiled activations are non-degenerate");
     let (out_wa, stats) = infer_quantized_batch(&qm_wa, &task.inputs);
     let wa_score = task.score(&out_wa);
 

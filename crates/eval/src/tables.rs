@@ -6,6 +6,7 @@ use mokey_accel::arch::Accelerator;
 use mokey_accel::sim::{simulate, SimConfig, SimReport};
 use mokey_accel::workloads::paper_workloads;
 use mokey_baselines::{compression_ratio, prepare_baseline, Baseline};
+use mokey_pipeline::QuantSession;
 use mokey_transformer::quantize::{infer_quantized_batch, QuantizeSpec, QuantizedModel};
 use mokey_transformer::ModelConfig;
 use serde::Serialize;
@@ -141,8 +142,14 @@ pub fn table4(quality: Quality) -> Table4Result {
     for method in Baseline::table4() {
         let info = method.info();
         let score = if method == Baseline::Mokey {
-            let (qm, _) =
-                QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+            let session = QuantSession::with_defaults();
+            let (qm, _) = QuantizedModel::prepare_with_session(
+                &session,
+                &model,
+                QuantizeSpec::weights_and_activations(),
+                &profile,
+            )
+            .expect("profiled activations are non-degenerate");
             let (outputs, _) = infer_quantized_batch(&qm, &task.inputs);
             task.score(&outputs)
         } else {

@@ -81,7 +81,8 @@ impl ArchivedTensor {
 /// use mokey_tensor::init::GaussianMixture;
 ///
 /// let w = GaussianMixture::weight_like(0.0, 0.1).sample_matrix(8, 8, 2);
-/// let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+/// let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default())
+///     .expect("non-degenerate tensor");
 /// let mut archive = TensorArchive::new();
 /// archive.insert("layer0.weight", &q);
 /// let bytes = archive.to_bytes();
@@ -306,7 +307,7 @@ mod tests {
 
     fn quantized(seed: u64) -> QuantizedTensor {
         let m = GaussianMixture::weight_like(0.0, 0.07).sample_matrix(24, 40, seed);
-        QuantizedTensor::encode_with_own_dict(&m, &ExpCurve::paper(), &Default::default())
+        QuantizedTensor::encode_with_own_dict(&m, &ExpCurve::paper(), &Default::default()).unwrap()
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub struct EngineStats {
 /// use mokey_tensor::init::GaussianMixture;
 ///
 /// let w = GaussianMixture::weight_like(0.0, 0.1).sample_matrix(8, 8, 1);
-/// let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+/// let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default())
+///     .expect("non-degenerate tensor");
 /// let packed = DramContainer::pack(q.codes());
 /// let engine = DecompressionEngine::new(q.dict().clone());
 /// let (values, stats) = engine.decompress(&packed);
@@ -125,7 +126,8 @@ mod tests {
 
     fn fixture() -> (Matrix, TensorDict) {
         let m = GaussianMixture::activation_like(0.3, 1.1).sample_matrix(16, 24, 8);
-        let dict = TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default()).unwrap();
         (m, dict)
     }
 

@@ -24,7 +24,8 @@
 //! use mokey_tensor::init::GaussianMixture;
 //!
 //! let w = GaussianMixture::weight_like(0.0, 0.1).sample_matrix(32, 32, 5);
-//! let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default());
+//! let q = QuantizedTensor::encode_with_own_dict(&w, &ExpCurve::paper(), &Default::default())
+//!     .expect("non-degenerate tensor");
 //! let packed = DramContainer::pack(q.codes());
 //! assert_eq!(packed.unpack(), q.codes());
 //! assert!(packed.total_bits() < 32 * 32 * 16 / 3); // >3x under FP16

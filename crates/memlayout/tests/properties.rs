@@ -1,7 +1,9 @@
 //! Property-based tests for the memory containers: pack/unpack must be the
-//! identity for arbitrary code streams and outlier patterns.
+//! identity for arbitrary code streams and outlier patterns, and the
+//! bit-level writer/reader pair must round-trip arbitrary field widths.
 
 use mokey_core::encode::Code;
+use mokey_memlayout::bitio::{BitReader, BitWriter};
 use mokey_memlayout::{DramContainer, OnChipStream};
 use proptest::prelude::*;
 
@@ -47,6 +49,44 @@ proptest! {
         let packed = DramContainer::pack(&codes);
         let ratio = packed.compression_ratio(16);
         prop_assert!(ratio > 2.5 && ratio <= 4.0, "ratio {ratio}");
+    }
+}
+
+/// Arbitrary `(value, width)` field sequences: widths span the full 1–32
+/// range and each value is drawn from the width's full domain.
+fn bit_fields_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    let field = (1u32..=32).prop_flat_map(|width| {
+        let max = ((1u64 << width) - 1) as u32;
+        (0u32..=max).prop_map(move |value| (value, width))
+    });
+    prop::collection::vec(field, 0..200)
+}
+
+proptest! {
+    /// Writing N values at arbitrary bit widths and reading them back is
+    /// the identity, including the zero-padded partial final byte.
+    #[test]
+    fn bitio_roundtrip_at_random_widths(fields in bit_fields_strategy()) {
+        let mut w = BitWriter::new();
+        for &(value, width) in &fields {
+            w.write(value, width);
+        }
+        let total_bits: usize = fields.iter().map(|&(_, width)| width as usize).sum();
+        prop_assert_eq!(w.bits_written(), total_bits);
+        let bytes = w.finish();
+        prop_assert_eq!(bytes.len(), total_bits.div_ceil(8));
+
+        let mut r = BitReader::new(&bytes);
+        for &(value, width) in &fields {
+            prop_assert_eq!(r.read(width), value, "field of width {}", width);
+        }
+        prop_assert_eq!(r.bit_pos(), total_bits);
+        // The partial final byte is zero-padded.
+        let padding = r.remaining_bits();
+        prop_assert!(padding < 8);
+        if padding > 0 {
+            prop_assert_eq!(r.read(padding as u32), 0);
+        }
     }
 }
 

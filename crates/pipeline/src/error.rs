@@ -1,0 +1,64 @@
+//! Typed pipeline failures.
+
+use mokey_core::dict::DictError;
+use std::fmt;
+
+/// Why a pipeline operation failed.
+///
+/// Dictionary-level failures ([`DictError`]) are wrapped with the tensor
+/// name so a thousand-tensor fan-out reports *which* tensor was
+/// degenerate, not just that one was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A named tensor could not be quantized.
+    Tensor {
+        /// The tensor's pipeline name (e.g. `"L3.ffn.w1"`).
+        name: String,
+        /// The underlying dictionary failure.
+        source: DictError,
+    },
+    /// Activation quantization was requested with an empty profiling set.
+    NoProfileInputs,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Tensor { name, source } => {
+                write!(f, "cannot quantize tensor '{name}': {source}")
+            }
+            PipelineError::NoProfileInputs => {
+                write!(f, "activation quantization requires at least one profiling sequence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Tensor { source, .. } => Some(source),
+            PipelineError::NoProfileInputs => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_tensor() {
+        let e = PipelineError::Tensor { name: "L0.attn.wq".into(), source: DictError::Constant };
+        let msg = e.to_string();
+        assert!(msg.contains("L0.attn.wq"), "{msg}");
+        assert!(msg.contains("constant"), "{msg}");
+    }
+
+    #[test]
+    fn source_chains_to_the_dict_error() {
+        let e = PipelineError::Tensor { name: "t".into(), source: DictError::Empty };
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&PipelineError::NoProfileInputs).is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! The unified Mokey quantization pipeline.
+//!
+//! The paper describes **one** flow — golden dictionary → curve fit →
+//! per-tensor dictionaries → index encoding → packed layout → index-domain
+//! compute — but early versions of this workspace wired that flow ad-hoc
+//! in four places (`mokey-transformer`, the eval figures and tables, the
+//! examples, and the benches), each re-deriving dictionaries and buffers
+//! its own way. This crate is the single implementation they all route
+//! through.
+//!
+//! The entry point is [`QuantSession`]:
+//!
+//! * the **builder** owns the one-time setup (paper constants, a freshly
+//!   fitted Golden Dictionary, or an explicit curve) plus the dictionary
+//!   configuration and the degree of parallelism;
+//! * a **dictionary cache** keyed by tensor statistics and content hash
+//!   makes re-quantizing the same tensor (weight-only pass followed by a
+//!   weights-plus-activations pass, repeated profiling trials, …) free;
+//! * [`QuantSession::quantize_model`] and [`QuantSession::quantize_batch`]
+//!   fan per-tensor dictionary-fit + encode work across
+//!   `std::thread::scope` workers, each holding a reusable
+//!   [`WorkerScratch`](parallel::WorkerScratch) arena so the dictionary-fit
+//!   hot path allocates nothing per tensor (streaming decoders can reuse a
+//!   buffer via `QuantizedTensor::decode_into`);
+//! * degenerate tensors (empty, constant, non-finite) surface as typed
+//!   [`PipelineError`]s carrying the tensor name instead of panicking
+//!   mid-fan-out.
+//!
+//! Parallel execution is **bit-identical** to serial execution: per-tensor
+//! work is deterministic and independent, so [`Parallelism`] only changes
+//! wall-clock time, never a single code.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mokey_pipeline::QuantSession;
+//! use mokey_tensor::init::GaussianMixture;
+//!
+//! let session = QuantSession::with_defaults(); // paper curve constants
+//! let w = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(64, 64, 1);
+//! let q = session.quantize_tensor("w", &w).expect("non-degenerate tensor");
+//! assert!(w.max_abs_diff(&q.decode()) < 0.25);
+//! ```
+
+pub mod error;
+pub mod model;
+pub mod parallel;
+pub mod session;
+
+pub use error::PipelineError;
+pub use model::{ModelAdapter, ModelQuantization, QuantizationReport, QuantizeSpec};
+pub use parallel::Parallelism;
+pub use session::{CacheStats, CurveSource, QuantSession, QuantSessionBuilder};

@@ -1,0 +1,324 @@
+//! Model-level quantization: the paper's Section II-G flow (profile →
+//! dictionaries → pre-encoded weights) behind one entry point,
+//! [`QuantSession::quantize_model`].
+
+use crate::error::PipelineError;
+use crate::parallel::{self, WorkerScratch};
+use crate::session::QuantSession;
+use mokey_core::dict::TensorDict;
+use mokey_core::encode::QuantizedTensor;
+use mokey_core::profile::{ActivationProfiler, TensorProfile};
+use mokey_fixed::QFormat;
+use mokey_tensor::Matrix;
+use std::collections::BTreeMap;
+
+/// Profiled GEMM-output tensors are recorded under `"<weight name>.out"`
+/// and yield Eq. 7 fixed-point formats instead of dictionaries.
+const OUT_SUFFIX: &str = ".out";
+
+/// What to quantize (Table I evaluates both columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizeSpec {
+    /// Quantize parameters and embeddings (offline, statically known).
+    pub weights: bool,
+    /// Quantize activations (profiled dictionaries, runtime encoding).
+    pub activations: bool,
+}
+
+impl QuantizeSpec {
+    /// Weights-only quantization (Table I, "Weight only Quant.").
+    pub fn weights_only() -> Self {
+        Self { weights: true, activations: false }
+    }
+
+    /// Weights + activations (Table I, "Weight + Activation Quant.").
+    pub fn weights_and_activations() -> Self {
+        Self { weights: true, activations: true }
+    }
+
+    /// Activations only (profiling workflows).
+    pub fn activations_only() -> Self {
+        Self { weights: false, activations: true }
+    }
+}
+
+/// How a model plugs into the pipeline: it exposes its weight tensors and
+/// knows how to run one profiling input through itself while feeding an
+/// [`ActivationProfiler`].
+///
+/// `mokey-transformer` implements this for its `Model`; any future
+/// backend (a different architecture, a loaded checkpoint) joins the
+/// pipeline by implementing these two methods.
+pub trait ModelAdapter {
+    /// One profiling input (for transformers: a token sequence).
+    type Input;
+
+    /// The named weight tensors to pre-encode offline.
+    fn named_weights(&self) -> Vec<(String, &Matrix)>;
+
+    /// Runs one input through the model, observing every activation (and
+    /// GEMM output, under `"<name>.out"`) into the profiler.
+    fn run_profile(&self, profiler: &mut ActivationProfiler, input: &Self::Input);
+}
+
+/// Per-tensor and aggregate statistics from quantizing a model.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizationReport {
+    /// Outlier fraction per weight tensor.
+    pub weight_outlier_fractions: BTreeMap<String, f64>,
+    /// Total weight values encoded.
+    pub weight_values: usize,
+    /// Total weight values that hit the outlier dictionary.
+    pub weight_outliers: usize,
+    /// Number of activation tensors with dictionaries.
+    pub activation_tensors: usize,
+}
+
+impl QuantizationReport {
+    /// Aggregate weight outlier percentage (Table I's "W OT %").
+    pub fn weight_outlier_percent(&self) -> f64 {
+        if self.weight_values == 0 {
+            0.0
+        } else {
+            100.0 * self.weight_outliers as f64 / self.weight_values as f64
+        }
+    }
+}
+
+/// Everything [`QuantSession::quantize_model`] produces: pre-encoded
+/// weights, activation dictionaries, output fixed-point formats, and the
+/// aggregate report.
+#[derive(Debug, Clone)]
+pub struct ModelQuantization {
+    /// Pre-encoded weight tensors (empty unless
+    /// [`QuantizeSpec::weights`]).
+    pub weights: BTreeMap<String, QuantizedTensor>,
+    /// Per-activation-tensor dictionaries (empty unless
+    /// [`QuantizeSpec::activations`]).
+    pub act_dicts: BTreeMap<String, TensorDict>,
+    /// Per-GEMM-output 16-bit fixed-point formats (Eq. 7).
+    pub out_formats: BTreeMap<String, QFormat>,
+    /// Aggregate statistics.
+    pub report: QuantizationReport,
+}
+
+impl ModelQuantization {
+    /// Decodes every pre-encoded weight to its centroid matrix (the form
+    /// quantized executors consume), fanning across the session's
+    /// workers.
+    pub fn decode_weights(&self, session: &QuantSession) -> BTreeMap<String, Matrix> {
+        let entries: Vec<(&String, &QuantizedTensor)> = self.weights.iter().collect();
+        let decoded = parallel::map(&entries, session.parallelism(), |(name, q)| {
+            ((*name).clone(), q.decode())
+        });
+        decoded.into_iter().collect()
+    }
+}
+
+impl QuantSession {
+    /// Quantizes a model end to end — the one implementation of the
+    /// paper's Section II-G flow:
+    ///
+    /// 1. **weights** (when requested): per-tensor dictionary fit + index
+    ///    encoding, fanned across workers, dictionaries cached;
+    /// 2. **activations** (when requested): a serial profiling pass over
+    ///    `profile_inputs` (serial keeps the reservoir sampling
+    ///    deterministic), then parallel dictionary construction; profiles
+    ///    named `"<w>.out"` become Eq. 7 output formats instead.
+    ///
+    /// Parallel execution is bit-identical to serial: per-tensor work is
+    /// deterministic and independent.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoProfileInputs`] when activations are requested
+    /// without profiling inputs, or the first degenerate tensor's
+    /// [`PipelineError::Tensor`].
+    pub fn quantize_model<M: ModelAdapter>(
+        &self,
+        model: &M,
+        spec: QuantizeSpec,
+        profile_inputs: &[M::Input],
+    ) -> Result<ModelQuantization, PipelineError> {
+        let mut report = QuantizationReport::default();
+
+        // Stage: pre-encode weights offline.
+        let mut weights = BTreeMap::new();
+        if spec.weights {
+            let tensors = model.named_weights();
+            for (name, q) in self.quantize_named(&tensors)? {
+                report.weight_values += q.codes().len();
+                report.weight_outliers += q.outlier_count();
+                report.weight_outlier_fractions.insert(name.clone(), q.outlier_fraction());
+                weights.insert(name, q);
+            }
+        }
+
+        // Stage: profile activations, derive dictionaries and Eq. 7
+        // output formats.
+        let mut act_dicts = BTreeMap::new();
+        let mut out_formats = BTreeMap::new();
+        if spec.activations {
+            if profile_inputs.is_empty() {
+                return Err(PipelineError::NoProfileInputs);
+            }
+            let mut profiler = ActivationProfiler::new(*self.profile_config());
+            for input in profile_inputs {
+                model.run_profile(&mut profiler, input);
+            }
+            let profiled: Vec<(String, &TensorProfile)> = profiler
+                .tensor_names()
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|name| {
+                    let profile = profiler.profile(&name).expect("profiled name");
+                    (name, profile)
+                })
+                .collect();
+            let built = parallel::map_with_scratch(
+                &profiled,
+                self.parallelism(),
+                |scratch, _, (name, profile)| self.build_profiled(name, profile, scratch),
+            );
+            for result in built {
+                match result? {
+                    ProfiledTensor::OutFormat(weight_name, fmt) => {
+                        out_formats.insert(weight_name, fmt);
+                    }
+                    ProfiledTensor::Dict(name, dict) => {
+                        act_dicts.insert(name, dict);
+                    }
+                }
+            }
+            report.activation_tensors = act_dicts.len();
+        }
+
+        Ok(ModelQuantization { weights, act_dicts, out_formats, report })
+    }
+
+    fn build_profiled(
+        &self,
+        name: &str,
+        profile: &TensorProfile,
+        scratch: &mut WorkerScratch,
+    ) -> Result<ProfiledTensor, PipelineError> {
+        if let Some(weight_name) = name.strip_suffix(OUT_SUFFIX) {
+            let s = profile.summary();
+            Ok(ProfiledTensor::OutFormat(
+                weight_name.to_owned(),
+                QFormat::for_range(16, s.min(), s.max()),
+            ))
+        } else {
+            let dict = profile
+                .build_dict_scratch(self.curve(), self.dict_config(), &mut scratch.dict)
+                .map_err(|source| PipelineError::Tensor { name: name.to_owned(), source })?;
+            Ok(ProfiledTensor::Dict(name.to_owned(), dict))
+        }
+    }
+}
+
+/// One profiled tensor's pipeline product.
+enum ProfiledTensor {
+    /// A GEMM-output format keyed by the producing weight's name.
+    OutFormat(String, QFormat),
+    /// An activation dictionary keyed by the tensor name.
+    Dict(String, TensorDict),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::Parallelism;
+    use mokey_tensor::init::GaussianMixture;
+
+    /// A minimal synthetic "model": named weights plus one profiled
+    /// activation tensor and one profiled GEMM output per input.
+    struct ToyModel {
+        weights: Vec<(String, Matrix)>,
+    }
+
+    impl ToyModel {
+        fn new(n: usize) -> Self {
+            let weights = (0..n)
+                .map(|i| {
+                    let m = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(24, 24, i as u64);
+                    (format!("w{i}"), m)
+                })
+                .collect();
+            Self { weights }
+        }
+    }
+
+    impl ModelAdapter for ToyModel {
+        type Input = u64;
+
+        fn named_weights(&self) -> Vec<(String, &Matrix)> {
+            self.weights.iter().map(|(n, m)| (n.clone(), m)).collect()
+        }
+
+        fn run_profile(&self, profiler: &mut ActivationProfiler, input: &u64) {
+            let acts = GaussianMixture::activation_like(0.1, 1.2).sample_matrix(8, 64, *input);
+            profiler.observe("act.hidden", &acts);
+            let outs = GaussianMixture::pure(0.0, 4.0).sample_matrix(8, 16, input ^ 0xF00D);
+            profiler.observe("w0.out", &outs);
+        }
+    }
+
+    #[test]
+    fn quantize_model_covers_weights_acts_and_out_formats() {
+        let model = ToyModel::new(5);
+        let session = QuantSession::with_defaults();
+        let mq = session
+            .quantize_model(&model, QuantizeSpec::weights_and_activations(), &[1, 2, 3])
+            .unwrap();
+        assert_eq!(mq.weights.len(), 5);
+        assert_eq!(mq.act_dicts.len(), 1);
+        assert!(mq.act_dicts.contains_key("act.hidden"));
+        assert_eq!(mq.out_formats.len(), 1);
+        assert!(mq.out_formats.contains_key("w0"));
+        assert_eq!(mq.report.weight_outlier_fractions.len(), 5);
+        assert_eq!(mq.report.activation_tensors, 1);
+        assert!(mq.report.weight_values > 0);
+        let decoded = mq.decode_weights(&session);
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded["w0"], mq.weights["w0"].decode());
+    }
+
+    #[test]
+    fn weights_only_skips_profiling_entirely() {
+        let model = ToyModel::new(2);
+        let session = QuantSession::with_defaults();
+        let mq = session.quantize_model(&model, QuantizeSpec::weights_only(), &[]).unwrap();
+        assert_eq!(mq.weights.len(), 2);
+        assert!(mq.act_dicts.is_empty());
+        assert!(mq.out_formats.is_empty());
+    }
+
+    #[test]
+    fn activations_without_inputs_is_a_typed_error() {
+        let model = ToyModel::new(1);
+        let session = QuantSession::with_defaults();
+        let err = session
+            .quantize_model(&model, QuantizeSpec::weights_and_activations(), &[])
+            .unwrap_err();
+        assert_eq!(err, PipelineError::NoProfileInputs);
+    }
+
+    #[test]
+    fn serial_and_parallel_model_quantization_are_bit_identical() {
+        let model = ToyModel::new(12);
+        let serial = QuantSession::builder().parallelism(Parallelism::Serial).build();
+        let parallel = QuantSession::builder().parallelism(Parallelism::Threads(4)).build();
+        let spec = QuantizeSpec::weights_and_activations();
+        let ms = serial.quantize_model(&model, spec, &[7, 8]).unwrap();
+        let mp = parallel.quantize_model(&model, spec, &[7, 8]).unwrap();
+        assert_eq!(ms.weights, mp.weights);
+        assert_eq!(ms.act_dicts, mp.act_dicts);
+        assert_eq!(
+            ms.out_formats.keys().collect::<Vec<_>>(),
+            mp.out_formats.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(ms.report.weight_outliers, mp.report.weight_outliers);
+    }
+}

@@ -1,0 +1,148 @@
+//! Scoped worker-pool fan-out with per-worker scratch arenas.
+//!
+//! All pipeline parallelism funnels through [`map_with_scratch`]: a
+//! `std::thread::scope` pool pulls item indexes from a shared atomic
+//! counter (cheap dynamic load balancing — tensor sizes vary by orders of
+//! magnitude), and each worker owns one [`WorkerScratch`] that persists
+//! across all the items it processes. Results are reassembled in input
+//! order, so the output is **bit-identical** to a serial run regardless of
+//! scheduling.
+
+use mokey_core::dict::DictScratch;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Degree of parallelism for per-tensor fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker per available core, capped by the item count.
+    #[default]
+    Auto,
+    /// Single-threaded execution (the reference path; produces the same
+    /// bits as every other mode, just slower).
+    Serial,
+    /// Exactly this many workers (also capped by the item count).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Concrete worker count for `items` work items.
+    pub fn workers(self, items: usize) -> usize {
+        let cap = items.max(1);
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map_or(1, |n| n.get()).min(cap)
+            }
+            Parallelism::Threads(n) => n.max(1).min(cap),
+        }
+    }
+}
+
+/// Per-worker reusable buffers for the quantization hot paths.
+///
+/// One arena lives for the whole lifetime of a worker thread, so the
+/// dictionary fits for N tensors cost O(workers) transient allocations
+/// instead of O(N).
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// Dictionary-construction buffers (z-magnitudes, sort, outliers).
+    pub dict: DictScratch,
+}
+
+/// Order-preserving parallel map handing each worker a persistent
+/// [`WorkerScratch`].
+///
+/// Workers claim items through an atomic cursor (dynamic load balancing)
+/// and stash `(index, result)` pairs locally; the pairs are merged and
+/// sorted back into input order at the end, so the result is identical to
+/// `items.iter().map(...)` for any [`Parallelism`].
+pub fn map_with_scratch<T, R, F>(items: &[T], par: Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut WorkerScratch, usize, &T) -> R + Sync,
+{
+    let workers = par.workers(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        let mut scratch = WorkerScratch::default();
+        return items.iter().enumerate().map(|(i, item)| f(&mut scratch, i, item)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut scratch = WorkerScratch::default();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&mut scratch, i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            indexed.extend(handle.join().expect("pipeline worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Order-preserving parallel map without scratch (for batch inference and
+/// other fan-outs that carry their own state).
+pub fn map<T, R, F>(items: &[T], par: Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_with_scratch(items, par, |_, _, item| f(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_respect_mode_and_item_cap() {
+        assert_eq!(Parallelism::Serial.workers(100), 1);
+        assert_eq!(Parallelism::Threads(4).workers(100), 4);
+        assert_eq!(Parallelism::Threads(4).workers(2), 2);
+        assert_eq!(Parallelism::Threads(0).workers(5), 1);
+        assert!(Parallelism::Auto.workers(1000) >= 1);
+        assert_eq!(Parallelism::Auto.workers(1), 1);
+    }
+
+    #[test]
+    fn map_preserves_order_for_all_modes() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for par in [Parallelism::Serial, Parallelism::Auto, Parallelism::Threads(3)] {
+            assert_eq!(map(&items, par, |&x| x * x), expect, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_persists_within_a_serial_worker() {
+        let items = vec![1usize, 2, 3];
+        let addrs = map_with_scratch(&items, Parallelism::Serial, |scratch, _, _| {
+            std::ptr::from_ref::<WorkerScratch>(scratch) as usize
+        });
+        // Every item is handed the same arena, not a fresh one.
+        assert!(addrs.windows(2).all(|w| w[0] == w[1]), "{addrs:?}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = map(&[] as &[u32], Parallelism::Auto, |&x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! The [`QuantSession`]: one-time curve setup, dictionary cache, and
+//! per-tensor quantization entry points.
+
+use crate::error::PipelineError;
+use crate::parallel::{self, Parallelism, WorkerScratch};
+use mokey_core::curve::ExpCurve;
+use mokey_core::dict::{TensorDict, TensorDictConfig};
+use mokey_core::encode::QuantizedTensor;
+use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+use mokey_core::profile::ProfileConfig;
+use mokey_tensor::stats::Summary;
+use mokey_tensor::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Where the session's exponential curve comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CurveSource {
+    /// The paper's published constants
+    /// ([`PAPER_A`](mokey_core::curve::PAPER_A) /
+    /// [`PAPER_B`](mokey_core::curve::PAPER_B)). The default: generation
+    /// is model-independent, so the published fit is a drop-in.
+    Paper,
+    /// Generate a Golden Dictionary with this configuration and fit the
+    /// curve to it (the paper's full Fig. 2 + Fig. 3 one-time setup). The
+    /// generated dictionary stays accessible via [`QuantSession::golden`].
+    Fitted(GoldenConfig),
+    /// An externally supplied curve (ablations, loaded checkpoints).
+    Explicit(ExpCurve),
+}
+
+/// Configures and builds a [`QuantSession`].
+#[derive(Debug, Clone)]
+pub struct QuantSessionBuilder {
+    curve_source: CurveSource,
+    dict_config: TensorDictConfig,
+    parallelism: Parallelism,
+    profile_config: ProfileConfig,
+    cache_dicts: bool,
+}
+
+impl Default for QuantSessionBuilder {
+    fn default() -> Self {
+        Self {
+            curve_source: CurveSource::Paper,
+            dict_config: TensorDictConfig::default(),
+            parallelism: Parallelism::Auto,
+            profile_config: ProfileConfig::default(),
+            cache_dicts: true,
+        }
+    }
+}
+
+impl QuantSessionBuilder {
+    /// Selects the curve source (default: the paper constants).
+    pub fn curve_source(mut self, source: CurveSource) -> Self {
+        self.curve_source = source;
+        self
+    }
+
+    /// Sets the dictionary-construction parameters.
+    pub fn dict_config(mut self, config: TensorDictConfig) -> Self {
+        self.dict_config = config;
+        self
+    }
+
+    /// Sets the fan-out mode for `quantize_*` calls (default:
+    /// [`Parallelism::Auto`]).
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// Sets the activation-profiler parameters used by
+    /// [`QuantSession::quantize_model`](crate::QuantSession::quantize_model).
+    pub fn profile_config(mut self, config: ProfileConfig) -> Self {
+        self.profile_config = config;
+        self
+    }
+
+    /// Enables or disables the statistics-keyed dictionary cache
+    /// (default: enabled).
+    ///
+    /// The cache key includes a full content hash of the tensor values,
+    /// so sessions that quantize every tensor exactly once (one-shot
+    /// compression, cold-flow benches) should disable it to skip the
+    /// hashing pass.
+    pub fn cache_dicts(mut self, enabled: bool) -> Self {
+        self.cache_dicts = enabled;
+        self
+    }
+
+    /// Runs the one-time setup (curve generation/fit if requested) and
+    /// returns the session.
+    pub fn build(self) -> QuantSession {
+        let (golden, curve) = match self.curve_source {
+            CurveSource::Paper => (None, ExpCurve::paper()),
+            CurveSource::Fitted(config) => {
+                let gd = GoldenDictionary::generate(&config);
+                let curve = ExpCurve::fit(&gd);
+                (Some(gd), curve)
+            }
+            CurveSource::Explicit(curve) => (None, curve),
+        };
+        QuantSession {
+            golden,
+            curve,
+            dict_config: self.dict_config,
+            parallelism: self.parallelism,
+            profile_config: self.profile_config,
+            cache: self.cache_dicts.then(|| Mutex::new(HashMap::new())),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Dictionary-cache counters (see [`QuantSession::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Dictionaries served from the cache.
+    pub hits: usize,
+    /// Dictionaries built (and inserted).
+    pub misses: usize,
+}
+
+/// Cache key: full summary statistics plus an FNV-1a hash of the raw value
+/// bits. Two tensors share a key only if they have identical length,
+/// identical running statistics, *and* identical content hash — for
+/// practical purposes, only a tensor re-quantized through the same
+/// session hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DictKey {
+    len: usize,
+    mean_bits: u64,
+    std_bits: u64,
+    min_bits: u64,
+    max_bits: u64,
+    content: u64,
+}
+
+impl DictKey {
+    fn new(summary: &Summary, values: &[f32]) -> Self {
+        let mut content: u64 = 0xcbf2_9ce4_8422_2325;
+        for &v in values {
+            content ^= u64::from(v.to_bits());
+            content = content.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            len: values.len(),
+            mean_bits: summary.mean().to_bits(),
+            std_bits: summary.std().to_bits(),
+            min_bits: summary.min().to_bits(),
+            max_bits: summary.max().to_bits(),
+            content,
+        }
+    }
+}
+
+/// A configured quantization session: the single owner of the golden
+/// dictionary → curve → per-tensor dictionary → encode flow.
+///
+/// Sessions are cheap to build with [`CurveSource::Paper`] and are `Sync`,
+/// so one session can serve many threads; the dictionary cache is shared
+/// across everything quantized through it.
+///
+/// # Example
+///
+/// ```
+/// use mokey_pipeline::{Parallelism, QuantSession};
+/// use mokey_tensor::init::GaussianMixture;
+///
+/// let session = QuantSession::builder().parallelism(Parallelism::Auto).build();
+/// let tensors: Vec<_> =
+///     (0..8).map(|s| GaussianMixture::weight_like(0.0, 0.05).sample_matrix(32, 32, s)).collect();
+/// let refs: Vec<&_> = tensors.iter().collect();
+/// let quantized = session.quantize_batch(&refs).expect("non-degenerate tensors");
+/// assert_eq!(quantized.len(), 8);
+/// ```
+#[derive(Debug)]
+pub struct QuantSession {
+    golden: Option<GoldenDictionary>,
+    curve: ExpCurve,
+    dict_config: TensorDictConfig,
+    parallelism: Parallelism,
+    profile_config: ProfileConfig,
+    cache: Option<Mutex<HashMap<DictKey, TensorDict>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl QuantSession {
+    /// A fresh builder.
+    pub fn builder() -> QuantSessionBuilder {
+        QuantSessionBuilder::default()
+    }
+
+    /// A session with all defaults: paper curve, default dictionary
+    /// config, automatic parallelism, cache enabled.
+    pub fn with_defaults() -> Self {
+        Self::builder().build()
+    }
+
+    /// The session's exponential curve.
+    pub fn curve(&self) -> &ExpCurve {
+        &self.curve
+    }
+
+    /// The generated Golden Dictionary, when the session was built with
+    /// [`CurveSource::Fitted`].
+    pub fn golden(&self) -> Option<&GoldenDictionary> {
+        self.golden.as_ref()
+    }
+
+    /// The dictionary-construction parameters.
+    pub fn dict_config(&self) -> &TensorDictConfig {
+        &self.dict_config
+    }
+
+    /// The fan-out mode.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The activation-profiler parameters.
+    pub fn profile_config(&self) -> &ProfileConfig {
+        &self.profile_config
+    }
+
+    /// Dictionary-cache counters. Counts are exact under
+    /// [`Parallelism::Serial`]; under concurrent fan-out two workers may
+    /// race to build the same dictionary (both count as misses), which
+    /// never affects the resulting codes.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Builds (or fetches from cache) the dictionary pair for a value set.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Tensor`] when the values are degenerate.
+    pub fn dict_for(&self, name: &str, values: &[f32]) -> Result<TensorDict, PipelineError> {
+        self.dict_for_scratch(name, values, &mut WorkerScratch::default())
+    }
+
+    /// [`QuantSession::dict_for`] with caller-owned scratch (the fan-out
+    /// hot path).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Tensor`] when the values are degenerate.
+    pub fn dict_for_scratch(
+        &self,
+        name: &str,
+        values: &[f32],
+        scratch: &mut WorkerScratch,
+    ) -> Result<TensorDict, PipelineError> {
+        let summary = Summary::of(values);
+        let wrap = |source| PipelineError::Tensor { name: name.to_owned(), source };
+        let Some(cache) = &self.cache else {
+            return TensorDict::from_stats_scratch(
+                &summary,
+                values,
+                &self.curve,
+                &self.dict_config,
+                &mut scratch.dict,
+            )
+            .map_err(wrap);
+        };
+        let key = DictKey::new(&summary, values);
+        if let Some(dict) = cache.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(dict.clone());
+        }
+        let dict = TensorDict::from_stats_scratch(
+            &summary,
+            values,
+            &self.curve,
+            &self.dict_config,
+            &mut scratch.dict,
+        )
+        .map_err(wrap)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        cache.lock().expect("cache lock").insert(key, dict.clone());
+        Ok(dict)
+    }
+
+    /// Quantizes one named tensor: dictionary fit (cached) + encode.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Tensor`] when the tensor is degenerate.
+    pub fn quantize_tensor(
+        &self,
+        name: &str,
+        matrix: &Matrix,
+    ) -> Result<QuantizedTensor, PipelineError> {
+        self.quantize_tensor_scratch(name, matrix, &mut WorkerScratch::default())
+    }
+
+    /// [`QuantSession::quantize_tensor`] with caller-owned scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Tensor`] when the tensor is degenerate.
+    pub fn quantize_tensor_scratch(
+        &self,
+        name: &str,
+        matrix: &Matrix,
+        scratch: &mut WorkerScratch,
+    ) -> Result<QuantizedTensor, PipelineError> {
+        let dict = self.dict_for_scratch(name, matrix.as_slice(), scratch)?;
+        Ok(QuantizedTensor::encode(matrix, &dict))
+    }
+
+    /// Quantizes a batch of tensors, fanning the per-tensor work across
+    /// the session's workers. Results are in input order and bit-identical
+    /// to a serial run.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input order) degenerate tensor's error; its name is
+    /// the tensor's batch index.
+    pub fn quantize_batch(
+        &self,
+        tensors: &[&Matrix],
+    ) -> Result<Vec<QuantizedTensor>, PipelineError> {
+        let results = parallel::map_with_scratch(tensors, self.parallelism, |scratch, i, m| {
+            self.quantize_tensor_scratch(&i.to_string(), m, scratch)
+        });
+        results.into_iter().collect()
+    }
+
+    /// Quantizes named tensors (e.g. a model's weight map), fanning the
+    /// per-tensor work across the session's workers. Results are in input
+    /// order and bit-identical to a serial run.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input order) degenerate tensor's error.
+    pub fn quantize_named(
+        &self,
+        tensors: &[(String, &Matrix)],
+    ) -> Result<Vec<(String, QuantizedTensor)>, PipelineError> {
+        let results =
+            parallel::map_with_scratch(tensors, self.parallelism, |scratch, _, (name, m)| {
+                self.quantize_tensor_scratch(name, m, scratch).map(|q| (name.clone(), q))
+            });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_core::dict::DictError;
+    use mokey_tensor::init::GaussianMixture;
+
+    fn weight(seed: u64) -> Matrix {
+        GaussianMixture::weight_like(0.0, 0.05).sample_matrix(48, 48, seed)
+    }
+
+    #[test]
+    fn session_matches_manual_construction() {
+        let session = QuantSession::with_defaults();
+        let w = weight(7);
+        let q = session.quantize_tensor("w", &w).unwrap();
+        let dict =
+            TensorDict::for_values(w.as_slice(), &ExpCurve::paper(), &Default::default()).unwrap();
+        let manual = QuantizedTensor::encode(&w, &dict);
+        assert_eq!(q, manual);
+    }
+
+    #[test]
+    fn fitted_source_retains_golden_dictionary() {
+        let config = GoldenConfig { samples: 5_000, repeats: 1, ..Default::default() };
+        let session = QuantSession::builder().curve_source(CurveSource::Fitted(config)).build();
+        let gd = session.golden().expect("fitted source keeps the dictionary");
+        assert_eq!(*session.curve(), ExpCurve::fit(gd));
+        // Paper source carries no dictionary.
+        assert!(QuantSession::with_defaults().golden().is_none());
+    }
+
+    #[test]
+    fn cache_hits_on_requantization_and_returns_identical_dicts() {
+        let session = QuantSession::builder().parallelism(Parallelism::Serial).build();
+        let w = weight(11);
+        let q1 = session.quantize_tensor("w", &w).unwrap();
+        let q2 = session.quantize_tensor("w", &w).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(session.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        // A different tensor misses.
+        let _ = session.quantize_tensor("v", &weight(12)).unwrap();
+        assert_eq!(session.cache_stats(), CacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn disabled_cache_never_counts() {
+        let session =
+            QuantSession::builder().cache_dicts(false).parallelism(Parallelism::Serial).build();
+        let w = weight(13);
+        let q1 = session.quantize_tensor("w", &w).unwrap();
+        let q2 = session.quantize_tensor("w", &w).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(session.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        let tensors: Vec<Matrix> = (0..24)
+            .map(|s| {
+                GaussianMixture::weight_like(0.0, 0.03 + s as f64 * 0.01).sample_matrix(
+                    16 + s,
+                    24,
+                    100 + s as u64,
+                )
+            })
+            .collect();
+        let refs: Vec<&Matrix> = tensors.iter().collect();
+        let serial = QuantSession::builder().parallelism(Parallelism::Serial).build();
+        let parallel4 = QuantSession::builder().parallelism(Parallelism::Threads(4)).build();
+        let auto = QuantSession::builder().parallelism(Parallelism::Auto).build();
+        let qs = serial.quantize_batch(&refs).unwrap();
+        let qp = parallel4.quantize_batch(&refs).unwrap();
+        let qa = auto.quantize_batch(&refs).unwrap();
+        for ((s, p), a) in qs.iter().zip(&qp).zip(&qa) {
+            assert_eq!(s.codes(), p.codes());
+            assert_eq!(s.codes(), a.codes());
+            assert_eq!(s.dict(), p.dict());
+        }
+    }
+
+    #[test]
+    fn degenerate_tensor_error_carries_the_name() {
+        let session = QuantSession::with_defaults();
+        let constant = Matrix::from_vec(4, 4, vec![2.5; 16]);
+        let err = session.quantize_tensor("L9.bad", &constant).unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::Tensor { name: "L9.bad".into(), source: DictError::Constant }
+        );
+        let ok = weight(5);
+        let named = vec![("ok".to_string(), &ok), ("broken".to_string(), &constant)];
+        let err = session.quantize_named(&named).unwrap_err();
+        assert!(matches!(err, PipelineError::Tensor { ref name, .. } if name == "broken"));
+    }
+
+    #[test]
+    fn quantize_named_preserves_names_and_order() {
+        let session = QuantSession::with_defaults();
+        let a = weight(1);
+        let b = weight(2);
+        let named = vec![("first".to_string(), &a), ("second".to_string(), &b)];
+        let out = session.quantize_named(&named).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, "first");
+        assert_eq!(out[1].0, "second");
+        assert_eq!(out[0].1, session.quantize_tensor("first", &a).unwrap());
+    }
+}

@@ -202,7 +202,8 @@ mod tests {
     #[test]
     fn quantized_executor_decodes_to_centroids_and_counts() {
         let m = GaussianMixture::activation_like(0.0, 1.0).sample_matrix(16, 16, 3);
-        let dict = TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default());
+        let dict =
+            TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default()).unwrap();
         let mut act_dicts = BTreeMap::new();
         act_dicts.insert("a".to_string(), dict.clone());
         let ctx =

@@ -1,66 +1,30 @@
 //! The end-to-end Mokey pipeline over a model (paper Section II-G):
 //! profile → build per-tensor dictionaries → pre-encode weights → run.
+//!
+//! All flow construction lives in [`mokey_pipeline::QuantSession`]; this
+//! module adapts [`Model`] to the pipeline's [`ModelAdapter`] and wraps
+//! the session products in a ready-to-infer [`QuantizedModel`].
 
 use crate::exec::{ProfilingExecutor, QuantizedContext, QuantizedExecutor, QuantizedStats};
 use crate::model::{Model, TaskOutput};
-use mokey_core::curve::ExpCurve;
-use mokey_core::dict::{TensorDict, TensorDictConfig};
-use mokey_core::encode::QuantizedTensor;
-use mokey_core::profile::{ActivationProfiler, ProfileConfig};
-use mokey_fixed::QFormat;
-use std::collections::BTreeMap;
+use mokey_core::dict::TensorDict;
+use mokey_core::profile::ActivationProfiler;
+use mokey_pipeline::{ModelAdapter, PipelineError, QuantSession};
+use mokey_tensor::Matrix;
 
-/// What to quantize (Table I evaluates both columns).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct QuantizeSpec {
-    /// Quantize parameters and embeddings (offline, statically known).
-    pub weights: bool,
-    /// Quantize activations (profiled dictionaries, runtime encoding).
-    pub activations: bool,
-    /// Dictionary construction parameters.
-    pub dict_config: TensorDictConfig,
-    /// The fitted exponential curve shared by all dictionaries.
-    pub curve: ExpCurve,
-}
+pub use mokey_pipeline::{QuantizationReport, QuantizeSpec};
 
-impl QuantizeSpec {
-    /// Weights-only quantization (Table I, "Weight only Quant.").
-    pub fn weights_only() -> Self {
-        Self {
-            weights: true,
-            activations: false,
-            dict_config: TensorDictConfig::default(),
-            curve: ExpCurve::paper(),
-        }
+impl ModelAdapter for Model {
+    type Input = Vec<usize>;
+
+    fn named_weights(&self) -> Vec<(String, &Matrix)> {
+        self.weight_tensors()
     }
 
-    /// Weights + activations (Table I, "Weight + Activation Quant.").
-    pub fn weights_and_activations() -> Self {
-        Self { activations: true, ..Self::weights_only() }
-    }
-}
-
-/// Per-tensor and aggregate statistics from quantizing a model.
-#[derive(Debug, Clone, Default)]
-pub struct QuantizationReport {
-    /// Outlier fraction per weight tensor.
-    pub weight_outlier_fractions: BTreeMap<String, f64>,
-    /// Total weight values encoded.
-    pub weight_values: usize,
-    /// Total weight values that hit the outlier dictionary.
-    pub weight_outliers: usize,
-    /// Number of activation tensors with dictionaries.
-    pub activation_tensors: usize,
-}
-
-impl QuantizationReport {
-    /// Aggregate weight outlier percentage (Table I's "W OT %").
-    pub fn weight_outlier_percent(&self) -> f64 {
-        if self.weight_values == 0 {
-            0.0
-        } else {
-            100.0 * self.weight_outliers as f64 / self.weight_values as f64
-        }
+    fn run_profile(&self, profiler: &mut ActivationProfiler, tokens: &Vec<usize>) {
+        let mut exec = ProfilingExecutor::new(profiler);
+        let hidden = self.forward(&mut exec, tokens);
+        let _ = self.apply_head(&mut exec, &hidden);
     }
 }
 
@@ -88,59 +52,46 @@ pub struct QuantizedModel<'m> {
 }
 
 impl<'m> QuantizedModel<'m> {
-    /// Prepares quantized inference: profiles activations over the given
-    /// sequences (the paper uses a single batch of 8), builds dictionaries,
-    /// and pre-encodes weights.
+    /// Prepares quantized inference with a default session (paper curve
+    /// constants, automatic parallelism): profiles activations over the
+    /// given sequences (the paper uses a single batch of 8), builds
+    /// dictionaries, and pre-encodes weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the flow fails (degenerate tensor, or activation
+    /// quantization without profiling sequences); use
+    /// [`QuantizedModel::prepare_with_session`] to handle those as typed
+    /// errors.
     pub fn prepare(
         model: &'m Model,
         spec: QuantizeSpec,
         profile_inputs: &[Vec<usize>],
     ) -> (Self, QuantizationReport) {
-        let mut report = QuantizationReport::default();
+        let session = QuantSession::with_defaults();
+        Self::prepare_with_session(&session, model, spec, profile_inputs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
-        // Step: pre-encode weights offline.
-        let mut weights = BTreeMap::new();
-        if spec.weights {
-            for (name, w) in model.weight_tensors() {
-                let dict = TensorDict::for_values(w.as_slice(), &spec.curve, &spec.dict_config);
-                let q = QuantizedTensor::encode(w, &dict);
-                report.weight_values += q.codes().len();
-                report.weight_outliers += q.outlier_count();
-                report.weight_outlier_fractions.insert(name.clone(), q.outlier_fraction());
-                weights.insert(name, q.decode());
-            }
-        }
-
-        // Step: profile activations, derive dictionaries and Eq. 7 output
-        // formats.
-        let mut act_dicts = BTreeMap::new();
-        let mut out_formats = BTreeMap::new();
-        if spec.activations {
-            assert!(
-                !profile_inputs.is_empty(),
-                "activation quantization requires at least one profiling sequence"
-            );
-            let mut profiler = ActivationProfiler::new(ProfileConfig::default());
-            for tokens in profile_inputs {
-                let mut exec = ProfilingExecutor::new(&mut profiler);
-                let hidden = model.forward(&mut exec, tokens);
-                let _ = model.apply_head(&mut exec, &hidden);
-            }
-            for name in profiler.tensor_names().map(str::to_owned).collect::<Vec<_>>() {
-                let profile = profiler.profile(&name).expect("profiled name");
-                if let Some(weight_name) = name.strip_suffix(".out") {
-                    let s = profile.summary();
-                    out_formats
-                        .insert(weight_name.to_owned(), QFormat::for_range(16, s.min(), s.max()));
-                } else {
-                    act_dicts.insert(name, profile.build_dict(&spec.curve, &spec.dict_config));
-                }
-            }
-            report.activation_tensors = act_dicts.len();
-        }
-
-        let ctx = QuantizedContext { weights, act_dicts, out_formats };
-        (Self { model, ctx }, report)
+    /// Prepares quantized inference through an existing [`QuantSession`],
+    /// sharing its curve, configuration, and dictionary cache (repeated
+    /// preparations of the same model reuse cached weight dictionaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's [`PipelineError`] (degenerate tensor, or
+    /// missing profiling inputs).
+    pub fn prepare_with_session(
+        session: &QuantSession,
+        model: &'m Model,
+        spec: QuantizeSpec,
+        profile_inputs: &[Vec<usize>],
+    ) -> Result<(Self, QuantizationReport), PipelineError> {
+        let mq = session.quantize_model(model, spec, profile_inputs)?;
+        let weights = mq.decode_weights(session);
+        let ctx =
+            QuantizedContext { weights, act_dicts: mq.act_dicts, out_formats: mq.out_formats };
+        Ok((Self { model, ctx }, mq.report))
     }
 
     /// The underlying FP model.
@@ -177,7 +128,7 @@ impl<'m> QuantizedModel<'m> {
 
 /// Runs FP inference over many sequences in parallel.
 pub fn infer_fp_batch(model: &Model, inputs: &[Vec<usize>]) -> Vec<TaskOutput> {
-    parallel_map(inputs, |tokens| {
+    mokey_pipeline::parallel::map(inputs, mokey_pipeline::Parallelism::Auto, |tokens| {
         let mut exec = crate::exec::FpExecutor;
         let hidden = model.forward(&mut exec, tokens);
         model.apply_head(&mut exec, &hidden)
@@ -190,7 +141,9 @@ pub fn infer_quantized_batch(
     qmodel: &QuantizedModel<'_>,
     inputs: &[Vec<usize>],
 ) -> (Vec<TaskOutput>, QuantizedStats) {
-    let results = parallel_map(inputs, |tokens| qmodel.infer(tokens));
+    let results = mokey_pipeline::parallel::map(inputs, mokey_pipeline::Parallelism::Auto, |t| {
+        qmodel.infer(t)
+    });
     let mut stats = QuantizedStats::default();
     let mut outputs = Vec::with_capacity(results.len());
     for (out, s) in results {
@@ -200,34 +153,13 @@ pub fn infer_quantized_batch(
     (outputs, stats)
 }
 
-/// Order-preserving parallel map over a slice.
-fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads =
-        std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::ModelConfig;
     use crate::exec::FpExecutor;
     use crate::model::Head;
+    use mokey_pipeline::Parallelism;
 
     fn tiny_model() -> Model {
         let config = ModelConfig {
@@ -324,6 +256,49 @@ mod tests {
             expect.merge(&qm.infer(tokens).1);
         }
         assert_eq!(stats, expect);
+    }
+
+    #[test]
+    fn serial_and_parallel_sessions_prepare_identical_contexts() {
+        let model = tiny_model();
+        let profile = profile_inputs(&model);
+        let spec = QuantizeSpec::weights_and_activations();
+        let serial = QuantSession::builder().parallelism(Parallelism::Serial).build();
+        let parallel = QuantSession::builder().parallelism(Parallelism::Threads(3)).build();
+        let (qs, rs) =
+            QuantizedModel::prepare_with_session(&serial, &model, spec, &profile).unwrap();
+        let (qp, rp) =
+            QuantizedModel::prepare_with_session(&parallel, &model, spec, &profile).unwrap();
+        assert_eq!(qs.context().weights, qp.context().weights);
+        assert_eq!(qs.context().act_dicts, qp.context().act_dicts);
+        assert_eq!(rs.weight_outliers, rp.weight_outliers);
+        assert_eq!(rs.weight_outlier_fractions, rp.weight_outlier_fractions);
+    }
+
+    #[test]
+    fn shared_session_reuses_cached_weight_dictionaries() {
+        let model = tiny_model();
+        let session = QuantSession::builder().parallelism(Parallelism::Serial).build();
+        let (_, r1) = QuantizedModel::prepare_with_session(
+            &session,
+            &model,
+            QuantizeSpec::weights_only(),
+            &[],
+        )
+        .unwrap();
+        let misses_after_first = session.cache_stats().misses;
+        assert_eq!(misses_after_first, model.weight_tensors().len());
+        let (_, r2) = QuantizedModel::prepare_with_session(
+            &session,
+            &model,
+            QuantizeSpec::weights_only(),
+            &[],
+        )
+        .unwrap();
+        // Second preparation is served entirely from the cache.
+        assert_eq!(session.cache_stats().misses, misses_after_first);
+        assert_eq!(session.cache_stats().hits, misses_after_first);
+        assert_eq!(r1.weight_outliers, r2.weight_outliers);
     }
 
     #[test]

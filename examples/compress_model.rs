@@ -2,12 +2,11 @@
 // container format.
 //
 // ```sh
-// cargo run --release -p mokey-eval --example compress_model
+// cargo run --release --example compress_model
 // ```
 
-use mokey_core::curve::ExpCurve;
-use mokey_core::encode::QuantizedTensor;
 use mokey_memlayout::TensorArchive;
+use mokey_pipeline::QuantSession;
 use mokey_transformer::model::{Head, Model};
 use mokey_transformer::ModelConfig;
 
@@ -18,15 +17,20 @@ fn main() {
     let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 42);
     println!("model: {} ({} parameters)\n", config.name, config.param_count());
 
-    let curve = ExpCurve::paper();
+    // Quantize every weight tensor through one pipeline session (paper
+    // curve constants, per-tensor fan-out across worker threads; the
+    // dictionary cache is off because each tensor is quantized once).
+    let session = QuantSession::builder().cache_dicts(false).build();
+    let quantized =
+        session.quantize_named(&model.weight_tensors()).expect("non-degenerate weights");
+
     let mut archive = TensorArchive::new();
     let mut total_values = 0usize;
     let mut total_outliers = 0usize;
-    for (name, w) in model.weight_tensors() {
-        let q = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default());
+    for (name, q) in &quantized {
         total_values += q.codes().len();
         total_outliers += q.outlier_count();
-        archive.insert(&name, &q);
+        archive.insert(name, q);
     }
 
     println!("tensors archived: {}", archive.len());

@@ -1,33 +1,34 @@
 // The activation-profiling workflow: run one small batch through the FP
-// model, build per-tensor dictionaries, and verify the profile is stable
-// across batches (the paper's Fig. 8 property).
+// model, build per-tensor dictionaries via the pipeline session, and
+// verify the profile is stable across batches (the paper's Fig. 8
+// property).
 //
 // ```sh
-// cargo run --release -p mokey-eval --example profile_activations
+// cargo run --release --example profile_activations
 // ```
 
-use mokey_core::curve::ExpCurve;
-use mokey_core::profile::{ActivationProfiler, ProfileConfig};
-use mokey_transformer::exec::ProfilingExecutor;
+use mokey_pipeline::{QuantSession, QuantizeSpec};
 use mokey_transformer::model::{Head, Model};
 use mokey_transformer::ModelConfig;
 
 fn main() {
     let config = ModelConfig::bert_base().scaled(6, 4);
     let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 7);
+    let session = QuantSession::with_defaults();
 
     // The paper: "proﬁling runs use a single randomly selected batch
-    // containing 8 input samples".
-    let mut profiler = ActivationProfiler::new(ProfileConfig::default());
-    for i in 0..8 {
-        let tokens = model.random_tokens(64, 1000 + i);
-        let mut exec = ProfilingExecutor::new(&mut profiler);
-        let hidden = model.forward(&mut exec, &tokens);
-        let _ = model.apply_head(&mut exec, &hidden);
-    }
-
-    let dicts = profiler.build_dicts(&ExpCurve::paper(), &Default::default());
-    println!("profiled {} activation tensors\n", dicts.len());
+    // containing 8 input samples". The session runs the profiling pass and
+    // builds every activation dictionary in one call.
+    let profile: Vec<Vec<usize>> = (0..8).map(|i| model.random_tokens(64, 1000 + i)).collect();
+    let mq = session
+        .quantize_model(&model, QuantizeSpec::activations_only(), &profile)
+        .expect("profiled activations are non-degenerate");
+    let dicts = &mq.act_dicts;
+    println!(
+        "profiled {} activation tensors (+{} GEMM-output formats)\n",
+        dicts.len(),
+        mq.out_formats.len()
+    );
     println!("{:<22} {:>10} {:>10} {:>8} {:>8}", "tensor", "mean", "std", "G bins", "OT bins");
     for (name, dict) in dicts.iter().take(12) {
         println!(
@@ -42,17 +43,13 @@ fn main() {
     println!("…");
 
     // Stability: re-profile with a different batch and compare scales.
-    let mut profiler2 = ActivationProfiler::new(ProfileConfig::default());
-    for i in 0..8 {
-        let tokens = model.random_tokens(64, 9000 + i);
-        let mut exec = ProfilingExecutor::new(&mut profiler2);
-        let hidden = model.forward(&mut exec, &tokens);
-        let _ = model.apply_head(&mut exec, &hidden);
-    }
-    let dicts2 = profiler2.build_dicts(&ExpCurve::paper(), &Default::default());
+    let profile2: Vec<Vec<usize>> = (0..8).map(|i| model.random_tokens(64, 9000 + i)).collect();
+    let mq2 = session
+        .quantize_model(&model, QuantizeSpec::activations_only(), &profile2)
+        .expect("profiled activations are non-degenerate");
     let mut worst: f64 = 0.0;
-    for (name, d1) in &dicts {
-        if let Some(d2) = dicts2.get(name) {
+    for (name, d1) in dicts {
+        if let Some(d2) = mq2.act_dicts.get(name) {
             worst = worst.max(((d1.scale() - d2.scale()) / d1.scale()).abs());
         }
     }

@@ -1,30 +1,38 @@
 // Quickstart: quantize a tensor with Mokey and compute on indexes.
 //
 // ```sh
-// cargo run --release -p mokey-eval --example quickstart
+// cargo run --release --example quickstart
 // ```
 
-use mokey_core::curve::ExpCurve;
-use mokey_core::encode::QuantizedTensor;
-use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+use mokey_core::curve::{PAPER_A, PAPER_B};
+use mokey_core::golden::GoldenConfig;
 use mokey_core::kernels;
 use mokey_core::metrics::{rmse, sqnr_db};
+use mokey_pipeline::{CurveSource, QuantSession};
 use mokey_tensor::init::GaussianMixture;
 
 fn main() {
-    // 1. One-time, model-independent setup: the Golden Dictionary and its
-    //    exponential fit (paper Section II-B/II-D).
-    let gd = GoldenDictionary::generate(&GoldenConfig::default());
-    let curve = ExpCurve::fit(&gd);
-    println!("Golden Dictionary half: {:?}", gd.half());
-    println!("Fitted curve: a = {:.4}, b = {:+.4} (paper: 1.179, -0.977)\n", curve.a, curve.b);
+    // 1. One-time, model-independent setup: a pipeline session that
+    //    generates the Golden Dictionary and fits the exponential curve
+    //    (paper Section II-B/II-D).
+    let session =
+        QuantSession::builder().curve_source(CurveSource::Fitted(GoldenConfig::default())).build();
+    let curve = session.curve();
+    println!(
+        "Golden Dictionary half: {:?}",
+        session.golden().expect("fitted source keeps the dictionary").half()
+    );
+    println!(
+        "Fitted curve: a = {:.4}, b = {:+.4} (paper: {PAPER_A}, {PAPER_B})\n",
+        curve.a, curve.b
+    );
 
     // 2. Quantize a weight-like and an activation-like tensor to 4-bit
-    //    dictionary indexes.
+    //    dictionary indexes through the session (dictionary fit + encode).
     let weights = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(64, 768, 1);
     let acts = GaussianMixture::activation_like(0.2, 1.3).sample_matrix(1, 768, 2);
-    let qw = QuantizedTensor::encode_with_own_dict(&weights, &curve, &Default::default());
-    let qa = QuantizedTensor::encode_with_own_dict(&acts, &curve, &Default::default());
+    let qw = session.quantize_tensor("demo.weights", &weights).expect("non-degenerate tensor");
+    let qa = session.quantize_tensor("demo.acts", &acts).expect("non-degenerate tensor");
     println!(
         "weights: {} values, {:.2}% outliers, {:.1} dB SQNR",
         qw.codes().len(),

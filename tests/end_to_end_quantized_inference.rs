@@ -90,13 +90,13 @@ fn index_kernels_agree_on_real_model_tensors() {
     let w = &model.layers[0].wq;
 
     let curve = mokey_core::curve::ExpCurve::paper();
-    let qa = QuantizedTensor::encode_with_own_dict(&hidden, &curve, &Default::default());
-    let qw = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default());
+    let qa = QuantizedTensor::encode_with_own_dict(&hidden, &curve, &Default::default()).unwrap();
+    let qw = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default()).unwrap();
 
     // Row of activations × column of weights.
     let a_row = qa.row_codes(0);
     let w_t = w.transpose();
-    let qw_t = QuantizedTensor::encode_with_own_dict(&w_t, &curve, &Default::default());
+    let qw_t = QuantizedTensor::encode_with_own_dict(&w_t, &curve, &Default::default()).unwrap();
     let w_col = qw_t.row_codes(5);
 
     let indexed = kernels::dot_indexed(a_row, qa.dict(), w_col, qw_t.dict());

@@ -27,7 +27,7 @@ fn every_weight_tensor_roundtrips_through_both_formats() {
     let model = model();
     let curve = ExpCurve::paper();
     for (name, w) in model.weight_tensors() {
-        let q = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default());
+        let q = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default()).unwrap();
         let packed = DramContainer::pack(q.codes());
         assert_eq!(packed.unpack(), q.codes(), "{name}: DRAM container mismatch");
         let stream = OnChipStream::pack(q.codes());
@@ -44,7 +44,7 @@ fn whole_model_archive_wire_roundtrip() {
     let curve = ExpCurve::paper();
     let mut archive = TensorArchive::new();
     for (name, w) in model.weight_tensors() {
-        let q = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default());
+        let q = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default()).unwrap();
         archive.insert(&name, &q);
     }
     let ratio = archive.compression_ratio(16);
@@ -65,7 +65,8 @@ fn compression_engines_are_mutually_inverse() {
     let model = model();
     let curve = ExpCurve::paper();
     let w = &model.layers[1].w1;
-    let dict = mokey_core::dict::TensorDict::for_values(w.as_slice(), &curve, &Default::default());
+    let dict = mokey_core::dict::TensorDict::for_values(w.as_slice(), &curve, &Default::default())
+        .unwrap();
     let comp = CompressionEngine::new(dict.clone());
     let decomp = DecompressionEngine::new(dict);
 
@@ -89,7 +90,7 @@ fn container_compression_matches_paper_traffic_claim() {
     let mut total_fp16_bits = 0usize;
     let mut total_packed_bits = 0usize;
     for (_, w) in model.weight_tensors() {
-        let q = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default());
+        let q = QuantizedTensor::encode_with_own_dict(w, &curve, &Default::default()).unwrap();
         let packed = DramContainer::pack(q.codes());
         total_fp16_bits += w.len() * 16;
         total_packed_bits += packed.total_bits();

@@ -55,7 +55,7 @@ fn per_tensor_dictionaries_transfer_across_the_curve_source() {
     let fitted = ExpCurve::fit(&gd);
     let paper = ExpCurve::paper();
     let rmse = |curve: &ExpCurve| {
-        let dict = TensorDict::for_values(values.as_slice(), curve, &Default::default());
+        let dict = TensorDict::for_values(values.as_slice(), curve, &Default::default()).unwrap();
         let decoded: Vec<f32> = values
             .as_slice()
             .iter()

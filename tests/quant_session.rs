@@ -1,0 +1,104 @@
+//! Integration: the unified pipeline session is the single source of
+//! truth for the golden-dict → curve → dictionary → encode flow — the
+//! session-built artifacts must match the core primitives exactly, the
+//! parallel fan-out must be bit-identical to the serial path, and
+//! degenerate tensors must surface as typed errors instead of panics.
+
+use mokey_core::curve::ExpCurve;
+use mokey_core::dict::{DictError, TensorDict};
+use mokey_core::encode::QuantizedTensor;
+use mokey_pipeline::{Parallelism, PipelineError, QuantSession, QuantizeSpec};
+use mokey_tensor::init::GaussianMixture;
+use mokey_tensor::Matrix;
+use mokey_transformer::model::{Head, Model};
+use mokey_transformer::quantize::QuantizedModel;
+use mokey_transformer::ModelConfig;
+
+fn tiny_model(seed: u64) -> Model {
+    let config = ModelConfig {
+        name: "session-itest".into(),
+        layers: 2,
+        hidden: 64,
+        heads: 2,
+        ff: 128,
+        vocab: 400,
+        max_seq: 32,
+    };
+    Model::synthesize(&config, Head::Classification { classes: 3 }, seed)
+}
+
+#[test]
+fn session_flow_equals_manual_core_primitives() {
+    // The session must produce exactly what hand-wiring the core stages
+    // produced before the refactor: same dictionary, same codes.
+    let session = QuantSession::with_defaults();
+    let w = GaussianMixture::weight_like(0.01, 0.06).sample_matrix(48, 64, 77);
+    let via_session = session.quantize_tensor("w", &w).expect("non-degenerate");
+    let dict =
+        TensorDict::for_values(w.as_slice(), &ExpCurve::paper(), &Default::default()).unwrap();
+    let manual = QuantizedTensor::encode(&w, &dict);
+    assert_eq!(via_session, manual);
+}
+
+#[test]
+fn parallel_model_quantization_is_bit_identical_to_serial() {
+    let model = tiny_model(5);
+    let profile: Vec<Vec<usize>> = (0..3).map(|s| model.random_tokens(16, 300 + s)).collect();
+    let spec = QuantizeSpec::weights_and_activations();
+    let serial = QuantSession::builder().parallelism(Parallelism::Serial).build();
+    let threads = QuantSession::builder().parallelism(Parallelism::Threads(5)).build();
+    let ms = serial.quantize_model(&model, spec, &profile).unwrap();
+    let mt = threads.quantize_model(&model, spec, &profile).unwrap();
+    // Codes, dictionaries, and derived formats all match bit for bit.
+    assert_eq!(ms.weights, mt.weights);
+    assert_eq!(ms.act_dicts, mt.act_dicts);
+    assert_eq!(
+        ms.out_formats.keys().collect::<Vec<_>>(),
+        mt.out_formats.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(ms.report.weight_outlier_fractions, mt.report.weight_outlier_fractions);
+    // And quantized inference through both contexts agrees exactly.
+    let (qs, _) = QuantizedModel::prepare_with_session(&serial, &model, spec, &profile).unwrap();
+    let (qt, _) = QuantizedModel::prepare_with_session(&threads, &model, spec, &profile).unwrap();
+    let tokens = model.random_tokens(16, 999);
+    assert_eq!(qs.infer(&tokens), qt.infer(&tokens));
+}
+
+#[test]
+fn degenerate_tensors_surface_as_typed_errors() {
+    let session = QuantSession::with_defaults();
+    let constant = Matrix::from_vec(8, 8, vec![1.5; 64]);
+    assert_eq!(
+        session.quantize_tensor("stuck", &constant).unwrap_err(),
+        PipelineError::Tensor { name: "stuck".into(), source: DictError::Constant }
+    );
+    let poisoned = Matrix::from_vec(2, 2, vec![0.5, f32::NAN, 0.25, -0.5]);
+    assert!(matches!(
+        session.quantize_tensor("nan", &poisoned).unwrap_err(),
+        PipelineError::Tensor { source: DictError::NonFinite, .. }
+    ));
+    // Model-level: activation quantization without profiling inputs.
+    let model = tiny_model(6);
+    assert_eq!(
+        session.quantize_model(&model, QuantizeSpec::weights_and_activations(), &[]).unwrap_err(),
+        PipelineError::NoProfileInputs
+    );
+}
+
+#[test]
+fn shared_session_cache_reuses_weight_dictionaries_across_passes() {
+    // evaluate_row's pattern: a weight-only pass followed by a W+A pass
+    // over the same model through one session — the second pass must hit
+    // the dictionary cache for every weight tensor.
+    let model = tiny_model(7);
+    let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(16, 800 + s)).collect();
+    let session = QuantSession::builder().parallelism(Parallelism::Serial).build();
+    let m1 = session.quantize_model(&model, QuantizeSpec::weights_only(), &[]).unwrap();
+    let misses = session.cache_stats().misses;
+    assert_eq!(misses, model.weight_tensors().len());
+    let m2 =
+        session.quantize_model(&model, QuantizeSpec::weights_and_activations(), &profile).unwrap();
+    assert_eq!(session.cache_stats().misses, misses, "second pass rebuilt weight dictionaries");
+    assert_eq!(session.cache_stats().hits, misses);
+    assert_eq!(m1.weights, m2.weights);
+}

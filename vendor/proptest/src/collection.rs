@@ -34,7 +34,7 @@ pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S,
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S, R> {
     element: S,
     size: R,

@@ -2,7 +2,7 @@
 //!
 //! Implements the subset the workspace's property tests use: the
 //! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and
-//! tuple strategies, [`collection::vec`], [`bool`] strategies, and the
+//! tuple strategies, [`collection::vec()`], [`mod@bool`] strategies, and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
 //! [`prop_assume!`] macros.
 //!
