@@ -1,0 +1,158 @@
+//! Throughput/latency baseline for the `mokey-serve` engine: seeded
+//! multi-client load at two dynamic-batching settings, reported as
+//! requests/second with p50/p99 latency and written to `BENCH_serve.json`
+//! at the workspace root so future PRs have a serving-perf trajectory to
+//! compare against.
+//!
+//! `cargo bench -p mokey-bench --bench serve -- --quick-check` runs a
+//! shrunken load (CI keeps the path warm without paying full bench
+//! time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mokey_serve::{serve, LoadGen, MetricsReport, PreparedModel, ServeConfig};
+use mokey_transformer::model::{Head, Model};
+use mokey_transformer::{ModelConfig, QuantizeSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Workspace root: the first ancestor whose `Cargo.toml` declares
+/// `[workspace]` (mirrors `mokey_eval::report::results_dir`).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn quick_check() -> bool {
+    std::env::args().any(|a| a == "--quick-check")
+}
+
+fn prepare() -> PreparedModel {
+    let config = ModelConfig::bert_base().scaled(6, 6);
+    let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 2025);
+    let profile: Vec<Vec<usize>> = (0..4).map(|s| model.random_tokens(24, 500 + s)).collect();
+    PreparedModel::prepare(model, QuantizeSpec::weights_and_activations(), &profile)
+        .expect("non-degenerate model")
+}
+
+/// Drives `requests` seeded requests from `clients` client threads
+/// through an engine at the given batching setting.
+fn run_load(
+    prepared: &PreparedModel,
+    max_batch: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> MetricsReport {
+    let config = ServeConfig {
+        workers: 2,
+        max_batch,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+    };
+    let ((), report) = serve(prepared, config, |handle| {
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                scope.spawn(move || {
+                    let mut traffic = LoadGen::new(prepared.model(), 9000 + c as u64);
+                    let tickets: Vec<_> = traffic
+                        .requests(requests_per_client)
+                        .into_iter()
+                        .map(|t| handle.submit(t).expect("valid request"))
+                        .collect();
+                    for ticket in tickets {
+                        let _ = ticket.wait();
+                    }
+                });
+            }
+        })
+    });
+    report
+}
+
+fn bench(c: &mut Criterion) {
+    let prepared = prepare();
+    let quick = quick_check();
+    let (clients, per_client) = if quick { (2, 4) } else { (4, 16) };
+
+    // Bit-identity check: the batched engine path must produce exactly
+    // the sequential single-request outputs (the acceptance invariant of
+    // the serving subsystem).
+    let probe = LoadGen::new(prepared.model(), 31).requests(6);
+    let (engine_outputs, _) =
+        serve(&prepared, ServeConfig { max_batch: 6, ..ServeConfig::default() }, |handle| {
+            let tickets: Vec<_> = probe.iter().map(|t| handle.submit(t.clone()).unwrap()).collect();
+            tickets.into_iter().map(|t| t.wait().output).collect::<Vec<_>>()
+        });
+    for (tokens, out) in probe.iter().zip(&engine_outputs) {
+        assert_eq!(out, &prepared.infer(tokens).0, "engine output diverged from sequential");
+    }
+
+    // The baseline: the same seeded load at two batching settings.
+    let mut settings_json = Vec::new();
+    for max_batch in [1usize, 8] {
+        let report = run_load(&prepared, max_batch, clients, per_client);
+        println!(
+            "[serve] max_batch {:>2}: {:>7.1} req/s, mean batch {:.2}, p50 {:.3} ms, p99 {:.3} ms",
+            max_batch,
+            report.requests_per_sec,
+            report.mean_batch_size,
+            report.latency_p50.as_secs_f64() * 1e3,
+            report.latency_p99.as_secs_f64() * 1e3,
+        );
+        settings_json.push(format!(
+            "    {{\n      \"max_batch\": {},\n      \"clients\": {},\n      \"requests\": {},\n      \"requests_per_sec\": {:.1},\n      \"mean_batch_size\": {:.3},\n      \"batches_formed\": {},\n      \"latency_p50_ms\": {:.3},\n      \"latency_p99_ms\": {:.3},\n      \"values_per_sec\": {:.0}\n    }}",
+            max_batch,
+            clients,
+            clients * per_client,
+            report.requests_per_sec,
+            report.mean_batch_size,
+            report.batches_formed,
+            report.latency_p50.as_secs_f64() * 1e3,
+            report.latency_p99.as_secs_f64() * 1e3,
+            report.values_per_sec,
+        ));
+    }
+    // A quick-check pass (CI) exercises the path but must not replace
+    // the committed full-load baseline with shrunken numbers.
+    if quick {
+        println!("[serve] quick check: baseline not rewritten");
+    } else {
+        let baseline = format!(
+            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"settings\": [\n{}\n  ]\n}}\n",
+            prepared.model().config().name,
+            settings_json.join(",\n"),
+        );
+        let path = workspace_root().join("BENCH_serve.json");
+        match std::fs::write(&path, baseline) {
+            Ok(()) => println!("[serve] baseline written to {}", path.display()),
+            Err(e) => println!("[serve] could not write {}: {e}", path.display()),
+        }
+    }
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(if quick { 2 } else { 10 });
+    group.bench_function("engine_batch1", |b| b.iter(|| run_load(&prepared, 1, 2, 4).completed));
+    group.bench_function("engine_batch8", |b| b.iter(|| run_load(&prepared, 8, 2, 4).completed));
+    group.bench_function("prepared_infer_solo", |b| {
+        let tokens = prepared.model().random_tokens(24, 77);
+        b.iter(|| prepared.infer(&tokens))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

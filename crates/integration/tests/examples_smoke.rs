@@ -50,3 +50,12 @@ mod accelerate_inference_example {
         main();
     }
 }
+
+mod serve_requests_example {
+    include!("../../../examples/serve_requests.rs");
+
+    #[test]
+    fn serve_requests_runs() {
+        main();
+    }
+}

@@ -50,4 +50,17 @@ pub mod session;
 pub use error::PipelineError;
 pub use model::{ModelAdapter, ModelQuantization, QuantizationReport, QuantizeSpec};
 pub use parallel::Parallelism;
-pub use session::{CacheStats, CurveSource, QuantSession, QuantSessionBuilder};
+pub use session::{
+    CacheStats, CurveSource, QuantSession, QuantSessionBuilder, SessionReport, StageTimings,
+};
+
+// The serving layer shares one session and its products across worker
+// threads; pin the thread-safety contract at compile time so a future
+// field (an `Rc`, a raw pointer) can't silently revoke it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QuantSession>();
+    assert_send_sync::<ModelQuantization>();
+    assert_send_sync::<SessionReport>();
+    assert_send_sync::<CacheStats>();
+};

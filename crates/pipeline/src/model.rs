@@ -162,10 +162,12 @@ impl QuantSession {
             if profile_inputs.is_empty() {
                 return Err(PipelineError::NoProfileInputs);
             }
+            let t0 = std::time::Instant::now();
             let mut profiler = ActivationProfiler::new(*self.profile_config());
             for input in profile_inputs {
                 model.run_profile(&mut profiler, input);
             }
+            self.note_profiling(t0.elapsed());
             let profiled: Vec<(String, &TensorProfile)> = profiler
                 .tensor_names()
                 .map(str::to_owned)
@@ -210,9 +212,11 @@ impl QuantSession {
                 QFormat::for_range(16, s.min(), s.max()),
             ))
         } else {
+            let t0 = std::time::Instant::now();
             let dict = profile
                 .build_dict_scratch(self.curve(), self.dict_config(), &mut scratch.dict)
                 .map_err(|source| PipelineError::Tensor { name: name.to_owned(), source })?;
+            self.note_dict_built(t0.elapsed());
             Ok(ProfiledTensor::Dict(name.to_owned(), dict))
         }
     }

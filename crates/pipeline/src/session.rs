@@ -11,8 +11,10 @@ use mokey_core::profile::ProfileConfig;
 use mokey_tensor::stats::Summary;
 use mokey_tensor::Matrix;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Where the session's exponential curve comes from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +96,7 @@ impl QuantSessionBuilder {
     /// Runs the one-time setup (curve generation/fit if requested) and
     /// returns the session.
     pub fn build(self) -> QuantSession {
+        let t0 = Instant::now();
         let (golden, curve) = match self.curve_source {
             CurveSource::Paper => (None, ExpCurve::paper()),
             CurveSource::Fitted(config) => {
@@ -112,7 +115,81 @@ impl QuantSessionBuilder {
             cache: self.cache_dicts.then(|| Mutex::new(HashMap::new())),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            setup_nanos: duration_nanos(t0.elapsed()),
+            profile_nanos: AtomicU64::new(0),
+            dict_nanos: AtomicU64::new(0),
+            encode_nanos: AtomicU64::new(0),
+            tensors_quantized: AtomicUsize::new(0),
+            values_quantized: AtomicUsize::new(0),
+            dicts_built: AtomicUsize::new(0),
         }
+    }
+}
+
+/// Saturating `Duration` → `u64` nanoseconds (a session never runs for
+/// 584 years, but the conversion is total anyway).
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Wall-clock time spent inside each pipeline stage (see
+/// [`QuantSession::report`]).
+///
+/// Per-tensor stages (`dict_fit`, `encode`) are summed across workers, so
+/// under parallel fan-out they report aggregate *CPU* time, which can
+/// exceed the elapsed wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// One-time builder setup: golden-dictionary generation + curve fit.
+    pub setup: Duration,
+    /// Serial activation-profiling passes
+    /// ([`QuantSession::quantize_model`](crate::QuantSession::quantize_model)).
+    pub profiling: Duration,
+    /// Per-tensor dictionary construction (cache misses only).
+    pub dict_fit: Duration,
+    /// Index encoding of tensor values.
+    pub encode: Duration,
+}
+
+/// Snapshot of everything a session has done so far: the first step of
+/// the observability story the serving engine's metrics build on.
+///
+/// Produced by [`QuantSession::report`]; counters are cumulative over the
+/// session's lifetime and the snapshot is internally consistent only when
+/// no quantization is concurrently in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionReport {
+    /// Tensors successfully quantized (dictionary fit + encode).
+    pub tensors_quantized: usize,
+    /// Total values encoded across those tensors.
+    pub values_quantized: usize,
+    /// Dictionaries actually constructed (cache misses plus every build
+    /// when the cache is disabled, plus profiled activation dictionaries).
+    pub dicts_built: usize,
+    /// Dictionary-cache counters (zero when the cache is disabled).
+    pub cache: CacheStats,
+    /// Per-stage elapsed time.
+    pub stages: StageTimings,
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        writeln!(f, "quantization session report")?;
+        writeln!(
+            f,
+            "  tensors quantized  : {} ({} values)",
+            self.tensors_quantized, self.values_quantized
+        )?;
+        writeln!(
+            f,
+            "  dictionaries built : {} (cache: {} hits / {} misses)",
+            self.dicts_built, self.cache.hits, self.cache.misses
+        )?;
+        writeln!(f, "  stage setup        : {:9.3} ms", ms(self.stages.setup))?;
+        writeln!(f, "  stage profiling    : {:9.3} ms", ms(self.stages.profiling))?;
+        writeln!(f, "  stage dict fit     : {:9.3} ms", ms(self.stages.dict_fit))?;
+        write!(f, "  stage encode       : {:9.3} ms", ms(self.stages.encode))
     }
 }
 
@@ -188,6 +265,13 @@ pub struct QuantSession {
     cache: Option<Mutex<HashMap<DictKey, TensorDict>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    setup_nanos: u64,
+    profile_nanos: AtomicU64,
+    dict_nanos: AtomicU64,
+    encode_nanos: AtomicU64,
+    tensors_quantized: AtomicUsize,
+    values_quantized: AtomicUsize,
+    dicts_built: AtomicUsize,
 }
 
 impl QuantSession {
@@ -239,6 +323,35 @@ impl QuantSession {
         }
     }
 
+    /// Snapshot of what the session has done so far: tensors quantized,
+    /// cache behaviour, and elapsed time per pipeline stage.
+    pub fn report(&self) -> SessionReport {
+        SessionReport {
+            tensors_quantized: self.tensors_quantized.load(Ordering::Relaxed),
+            values_quantized: self.values_quantized.load(Ordering::Relaxed),
+            dicts_built: self.dicts_built.load(Ordering::Relaxed),
+            cache: self.cache_stats(),
+            stages: StageTimings {
+                setup: Duration::from_nanos(self.setup_nanos),
+                profiling: Duration::from_nanos(self.profile_nanos.load(Ordering::Relaxed)),
+                dict_fit: Duration::from_nanos(self.dict_nanos.load(Ordering::Relaxed)),
+                encode: Duration::from_nanos(self.encode_nanos.load(Ordering::Relaxed)),
+            },
+        }
+    }
+
+    /// Accounts one dictionary construction (the model-quantization path
+    /// builds profiled-activation dictionaries outside [`Self::dict_for`]).
+    pub(crate) fn note_dict_built(&self, elapsed: Duration) {
+        self.dicts_built.fetch_add(1, Ordering::Relaxed);
+        self.dict_nanos.fetch_add(duration_nanos(elapsed), Ordering::Relaxed);
+    }
+
+    /// Accounts one serial activation-profiling pass.
+    pub(crate) fn note_profiling(&self, elapsed: Duration) {
+        self.profile_nanos.fetch_add(duration_nanos(elapsed), Ordering::Relaxed);
+    }
+
     /// Builds (or fetches from cache) the dictionary pair for a value set.
     ///
     /// # Errors
@@ -263,20 +376,24 @@ impl QuantSession {
         let summary = Summary::of(values);
         let wrap = |source| PipelineError::Tensor { name: name.to_owned(), source };
         let Some(cache) = &self.cache else {
-            return TensorDict::from_stats_scratch(
+            let t0 = Instant::now();
+            let dict = TensorDict::from_stats_scratch(
                 &summary,
                 values,
                 &self.curve,
                 &self.dict_config,
                 &mut scratch.dict,
             )
-            .map_err(wrap);
+            .map_err(wrap)?;
+            self.note_dict_built(t0.elapsed());
+            return Ok(dict);
         };
         let key = DictKey::new(&summary, values);
         if let Some(dict) = cache.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(dict.clone());
         }
+        let t0 = Instant::now();
         let dict = TensorDict::from_stats_scratch(
             &summary,
             values,
@@ -285,6 +402,7 @@ impl QuantSession {
             &mut scratch.dict,
         )
         .map_err(wrap)?;
+        self.note_dict_built(t0.elapsed());
         self.misses.fetch_add(1, Ordering::Relaxed);
         cache.lock().expect("cache lock").insert(key, dict.clone());
         Ok(dict)
@@ -315,7 +433,12 @@ impl QuantSession {
         scratch: &mut WorkerScratch,
     ) -> Result<QuantizedTensor, PipelineError> {
         let dict = self.dict_for_scratch(name, matrix.as_slice(), scratch)?;
-        Ok(QuantizedTensor::encode(matrix, &dict))
+        let t0 = Instant::now();
+        let q = QuantizedTensor::encode(matrix, &dict);
+        self.encode_nanos.fetch_add(duration_nanos(t0.elapsed()), Ordering::Relaxed);
+        self.tensors_quantized.fetch_add(1, Ordering::Relaxed);
+        self.values_quantized.fetch_add(q.codes().len(), Ordering::Relaxed);
+        Ok(q)
     }
 
     /// Quantizes a batch of tensors, fanning the per-tensor work across
@@ -448,6 +571,38 @@ mod tests {
         let named = vec![("ok".to_string(), &ok), ("broken".to_string(), &constant)];
         let err = session.quantize_named(&named).unwrap_err();
         assert!(matches!(err, PipelineError::Tensor { ref name, .. } if name == "broken"));
+    }
+
+    #[test]
+    fn report_counts_tensors_values_and_stage_time() {
+        let session = QuantSession::builder().parallelism(Parallelism::Serial).build();
+        let fresh = session.report();
+        assert_eq!(fresh.tensors_quantized, 0);
+        assert_eq!(fresh.dicts_built, 0);
+        let w = weight(21);
+        let v = weight(22);
+        let _ = session.quantize_tensor("w", &w).unwrap();
+        let _ = session.quantize_tensor("v", &v).unwrap();
+        let _ = session.quantize_tensor("w", &w).unwrap(); // cache hit
+        let report = session.report();
+        assert_eq!(report.tensors_quantized, 3);
+        assert_eq!(report.values_quantized, 3 * 48 * 48);
+        assert_eq!(report.dicts_built, 2);
+        assert_eq!(report.cache, CacheStats { hits: 1, misses: 2 });
+        assert!(report.stages.dict_fit > Duration::ZERO);
+        assert!(report.stages.encode > Duration::ZERO);
+        assert_eq!(report.stages.profiling, Duration::ZERO);
+    }
+
+    #[test]
+    fn report_display_names_every_stage() {
+        let session = QuantSession::with_defaults();
+        let _ = session.quantize_tensor("w", &weight(23)).unwrap();
+        let text = session.report().to_string();
+        for needle in ["tensors quantized", "dictionaries built", "profiling", "dict fit", "encode"]
+        {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
     }
 
     #[test]

@@ -1,0 +1,436 @@
+//! The serving engine: submission queue → dynamic batcher → scoped
+//! worker pool.
+//!
+//! ```text
+//!  clients                    engine (std::thread::scope)
+//!  ───────                    ─────────────────────────────────────────
+//!  submit()/try_submit() ──▶  BoundedQueue (capacity, backpressure)
+//!        │                         │ pop_batch(max_batch, max_wait)
+//!        ▼                         ▼
+//!     Ticket ◀── mpsc ──  worker: PreparedModel::infer_batch
+//!        wait()                    │ one QuantizedExecutor per batch
+//!                                  ▼
+//!                               Metrics (latency histogram, batches,
+//!                               queue depth, values/sec)
+//! ```
+//!
+//! Everything is in-process and synchronous: [`serve`] owns the worker
+//! threads inside a `std::thread::scope`, so shutdown is structural —
+//! when the driver closure returns, the queue closes, workers drain the
+//! accepted backlog, and the scope joins them before [`serve`] returns.
+//! No accepted request is ever dropped.
+
+use crate::metrics::{Metrics, MetricsReport};
+use crate::prepared::PreparedModel;
+use crate::queue::{BoundedQueue, PushError};
+use mokey_transformer::exec::QuantizedStats;
+use mokey_transformer::TaskOutput;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Engine sizing: worker pool, batcher, and admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads executing batches (minimum 1).
+    pub workers: usize,
+    /// Largest batch the dynamic batcher coalesces.
+    pub max_batch: usize,
+    /// How long an underfull batch waits for stragglers.
+    pub max_wait: Duration,
+    /// Submission-queue capacity (admission control / backpressure
+    /// threshold).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (only `try_submit`; `submit` blocks
+    /// instead).
+    QueueFull,
+    /// The engine is shutting down.
+    ShuttingDown,
+    /// The request exceeds the model's maximum sequence length.
+    SequenceTooLong {
+        /// Submitted sequence length.
+        len: usize,
+        /// The model's limit.
+        max_seq: usize,
+    },
+    /// The request contains an out-of-vocabulary token.
+    TokenOutOfVocab {
+        /// The offending token id.
+        token: usize,
+        /// The model's vocabulary size.
+        vocab: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue is at capacity"),
+            SubmitError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            SubmitError::SequenceTooLong { len, max_seq } => {
+                write!(f, "sequence of {len} tokens exceeds the model maximum of {max_seq}")
+            }
+            SubmitError::TokenOutOfVocab { token, vocab } => {
+                write!(f, "token {token} is outside the vocabulary of {vocab}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The id [`ServeHandle::submit`] assigned.
+    pub id: u64,
+    /// The task-head output.
+    pub output: TaskOutput,
+    /// This request's activation-encoding counters.
+    pub stats: QuantizedStats,
+    /// How many requests shared the batch.
+    pub batch_size: usize,
+    /// Submission → batch-formed wait.
+    pub queue_wait: Duration,
+    /// Submission → response latency.
+    pub latency: Duration,
+}
+
+/// A claim on a future [`Response`].
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// The id the engine assigned to this request.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives. Accepted requests are always
+    /// answered — shutdown drains the queue.
+    pub fn wait(self) -> Response {
+        self.rx.recv().expect("serving engine dropped an accepted request")
+    }
+}
+
+struct Request {
+    id: u64,
+    tokens: Vec<usize>,
+    accepted_at: Instant,
+    tx: mpsc::Sender<Response>,
+}
+
+struct Shared<'m> {
+    model: &'m PreparedModel,
+    config: ServeConfig,
+    queue: BoundedQueue<Request>,
+    metrics: Metrics,
+    next_id: AtomicU64,
+}
+
+/// The client face of a running engine: submit requests, read live
+/// metrics. `Sync`, so one handle can drive many client threads.
+pub struct ServeHandle<'e> {
+    shared: &'e Shared<'e>,
+}
+
+impl ServeHandle<'_> {
+    fn admit(&self, tokens: &[usize]) -> Result<(), SubmitError> {
+        let max_seq = self.shared.model.max_seq();
+        if tokens.len() > max_seq {
+            self.shared.metrics.note_rejected_invalid();
+            return Err(SubmitError::SequenceTooLong { len: tokens.len(), max_seq });
+        }
+        let vocab = self.shared.model.vocab();
+        if let Some(&token) = tokens.iter().find(|&&t| t >= vocab) {
+            self.shared.metrics.note_rejected_invalid();
+            return Err(SubmitError::TokenOutOfVocab { token, vocab });
+        }
+        Ok(())
+    }
+
+    fn request(&self, tokens: Vec<usize>) -> (Request, Ticket) {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        (Request { id, tokens, accepted_at: Instant::now(), tx }, Ticket { id, rx })
+    }
+
+    /// Submits a request, blocking while the queue is at capacity
+    /// (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Validation failures ([`SubmitError::SequenceTooLong`] /
+    /// [`SubmitError::TokenOutOfVocab`]) or
+    /// [`SubmitError::ShuttingDown`].
+    pub fn submit(&self, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
+        self.admit(&tokens)?;
+        let (request, ticket) = self.request(tokens);
+        match self.shared.queue.push_blocking(request) {
+            Ok(_) => {
+                self.shared.metrics.note_submitted();
+                Ok(ticket)
+            }
+            // `push_blocking` only fails on a closed queue.
+            Err(_) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submits a request without blocking (admission control).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at capacity, plus everything
+    /// [`ServeHandle::submit`] can return.
+    pub fn try_submit(&self, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
+        self.admit(&tokens)?;
+        let (request, ticket) = self.request(tokens);
+        match self.shared.queue.try_push(request) {
+            Ok(_) => {
+                self.shared.metrics.note_submitted();
+                Ok(ticket)
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.metrics.note_rejected_full();
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Current submission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Live metrics snapshot.
+    pub fn metrics(&self) -> MetricsReport {
+        self.shared.metrics.snapshot(self.shared.queue.peak_depth())
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>) {
+    while let Some(batch) = shared.queue.pop_batch(shared.config.max_batch, shared.config.max_wait)
+    {
+        if batch.is_empty() {
+            continue;
+        }
+        let formed_at = Instant::now();
+        shared.metrics.note_batch(batch.len());
+        let batch_size = batch.len();
+        let (requests, tokens): (Vec<_>, Vec<_>) =
+            batch.into_iter().map(|r| ((r.id, r.accepted_at, r.tx), r.tokens)).unzip();
+        let (results, _) = shared.model.infer_batch(&tokens);
+        for ((id, accepted_at, tx), (output, stats)) in requests.into_iter().zip(results) {
+            let queue_wait = formed_at.duration_since(accepted_at);
+            let latency = accepted_at.elapsed();
+            shared.metrics.note_completed(latency, queue_wait, &stats);
+            // A client that dropped its ticket just doesn't read the
+            // response; the request still counts as served.
+            let _ = tx.send(Response { id, output, stats, batch_size, queue_wait, latency });
+        }
+    }
+}
+
+/// Runs a serving engine around `model` for the lifetime of the driver
+/// closure `f`.
+///
+/// Workers start before `f` runs and keep serving while it executes;
+/// when `f` returns, the queue closes (new submissions fail with
+/// [`SubmitError::ShuttingDown`]), the workers drain every accepted
+/// request, and the scope joins them. Returns the closure's result and
+/// the final metrics.
+///
+/// # Example
+///
+/// ```
+/// use mokey_serve::{serve, PreparedModel, ServeConfig};
+/// use mokey_transformer::{Head, Model, ModelConfig, QuantizeSpec};
+///
+/// let config = ModelConfig::bert_base().scaled(16, 16);
+/// let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 1);
+/// let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(12, s)).collect();
+/// let prepared =
+///     PreparedModel::prepare(model, QuantizeSpec::weights_and_activations(), &profile).unwrap();
+/// let (outputs, report) = serve(&prepared, ServeConfig::default(), |handle| {
+///     let tickets: Vec<_> = (0..4)
+///         .map(|s| handle.submit(prepared.model().random_tokens(12, s)).unwrap())
+///         .collect();
+///     tickets.into_iter().map(|t| t.wait().output).collect::<Vec<_>>()
+/// });
+/// assert_eq!(outputs.len(), 4);
+/// assert_eq!(report.completed, 4);
+/// ```
+pub fn serve<R, F>(model: &PreparedModel, config: ServeConfig, f: F) -> (R, MetricsReport)
+where
+    F: FnOnce(&ServeHandle<'_>) -> R,
+{
+    let config = ServeConfig { workers: config.workers.max(1), ..config };
+    let shared = Shared {
+        model,
+        config,
+        queue: BoundedQueue::new(config.queue_capacity),
+        metrics: Metrics::new(),
+        next_id: AtomicU64::new(0),
+    };
+    /// Closes the queue when dropped — including during unwinding, so a
+    /// panicking driver closure can't leave workers parked on the
+    /// condvar while the scope waits to join them.
+    struct CloseOnDrop<'a>(&'a BoundedQueue<Request>);
+    impl Drop for CloseOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.close();
+        }
+    }
+
+    let out = std::thread::scope(|scope| {
+        for _ in 0..config.workers {
+            scope.spawn(|| worker_loop(&shared));
+        }
+        // Structural shutdown: when the driver returns (or panics), the
+        // guard stops admissions, workers drain the backlog, and the
+        // scope joins them.
+        let _shutdown = CloseOnDrop(&shared.queue);
+        let handle = ServeHandle { shared: &shared };
+        f(&handle)
+    });
+    let report = shared.metrics.snapshot(shared.queue.peak_depth());
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_pipeline::QuantizeSpec;
+    use mokey_transformer::{Head, Model, ModelConfig};
+
+    fn prepared() -> PreparedModel {
+        let config = ModelConfig {
+            name: "engine-test".into(),
+            layers: 1,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 150,
+            max_seq: 16,
+        };
+        let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 13);
+        let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(10, 30 + s)).collect();
+        PreparedModel::prepare(model, QuantizeSpec::weights_and_activations(), &profile)
+            .expect("non-degenerate model")
+    }
+
+    #[test]
+    fn serves_requests_and_reports_metrics() {
+        let p = prepared();
+        let config = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 16,
+        };
+        let inputs: Vec<Vec<usize>> = (0..10).map(|s| p.model().random_tokens(10, s)).collect();
+        let (responses, report) = serve(&p, config, |handle| {
+            let tickets: Vec<_> =
+                inputs.iter().map(|t| handle.submit(t.clone()).unwrap()).collect();
+            tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>()
+        });
+        assert_eq!(responses.len(), 10);
+        for (tokens, response) in inputs.iter().zip(&responses) {
+            assert_eq!(response.output, p.infer(tokens).0, "engine output diverged");
+            assert!(response.batch_size >= 1);
+            assert!(response.latency >= response.queue_wait);
+        }
+        assert_eq!(report.submitted, 10);
+        assert_eq!(report.completed, 10);
+        assert!(report.batches_formed >= 1);
+        assert!(report.act_values > 0);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_admission() {
+        let p = prepared();
+        let ((), report) = serve(&p, ServeConfig::default(), |handle| {
+            let too_long = vec![1usize; p.max_seq() + 1];
+            assert_eq!(
+                handle.submit(too_long).unwrap_err(),
+                SubmitError::SequenceTooLong { len: p.max_seq() + 1, max_seq: p.max_seq() }
+            );
+            let oov = vec![p.vocab() + 5];
+            assert_eq!(
+                handle.submit(oov).unwrap_err(),
+                SubmitError::TokenOutOfVocab { token: p.vocab() + 5, vocab: p.vocab() }
+            );
+        });
+        assert_eq!(report.submitted, 0);
+        assert_eq!(report.rejected_invalid, 2);
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let p = prepared();
+        let (ids, _) = serve(&p, ServeConfig::default(), |handle| {
+            (0..5)
+                .map(|s| handle.submit(p.model().random_tokens(8, s)).unwrap().id())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn panicking_driver_closes_the_engine_instead_of_deadlocking() {
+        let p = prepared();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve(&p, ServeConfig::default(), |handle| {
+                let _ = handle.submit(p.model().random_tokens(8, 1)).unwrap();
+                panic!("driver failed");
+            })
+        }));
+        // Without the close-on-drop guard the workers would wait on the
+        // queue forever and this join would hang; with it the panic
+        // propagates after the backlog drains.
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn max_batch_one_forms_singleton_batches() {
+        let p = prepared();
+        let config = ServeConfig {
+            workers: 2,
+            max_batch: 1,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 16,
+        };
+        let ((), report) = serve(&p, config, |handle| {
+            let tickets: Vec<_> = (0..6)
+                .map(|s| handle.submit(p.model().random_tokens(10, 100 + s)).unwrap())
+                .collect();
+            for t in tickets {
+                assert_eq!(t.wait().batch_size, 1);
+            }
+        });
+        assert_eq!(report.batches_formed, 6);
+        assert_eq!(report.max_batch_size, 1);
+        assert!((report.mean_batch_size - 1.0).abs() < 1e-9);
+    }
+}

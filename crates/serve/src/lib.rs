@@ -1,0 +1,67 @@
+//! `mokey-serve`: an in-process batching inference-serving engine over a
+//! quantized transformer.
+//!
+//! The paper's deployment story is cheap narrow fixed-point inference;
+//! this crate is the layer that *serves* it. A model is quantized once
+//! into a [`PreparedModel`] (decoded centroid weights + cached activation
+//! dictionaries, shareable across threads), then [`serve`] runs a
+//! queue → batcher → worker-pool engine around it:
+//!
+//! * **admission control** — a [`BoundedQueue`](queue::BoundedQueue)
+//!   validates requests (vocabulary, sequence length) and bounds the
+//!   backlog; [`ServeHandle::submit`] applies backpressure by blocking,
+//!   [`ServeHandle::try_submit`] bounces with
+//!   [`SubmitError::QueueFull`];
+//! * **dynamic batching** — workers coalesce up to
+//!   [`ServeConfig::max_batch`] requests, waiting at most
+//!   [`ServeConfig::max_wait`] for stragglers, and run the whole batch
+//!   through one `QuantizedExecutor` (activations re-encoded on the fly
+//!   via the cached dictionaries); batched outputs are **bit-identical**
+//!   to solo execution, so batching is purely a throughput decision;
+//! * **structural shutdown** — workers live in a `std::thread::scope`;
+//!   when the driver closure returns, the queue closes and the accepted
+//!   backlog is drained before [`serve`] returns. No accepted request is
+//!   dropped;
+//! * **observability** — [`MetricsReport`] captures request/batch
+//!   counters, queue depth, values/sec, and a log-scale latency
+//!   histogram (p50/p90/p99), dumpable as plain text.
+//!
+//! Everything runs in-process over the synchronous API — no sockets, no
+//! async runtime — which keeps tests hermetic; a socket frontend slots
+//! in on top of [`ServeHandle`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mokey_serve::{serve, LoadGen, PreparedModel, ServeConfig};
+//! use mokey_transformer::{Head, Model, ModelConfig, QuantizeSpec};
+//!
+//! let config = ModelConfig::bert_base().scaled(16, 16);
+//! let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 1);
+//! let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(12, s)).collect();
+//! let prepared =
+//!     PreparedModel::prepare(model, QuantizeSpec::weights_and_activations(), &profile).unwrap();
+//!
+//! let mut traffic = LoadGen::new(prepared.model(), 42);
+//! let (_, report) = serve(&prepared, ServeConfig::default(), |handle| {
+//!     let tickets: Vec<_> =
+//!         traffic.requests(6).into_iter().map(|t| handle.submit(t).unwrap()).collect();
+//!     for ticket in tickets {
+//!         let response = ticket.wait();
+//!         assert!(response.stats.act_values > 0);
+//!     }
+//! });
+//! assert_eq!(report.completed, 6);
+//! println!("{}", report.dump());
+//! ```
+
+pub mod engine;
+pub mod loadgen;
+pub mod metrics;
+pub mod prepared;
+pub mod queue;
+
+pub use engine::{serve, Response, ServeConfig, ServeHandle, SubmitError, Ticket};
+pub use loadgen::LoadGen;
+pub use metrics::{LatencyHistogram, Metrics, MetricsReport};
+pub use prepared::PreparedModel;

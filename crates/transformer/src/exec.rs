@@ -13,6 +13,7 @@
 //!   this is exactly the index-domain datapath — the equivalence is
 //!   property-tested in `mokey-core::kernels`.
 
+use crate::model::{Model, TaskOutput};
 use mokey_core::dict::TensorDict;
 use mokey_core::profile::ActivationProfiler;
 use mokey_fixed::{snap_to_grid, QFormat};
@@ -91,6 +92,34 @@ pub struct QuantizedContext {
     pub out_formats: BTreeMap<String, QFormat>,
 }
 
+impl QuantizedContext {
+    /// Runs a coalesced batch of requests through **one** executor — the
+    /// serving engine's batched path. Activations are re-encoded on the
+    /// fly through the cached per-tensor dictionaries, exactly as in
+    /// per-request execution; since the hooks are stateless apart from
+    /// the counters, each output is bit-identical to running its request
+    /// alone, regardless of how the batcher grouped them.
+    ///
+    /// Returns per-request `(output, stats)` pairs plus the merged
+    /// batch-level counters.
+    pub fn infer_batch(
+        &self,
+        model: &Model,
+        batch: &[Vec<usize>],
+    ) -> (Vec<(TaskOutput, QuantizedStats)>, QuantizedStats) {
+        let mut exec = QuantizedExecutor::new(self);
+        let mut outputs = Vec::with_capacity(batch.len());
+        let mut prev = QuantizedStats::default();
+        for tokens in batch {
+            let out = model.infer(&mut exec, tokens);
+            let now = exec.stats();
+            outputs.push((out, now.diff(&prev)));
+            prev = now;
+        }
+        (outputs, prev)
+    }
+}
+
 /// Counters describing one quantized forward pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QuantizedStats {
@@ -105,6 +134,15 @@ impl QuantizedStats {
     pub fn merge(&mut self, other: &QuantizedStats) {
         self.act_values += other.act_values;
         self.act_outliers += other.act_outliers;
+    }
+
+    /// Counters accumulated since an earlier snapshot (`earlier` must be
+    /// a prefix of this accumulation, as in the batched execution loop).
+    pub fn diff(&self, earlier: &QuantizedStats) -> QuantizedStats {
+        QuantizedStats {
+            act_values: self.act_values - earlier.act_values,
+            act_outliers: self.act_outliers - earlier.act_outliers,
+        }
     }
 
     /// Outlier fraction (0 when nothing was encoded).
@@ -221,6 +259,40 @@ mod tests {
         // Unknown tensors pass through untouched.
         let untouched = e.activation("unknown", m.clone());
         assert_eq!(untouched, m);
+    }
+
+    #[test]
+    fn batched_execution_is_bit_identical_to_per_request() {
+        use crate::config::ModelConfig;
+        use crate::model::Head;
+        use crate::quantize::QuantizedModel;
+        use crate::QuantizeSpec;
+
+        let config = ModelConfig {
+            name: "exec-batch".into(),
+            layers: 1,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 200,
+            max_seq: 16,
+        };
+        let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 3);
+        let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(12, 50 + s)).collect();
+        let (qm, _) =
+            QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+        let batch: Vec<Vec<usize>> = (0..5).map(|s| model.random_tokens(10, 400 + s)).collect();
+        let (results, total) = qm.context().infer_batch(&model, &batch);
+        assert_eq!(results.len(), 5);
+        let mut merged = QuantizedStats::default();
+        for (tokens, (out, stats)) in batch.iter().zip(&results) {
+            // Per-request outputs and counters match a solo run exactly.
+            let (solo_out, solo_stats) = qm.infer(tokens);
+            assert_eq!(out, &solo_out);
+            assert_eq!(stats, &solo_stats);
+            merged.merge(stats);
+        }
+        assert_eq!(total, merged);
     }
 
     #[test]

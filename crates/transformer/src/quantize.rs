@@ -118,6 +118,13 @@ impl<'m> QuantizedModel<'m> {
         (out, exec.stats())
     }
 
+    /// Releases the borrowed model and hands out the owned quantization
+    /// context, so session products outlive the preparation call (the
+    /// serving engine pairs the context with an owned model).
+    pub fn into_context(self) -> QuantizedContext {
+        self.ctx
+    }
+
     /// Quantized forward pass only (final hidden states).
     pub fn forward(&self, tokens: &[usize]) -> (mokey_tensor::Matrix, QuantizedStats) {
         let mut exec = QuantizedExecutor::new(&self.ctx);

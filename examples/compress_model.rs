@@ -46,6 +46,10 @@ fn main() {
     println!("compression vs FP16: {:.2}x", archive.compression_ratio(16));
     println!("compression vs FP32: {:.2}x", archive.compression_ratio(32));
 
+    // What the session did: tensor/value counts, cache behaviour, and
+    // elapsed time per pipeline stage.
+    println!("\n{}", session.report());
+
     // Round-trip through the binary wire format.
     let bytes = archive.to_bytes();
     let restored = TensorArchive::from_bytes(&bytes).expect("well-formed archive");

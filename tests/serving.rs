@@ -1,0 +1,154 @@
+//! End-to-end serving: seeded multi-client load through the batching
+//! engine must be **bit-identical** to sequential single-request
+//! execution, and shutdown must drain every accepted request.
+
+use mokey_serve::{serve, LoadGen, PreparedModel, ServeConfig, SubmitError, Ticket};
+use mokey_transformer::model::{Head, Model};
+use mokey_transformer::{ModelConfig, QuantizeSpec};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn prepared_model() -> PreparedModel {
+    let config = ModelConfig {
+        name: "serving-itest".into(),
+        layers: 2,
+        hidden: 64,
+        heads: 2,
+        ff: 128,
+        vocab: 400,
+        max_seq: 32,
+    };
+    let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 17);
+    let profile: Vec<Vec<usize>> = (0..3).map(|s| model.random_tokens(16, 600 + s)).collect();
+    PreparedModel::prepare(model, QuantizeSpec::weights_and_activations(), &profile)
+        .expect("non-degenerate model")
+}
+
+#[test]
+fn multi_client_batched_load_is_bit_identical_to_sequential() {
+    let prepared = prepared_model();
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 8;
+
+    // Each client owns a deterministic seeded traffic stream.
+    let traffic: Vec<Vec<Vec<usize>>> = (0..CLIENTS)
+        .map(|c| LoadGen::new(prepared.model(), 7000 + c as u64).requests(PER_CLIENT))
+        .collect();
+
+    let config = ServeConfig {
+        workers: 3,
+        max_batch: 5,
+        max_wait: Duration::from_millis(2),
+        queue_capacity: 16,
+    };
+    let (collected, report) = serve(&prepared, config, |handle| {
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = traffic
+                .iter()
+                .map(|requests| {
+                    scope.spawn(move || {
+                        requests
+                            .iter()
+                            .map(|tokens| {
+                                let response =
+                                    handle.submit(tokens.clone()).expect("valid request");
+                                (tokens.clone(), response.wait())
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            clients.into_iter().flat_map(|c| c.join().expect("client panicked")).collect::<Vec<_>>()
+        })
+    });
+
+    assert_eq!(collected.len(), CLIENTS * PER_CLIENT);
+    for (tokens, response) in &collected {
+        // The sequential single-request reference path, bit for bit —
+        // outputs and per-request counters both.
+        let (reference, reference_stats) = prepared.infer(tokens);
+        assert_eq!(response.output, reference, "batched output diverged for {tokens:?}");
+        assert_eq!(response.stats, reference_stats);
+        assert!(response.batch_size >= 1 && response.batch_size <= 5);
+    }
+    assert_eq!(report.submitted, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(report.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert!(report.batches_formed >= 1);
+    assert!(report.max_batch_size <= 5);
+    assert!(report.act_values > 0);
+}
+
+#[test]
+fn batch_size_sweep_produces_identical_outputs() {
+    let prepared = prepared_model();
+    let requests = LoadGen::new(prepared.model(), 99).requests(12);
+    let mut by_setting: Vec<BTreeMap<u64, mokey_transformer::TaskOutput>> = Vec::new();
+    for max_batch in [1usize, 8] {
+        let config = ServeConfig {
+            workers: 2,
+            max_batch,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 32,
+        };
+        let (outputs, _) = serve(&prepared, config, |handle| {
+            let tickets: Vec<Ticket> =
+                requests.iter().map(|t| handle.submit(t.clone()).unwrap()).collect();
+            tickets
+                .into_iter()
+                .map(|t| {
+                    let r = t.wait();
+                    (r.id, r.output)
+                })
+                .collect::<BTreeMap<_, _>>()
+        });
+        by_setting.push(outputs);
+    }
+    // Batching policy must never change a single bit of any answer.
+    assert_eq!(by_setting[0], by_setting[1]);
+}
+
+#[test]
+fn shutdown_drains_accepted_requests_without_dropping() {
+    let prepared = prepared_model();
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+    };
+    let requests = LoadGen::new(prepared.model(), 1234).requests(24);
+    // The driver closure submits everything and returns the *unwaited*
+    // tickets: the engine must drain the backlog on shutdown.
+    let (tickets, report) = serve(&prepared, config, |handle| {
+        requests
+            .iter()
+            .map(|tokens| handle.submit(tokens.clone()).expect("valid request"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(report.submitted, 24);
+    assert_eq!(report.completed, 24, "shutdown dropped accepted requests");
+    for (tokens, ticket) in requests.iter().zip(tickets) {
+        let response = ticket.wait();
+        assert_eq!(response.output, prepared.infer(tokens).0);
+    }
+}
+
+#[test]
+fn invalid_traffic_is_bounced_but_never_breaks_the_engine() {
+    let prepared = prepared_model();
+    let ((), report) = serve(&prepared, ServeConfig::default(), |handle| {
+        assert!(matches!(
+            handle.submit(vec![0; 33]),
+            Err(SubmitError::SequenceTooLong { len: 33, max_seq: 32 })
+        ));
+        assert!(matches!(
+            handle.submit(vec![400]),
+            Err(SubmitError::TokenOutOfVocab { token: 400, vocab: 400 })
+        ));
+        // The engine keeps serving valid traffic afterwards.
+        let ok = handle.submit(prepared.model().random_tokens(16, 5)).unwrap();
+        let _ = ok.wait();
+    });
+    assert_eq!(report.rejected_invalid, 2);
+    assert_eq!(report.completed, 1);
+}
