@@ -62,19 +62,31 @@ fn bench(c: &mut Criterion) {
     let iters = 3;
     let (values, serial_vps) = values_per_sec(&model, Parallelism::Serial, iters);
     let (_, parallel_vps) = values_per_sec(&model, Parallelism::Auto, iters);
-    let threads = Parallelism::Auto.workers(usize::MAX);
+    // The workers the parallel pass actually spawned (capped by the
+    // per-tensor item count), vs what the host offers — both recorded so
+    // the perf trajectory is interpretable across machines.
+    let tensors = model.weight_tensors().len();
+    let threads = Parallelism::Auto.workers(tensors);
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "\n[pipeline] {} weight values: serial {:.2} Mvals/s, parallel {:.2} Mvals/s ({}x on {} threads)",
+        "\n[pipeline] {} weight values: serial {:.2} Mvals/s, parallel {:.2} Mvals/s ({}x on {} threads, host has {})",
         values,
         serial_vps / 1e6,
         parallel_vps / 1e6,
         parallel_vps / serial_vps,
         threads,
+        host_parallelism,
     );
 
     let baseline = format!(
-        "{{\n  \"bench\": \"quantize_model_weights\",\n  \"model\": \"{}\",\n  \"weight_values\": {},\n  \"serial_values_per_sec\": {:.0},\n  \"parallel_values_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"threads\": {}\n}}\n",
-        config.name, values, serial_vps, parallel_vps, parallel_vps / serial_vps, threads,
+        "{{\n  \"bench\": \"quantize_model_weights\",\n  \"model\": \"{}\",\n  \"weight_values\": {},\n  \"serial_values_per_sec\": {:.0},\n  \"parallel_values_per_sec\": {:.0},\n  \"parallel_speedup\": {:.3},\n  \"threads\": {},\n  \"host_parallelism\": {}\n}}\n",
+        config.name,
+        values,
+        serial_vps,
+        parallel_vps,
+        parallel_vps / serial_vps,
+        threads,
+        host_parallelism,
     );
     let path = workspace_root().join("BENCH_pipeline.json");
     match std::fs::write(&path, baseline) {

@@ -1,12 +1,17 @@
 //! Throughput/latency baseline for the `mokey-serve` engine: seeded
-//! multi-client load at two dynamic-batching settings, reported as
-//! requests/second with p50/p99 latency and written to `BENCH_serve.json`
-//! at the workspace root so future PRs have a serving-perf trajectory to
-//! compare against.
+//! multi-client load swept over `max_batch ∈ {1, 8, 16}`, reported as
+//! requests/second with p50/p99 latency plus packed-execution counters
+//! (packed batches, pad waste) and written to `BENCH_serve.json` at the
+//! workspace root so future PRs have a serving-perf trajectory to
+//! compare against. `host_parallelism` is recorded so the trajectory is
+//! interpretable across machines.
 //!
 //! `cargo bench -p mokey-bench --bench serve -- --quick-check` runs a
 //! shrunken load (CI keeps the path warm without paying full bench
-//! time).
+//! time) and **asserts** that batching pays: best-of-three
+//! requests/second at `max_batch = 8` must be at least the
+//! `max_batch = 1` figure — the tensor-level packed path has to beat the
+//! solo loop, not just tie it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mokey_serve::{serve, LoadGen, MetricsReport, PreparedModel, ServeConfig};
@@ -58,6 +63,7 @@ fn run_load(
         max_batch,
         max_wait: Duration::from_millis(1),
         queue_capacity: 64,
+        ..ServeConfig::default()
     };
     let ((), report) = serve(prepared, config, |handle| {
         std::thread::scope(|scope| {
@@ -82,7 +88,10 @@ fn run_load(
 fn bench(c: &mut Criterion) {
     let prepared = prepare();
     let quick = quick_check();
-    let (clients, per_client) = if quick { (2, 4) } else { (4, 16) };
+    // The quick load still has to reach batching steady state — a
+    // handful of requests would measure coalescing latency, not
+    // throughput.
+    let (clients, per_client) = if quick { (4, 12) } else { (4, 16) };
 
     // Bit-identity check: the batched engine path must produce exactly
     // the sequential single-request outputs (the acceptance invariant of
@@ -97,39 +106,66 @@ fn bench(c: &mut Criterion) {
         assert_eq!(out, &prepared.infer(tokens).0, "engine output diverged from sequential");
     }
 
-    // The baseline: the same seeded load at two batching settings.
+    // The baseline: the same seeded load swept over the batching
+    // settings. Each setting takes the best of three runs so the
+    // committed trajectory (and the CI assertion) reflects capability,
+    // not scheduler noise.
     let mut settings_json = Vec::new();
-    for max_batch in [1usize, 8] {
-        let report = run_load(&prepared, max_batch, clients, per_client);
+    let mut best_by_batch = std::collections::BTreeMap::new();
+    for max_batch in [1usize, 8, 16] {
+        let mut best: Option<MetricsReport> = None;
+        for _ in 0..3 {
+            let report = run_load(&prepared, max_batch, clients, per_client);
+            if best.as_ref().is_none_or(|b| report.requests_per_sec > b.requests_per_sec) {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("three runs executed");
+        best_by_batch.insert(max_batch, report.requests_per_sec);
         println!(
-            "[serve] max_batch {:>2}: {:>7.1} req/s, mean batch {:.2}, p50 {:.3} ms, p99 {:.3} ms",
+            "[serve] max_batch {:>2}: {:>7.1} req/s, mean batch {:.2}, {} packed batches, pad waste {:.2}%, p50 {:.3} ms, p99 {:.3} ms",
             max_batch,
             report.requests_per_sec,
             report.mean_batch_size,
+            report.packed_batches,
+            100.0 * report.pad_waste,
             report.latency_p50.as_secs_f64() * 1e3,
             report.latency_p99.as_secs_f64() * 1e3,
         );
         settings_json.push(format!(
-            "    {{\n      \"max_batch\": {},\n      \"clients\": {},\n      \"requests\": {},\n      \"requests_per_sec\": {:.1},\n      \"mean_batch_size\": {:.3},\n      \"batches_formed\": {},\n      \"latency_p50_ms\": {:.3},\n      \"latency_p99_ms\": {:.3},\n      \"values_per_sec\": {:.0}\n    }}",
+            "    {{\n      \"max_batch\": {},\n      \"clients\": {},\n      \"requests\": {},\n      \"requests_per_sec\": {:.1},\n      \"mean_batch_size\": {:.3},\n      \"batches_formed\": {},\n      \"packed_batches\": {},\n      \"packed_requests\": {},\n      \"pad_waste\": {:.4},\n      \"latency_p50_ms\": {:.3},\n      \"latency_p99_ms\": {:.3},\n      \"values_per_sec\": {:.0}\n    }}",
             max_batch,
             clients,
             clients * per_client,
             report.requests_per_sec,
             report.mean_batch_size,
             report.batches_formed,
+            report.packed_batches,
+            report.packed_requests,
+            report.pad_waste,
             report.latency_p50.as_secs_f64() * 1e3,
             report.latency_p99.as_secs_f64() * 1e3,
             report.values_per_sec,
         ));
     }
+    // Batching must pay: the packed tensor-level path at max_batch = 8
+    // has to beat (or at worst tie) the solo loop. This runs in CI via
+    // --quick-check.
+    let (rps1, rps8) = (best_by_batch[&1], best_by_batch[&8]);
+    assert!(
+        rps8 >= rps1,
+        "batching lost throughput: max_batch=8 at {rps8:.1} req/s vs max_batch=1 at {rps1:.1} req/s"
+    );
     // A quick-check pass (CI) exercises the path but must not replace
     // the committed full-load baseline with shrunken numbers.
     if quick {
         println!("[serve] quick check: baseline not rewritten");
     } else {
+        let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
         let baseline = format!(
-            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"settings\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"host_parallelism\": {},\n  \"settings\": [\n{}\n  ]\n}}\n",
             prepared.model().config().name,
+            host_parallelism,
             settings_json.join(",\n"),
         );
         let path = workspace_root().join("BENCH_serve.json");

@@ -250,6 +250,13 @@ pub fn dot_breakdown(
 /// Reference dot product on decoded centroids (what a conventional MAC array
 /// would compute after dictionary lookup).
 ///
+/// Accumulates in four independent lanes (lane `l` sums pairs `i ≡ l mod 4`
+/// over the 4-wide prefix) combined as `(s0 + s1) + (s2 + s3)` with the
+/// remainder added sequentially — the same fixed reduction structure as
+/// `mokey_tensor::dot`, so results are deterministic across runs and
+/// independent of how callers block the surrounding GEMM. The order is
+/// pinned by `dot_decoded_lane_reduction_order_is_pinned`.
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
@@ -260,11 +267,20 @@ pub fn dot_decoded(
     w_dict: &TensorDict,
 ) -> f64 {
     assert_eq!(a_codes.len(), w_codes.len(), "dot length mismatch");
-    a_codes
-        .iter()
-        .zip(w_codes)
-        .map(|(&ca, &cw)| a_dict.decode_code(ca) * w_dict.decode_code(cw))
-        .sum()
+    let mut ca = a_codes.chunks_exact(4);
+    let mut cw = w_codes.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (xa, xw) in (&mut ca).zip(&mut cw) {
+        s0 += a_dict.decode_code(xa[0]) * w_dict.decode_code(xw[0]);
+        s1 += a_dict.decode_code(xa[1]) * w_dict.decode_code(xw[1]);
+        s2 += a_dict.decode_code(xa[2]) * w_dict.decode_code(xw[2]);
+        s3 += a_dict.decode_code(xa[3]) * w_dict.decode_code(xw[3]);
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for (&x, &y) in ca.remainder().iter().zip(cw.remainder()) {
+        acc += a_dict.decode_code(x) * w_dict.decode_code(y);
+    }
+    acc
 }
 
 /// Index-domain dot product with the fixed-point post-processing datapath
@@ -404,6 +420,31 @@ mod tests {
         let decoded = matmul_decoded(&qa, &qw);
         assert_eq!(indexed.shape(), (6, 5));
         assert!(indexed.max_abs_diff(&decoded) < 1e-3);
+    }
+
+    #[test]
+    fn dot_decoded_lane_reduction_order_is_pinned() {
+        // The lane structure must stay fixed: lane l sums pairs i ≡ l
+        // (mod 4), combined as (s0+s1)+(s2+s3), remainder sequential.
+        // Reproduce it by hand on real quantized data and demand exact
+        // equality — a reordered reduction would drift in the last ulps.
+        let (qa, qw) = quantized_pair(1003, 13);
+        let decode =
+            |i: usize| qa.dict().decode_code(qa.codes()[i]) * qw.dict().decode_code(qw.codes()[i]);
+        let n4 = qa.codes().len() / 4 * 4;
+        let mut lanes = [0.0f64; 4];
+        for i in 0..n4 {
+            lanes[i % 4] += decode(i);
+        }
+        let mut expected = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for i in n4..qa.codes().len() {
+            expected += decode(i);
+        }
+        let actual = dot_decoded(qa.codes(), qa.dict(), qw.codes(), qw.dict());
+        assert!(
+            actual.to_bits() == expected.to_bits(),
+            "reduction order changed: {actual} vs {expected}"
+        );
     }
 
     #[test]

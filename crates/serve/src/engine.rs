@@ -42,6 +42,12 @@ pub struct ServeConfig {
     /// Submission-queue capacity (admission control / backpressure
     /// threshold).
     pub queue_capacity: usize,
+    /// Width of the length buckets the batcher groups by: requests whose
+    /// token counts fall in the same `length_bucket`-wide band coalesce
+    /// into one batch, so the executor can pack them into a single
+    /// seq×batch GEMM with bounded padding. `0` disables bucketing
+    /// (batches form FIFO regardless of length).
+    pub length_bucket: usize,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +57,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(1),
             queue_capacity: 128,
+            length_bucket: 8,
         }
     }
 }
@@ -63,6 +70,9 @@ pub enum SubmitError {
     QueueFull,
     /// The engine is shutting down.
     ShuttingDown,
+    /// The request carries no tokens (a forward pass needs at least the
+    /// CLS position).
+    EmptySequence,
     /// The request exceeds the model's maximum sequence length.
     SequenceTooLong {
         /// Submitted sequence length.
@@ -84,6 +94,7 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => write!(f, "submission queue is at capacity"),
             SubmitError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            SubmitError::EmptySequence => write!(f, "request carries no tokens"),
             SubmitError::SequenceTooLong { len, max_seq } => {
                 write!(f, "sequence of {len} tokens exceeds the model maximum of {max_seq}")
             }
@@ -156,6 +167,10 @@ pub struct ServeHandle<'e> {
 
 impl ServeHandle<'_> {
     fn admit(&self, tokens: &[usize]) -> Result<(), SubmitError> {
+        if tokens.is_empty() {
+            self.shared.metrics.note_rejected_invalid();
+            return Err(SubmitError::EmptySequence);
+        }
         let max_seq = self.shared.model.max_seq();
         if tokens.len() > max_seq {
             self.shared.metrics.note_rejected_invalid();
@@ -230,7 +245,10 @@ impl ServeHandle<'_> {
 }
 
 fn worker_loop(shared: &Shared<'_>) {
-    while let Some(batch) = shared.queue.pop_batch(shared.config.max_batch, shared.config.max_wait)
+    let bucket = shared.config.length_bucket;
+    let key = |r: &Request| r.tokens.len().checked_div(bucket).unwrap_or(0);
+    while let Some(batch) =
+        shared.queue.pop_batch_grouped(shared.config.max_batch, shared.config.max_wait, key)
     {
         if batch.is_empty() {
             continue;
@@ -240,8 +258,9 @@ fn worker_loop(shared: &Shared<'_>) {
         let batch_size = batch.len();
         let (requests, tokens): (Vec<_>, Vec<_>) =
             batch.into_iter().map(|r| ((r.id, r.accepted_at, r.tx), r.tokens)).unzip();
-        let (results, _) = shared.model.infer_batch(&tokens);
-        for ((id, accepted_at, tx), (output, stats)) in requests.into_iter().zip(results) {
+        let run = shared.model.infer_batch(&tokens);
+        shared.metrics.note_packing(&run.packing);
+        for ((id, accepted_at, tx), (output, stats)) in requests.into_iter().zip(run.results) {
             let queue_wait = formed_at.duration_since(accepted_at);
             let latency = accepted_at.elapsed();
             shared.metrics.note_completed(latency, queue_wait, &stats);
@@ -348,6 +367,7 @@ mod tests {
             max_batch: 4,
             max_wait: Duration::from_millis(2),
             queue_capacity: 16,
+            ..ServeConfig::default()
         };
         let inputs: Vec<Vec<usize>> = (0..10).map(|s| p.model().random_tokens(10, s)).collect();
         let (responses, report) = serve(&p, config, |handle| {
@@ -420,6 +440,7 @@ mod tests {
             max_batch: 1,
             max_wait: Duration::from_millis(5),
             queue_capacity: 16,
+            ..ServeConfig::default()
         };
         let ((), report) = serve(&p, config, |handle| {
             let tickets: Vec<_> = (0..6)

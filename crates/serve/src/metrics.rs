@@ -7,7 +7,7 @@
 //! (~12.5% resolution), which is plenty for a serving baseline and costs
 //! a fixed 256 × 8 bytes.
 
-use mokey_transformer::exec::QuantizedStats;
+use mokey_transformer::exec::{PackStats, QuantizedStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -117,6 +117,11 @@ pub struct Metrics {
     completed: AtomicU64,
     batches_formed: AtomicU64,
     max_batch_size: AtomicU64,
+    packed_batches: AtomicU64,
+    packed_requests: AtomicU64,
+    solo_requests: AtomicU64,
+    pad_rows: AtomicU64,
+    packed_rows: AtomicU64,
     act_values: AtomicU64,
     act_outliers: AtomicU64,
     /// End-to-end latency: submission → response sent.
@@ -142,6 +147,11 @@ impl Metrics {
             completed: AtomicU64::new(0),
             batches_formed: AtomicU64::new(0),
             max_batch_size: AtomicU64::new(0),
+            packed_batches: AtomicU64::new(0),
+            packed_requests: AtomicU64::new(0),
+            solo_requests: AtomicU64::new(0),
+            pad_rows: AtomicU64::new(0),
+            packed_rows: AtomicU64::new(0),
             act_values: AtomicU64::new(0),
             act_outliers: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
@@ -170,6 +180,16 @@ impl Metrics {
         self.max_batch_size.fetch_max(size as u64, Ordering::Relaxed);
     }
 
+    /// Accounts how one batch executed: packed groups vs solo fallbacks,
+    /// and the padding rows the packs carried.
+    pub fn note_packing(&self, packing: &PackStats) {
+        self.packed_batches.fetch_add(packing.packed_batches as u64, Ordering::Relaxed);
+        self.packed_requests.fetch_add(packing.packed_requests as u64, Ordering::Relaxed);
+        self.solo_requests.fetch_add(packing.solo_requests as u64, Ordering::Relaxed);
+        self.pad_rows.fetch_add(packing.pad_rows as u64, Ordering::Relaxed);
+        self.packed_rows.fetch_add(packing.packed_rows as u64, Ordering::Relaxed);
+    }
+
     /// Accounts one completed request.
     pub fn note_completed(&self, latency: Duration, queue_wait: Duration, stats: &QuantizedStats) {
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -186,6 +206,8 @@ impl Metrics {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches_formed.load(Ordering::Relaxed);
         let act_values = self.act_values.load(Ordering::Relaxed);
+        let pad_rows = self.pad_rows.load(Ordering::Relaxed);
+        let packed_rows = self.packed_rows.load(Ordering::Relaxed);
         MetricsReport {
             elapsed,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -195,6 +217,10 @@ impl Metrics {
             batches_formed: batches,
             mean_batch_size: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
             max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
+            packed_batches: self.packed_batches.load(Ordering::Relaxed),
+            packed_requests: self.packed_requests.load(Ordering::Relaxed),
+            solo_requests: self.solo_requests.load(Ordering::Relaxed),
+            pad_waste: if packed_rows == 0 { 0.0 } else { pad_rows as f64 / packed_rows as f64 },
             peak_queue_depth,
             requests_per_sec: completed as f64 / secs,
             act_values,
@@ -229,6 +255,16 @@ pub struct MetricsReport {
     pub mean_batch_size: f64,
     /// Largest batch formed.
     pub max_batch_size: u64,
+    /// Packed tensor-level groups executed (one tall GEMM per projection
+    /// each).
+    pub packed_batches: u64,
+    /// Requests served inside packed groups.
+    pub packed_requests: u64,
+    /// Requests that fell back to the per-request loop.
+    pub solo_requests: u64,
+    /// Fraction of packed rows that were padding (0.0 when nothing
+    /// packed).
+    pub pad_waste: f64,
     /// High-water mark of the submission-queue depth.
     pub peak_queue_depth: usize,
     /// Completed requests per second of engine lifetime.
@@ -261,6 +297,7 @@ impl MetricsReport {
             "serving metrics ({:.3} s)\n\
              \x20 requests   : {} submitted, {} completed, {} rejected (full), {} rejected (invalid)\n\
              \x20 batching   : {} batches, mean size {:.2}, max size {}, peak queue depth {}\n\
+             \x20 packing    : {} packed batches ({} requests packed, {} solo), pad waste {:.2}%\n\
              \x20 throughput : {:.1} requests/s, {:.3e} act values/s ({} values, {:.2}% outliers)\n\
              \x20 latency    : mean {:.3} ms, p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms\n\
              \x20 queue wait : p50 {:.3} ms, p99 {:.3} ms",
@@ -273,6 +310,10 @@ impl MetricsReport {
             self.mean_batch_size,
             self.max_batch_size,
             self.peak_queue_depth,
+            self.packed_batches,
+            self.packed_requests,
+            self.solo_requests,
+            100.0 * self.pad_waste,
             self.requests_per_sec,
             self.values_per_sec,
             self.act_values,
@@ -347,6 +388,13 @@ mod tests {
         m.note_rejected_full();
         m.note_batch(4);
         m.note_batch(2);
+        m.note_packing(&PackStats {
+            packed_batches: 1,
+            packed_requests: 4,
+            solo_requests: 2,
+            pad_rows: 8,
+            packed_rows: 64,
+        });
         let stats = QuantizedStats { act_values: 100, act_outliers: 3 };
         for _ in 0..6 {
             m.note_completed(Duration::from_micros(500), Duration::from_micros(50), &stats);
@@ -359,11 +407,15 @@ mod tests {
         assert!((report.mean_batch_size - 3.0).abs() < 1e-9);
         assert_eq!(report.max_batch_size, 4);
         assert_eq!(report.peak_queue_depth, 5);
+        assert_eq!(report.packed_batches, 1);
+        assert_eq!(report.packed_requests, 4);
+        assert_eq!(report.solo_requests, 2);
+        assert!((report.pad_waste - 0.125).abs() < 1e-9);
         assert_eq!(report.act_values, 600);
         assert_eq!(report.act_outliers, 18);
         assert!(report.requests_per_sec > 0.0);
         let text = report.dump();
-        for needle in ["requests", "batching", "throughput", "latency", "queue wait"] {
+        for needle in ["requests", "batching", "packing", "throughput", "latency", "queue wait"] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
     }

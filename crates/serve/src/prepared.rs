@@ -10,7 +10,7 @@
 //! process lifetime. Thread-safety is pinned at compile time below.
 
 use mokey_pipeline::{PipelineError, QuantSession, QuantizationReport, QuantizeSpec};
-use mokey_transformer::exec::{QuantizedContext, QuantizedExecutor, QuantizedStats};
+use mokey_transformer::exec::{BatchRun, QuantizedContext, QuantizedExecutor, QuantizedStats};
 use mokey_transformer::quantize::QuantizedModel;
 use mokey_transformer::{Model, TaskOutput};
 
@@ -118,14 +118,13 @@ impl PreparedModel {
         (out, exec.stats())
     }
 
-    /// Quantized inference over a coalesced batch through one executor
-    /// (the engine's batched path): per-request `(output, stats)` pairs
-    /// plus merged counters, each output bit-identical to a solo
-    /// [`PreparedModel::infer`].
-    pub fn infer_batch(
-        &self,
-        batch: &[Vec<usize>],
-    ) -> (Vec<(TaskOutput, QuantizedStats)>, QuantizedStats) {
+    /// Quantized inference over a coalesced batch (the engine's batched
+    /// path): same-length-bucketed groups run through the packed
+    /// tensor-level forward pass, singletons through the per-request
+    /// loop. Every output and per-request counter is bit-identical to a
+    /// solo [`PreparedModel::infer`]; the returned [`BatchRun`] also
+    /// reports how the batch was packed.
+    pub fn infer_batch(&self, batch: &[Vec<usize>]) -> BatchRun {
         self.ctx.infer_batch(&self.model, batch)
     }
 }
@@ -168,15 +167,16 @@ mod tests {
     fn batch_outputs_are_bit_identical_to_solo_runs() {
         let p = prepared();
         let batch: Vec<Vec<usize>> = (0..4).map(|s| p.model().random_tokens(10, 900 + s)).collect();
-        let (results, total) = p.infer_batch(&batch);
+        let run = p.infer_batch(&batch);
+        assert_eq!(run.packing.packed_requests, 4, "same-length batch should pack");
         let mut merged = QuantizedStats::default();
-        for (tokens, (out, stats)) in batch.iter().zip(&results) {
+        for (tokens, (out, stats)) in batch.iter().zip(&run.results) {
             let (solo, solo_stats) = p.infer(tokens);
             assert_eq!(out, &solo);
             assert_eq!(stats, &solo_stats);
             merged.merge(stats);
         }
-        assert_eq!(total, merged);
+        assert_eq!(run.total, merged);
     }
 
     #[test]

@@ -101,6 +101,26 @@ impl<T> BoundedQueue<T> {
     /// Returns `None` only when the queue is closed **and** drained — a
     /// consumer loop that exits on `None` never abandons accepted work.
     pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+        self.pop_batch_grouped(max_batch, max_wait, |_| 0u8)
+    }
+
+    /// Pulls the next batch of items sharing one **group key** — the
+    /// length-aware batcher. The oldest item is waited for and taken
+    /// unconditionally (no starvation: the queue head always leads its
+    /// batch); the rest of the queue is then scanned for items whose key
+    /// matches, skipping over non-matching items, which keep their place
+    /// for other consumers. The straggler wait only admits matching
+    /// arrivals. The serving engine keys on bucketed sequence length so
+    /// coalesced batches are packable into one tall GEMM with bounded
+    /// padding.
+    ///
+    /// Returns `None` only when the queue is closed **and** drained.
+    pub fn pop_batch_grouped<K: Eq>(
+        &self,
+        max_batch: usize,
+        max_wait: Duration,
+        key: impl Fn(&T) -> K,
+    ) -> Option<Vec<T>> {
         let max_batch = max_batch.max(1);
         let mut state = self.state.lock().expect("queue lock");
         while state.items.is_empty() {
@@ -110,10 +130,17 @@ impl<T> BoundedQueue<T> {
             state = self.nonempty.wait(state).expect("queue lock");
         }
         let mut batch = Vec::with_capacity(max_batch);
-        while batch.len() < max_batch {
-            match state.items.pop_front() {
-                Some(item) => batch.push(item),
-                None => break,
+        let leader = state.items.pop_front().expect("queue is non-empty");
+        let group = key(&leader);
+        batch.push(leader);
+        // Scan the backlog for group members; non-members keep their
+        // position (the next pop's leader is still the oldest item).
+        let mut idx = 0;
+        while batch.len() < max_batch && idx < state.items.len() {
+            if key(&state.items[idx]) == group {
+                batch.push(state.items.remove(idx).expect("index in bounds"));
+            } else {
+                idx += 1;
             }
         }
         // The drain freed producer slots; wake blocked producers *before*
@@ -121,15 +148,35 @@ impl<T> BoundedQueue<T> {
         // releases it), so backpressured traffic can join this batch
         // instead of structurally never arriving.
         self.space.notify_all();
-        // Dynamic coalescing: give stragglers up to `max_wait` to join an
-        // underfull batch (a closed queue stops waiting immediately).
+        // Dynamic coalescing: give matching stragglers up to `max_wait`
+        // to join an underfull batch (a closed queue stops waiting
+        // immediately).
         if batch.len() < max_batch && !max_wait.is_zero() {
             let deadline = Instant::now() + max_wait;
             while batch.len() < max_batch && !state.closed {
-                if let Some(item) = state.items.pop_front() {
-                    batch.push(item);
-                    self.space.notify_one();
+                // Each wake re-scans the (bounded) backlog: the initial
+                // scan already removed matches, so this only finds new
+                // arrivals.
+                let mut took = false;
+                let mut idx = 0;
+                while batch.len() < max_batch && idx < state.items.len() {
+                    if key(&state.items[idx]) == group {
+                        batch.push(state.items.remove(idx).expect("index in bounds"));
+                        self.space.notify_one();
+                        took = true;
+                    } else {
+                        idx += 1;
+                    }
+                }
+                if took {
                     continue;
+                }
+                // A wake consumed for a non-matching item must be
+                // forwarded: pushes signal `notify_one`, and another
+                // consumer may be parked on the leader wait while we
+                // alone were woken for work we won't take.
+                if !state.items.is_empty() {
+                    self.nonempty.notify_one();
                 }
                 let now = Instant::now();
                 if now >= deadline {
@@ -138,13 +185,19 @@ impl<T> BoundedQueue<T> {
                 let (guard, timeout) =
                     self.nonempty.wait_timeout(state, deadline - now).expect("queue lock");
                 state = guard;
-                if timeout.timed_out() && state.items.is_empty() {
+                if timeout.timed_out() && !state.items.iter().any(|i| key(i) == group) {
                     break;
                 }
             }
         }
+        // Same wake-forwarding on exit: if non-members remain queued,
+        // make sure some consumer is (re)notified about them.
+        let leftovers = !state.items.is_empty();
         drop(state);
         self.space.notify_all();
+        if leftovers {
+            self.nonempty.notify_one();
+        }
         Some(batch)
     }
 
@@ -203,6 +256,50 @@ mod tests {
         assert_eq!(batch, vec![0, 1, 2]);
         let batch = q.pop_batch(8, Duration::ZERO).unwrap();
         assert_eq!(batch, vec![3, 4]);
+    }
+
+    #[test]
+    fn grouped_pop_collects_matching_items_and_preserves_the_rest() {
+        let q = BoundedQueue::new(16);
+        for item in [10, 21, 12, 23, 14, 25] {
+            q.try_push(item).unwrap();
+        }
+        // Key = tens digit: the leader (10) groups with 12 and 14; the
+        // odd group keeps its order for the next consumer.
+        let batch = q.pop_batch_grouped(8, Duration::ZERO, |i| i / 10).unwrap();
+        assert_eq!(batch, vec![10, 12, 14]);
+        let batch = q.pop_batch_grouped(8, Duration::ZERO, |i| i / 10).unwrap();
+        assert_eq!(batch, vec![21, 23, 25]);
+    }
+
+    #[test]
+    fn grouped_pop_respects_max_batch() {
+        let q = BoundedQueue::new(16);
+        for item in [1, 2, 3, 4] {
+            q.try_push(item).unwrap();
+        }
+        let batch = q.pop_batch_grouped(2, Duration::ZERO, |_| 0u8).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn grouped_pop_straggler_wait_only_admits_matches() {
+        use std::sync::Arc;
+        let q = Arc::new(BoundedQueue::new(16));
+        q.try_push(10u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // A non-matching item, then a matching one.
+                q.try_push(25).unwrap();
+                q.try_push(12).unwrap();
+            })
+        };
+        let batch = q.pop_batch_grouped(2, Duration::from_secs(10), |i| i / 10).unwrap();
+        assert_eq!(batch, vec![10, 12]);
+        producer.join().unwrap();
+        assert_eq!(q.pop_batch(8, Duration::ZERO).unwrap(), vec![25]);
     }
 
     #[test]

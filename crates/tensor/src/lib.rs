@@ -31,4 +31,4 @@ pub mod init;
 pub mod nn;
 pub mod stats;
 
-pub use matrix::Matrix;
+pub use matrix::{dot, Matrix};

@@ -1,4 +1,17 @@
-//! Row-major dense `f32` matrix with parallel GEMM.
+//! Row-major dense `f32` matrix with blocked, parallel GEMM kernels.
+//!
+//! # Bit-exact row independence
+//!
+//! Every GEMM kernel in this module computes output row `i` from input row
+//! `i` and the right-hand side only, accumulating along `k` in ascending
+//! order with exactly one addition per `k` (zero left-hand operands are
+//! skipped in every path). Cache blocking, row micro-tiling, and the
+//! parallel row-chunk split never reorder that per-row reduction, so the
+//! result for a row is **bit-identical** no matter how many other rows are
+//! in the matrix or which execution path ran. The transformer's packed
+//! batched inference relies on this invariant: stacking several sequences
+//! into one tall GEMM must reproduce each sequence's solo output exactly.
+//! `gemm_rows_are_independent_of_batching` pins it.
 
 use serde::{Deserialize, Serialize};
 
@@ -8,6 +21,18 @@ use serde::{Deserialize, Serialize};
 /// harness) must not oversubscribe with nested thread spawns, so the bar
 /// is deliberately high (~16 MFLOP, i.e. full-size transformer GEMMs).
 const PARALLEL_FLOP_THRESHOLD: usize = 1 << 24;
+
+/// `k`-dimension block: one block of the right-hand panel (`KC × n` floats)
+/// stays cache-resident while a stripe of output rows accumulates over it.
+const KC: usize = 256;
+
+/// Row micro-tile: four output rows share each loaded right-hand-side row,
+/// quartering the `B`-panel traffic of the inner loop.
+const MR: usize = 4;
+
+/// Column tile for [`Matrix::matmul_transposed`]: a `JB × k` panel of the
+/// (row-major) right-hand side stays hot while every left row sweeps it.
+const JB: usize = 64;
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -206,30 +231,50 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let flops = self.rows * self.cols * other.cols;
-        if flops < PARALLEL_FLOP_THRESHOLD || self.rows < 2 {
-            matmul_rows(&self.data, &other.data, &mut out.data, self.cols, other.cols);
-            return out;
-        }
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(self.rows);
-        let rows_per = self.rows.div_ceil(threads);
-        let k = self.cols;
-        let n = other.cols;
-        std::thread::scope(|scope| {
-            let a_chunks = self.data.chunks(rows_per * k);
-            let o_chunks = out.data.chunks_mut(rows_per * n);
-            for (a_chunk, o_chunk) in a_chunks.zip(o_chunks) {
-                let b = &other.data;
-                scope.spawn(move || matmul_rows(a_chunk, b, o_chunk, k, n));
-            }
-        });
+        self.gemm_into(other, &mut out);
         out
+    }
+
+    /// Fused GEMM + broadcast bias: `self * other + bias`, with the bias
+    /// pre-loaded into the accumulators so no separate bias pass (or output
+    /// clone) runs. This is the `nn::linear` hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()` or
+    /// `bias.len() != other.cols()`.
+    pub fn matmul_bias(&self, other: &Matrix, bias: &[f32]) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(bias.len(), other.cols, "bias width mismatch");
+        let mut data = Vec::with_capacity(self.rows * other.cols);
+        for _ in 0..self.rows {
+            data.extend_from_slice(bias);
+        }
+        let mut out = Matrix { rows: self.rows, cols: other.cols, data };
+        self.gemm_into(other, &mut out);
+        out
+    }
+
+    /// Accumulating GEMM dispatch: `out += self * other`, parallelized over
+    /// row chunks once the problem is large enough to amortize thread
+    /// spawn. `out` must already hold the additive initial value (zeros or
+    /// a broadcast bias).
+    fn gemm_into(&self, other: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(out.shape(), (self.rows, other.cols));
+        dispatch_rows(&self.data, &other.data, &mut out.data, self.cols, other.cols, matmul_rows);
     }
 
     /// GEMM against a transposed right-hand side: `self * other^T`.
     ///
     /// Attention layers compute `Q · K^T`; doing it directly on `K` avoids
-    /// materializing the transpose.
+    /// materializing the transpose. Runs the blocked multi-accumulator
+    /// [`dot`] kernel over `JB`-row panels of `other`, and takes the same
+    /// parallel row-chunk path as [`Matrix::matmul`] once the problem is
+    /// large enough.
     ///
     /// # Panics
     ///
@@ -240,7 +285,16 @@ impl Matrix {
             "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        Matrix::from_fn(self.rows, other.rows, |r, c| dot(self.row(r), other.row(c)))
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        dispatch_rows(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.cols,
+            other.rows,
+            matmul_transposed_rows,
+        );
+        out
     }
 
     /// Element-wise sum.
@@ -313,6 +367,31 @@ impl Matrix {
         Matrix::from_fn(self.rows, count, |r, c| self.data[r * self.cols + start + c])
     }
 
+    /// Rectangular sub-matrix: rows `[row_start, row_start + rows)` ×
+    /// columns `[col_start, col_start + cols)` in one copy (the packed
+    /// attention path slices a head's columns out of one sequence's row
+    /// block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix.
+    pub fn slice_block(
+        &self,
+        row_start: usize,
+        rows: usize,
+        col_start: usize,
+        cols: usize,
+    ) -> Matrix {
+        assert!(row_start + rows <= self.rows, "row block out of bounds");
+        assert!(col_start + cols <= self.cols, "col block out of bounds");
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in row_start..row_start + rows {
+            let row = &self.data[r * self.cols + col_start..r * self.cols + col_start + cols];
+            data.extend_from_slice(row);
+        }
+        Matrix { rows, cols, data }
+    }
+
     /// Concatenates matrices left-to-right.
     ///
     /// # Panics
@@ -382,34 +461,159 @@ impl std::fmt::Debug for Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, computed with four independent
+/// accumulator lanes (lane `l` sums elements `i ≡ l mod 4` over the 4-wide
+/// prefix) combined as `(s0 + s1) + (s2 + s3)`, then the up-to-3-element
+/// remainder added sequentially. The lane structure is fixed — it depends
+/// only on the slice length — so results are deterministic and pinned by
+/// `dot_lane_reduction_order_is_pinned`.
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
-pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        s0 += xa[0] * xb[0];
+        s1 += xa[1] * xb[1];
+        s2 += xa[2] * xb[2];
+        s3 += xa[3] * xb[3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
 }
 
-/// Sequential row-block GEMM kernel: `out[i][j] += a[i][k] * b[k][j]`.
+/// Shared GEMM dispatch: runs `kernel(a, b, out, k, n)` sequentially, or
+/// splits `a`/`out` into per-thread row chunks once the problem is large
+/// enough to amortize thread spawn. Both kernels compute each output row
+/// from its input row alone, so chunking never changes results.
+fn dispatch_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    kernel: fn(&[f32], &[f32], &mut [f32], usize, usize),
+) {
+    let m = a.len().checked_div(k).unwrap_or(0);
+    let flops = m * k * n;
+    if flops < PARALLEL_FLOP_THRESHOLD || m < 2 {
+        kernel(a, b, out, k, n);
+        return;
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get()).min(m);
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let a_chunks = a.chunks(rows_per * k);
+        let o_chunks = out.chunks_mut(rows_per * n);
+        for (a_chunk, o_chunk) in a_chunks.zip(o_chunks) {
+            scope.spawn(move || kernel(a_chunk, b, o_chunk, k, n));
+        }
+    });
+}
+
+/// Adds `a · x` into `y`, skipping the whole pass when `a` is zero (the
+/// caller guarantees it is not).
+#[inline]
+fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    let y = &mut y[..x.len()];
+    for (o, &v) in y.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+/// Sequential blocked GEMM kernel: `out[i][j] += a[i][k] * b[k][j]`.
 ///
 /// `a` holds `m` rows of width `k`; `b` holds `k` rows of width `n`; `out`
-/// holds `m` rows of width `n`. The i-k-j loop order keeps the inner loop
-/// streaming over contiguous memory.
+/// holds `m` rows of width `n` and is **accumulated into** (pre-seed it
+/// with zeros or a bias). The `k` dimension is processed in `KC` blocks so
+/// each `B` panel stays cache-resident, and rows are micro-tiled `MR` at a
+/// time so one loaded `B` row feeds four accumulating output rows.
+///
+/// Per-(i,j) the accumulation order is ascending `k` with one addition per
+/// `k`, and zero `a` values are skipped in every path — blocking and
+/// tiling never change a row's bits (see the module docs).
 fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     let m = a.len() / k;
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &a_val) in a_row.iter().enumerate() {
-            if a_val == 0.0 {
-                continue;
+    for k0 in (0..k).step_by(KC) {
+        let kb = KC.min(k - k0);
+        let mut i = 0;
+        while i + MR <= m {
+            let (r0, rest) = out[i * n..(i + MR) * n].split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            for kk in k0..k0 + kb {
+                let a0 = a[i * k + kk];
+                let a1 = a[(i + 1) * k + kk];
+                let a2 = a[(i + 2) * k + kk];
+                let a3 = a[(i + 3) * k + kk];
+                if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    let (y0, y1) = (&mut r0[..n], &mut r1[..n]);
+                    let (y2, y3) = (&mut r2[..n], &mut r3[..n]);
+                    for (j, &bv) in b_row.iter().enumerate() {
+                        y0[j] += a0 * bv;
+                        y1[j] += a1 * bv;
+                        y2[j] += a2 * bv;
+                        y3[j] += a3 * bv;
+                    }
+                } else {
+                    // Mixed zero/non-zero lanes (masked attention rows):
+                    // fall back to per-row passes so zeros still cost
+                    // nothing and non-zero rows keep the same reduction.
+                    for (row, av) in
+                        [(&mut *r0, a0), (&mut *r1, a1), (&mut *r2, a2), (&mut *r3, a3)]
+                    {
+                        if av != 0.0 {
+                            axpy(row, av, b_row);
+                        }
+                    }
+                }
             }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &b_val) in o_row.iter_mut().zip(b_row) {
-                *o += a_val * b_val;
+            i += MR;
+        }
+        while i < m {
+            let a_row = &a[i * k + k0..i * k + k0 + kb];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a_val) in a_row.iter().enumerate() {
+                if a_val == 0.0 {
+                    continue;
+                }
+                axpy(o_row, a_val, &b[(k0 + kk) * n..(k0 + kk + 1) * n]);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Sequential blocked kernel for `A · B^T`: `out[i][j] = dot(a_i, b_j)`.
+///
+/// `a` holds `m` rows of width `k`; `b` holds `bn` rows of width `k` (the
+/// transposed operand in its natural row-major layout); `out` holds `m`
+/// rows of width `bn`. `b` is swept in `JB`-row panels that stay
+/// cache-resident across every `a` row; each element is one blocked
+/// multi-accumulator [`dot`], so results are independent of the tiling.
+fn matmul_transposed_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, bn: usize) {
+    let m = a.len() / k;
+    debug_assert_eq!(out.len(), m * bn);
+    for j0 in (0..bn).step_by(JB) {
+        let jb = JB.min(bn - j0);
+        let b_panel = &b[j0 * k..(j0 + jb) * k];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_slice = &mut out[i * bn + j0..i * bn + j0 + jb];
+            for (o, b_row) in o_slice.iter_mut().zip(b_panel.chunks_exact(k)) {
+                *o = dot(a_row, b_row);
             }
         }
     }
@@ -458,6 +662,98 @@ mod tests {
         assert!(fast.max_abs_diff(&slow) < 1e-3);
     }
 
+    /// Stacks two matrices vertically (test helper).
+    fn vstack(top: &Matrix, bottom: &Matrix) -> Matrix {
+        assert_eq!(top.cols(), bottom.cols());
+        let mut data = top.as_slice().to_vec();
+        data.extend_from_slice(bottom.as_slice());
+        Matrix::from_vec(top.rows() + bottom.rows(), top.cols(), data)
+    }
+
+    #[test]
+    fn gemm_rows_are_independent_of_batching() {
+        // The packed-batching invariant: computing two stacked operands in
+        // one tall GEMM must reproduce each operand's solo rows bit for
+        // bit, for every kernel entry point.
+        let a1 = Matrix::from_fn(5, 300, |r, c| ((r * 37 + c * 11) % 23) as f32 * 0.17 - 1.9);
+        let a2 = Matrix::from_fn(9, 300, |r, c| ((r * 13 + c * 29) % 19) as f32 * 0.23 - 2.1);
+        let stacked = vstack(&a1, &a2);
+        let b = Matrix::from_fn(300, 40, |r, c| ((r * 7 + c * 3) % 31) as f32 * 0.09 - 1.3);
+        let bias: Vec<f32> = (0..40).map(|j| j as f32 * 0.01 - 0.2).collect();
+        let bt = Matrix::from_fn(21, 300, |r, c| ((r * 5 + c * 17) % 13) as f32 * 0.31 - 1.8);
+
+        let whole = stacked.matmul(&b);
+        assert_eq!(whole.slice_rows(0, 5), a1.matmul(&b));
+        assert_eq!(whole.slice_rows(5, 9), a2.matmul(&b));
+
+        let whole = stacked.matmul_bias(&b, &bias);
+        assert_eq!(whole.slice_rows(0, 5), a1.matmul_bias(&b, &bias));
+        assert_eq!(whole.slice_rows(5, 9), a2.matmul_bias(&b, &bias));
+
+        let whole = stacked.matmul_transposed(&bt);
+        assert_eq!(whole.slice_rows(0, 5), a1.matmul_transposed(&bt));
+        assert_eq!(whole.slice_rows(5, 9), a2.matmul_transposed(&bt));
+    }
+
+    #[test]
+    fn blocked_kernel_matches_unblocked_reference() {
+        // k > KC exercises the k-block seam; m not divisible by MR
+        // exercises the remainder rows. The blocked kernel must equal the
+        // plain ascending-k i-k-j reduction exactly, not within tolerance.
+        let a = Matrix::from_fn(7, 2 * KC + 3, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.21 - 1.2);
+        let b = Matrix::from_fn(2 * KC + 3, 9, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.13 - 0.7);
+        let reference = Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            let mut acc = 0.0f32;
+            for kk in 0..a.cols() {
+                if a[(i, kk)] != 0.0 {
+                    acc += a[(i, kk)] * b[(kk, j)];
+                }
+            }
+            acc
+        });
+        assert_eq!(a.matmul(&b), reference);
+    }
+
+    #[test]
+    fn dot_lane_reduction_order_is_pinned() {
+        // Lane semantics: s_l sums indices ≡ l (mod 4) over the 4-wide
+        // prefix, combined as (s0+s1)+(s2+s3), remainder appended
+        // sequentially. With these values the lane order is observable:
+        // (1 + 1e8) + (-1e8 + 1) = 0.0 exactly, while a plain sequential
+        // sum would give 1.0.
+        let a = [1.0f32, 1e8, -1e8, 1.0];
+        let ones = [1.0f32; 4];
+        assert_eq!(dot(&a, &ones), 0.0);
+        let sequential: f32 = a.iter().sum();
+        assert_eq!(sequential, 1.0);
+        // Remainder elements are added after the lane combine.
+        let b = [1.0f32, 1e8, -1e8, 1.0, 0.25];
+        assert_eq!(dot(&b, &[1.0; 5]), 0.25);
+        // And the kernel is a real dot product on friendly values.
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn matmul_bias_matches_matmul_plus_broadcast() {
+        let a = Matrix::from_fn(6, 10, |r, c| (r as f32 - c as f32) * 0.3);
+        let b = Matrix::from_fn(10, 4, |r, c| (r * c) as f32 * 0.05 - 0.4);
+        let bias = [0.5f32, -1.0, 0.25, 2.0];
+        let fused = a.matmul_bias(&b, &bias);
+        let unfused = a.matmul(&b).add_row_broadcast(&bias);
+        assert!(fused.max_abs_diff(&unfused) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_transposed_parallel_path_matches_sequential() {
+        // 300·300·200 = 18M flops, above the parallel threshold.
+        let a = Matrix::from_fn(300, 200, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(300, 200, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.1);
+        let parallel = a.matmul_transposed(&b);
+        let mut sequential = Matrix::zeros(300, 300);
+        matmul_transposed_rows(a.as_slice(), b.as_slice(), sequential.as_mut_slice(), 200, 300);
+        assert_eq!(parallel, sequential);
+    }
+
     #[test]
     fn matmul_transposed_matches_explicit_transpose() {
         let a = Matrix::from_fn(4, 6, |r, c| (r + c) as f32);
@@ -504,6 +800,13 @@ mod tests {
         let cols = m.slice_cols(2, 2);
         assert_eq!(cols.shape(), (4, 2));
         assert_eq!(cols[(3, 1)], m[(3, 3)]);
+    }
+
+    #[test]
+    fn slice_block_matches_row_then_col_slicing() {
+        let m = Matrix::from_fn(6, 8, |r, c| (r * 8 + c) as f32);
+        let block = m.slice_block(2, 3, 1, 4);
+        assert_eq!(block, m.slice_rows(2, 3).slice_cols(1, 4));
     }
 
     #[test]

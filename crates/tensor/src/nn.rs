@@ -7,6 +7,31 @@
 
 use crate::Matrix;
 
+/// Fused linear layer: `x · w + bias` in one row pass.
+///
+/// The bias is pre-loaded into the GEMM accumulators
+/// ([`Matrix::matmul_bias`]), so no separate broadcast pass or output
+/// clone runs. Like every GEMM kernel, output row `i` depends only on
+/// input row `i`, `w`, and `bias` — batches of sequences stacked into one
+/// tall activation matrix reproduce their solo rows bit for bit.
+///
+/// # Panics
+///
+/// Panics if `x.cols() != w.rows()` or `bias.len() != w.cols()`.
+///
+/// # Example
+///
+/// ```
+/// use mokey_tensor::{nn, Matrix};
+///
+/// let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+/// let w = Matrix::from_rows(&[&[1.0], &[1.0]]);
+/// assert_eq!(nn::linear(&x, &w, &[0.5]).as_slice(), &[3.5]);
+/// ```
+pub fn linear(x: &Matrix, w: &Matrix, bias: &[f32]) -> Matrix {
+    x.matmul_bias(w, bias)
+}
+
 /// Row-wise numerically-stable softmax, in place.
 ///
 /// Each row is shifted by its maximum before exponentiation so large logits

@@ -50,7 +50,11 @@ proptest! {
         let b = Matrix::from_fn(7, m.cols(), |r, c| n.as_slice()[(r * 31 + c) % n.len()]);
         let direct = m.matmul_transposed(&b);
         let explicit = m.matmul(&b.transpose());
-        prop_assert!(direct.max_abs_diff(&explicit) < 1e-3);
+        // The transposed kernel reduces in 4-wide lanes while matmul
+        // accumulates one k at a time, so agreement is to rounding at the
+        // result's scale, not exact.
+        let scale = direct.as_slice().iter().fold(1.0f32, |s, x| s.max(x.abs()));
+        prop_assert!(direct.max_abs_diff(&explicit) < scale * 1e-5);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   property-tested in `mokey-core::kernels`.
 
 use crate::model::{Model, TaskOutput};
+use crate::packed::{PackedBatch, PackedLayout};
 use mokey_core::dict::TensorDict;
 use mokey_core::profile::ActivationProfiler;
 use mokey_fixed::{snap_to_grid, QFormat};
@@ -23,6 +24,10 @@ use std::collections::BTreeMap;
 /// Hooks invoked by the shared forward-pass implementation.
 ///
 /// All methods default to the identity, so the FP path costs nothing.
+/// The `*_packed` variants receive a [`PackedLayout`] mapping matrix
+/// regions to requests; they default to the un-packed hooks, which is
+/// correct for any executor that neither skips padding nor attributes
+/// work per request (identity and profiling executors).
 pub trait Executor {
     /// Observes/transforms a named activation tensor before it feeds a
     /// GEMM.
@@ -39,6 +44,16 @@ pub trait Executor {
     /// Observes/transforms a named GEMM output (bias already added).
     fn gemm_output(&mut self, _name: &str, m: Matrix) -> Matrix {
         m
+    }
+
+    /// Packed-batch variant of [`Executor::activation`].
+    fn activation_packed(&mut self, name: &str, m: Matrix, _layout: &PackedLayout) -> Matrix {
+        self.activation(name, m)
+    }
+
+    /// Packed-batch variant of [`Executor::gemm_output`].
+    fn gemm_output_packed(&mut self, name: &str, m: Matrix, _layout: &PackedLayout) -> Matrix {
+        self.gemm_output(name, m)
     }
 }
 
@@ -92,31 +107,156 @@ pub struct QuantizedContext {
     pub out_formats: BTreeMap<String, QFormat>,
 }
 
+/// Largest fraction of a pack's rows that may be padding before a shorter
+/// request is excluded from it. Zero pad waste is always achieved for
+/// same-length groups; the budget lets near-length requests (as the
+/// serving batcher's length buckets produce) share one pack instead of
+/// fragmenting into singletons.
+const PACK_WASTE_LIMIT: f64 = 0.25;
+
+/// How a batch was executed: packed tensor-level groups vs the solo loop,
+/// plus the padding the packs carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackStats {
+    /// Packed groups executed (each is one tall GEMM per projection).
+    pub packed_batches: usize,
+    /// Requests served inside packed groups.
+    pub packed_requests: usize,
+    /// Requests that fell back to the per-request loop (singletons and
+    /// degenerate sequences).
+    pub solo_requests: usize,
+    /// Padding rows carried by the packs.
+    pub pad_rows: usize,
+    /// Total rows (valid + padding) of all packs.
+    pub packed_rows: usize,
+}
+
+impl PackStats {
+    /// Merges counters from another batch.
+    pub fn merge(&mut self, other: &PackStats) {
+        self.packed_batches += other.packed_batches;
+        self.packed_requests += other.packed_requests;
+        self.solo_requests += other.solo_requests;
+        self.pad_rows += other.pad_rows;
+        self.packed_rows += other.packed_rows;
+    }
+
+    /// Fraction of packed rows that were padding (0 when nothing packed).
+    pub fn pad_waste_fraction(&self) -> f64 {
+        if self.packed_rows == 0 {
+            0.0
+        } else {
+            self.pad_rows as f64 / self.packed_rows as f64
+        }
+    }
+}
+
+/// The result of one batched execution: per-request outputs and counters,
+/// merged batch counters, and how the batch was packed.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-request `(output, stats)` pairs, in submission order.
+    pub results: Vec<(TaskOutput, QuantizedStats)>,
+    /// Merged activation-encoding counters for the whole batch.
+    pub total: QuantizedStats,
+    /// Packed-execution accounting.
+    pub packing: PackStats,
+}
+
 impl QuantizedContext {
-    /// Runs a coalesced batch of requests through **one** executor — the
-    /// serving engine's batched path. Activations are re-encoded on the
-    /// fly through the cached per-tensor dictionaries, exactly as in
-    /// per-request execution; since the hooks are stateless apart from
-    /// the counters, each output is bit-identical to running its request
-    /// alone, regardless of how the batcher grouped them.
+    /// Runs a coalesced batch of requests — the serving engine's batched
+    /// path. Requests are grouped by sequence length (shorter requests
+    /// may join a longer group while padding stays within
+    /// `PACK_WASTE_LIMIT` (25% per request); each group of two or more runs through the
+    /// packed tensor-level forward pass ([`Model::infer_packed`]), so
+    /// every projection/FFN GEMM executes once per group instead of once
+    /// per sequence. Singletons fall back to the per-request loop.
     ///
-    /// Returns per-request `(output, stats)` pairs plus the merged
-    /// batch-level counters.
-    pub fn infer_batch(
+    /// Outputs **and per-request counters** are bit-identical to running
+    /// each request alone, regardless of grouping — the layout-aware
+    /// executor hooks encode exactly the elements a solo run would.
+    pub fn infer_batch(&self, model: &Model, batch: &[Vec<usize>]) -> BatchRun {
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        // Longest first; stable, so equal lengths keep submission order.
+        order.sort_by_key(|&i| std::cmp::Reverse(batch[i].len()));
+        let mut results: Vec<Option<(TaskOutput, QuantizedStats)>> =
+            batch.iter().map(|_| None).collect();
+        let mut total = QuantizedStats::default();
+        let mut packing = PackStats::default();
+        let mut start = 0;
+        while start < order.len() {
+            let max_len = batch[order[start]].len();
+            let mut end = start + 1;
+            while end < order.len() {
+                let pad = max_len - batch[order[end]].len();
+                if batch[order[end]].is_empty() || pad as f64 > PACK_WASTE_LIMIT * max_len as f64 {
+                    break;
+                }
+                end += 1;
+            }
+            let group = &order[start..end];
+            if group.len() >= 2 && max_len > 0 {
+                let refs: Vec<&[usize]> = group.iter().map(|&i| batch[i].as_slice()).collect();
+                // The accounted plan IS the executed plan: one
+                // `PackedBatch` drives both the metrics and the forward
+                // pass.
+                let pack = PackedBatch::new(&refs);
+                packing.packed_batches += 1;
+                packing.packed_requests += pack.requests();
+                packing.packed_rows += pack.total_rows();
+                packing.pad_rows += pack.pad_rows();
+                let outs = self.infer_packed_planned(model, &pack, &refs);
+                for (&i, pair) in group.iter().zip(outs) {
+                    total.merge(&pair.1);
+                    results[i] = Some(pair);
+                }
+            } else {
+                for &i in group {
+                    let mut exec = QuantizedExecutor::new(self);
+                    let out = model.infer(&mut exec, &batch[i]);
+                    let stats = exec.stats();
+                    total.merge(&stats);
+                    packing.solo_requests += 1;
+                    results[i] = Some((out, stats));
+                }
+            }
+            start = end;
+        }
+        BatchRun {
+            results: results.into_iter().map(|r| r.expect("every request executed")).collect(),
+            total,
+            packing,
+        }
+    }
+
+    /// Runs one packed group through a fresh executor, returning each
+    /// request's output with its own activation-encoding counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or contains an empty sequence.
+    pub fn infer_packed(
         &self,
         model: &Model,
-        batch: &[Vec<usize>],
-    ) -> (Vec<(TaskOutput, QuantizedStats)>, QuantizedStats) {
+        batch: &[&[usize]],
+    ) -> Vec<(TaskOutput, QuantizedStats)> {
+        self.infer_packed_planned(model, &PackedBatch::new(batch), batch)
+    }
+
+    /// [`QuantizedContext::infer_packed`] with an already-built pack plan
+    /// (so `infer_batch` executes exactly the plan it accounted).
+    fn infer_packed_planned(
+        &self,
+        model: &Model,
+        pack: &PackedBatch,
+        batch: &[&[usize]],
+    ) -> Vec<(TaskOutput, QuantizedStats)> {
         let mut exec = QuantizedExecutor::new(self);
-        let mut outputs = Vec::with_capacity(batch.len());
-        let mut prev = QuantizedStats::default();
-        for tokens in batch {
-            let out = model.infer(&mut exec, tokens);
-            let now = exec.stats();
-            outputs.push((out, now.diff(&prev)));
-            prev = now;
-        }
-        (outputs, prev)
+        let hidden = model.forward_packed(&mut exec, pack, batch);
+        let outputs = model.apply_head_packed(&mut exec, &hidden, pack);
+        let mut per_request = exec.take_per_request();
+        per_request.resize(batch.len(), QuantizedStats::default());
+        outputs.into_iter().zip(per_request).collect()
     }
 }
 
@@ -160,17 +300,33 @@ impl QuantizedStats {
 pub struct QuantizedExecutor<'a> {
     ctx: &'a QuantizedContext,
     stats: QuantizedStats,
+    /// Per-request counters, filled by the packed hooks (empty until a
+    /// packed forward pass runs).
+    per_request: Vec<QuantizedStats>,
 }
 
 impl<'a> QuantizedExecutor<'a> {
     /// Creates an executor over a shared context.
     pub fn new(ctx: &'a QuantizedContext) -> Self {
-        Self { ctx, stats: QuantizedStats::default() }
+        Self { ctx, stats: QuantizedStats::default(), per_request: Vec::new() }
     }
 
     /// Counters accumulated so far.
     pub fn stats(&self) -> QuantizedStats {
         self.stats
+    }
+
+    /// Drains the per-request counters a packed forward pass accumulated
+    /// (one entry per request that encoded at least one value).
+    pub fn take_per_request(&mut self) -> Vec<QuantizedStats> {
+        std::mem::take(&mut self.per_request)
+    }
+
+    fn request_stats(&mut self, count: usize) -> &mut [QuantizedStats] {
+        if self.per_request.len() < count {
+            self.per_request.resize(count, QuantizedStats::default());
+        }
+        &mut self.per_request
     }
 }
 
@@ -203,6 +359,66 @@ impl Executor for QuantizedExecutor<'_> {
         let mut out = m;
         for v in out.as_mut_slice() {
             *v = snap_to_grid(f64::from(*v), frac) as f32;
+        }
+        out
+    }
+
+    /// Layout-aware activation encoding: only each request's valid region
+    /// is encoded (padding rows pass through raw, and the masked zero
+    /// probabilities beyond a request's true length stay exactly `0.0` so
+    /// the zero-skipping GEMM kernels drop them), and counters are
+    /// attributed to the owning request. Per-element results are exactly
+    /// what [`Executor::activation`] produces in a solo run.
+    fn activation_packed(&mut self, name: &str, m: Matrix, layout: &PackedLayout) -> Matrix {
+        let Some(dict) = self.ctx.act_dicts.get(name) else {
+            return m;
+        };
+        let width = m.cols();
+        let mut out = m;
+        let mut deltas = vec![QuantizedStats::default(); layout.regions.len()];
+        for (region, delta) in layout.regions.iter().zip(&mut deltas) {
+            let cols = region.cols.unwrap_or(width);
+            for &(start, count) in &region.row_blocks {
+                for r in start..start + count {
+                    for v in &mut out.row_mut(r)[..cols] {
+                        let code = dict.encode_value(*v);
+                        delta.act_values += 1;
+                        if code.is_outlier() {
+                            delta.act_outliers += 1;
+                        }
+                        *v = dict.decode_code(code) as f32;
+                    }
+                }
+            }
+        }
+        for (slot, delta) in self.request_stats(deltas.len()).iter_mut().zip(&deltas) {
+            slot.merge(delta);
+        }
+        for delta in &deltas {
+            self.stats.merge(delta);
+        }
+        out
+    }
+
+    /// Layout-aware output snapping: valid regions snap to the Eq. 7
+    /// grid exactly as in solo execution; padding rows are left raw
+    /// (nothing reads them).
+    fn gemm_output_packed(&mut self, name: &str, m: Matrix, layout: &PackedLayout) -> Matrix {
+        let Some(fmt) = self.ctx.out_formats.get(name) else {
+            return m;
+        };
+        let frac = fmt.frac_bits();
+        let width = m.cols();
+        let mut out = m;
+        for region in &layout.regions {
+            let cols = region.cols.unwrap_or(width);
+            for &(start, count) in &region.row_blocks {
+                for r in start..start + count {
+                    for v in &mut out.row_mut(r)[..cols] {
+                        *v = snap_to_grid(f64::from(*v), frac) as f32;
+                    }
+                }
+            }
         }
         out
     }
@@ -282,17 +498,63 @@ mod tests {
         let (qm, _) =
             QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
         let batch: Vec<Vec<usize>> = (0..5).map(|s| model.random_tokens(10, 400 + s)).collect();
-        let (results, total) = qm.context().infer_batch(&model, &batch);
-        assert_eq!(results.len(), 5);
+        let run = qm.context().infer_batch(&model, &batch);
+        assert_eq!(run.results.len(), 5);
+        // Five same-length requests form one packed group, zero padding.
+        assert_eq!(run.packing.packed_batches, 1);
+        assert_eq!(run.packing.packed_requests, 5);
+        assert_eq!(run.packing.solo_requests, 0);
+        assert_eq!(run.packing.pad_rows, 0);
         let mut merged = QuantizedStats::default();
-        for (tokens, (out, stats)) in batch.iter().zip(&results) {
+        for (tokens, (out, stats)) in batch.iter().zip(&run.results) {
             // Per-request outputs and counters match a solo run exactly.
             let (solo_out, solo_stats) = qm.infer(tokens);
             assert_eq!(out, &solo_out);
             assert_eq!(stats, &solo_stats);
             merged.merge(stats);
         }
-        assert_eq!(total, merged);
+        assert_eq!(run.total, merged);
+    }
+
+    #[test]
+    fn ragged_batches_pack_with_bounded_padding() {
+        use crate::config::ModelConfig;
+        use crate::model::Head;
+        use crate::quantize::QuantizedModel;
+        use crate::QuantizeSpec;
+
+        let config = ModelConfig {
+            name: "exec-ragged".into(),
+            layers: 1,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 200,
+            max_seq: 16,
+        };
+        let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 3);
+        let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(12, 50 + s)).collect();
+        let (qm, _) =
+            QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+        // Lengths 16/14/13 pack together (waste ≤ 25% of 16 per request);
+        // length 4 is too short and runs solo.
+        let batch: Vec<Vec<usize>> = [16usize, 14, 13, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| model.random_tokens(len, 700 + i as u64))
+            .collect();
+        let run = qm.context().infer_batch(&model, &batch);
+        assert_eq!(run.packing.packed_batches, 1);
+        assert_eq!(run.packing.packed_requests, 3);
+        assert_eq!(run.packing.solo_requests, 1);
+        assert_eq!(run.packing.pad_rows, (16 - 14) + (16 - 13));
+        assert_eq!(run.packing.packed_rows, 3 * 16);
+        // Masked packing must still be bit-identical, counters included.
+        for (tokens, (out, stats)) in batch.iter().zip(&run.results) {
+            let (solo_out, solo_stats) = qm.infer(tokens);
+            assert_eq!(out, &solo_out, "ragged pack diverged for len {}", tokens.len());
+            assert_eq!(stats, &solo_stats);
+        }
     }
 
     #[test]

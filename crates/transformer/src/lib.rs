@@ -27,10 +27,12 @@ pub mod config;
 pub mod exec;
 pub mod footprint;
 pub mod model;
+pub mod packed;
 pub mod quantize;
 pub mod tasks;
 pub mod workload;
 
 pub use config::ModelConfig;
 pub use model::{Head, Model, TaskOutput};
+pub use packed::{PackedBatch, PackedLayout};
 pub use quantize::{QuantizeSpec, QuantizedModel};

@@ -7,6 +7,7 @@
 
 use crate::config::ModelConfig;
 use crate::exec::Executor;
+use crate::packed::{PackedBatch, PackedLayout};
 use mokey_tensor::init::GaussianMixture;
 use mokey_tensor::{nn, Matrix};
 use rand::rngs::StdRng;
@@ -296,9 +297,257 @@ impl Model {
         self.apply_head(exec, &hidden)
     }
 
-    /// One GEMM with bias, routed through the executor: the weight may be
-    /// substituted (quantized), the input transformed, and the output
-    /// snapped to a fixed-point grid.
+    /// Embeds a packed batch: request `i` occupies rows
+    /// `[i·S, i·S + len_i)` of a `(B·S) × hidden` matrix (`S` = longest
+    /// sequence). Padding rows stay zero — layer norm turns them into
+    /// harmless constants and nothing ever reads them back.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-vocabulary tokens, over-long sequences, or a
+    /// batch that does not match `pack`.
+    pub fn embed_packed(&self, pack: &PackedBatch, batch: &[&[usize]]) -> Matrix {
+        assert_eq!(batch.len(), pack.requests(), "batch does not match pack");
+        assert!(pack.seq() <= self.config.max_seq, "sequence too long");
+        let h = self.config.hidden;
+        let mut x = Matrix::zeros(pack.total_rows(), h);
+        for (bi, tokens) in batch.iter().enumerate() {
+            assert_eq!(tokens.len(), pack.len_of(bi), "batch does not match pack");
+            let base = pack.row_of(bi);
+            for (i, &t) in tokens.iter().enumerate() {
+                assert!(t < self.config.vocab, "token {t} out of vocabulary");
+                let emb = self.token_embedding.row(t);
+                let pos = self.position_embedding.row(i);
+                let row = x.row_mut(base + i);
+                for j in 0..h {
+                    row[j] = emb[j] + pos[j];
+                }
+            }
+        }
+        nn::layer_norm(&mut x, &self.emb_ln_gamma, &self.emb_ln_beta, 1e-6);
+        x
+    }
+
+    /// Packed forward pass: one `(B·S) × hidden` activation matrix runs
+    /// every projection and FFN GEMM once per **batch**. Attention stays
+    /// per-sequence — scores are computed on each request's row block and
+    /// padded key positions are driven to `−∞` before the softmax, so
+    /// masked probabilities are exactly `0.0` and the zero-skipping GEMM
+    /// kernels ignore padded value rows. Each request's valid rows are
+    /// bit-identical to its solo [`Model::forward`] (see the
+    /// [`packed`](crate::packed) module docs for why).
+    pub fn forward_packed(
+        &self,
+        exec: &mut dyn Executor,
+        pack: &PackedBatch,
+        batch: &[&[usize]],
+    ) -> Matrix {
+        let heads = self.config.heads;
+        let dh = self.config.head_dim();
+        let s = pack.seq();
+        let nb = pack.requests();
+        let rows_layout = pack.rows_layout();
+        let probs_layout = pack.probs_layout(heads);
+        let mut x = self.embed_packed(pack, batch);
+        for (li, layer) in self.layers.iter().enumerate() {
+            let pre = format!("L{li}");
+            // --- Attention ---
+            let input = exec.activation_packed(&format!("{pre}.attn.input"), x, &rows_layout);
+            let q = self.linear_packed(
+                exec,
+                &format!("{pre}.attn.wq"),
+                &input,
+                &layer.wq,
+                &layer.bq,
+                &rows_layout,
+            );
+            let k = self.linear_packed(
+                exec,
+                &format!("{pre}.attn.wk"),
+                &input,
+                &layer.wk,
+                &layer.bk,
+                &rows_layout,
+            );
+            let v = self.linear_packed(
+                exec,
+                &format!("{pre}.attn.wv"),
+                &input,
+                &layer.wv,
+                &layer.bv,
+                &rows_layout,
+            );
+            let q = exec.activation_packed(&format!("{pre}.attn.q"), q, &rows_layout);
+            let k = exec.activation_packed(&format!("{pre}.attn.k"), k, &rows_layout);
+            let v = exec.activation_packed(&format!("{pre}.attn.v"), v, &rows_layout);
+
+            let scale = 1.0 / (dh as f32).sqrt();
+            // Request-major, then head-major — `probs_layout` mirrors this.
+            let mut all_probs = Matrix::zeros(nb * heads * s, s);
+            for bi in 0..nb {
+                let len = pack.len_of(bi);
+                let base = pack.row_of(bi);
+                for hd in 0..heads {
+                    let qh = q.slice_block(base, s, hd * dh, dh);
+                    let kh = k.slice_block(base, s, hd * dh, dh);
+                    // Activation × activation GEMM #1: Q·K^T, one sequence.
+                    let mut scores = qh.matmul_transposed(&kh).scale(scale);
+                    if len < s {
+                        // Masked attention: padded keys can never be
+                        // attended to. −∞ becomes exactly 0.0 after the
+                        // softmax shift-and-exp.
+                        for r in 0..s {
+                            for sc in &mut scores.row_mut(r)[len..] {
+                                *sc = f32::NEG_INFINITY;
+                            }
+                        }
+                    }
+                    nn::softmax_rows(&mut scores);
+                    let probs_base = (bi * heads + hd) * s;
+                    for r in 0..s {
+                        all_probs.row_mut(probs_base + r).copy_from_slice(scores.row(r));
+                    }
+                }
+            }
+            let probs =
+                exec.activation_packed(&format!("{pre}.attn.probs"), all_probs, &probs_layout);
+            let mut context = Matrix::zeros(nb * s, self.config.hidden);
+            for bi in 0..nb {
+                let base = pack.row_of(bi);
+                for hd in 0..heads {
+                    let p = probs.slice_rows((bi * heads + hd) * s, s);
+                    let vh = v.slice_block(base, s, hd * dh, dh);
+                    // Activation × activation GEMM #2: P·V, one sequence.
+                    let ctx_h = p.matmul(&vh);
+                    for r in 0..s {
+                        context.row_mut(base + r)[hd * dh..(hd + 1) * dh]
+                            .copy_from_slice(ctx_h.row(r));
+                    }
+                }
+            }
+            let context =
+                exec.activation_packed(&format!("{pre}.attn.context"), context, &rows_layout);
+            let attn_out = self.linear_packed(
+                exec,
+                &format!("{pre}.attn.wo"),
+                &context,
+                &layer.wo,
+                &layer.bo,
+                &rows_layout,
+            );
+            let mut x1 = attn_out.add(&input);
+            nn::layer_norm(&mut x1, &layer.ln1_gamma, &layer.ln1_beta, 1e-6);
+
+            // --- Feed-forward ---
+            let ffn_in = exec.activation_packed(&format!("{pre}.ffn.input"), x1, &rows_layout);
+            let mut mid = self.linear_packed(
+                exec,
+                &format!("{pre}.ffn.w1"),
+                &ffn_in,
+                &layer.w1,
+                &layer.b1,
+                &rows_layout,
+            );
+            nn::gelu_inplace(&mut mid);
+            let mid = exec.activation_packed(&format!("{pre}.ffn.mid"), mid, &rows_layout);
+            let ffn_out = self.linear_packed(
+                exec,
+                &format!("{pre}.ffn.w2"),
+                &mid,
+                &layer.w2,
+                &layer.b2,
+                &rows_layout,
+            );
+            let mut x2 = ffn_out.add(&ffn_in);
+            nn::layer_norm(&mut x2, &layer.ln2_gamma, &layer.ln2_beta, 1e-6);
+            x = x2;
+        }
+        x
+    }
+
+    /// Applies the task head to every request of a packed batch.
+    pub fn apply_head_packed(
+        &self,
+        exec: &mut dyn Executor,
+        hidden: &Matrix,
+        pack: &PackedBatch,
+    ) -> Vec<TaskOutput> {
+        let nb = pack.requests();
+        match self.head {
+            Head::Classification { .. } | Head::Regression => {
+                let cls_layout = pack.cls_layout();
+                // Gather every request's CLS row into one B × hidden GEMM.
+                let mut cls = Matrix::zeros(nb, self.config.hidden);
+                for bi in 0..nb {
+                    cls.row_mut(bi).copy_from_slice(hidden.row(pack.row_of(bi)));
+                }
+                let cls = exec.activation_packed("head.cls", cls, &cls_layout);
+                let mut pooled = self.linear_packed(
+                    exec,
+                    "head.pooler",
+                    &cls,
+                    &self.pooler_w,
+                    &self.pooler_b,
+                    &cls_layout,
+                );
+                nn::tanh_inplace(&mut pooled);
+                let pooled = exec.activation_packed("head.pooled", pooled, &cls_layout);
+                let logits = self.linear_packed(
+                    exec,
+                    "head.proj",
+                    &pooled,
+                    &self.head_w,
+                    &self.head_b,
+                    &cls_layout,
+                );
+                (0..nb)
+                    .map(|bi| match self.head {
+                        Head::Classification { .. } => TaskOutput::Logits(logits.row(bi).to_vec()),
+                        _ => TaskOutput::Score(logits[(bi, 0)]),
+                    })
+                    .collect()
+            }
+            Head::Span => {
+                let rows_layout = pack.rows_layout();
+                let hs = exec.activation_packed("head.span_input", hidden.clone(), &rows_layout);
+                let logits = self.linear_packed(
+                    exec,
+                    "head.proj",
+                    &hs,
+                    &self.head_w,
+                    &self.head_b,
+                    &rows_layout,
+                );
+                (0..nb)
+                    .map(|bi| {
+                        let base = pack.row_of(bi);
+                        let len = pack.len_of(bi);
+                        let start = (0..len).map(|r| logits[(base + r, 0)]).collect();
+                        let end = (0..len).map(|r| logits[(base + r, 1)]).collect();
+                        TaskOutput::Span(start, end)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Packed forward + head: one tall GEMM per projection for the whole
+    /// batch, outputs (and, for quantizing executors, per-request
+    /// counters) bit-identical to per-request [`Model::infer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or contains an empty sequence — the
+    /// caller routes those through the solo path.
+    pub fn infer_packed(&self, exec: &mut dyn Executor, batch: &[&[usize]]) -> Vec<TaskOutput> {
+        let pack = PackedBatch::new(batch);
+        let hidden = self.forward_packed(exec, &pack, batch);
+        self.apply_head_packed(exec, &hidden, &pack)
+    }
+
+    /// One fused GEMM + bias ([`nn::linear`]), routed through the
+    /// executor: the weight may be substituted (quantized), the input
+    /// transformed, and the output snapped to a fixed-point grid.
     fn linear(
         &self,
         exec: &mut dyn Executor,
@@ -309,9 +558,28 @@ impl Model {
     ) -> Matrix {
         let out = {
             let w_eff = exec.weight_override(weight_name).unwrap_or(w);
-            x.matmul(w_eff).add_row_broadcast(b)
+            nn::linear(x, w_eff, b)
         };
         exec.gemm_output(weight_name, out)
+    }
+
+    /// Packed-batch variant of [`Model::linear`]: same fused GEMM, with
+    /// the output snap routed through the layout-aware hook so padding
+    /// rows are skipped and work is attributed per request.
+    fn linear_packed(
+        &self,
+        exec: &mut dyn Executor,
+        weight_name: &str,
+        x: &Matrix,
+        w: &Matrix,
+        b: &[f32],
+        layout: &PackedLayout,
+    ) -> Matrix {
+        let out = {
+            let w_eff = exec.weight_override(weight_name).unwrap_or(w);
+            nn::linear(x, w_eff, b)
+        };
+        exec.gemm_output_packed(weight_name, out, layout)
     }
 
     /// Names and references of every quantizable weight tensor (the

@@ -1,0 +1,199 @@
+//! Packing a batch of sequences into one tall activation matrix.
+//!
+//! Tensor-level batching stacks `B` sequences (padded to the longest
+//! length `S`) into a single `(B·S) × hidden` matrix so every projection
+//! and FFN GEMM in an encoder layer runs **once per batch** instead of
+//! once per sequence. Three facts make the packed forward pass
+//! bit-identical to solo execution:
+//!
+//! 1. every GEMM kernel computes output row `i` from input row `i` alone
+//!    (`mokey_tensor` pins this), and every non-GEMM operator
+//!    (layer norm, GELU, softmax, bias) is row-wise;
+//! 2. attention is isolated per sequence: scores are computed on each
+//!    sequence's row block, padded **key** positions are driven to `−∞`
+//!    before `softmax_rows` (masked probabilities come out exactly
+//!    `0.0`, and the GEMM kernels skip zero coefficients, so padded
+//!    value rows contribute nothing);
+//! 3. executor hooks receive a [`PackedLayout`] mapping each matrix
+//!    region to its request, so quantized activation encoding touches
+//!    exactly the elements a solo run would touch — padded rows are
+//!    passed through raw and per-request counters stay exact.
+//!
+//! Padded *query* rows do flow through the arithmetic (they attend over
+//! real keys and produce well-defined garbage), but nothing reads them:
+//! they are skipped at unpack, never encoded, and never feed a real row.
+
+/// Shape bookkeeping for one packed batch: per-request true lengths plus
+/// the common padded length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedBatch {
+    lens: Vec<usize>,
+    seq: usize,
+}
+
+impl PackedBatch {
+    /// Plans the packing of `batch` (padded to the longest sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or contains an empty sequence —
+    /// callers route degenerate requests through the solo path.
+    pub fn new<T: AsRef<[usize]>>(batch: &[T]) -> Self {
+        assert!(!batch.is_empty(), "cannot pack an empty batch");
+        let lens: Vec<usize> = batch.iter().map(|t| t.as_ref().len()).collect();
+        assert!(lens.iter().all(|&l| l > 0), "cannot pack an empty sequence");
+        let seq = lens.iter().copied().max().unwrap_or(0);
+        Self { lens, seq }
+    }
+
+    /// Number of requests in the pack.
+    pub fn requests(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// The padded per-sequence length (longest request).
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// True token length of request `i`.
+    pub fn len_of(&self, i: usize) -> usize {
+        self.lens[i]
+    }
+
+    /// Row offset of request `i` inside a packed `(B·S) × _` matrix.
+    pub fn row_of(&self, i: usize) -> usize {
+        i * self.seq
+    }
+
+    /// Total rows of a packed activation matrix (`B · S`).
+    pub fn total_rows(&self) -> usize {
+        self.lens.len() * self.seq
+    }
+
+    /// Rows carrying real tokens (`Σ lens`).
+    pub fn valid_rows(&self) -> usize {
+        self.lens.iter().sum()
+    }
+
+    /// Padding rows (`total − valid`) — the waste the serving metrics
+    /// report.
+    pub fn pad_rows(&self) -> usize {
+        self.total_rows() - self.valid_rows()
+    }
+
+    /// `true` when every request has the padded length (no waste).
+    pub fn is_uniform(&self) -> bool {
+        self.lens.iter().all(|&l| l == self.seq)
+    }
+
+    /// Layout of a standard packed activation matrix (`(B·S) × width`):
+    /// request `i` owns the valid prefix of its row block, full width.
+    pub fn rows_layout(&self) -> PackedLayout {
+        PackedLayout {
+            regions: self
+                .lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| Region { row_blocks: vec![(i * self.seq, len)], cols: None })
+                .collect(),
+        }
+    }
+
+    /// Layout of the packed attention-probability matrix
+    /// (`(B·heads·S) × S`, request-major then head-major): request `i`
+    /// owns `heads` blocks of its true length, and only its first
+    /// `len` columns are real probabilities (the rest are masked zeros,
+    /// which must stay exactly `0.0`).
+    pub fn probs_layout(&self, heads: usize) -> PackedLayout {
+        PackedLayout {
+            regions: self
+                .lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| Region {
+                    row_blocks: (0..heads).map(|hd| ((i * heads + hd) * self.seq, len)).collect(),
+                    cols: Some(len),
+                })
+                .collect(),
+        }
+    }
+
+    /// Layout of a per-request-row matrix (`B × width`), e.g. the gathered
+    /// CLS rows feeding the classification head.
+    pub fn cls_layout(&self) -> PackedLayout {
+        PackedLayout {
+            regions: (0..self.lens.len())
+                .map(|i| Region { row_blocks: vec![(i, 1)], cols: None })
+                .collect(),
+        }
+    }
+}
+
+/// Maps the regions of one packed matrix to the requests that own them,
+/// so executor hooks can attribute work per request and skip padding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedLayout {
+    /// One region per request, in batch order.
+    pub regions: Vec<Region>,
+}
+
+/// The part of a packed matrix owned by one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// `(start_row, row_count)` blocks — already trimmed to valid rows.
+    pub row_blocks: Vec<(usize, usize)>,
+    /// Valid column prefix, or `None` for the full width.
+    pub cols: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_shape_accounting() {
+        let pack = PackedBatch::new(&[vec![0usize; 5], vec![0; 3], vec![0; 5]]);
+        assert_eq!(pack.requests(), 3);
+        assert_eq!(pack.seq(), 5);
+        assert_eq!(pack.total_rows(), 15);
+        assert_eq!(pack.valid_rows(), 13);
+        assert_eq!(pack.pad_rows(), 2);
+        assert!(!pack.is_uniform());
+        assert_eq!(pack.row_of(2), 10);
+        assert!(PackedBatch::new(&[vec![0usize; 4], vec![0; 4]]).is_uniform());
+    }
+
+    #[test]
+    fn rows_layout_covers_valid_prefixes() {
+        let pack = PackedBatch::new(&[vec![0usize; 4], vec![0; 2]]);
+        let layout = pack.rows_layout();
+        assert_eq!(layout.regions.len(), 2);
+        assert_eq!(layout.regions[0].row_blocks, vec![(0, 4)]);
+        assert_eq!(layout.regions[1].row_blocks, vec![(4, 2)]);
+        assert_eq!(layout.regions[1].cols, None);
+    }
+
+    #[test]
+    fn probs_layout_is_per_head_and_column_trimmed() {
+        let pack = PackedBatch::new(&[vec![0usize; 4], vec![0; 2]]);
+        let layout = pack.probs_layout(2);
+        // Request 1 (len 2): head blocks start after request 0's 2 heads
+        // of 4 padded rows each.
+        assert_eq!(layout.regions[1].row_blocks, vec![(8, 2), (12, 2)]);
+        assert_eq!(layout.regions[1].cols, Some(2));
+        assert_eq!(layout.regions[0].cols, Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let _ = PackedBatch::new(&[vec![0usize; 3], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = PackedBatch::new(&Vec::<Vec<usize>>::new());
+    }
+}

@@ -38,6 +38,7 @@ fn main() {
         max_batch: 8,
         max_wait: Duration::from_millis(2),
         queue_capacity: 32,
+        ..ServeConfig::default()
     };
     const CLIENTS: u64 = 3;
     const PER_CLIENT: usize = 8;

@@ -1,0 +1,149 @@
+//! Packed tensor-level batching must be a pure throughput decision:
+//! for any batch size, any mix of sequence lengths (and therefore any
+//! padding/mask pattern), every output **and every per-request counter**
+//! of the packed forward pass must be bit-identical to running the
+//! request alone.
+
+use mokey_serve::PreparedModel;
+use mokey_transformer::exec::{FpExecutor, QuantizedExecutor, QuantizedStats};
+use mokey_transformer::model::{Head, Model};
+use mokey_transformer::{ModelConfig, QuantizeSpec};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared quantized model — preparation is far more expensive than a
+/// tiny-forward case, and the properties only need a fixed context.
+fn prepared() -> &'static PreparedModel {
+    static MODEL: OnceLock<PreparedModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let config = ModelConfig {
+            name: "packed-proptest".into(),
+            layers: 2,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 200,
+            max_seq: 16,
+        };
+        let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 41);
+        let profile: Vec<Vec<usize>> = (0..3).map(|s| model.random_tokens(12, 900 + s)).collect();
+        PreparedModel::prepare(model, QuantizeSpec::weights_and_activations(), &profile)
+            .expect("non-degenerate model")
+    })
+}
+
+/// A span-head FP model for head-shape coverage (no quantization).
+fn span_model() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let config = ModelConfig {
+            name: "packed-span".into(),
+            layers: 1,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 200,
+            max_seq: 16,
+        };
+        Model::synthesize(&config, Head::Span, 43)
+    })
+}
+
+/// Random batches: 1–6 requests, each 1–16 tokens from the shared
+/// vocabulary. Length mixes are unconstrained, so most sampled batches
+/// are ragged and exercise the padding + key-mask path.
+fn batch_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        (1usize..=16).prop_flat_map(|len| prop::collection::vec(0usize..200, len)),
+        1..=6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn forced_packing_is_bit_identical_for_any_mask_pattern(batch in batch_strategy()) {
+        // Pack the *whole* batch regardless of length spread — maximum
+        // padding, every mask pattern the layout can produce.
+        let p = prepared();
+        let refs: Vec<&[usize]> = batch.iter().map(Vec::as_slice).collect();
+        let packed = p.context().infer_packed(p.model(), &refs);
+        prop_assert_eq!(packed.len(), batch.len());
+        for (tokens, (out, stats)) in batch.iter().zip(&packed) {
+            let (solo_out, solo_stats) = p.infer(tokens);
+            prop_assert_eq!(out, &solo_out, "packed output diverged for {:?}", tokens);
+            prop_assert_eq!(stats, &solo_stats, "packed counters diverged for {:?}", tokens);
+        }
+    }
+
+    #[test]
+    fn infer_batch_policy_is_bit_identical_and_accounts_every_request(
+        batch in batch_strategy()
+    ) {
+        let p = prepared();
+        let run = p.infer_batch(&batch);
+        prop_assert_eq!(run.results.len(), batch.len());
+        prop_assert_eq!(
+            run.packing.packed_requests + run.packing.solo_requests,
+            batch.len()
+        );
+        let mut merged = QuantizedStats::default();
+        for (tokens, (out, stats)) in batch.iter().zip(&run.results) {
+            let (solo_out, solo_stats) = p.infer(tokens);
+            prop_assert_eq!(out, &solo_out);
+            prop_assert_eq!(stats, &solo_stats);
+            merged.merge(stats);
+        }
+        prop_assert_eq!(run.total, merged);
+    }
+
+    #[test]
+    fn fp_packed_forward_matches_solo_forward(batch in batch_strategy()) {
+        // The packed pass is exact in plain FP32 too — masking and row
+        // independence, not quantization, carry the equivalence.
+        let p = prepared();
+        let refs: Vec<&[usize]> = batch.iter().map(Vec::as_slice).collect();
+        let packed = p.model().infer_packed(&mut FpExecutor, &refs);
+        for (tokens, out) in batch.iter().zip(&packed) {
+            prop_assert_eq!(out, &p.model().infer(&mut FpExecutor, tokens));
+        }
+    }
+
+    #[test]
+    fn span_head_packs_per_position_outputs(batch in batch_strategy()) {
+        let model = span_model();
+        let refs: Vec<&[usize]> = batch.iter().map(Vec::as_slice).collect();
+        let packed = model.infer_packed(&mut FpExecutor, &refs);
+        for (tokens, out) in batch.iter().zip(&packed) {
+            prop_assert_eq!(out, &model.infer(&mut FpExecutor, tokens));
+        }
+    }
+}
+
+/// The pre-packing batched path derived per-request counters by
+/// snapshot-diffing one shared executor ([`QuantizedStats::diff`]); the
+/// packed path attributes them through the layout instead. Both
+/// mechanisms must agree exactly.
+#[test]
+fn per_request_counters_survive_packing() {
+    let p = prepared();
+    let batch: Vec<Vec<usize>> =
+        (0..5).map(|s| p.model().random_tokens(10 + (s as usize % 3), 70 + s)).collect();
+
+    // The legacy accounting: one executor, cumulative snapshots, diff.
+    let mut exec = QuantizedExecutor::new(p.context());
+    let mut via_diff = Vec::new();
+    let mut prev = QuantizedStats::default();
+    for tokens in &batch {
+        let _ = p.model().infer(&mut exec, tokens);
+        let now = exec.stats();
+        via_diff.push(now.diff(&prev));
+        prev = now;
+    }
+
+    let run = p.infer_batch(&batch);
+    assert!(run.packing.packed_requests > 0, "batch should have packed");
+    for ((_, packed_stats), diff_stats) in run.results.iter().zip(&via_diff) {
+        assert_eq!(packed_stats, diff_stats, "packed counters diverged from diff accounting");
+    }
+    assert_eq!(run.total, prev);
+}

@@ -40,6 +40,7 @@ fn multi_client_batched_load_is_bit_identical_to_sequential() {
         max_batch: 5,
         max_wait: Duration::from_millis(2),
         queue_capacity: 16,
+        ..ServeConfig::default()
     };
     let (collected, report) = serve(&prepared, config, |handle| {
         std::thread::scope(|scope| {
@@ -76,6 +77,39 @@ fn multi_client_batched_load_is_bit_identical_to_sequential() {
     assert!(report.batches_formed >= 1);
     assert!(report.max_batch_size <= 5);
     assert!(report.act_values > 0);
+    // Every completed request was accounted either packed or solo, and
+    // pad waste is a fraction.
+    assert_eq!(report.packed_requests + report.solo_requests, report.completed);
+    assert!((0.0..=1.0).contains(&report.pad_waste));
+}
+
+#[test]
+fn coalesced_same_length_requests_run_packed_without_padding() {
+    let prepared = prepared_model();
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 8,
+        max_wait: Duration::from_millis(200),
+        queue_capacity: 32,
+        ..ServeConfig::default()
+    };
+    // Uniform 16-token traffic: every coalesced batch is packable with
+    // zero padding.
+    let requests = LoadGen::new(prepared.model(), 555).with_lengths(16, 16).requests(16);
+    let (responses, report) = serve(&prepared, config, |handle| {
+        let tickets: Vec<_> = requests.iter().map(|t| handle.submit(t.clone()).unwrap()).collect();
+        tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>()
+    });
+    for (tokens, response) in requests.iter().zip(&responses) {
+        let (reference, reference_stats) = prepared.infer(tokens);
+        assert_eq!(response.output, reference);
+        assert_eq!(response.stats, reference_stats);
+    }
+    // With one worker and a generous straggler window the backlog
+    // coalesces into multi-request batches, which the executor packs.
+    assert!(report.packed_batches >= 1, "no batch was packed: {}", report.dump());
+    assert!(report.packed_requests >= 2);
+    assert_eq!(report.pad_waste, 0.0, "same-length packs must carry no padding");
 }
 
 #[test]
@@ -89,6 +123,7 @@ fn batch_size_sweep_produces_identical_outputs() {
             max_batch,
             max_wait: Duration::from_millis(2),
             queue_capacity: 32,
+            ..ServeConfig::default()
         };
         let (outputs, _) = serve(&prepared, config, |handle| {
             let tickets: Vec<Ticket> =
@@ -115,6 +150,7 @@ fn shutdown_drains_accepted_requests_without_dropping() {
         max_batch: 4,
         max_wait: Duration::from_millis(1),
         queue_capacity: 64,
+        ..ServeConfig::default()
     };
     let requests = LoadGen::new(prepared.model(), 1234).requests(24);
     // The driver closure submits everything and returns the *unwaited*
@@ -145,10 +181,13 @@ fn invalid_traffic_is_bounced_but_never_breaks_the_engine() {
             handle.submit(vec![400]),
             Err(SubmitError::TokenOutOfVocab { token: 400, vocab: 400 })
         ));
+        // An empty request would panic the classification head; it is
+        // bounced at admission instead of crashing a worker.
+        assert!(matches!(handle.submit(vec![]), Err(SubmitError::EmptySequence)));
         // The engine keeps serving valid traffic afterwards.
         let ok = handle.submit(prepared.model().random_tokens(16, 5)).unwrap();
         let _ = ok.wait();
     });
-    assert_eq!(report.rejected_invalid, 2);
+    assert_eq!(report.rejected_invalid, 3);
     assert_eq!(report.completed, 1);
 }
