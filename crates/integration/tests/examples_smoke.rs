@@ -59,3 +59,12 @@ mod serve_requests_example {
         main();
     }
 }
+
+mod serve_multi_model_example {
+    include!("../../../examples/serve_multi_model.rs");
+
+    #[test]
+    fn serve_multi_model_runs() {
+        main();
+    }
+}

@@ -4,7 +4,7 @@
 
 use crate::error::PipelineError;
 use crate::parallel::{self, WorkerScratch};
-use crate::session::QuantSession;
+use crate::session::{CacheStats, QuantSession};
 use mokey_core::dict::TensorDict;
 use mokey_core::encode::QuantizedTensor;
 use mokey_core::profile::{ActivationProfiler, TensorProfile};
@@ -72,6 +72,12 @@ pub struct QuantizationReport {
     pub weight_outliers: usize,
     /// Number of activation tensors with dictionaries.
     pub activation_tensors: usize,
+    /// Dictionary-cache hits/misses observed during *this* preparation —
+    /// a second model with identical-stats tensors prepared through the
+    /// same session reports hits here instead of rebuilding. Counts are
+    /// exact under [`Parallelism::Serial`](crate::Parallelism::Serial);
+    /// concurrent fan-out can double-count a racing build as two misses.
+    pub dict_cache: CacheStats,
 }
 
 impl QuantizationReport {
@@ -141,6 +147,7 @@ impl QuantSession {
         profile_inputs: &[M::Input],
     ) -> Result<ModelQuantization, PipelineError> {
         let mut report = QuantizationReport::default();
+        let cache_before = self.cache_stats();
 
         // Stage: pre-encode weights offline.
         let mut weights = BTreeMap::new();
@@ -196,6 +203,11 @@ impl QuantSession {
             report.activation_tensors = act_dicts.len();
         }
 
+        let cache_after = self.cache_stats();
+        report.dict_cache = CacheStats {
+            hits: cache_after.hits - cache_before.hits,
+            misses: cache_after.misses - cache_before.misses,
+        };
         Ok(ModelQuantization { weights, act_dicts, out_formats, report })
     }
 
@@ -307,6 +319,22 @@ mod tests {
             .quantize_model(&model, QuantizeSpec::weights_and_activations(), &[])
             .unwrap_err();
         assert_eq!(err, PipelineError::NoProfileInputs);
+    }
+
+    #[test]
+    fn report_surfaces_per_prepare_dict_cache_stats() {
+        let model = ToyModel::new(4);
+        let session = QuantSession::builder().parallelism(Parallelism::Serial).build();
+        let first =
+            session.quantize_model(&model, QuantizeSpec::weights_only(), &[] as &[u64]).unwrap();
+        assert_eq!(first.report.dict_cache, crate::CacheStats { hits: 0, misses: 4 });
+        // A second model with identical-stats tensors (here: the same
+        // model) reuses every cached dictionary; its report shows the
+        // hits it got instead of the session-lifetime totals.
+        let second =
+            session.quantize_model(&model, QuantizeSpec::weights_only(), &[] as &[u64]).unwrap();
+        assert_eq!(second.report.dict_cache, crate::CacheStats { hits: 4, misses: 0 });
+        assert_eq!(session.cache_stats(), crate::CacheStats { hits: 4, misses: 4 });
     }
 
     #[test]

@@ -1,28 +1,38 @@
-//! The serving engine: submission queue → dynamic batcher → scoped
-//! worker pool.
+//! The serving engine: tagged submission queue → dynamic batcher →
+//! scoped worker pool, shared by every registered model.
 //!
 //! ```text
-//!  clients                    engine (std::thread::scope)
-//!  ───────                    ─────────────────────────────────────────
-//!  submit()/try_submit() ──▶  BoundedQueue (capacity, backpressure)
-//!        │                         │ pop_batch(max_batch, max_wait)
-//!        ▼                         ▼
-//!     Ticket ◀── mpsc ──  worker: PreparedModel::infer_batch
-//!        wait()                    │ one QuantizedExecutor per batch
-//!                                  ▼
-//!                               Metrics (latency histogram, batches,
-//!                               queue depth, values/sec)
+//!  clients                      engine (std::thread::scope)
+//!  ───────                      ─────────────────────────────────────────
+//!  submit_to(model, …) ──▶      TaggedQueue<ModelId, Request>
+//!  submit(…) = model #0              │ one global FIFO, capacity-bounded
+//!        │                          │ pop_batch_grouped: leader = oldest
+//!        ▼                          │ request, batch = same
+//!     Ticket ◀── mpsc ──  worker:   ▼ (model, length-bucket) only
+//!        wait()           any worker runs any model's batch through
+//!                         that model's PreparedModel::infer_batch
+//!                                   │
+//!                                   ▼
+//!                         Metrics (per-model + aggregate: latency
+//!                         histograms, batches, queue depth, values/sec)
 //! ```
 //!
-//! Everything is in-process and synchronous: [`serve`] owns the worker
-//! threads inside a `std::thread::scope`, so shutdown is structural —
-//! when the driver closure returns, the queue closes, workers drain the
-//! accepted backlog, and the scope joins them before [`serve`] returns.
-//! No accepted request is ever dropped.
+//! Everything is in-process and synchronous: [`serve`] /
+//! [`serve_registry`] own the worker threads inside a
+//! `std::thread::scope`, so shutdown is structural — when the driver
+//! closure returns, the queue closes, workers drain the accepted
+//! backlog, and the scope joins them before returning. No accepted
+//! request is ever dropped.
+//!
+//! Batches never mix models: the batcher coalesces only requests for the
+//! leader's `(model, length-bucket)` pair, and because the leader is the
+//! *globally* oldest request, a lightly-loaded model is never starved by
+//! a heavily-loaded one.
 
-use crate::metrics::{Metrics, MetricsReport};
+use crate::metrics::{Metrics, MetricsReport, ServeReport};
 use crate::prepared::PreparedModel;
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{PushError, TaggedQueue};
+use crate::registry::{ModelId, ModelRegistry};
 use mokey_transformer::exec::QuantizedStats;
 use mokey_transformer::TaskOutput;
 use std::fmt;
@@ -33,20 +43,22 @@ use std::time::{Duration, Instant};
 /// Engine sizing: worker pool, batcher, and admission control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Worker threads executing batches (minimum 1).
+    /// Worker threads executing batches (minimum 1). Workers are not
+    /// pinned to models: any worker executes any model's batch.
     pub workers: usize,
     /// Largest batch the dynamic batcher coalesces.
     pub max_batch: usize,
     /// How long an underfull batch waits for stragglers.
     pub max_wait: Duration,
-    /// Submission-queue capacity (admission control / backpressure
-    /// threshold).
+    /// Submission-queue capacity, shared across all models (admission
+    /// control / backpressure threshold).
     pub queue_capacity: usize,
     /// Width of the length buckets the batcher groups by: requests whose
     /// token counts fall in the same `length_bucket`-wide band coalesce
     /// into one batch, so the executor can pack them into a single
     /// seq×batch GEMM with bounded padding. `0` disables bucketing
-    /// (batches form FIFO regardless of length).
+    /// (batches form FIFO regardless of length). Batches additionally
+    /// never mix models, whatever this is set to.
     pub length_bucket: usize,
 }
 
@@ -70,17 +82,23 @@ pub enum SubmitError {
     QueueFull,
     /// The engine is shutting down.
     ShuttingDown,
+    /// The target [`ModelId`] is not registered with this engine.
+    UnknownModel {
+        /// The id that failed to resolve.
+        model: ModelId,
+    },
     /// The request carries no tokens (a forward pass needs at least the
     /// CLS position).
     EmptySequence,
-    /// The request exceeds the model's maximum sequence length.
+    /// The request exceeds the target model's maximum sequence length.
     SequenceTooLong {
         /// Submitted sequence length.
         len: usize,
         /// The model's limit.
         max_seq: usize,
     },
-    /// The request contains an out-of-vocabulary token.
+    /// The request contains a token outside the target model's
+    /// vocabulary.
     TokenOutOfVocab {
         /// The offending token id.
         token: usize,
@@ -94,6 +112,9 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => write!(f, "submission queue is at capacity"),
             SubmitError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            SubmitError::UnknownModel { model } => {
+                write!(f, "{model} is not registered with this engine")
+            }
             SubmitError::EmptySequence => write!(f, "request carries no tokens"),
             SubmitError::SequenceTooLong { len, max_seq } => {
                 write!(f, "sequence of {len} tokens exceeds the model maximum of {max_seq}")
@@ -112,6 +133,8 @@ impl std::error::Error for SubmitError {}
 pub struct Response {
     /// The id [`ServeHandle::submit`] assigned.
     pub id: u64,
+    /// The model that served this request.
+    pub model: ModelId,
     /// The task-head output.
     pub output: TaskOutput,
     /// This request's activation-encoding counters.
@@ -151,35 +174,55 @@ struct Request {
     tx: mpsc::Sender<Response>,
 }
 
-struct Shared<'m> {
+/// One registered model inside a running engine: the prepared model plus
+/// its own metrics scope.
+struct ModelSlot<'m> {
+    name: &'m str,
     model: &'m PreparedModel,
+    metrics: Metrics,
+}
+
+struct Shared<'m> {
+    slots: Vec<ModelSlot<'m>>,
     config: ServeConfig,
-    queue: BoundedQueue<Request>,
+    queue: TaggedQueue<ModelId, Request>,
+    /// Aggregate across every model; per-model counters live in the
+    /// slots. Every event is recorded into both scopes.
     metrics: Metrics,
     next_id: AtomicU64,
 }
 
-/// The client face of a running engine: submit requests, read live
-/// metrics. `Sync`, so one handle can drive many client threads.
+/// The client face of a running engine: submit requests (to any
+/// registered model), read live metrics. `Sync`, so one handle can drive
+/// many client threads.
 pub struct ServeHandle<'e> {
     shared: &'e Shared<'e>,
 }
 
 impl ServeHandle<'_> {
-    fn admit(&self, tokens: &[usize]) -> Result<(), SubmitError> {
+    fn slot(&self, model: ModelId) -> Result<&ModelSlot<'_>, SubmitError> {
+        // An unknown id has no metrics scope to account against (and
+        // counting it only in the aggregate would break the per-model
+        // columns summing to the aggregate), so it is bounced uncounted.
+        self.shared.slots.get(model.index()).ok_or(SubmitError::UnknownModel { model })
+    }
+
+    fn admit(&self, slot: &ModelSlot<'_>, tokens: &[usize]) -> Result<(), SubmitError> {
+        let reject = |err| {
+            self.shared.metrics.note_rejected_invalid();
+            slot.metrics.note_rejected_invalid();
+            Err(err)
+        };
         if tokens.is_empty() {
-            self.shared.metrics.note_rejected_invalid();
-            return Err(SubmitError::EmptySequence);
+            return reject(SubmitError::EmptySequence);
         }
-        let max_seq = self.shared.model.max_seq();
+        let max_seq = slot.model.max_seq();
         if tokens.len() > max_seq {
-            self.shared.metrics.note_rejected_invalid();
-            return Err(SubmitError::SequenceTooLong { len: tokens.len(), max_seq });
+            return reject(SubmitError::SequenceTooLong { len: tokens.len(), max_seq });
         }
-        let vocab = self.shared.model.vocab();
+        let vocab = slot.model.vocab();
         if let Some(&token) = tokens.iter().find(|&&t| t >= vocab) {
-            self.shared.metrics.note_rejected_invalid();
-            return Err(SubmitError::TokenOutOfVocab { token, vocab });
+            return reject(SubmitError::TokenOutOfVocab { token, vocab });
         }
         Ok(())
     }
@@ -190,20 +233,53 @@ impl ServeHandle<'_> {
         (Request { id, tokens, accepted_at: Instant::now(), tx }, Ticket { id, rx })
     }
 
-    /// Submits a request, blocking while the queue is at capacity
+    fn note_submitted(&self, slot: &ModelSlot<'_>) {
+        self.shared.metrics.note_submitted();
+        slot.metrics.note_submitted();
+    }
+
+    /// Submits a request to the default model ([`ModelId::DEFAULT`] — the
+    /// single-model convenience), blocking while the queue is at capacity
     /// (backpressure).
     ///
     /// # Errors
     ///
-    /// Validation failures ([`SubmitError::SequenceTooLong`] /
-    /// [`SubmitError::TokenOutOfVocab`]) or
-    /// [`SubmitError::ShuttingDown`].
+    /// Everything [`ServeHandle::submit_to`] can return.
     pub fn submit(&self, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
-        self.admit(&tokens)?;
+        self.submit_to(ModelId::DEFAULT, tokens)
+    }
+
+    /// Submits a request to the default model without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeHandle::try_submit_to`] can return.
+    pub fn try_submit(&self, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
+        self.try_submit_to(ModelId::DEFAULT, tokens)
+    }
+
+    /// Submits a request to a specific registered model, blocking while
+    /// the queue is at capacity (backpressure).
+    ///
+    /// `model` must come from the registry this engine serves —
+    /// [`ModelId`]s are positional, so an id minted by a *different*
+    /// registry addresses whatever model occupies that slot here (see
+    /// [`ModelId`]'s scoping contract).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`], validation failures
+    /// ([`SubmitError::SequenceTooLong`] /
+    /// [`SubmitError::TokenOutOfVocab`] /
+    /// [`SubmitError::EmptySequence`]), or
+    /// [`SubmitError::ShuttingDown`].
+    pub fn submit_to(&self, model: ModelId, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
+        let slot = self.slot(model)?;
+        self.admit(slot, &tokens)?;
         let (request, ticket) = self.request(tokens);
-        match self.shared.queue.push_blocking(request) {
+        match self.shared.queue.push_blocking(model, request) {
             Ok(_) => {
-                self.shared.metrics.note_submitted();
+                self.note_submitted(slot);
                 Ok(ticket)
             }
             // `push_blocking` only fails on a closed queue.
@@ -211,74 +287,148 @@ impl ServeHandle<'_> {
         }
     }
 
-    /// Submits a request without blocking (admission control).
+    /// Submits a request to a specific registered model without blocking
+    /// (admission control).
     ///
     /// # Errors
     ///
     /// [`SubmitError::QueueFull`] at capacity, plus everything
-    /// [`ServeHandle::submit`] can return.
-    pub fn try_submit(&self, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
-        self.admit(&tokens)?;
+    /// [`ServeHandle::submit_to`] can return.
+    pub fn try_submit_to(&self, model: ModelId, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
+        let slot = self.slot(model)?;
+        self.admit(slot, &tokens)?;
         let (request, ticket) = self.request(tokens);
-        match self.shared.queue.try_push(request) {
+        match self.shared.queue.try_push(model, request) {
             Ok(_) => {
-                self.shared.metrics.note_submitted();
+                self.note_submitted(slot);
                 Ok(ticket)
             }
             Err(PushError::Full(_)) => {
                 self.shared.metrics.note_rejected_full();
+                slot.metrics.note_rejected_full();
                 Err(SubmitError::QueueFull)
             }
             Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
         }
     }
 
-    /// Current submission-queue depth.
+    /// Current submission-queue depth (all models).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
     }
 
-    /// Live metrics snapshot.
+    /// Number of models this engine serves.
+    pub fn model_count(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Live aggregate metrics snapshot.
     pub fn metrics(&self) -> MetricsReport {
         self.shared.metrics.snapshot(self.shared.queue.peak_depth())
+    }
+
+    /// Live metrics snapshot for one registered model.
+    pub fn model_metrics(&self, model: ModelId) -> Option<MetricsReport> {
+        let slot = self.shared.slots.get(model.index())?;
+        Some(slot.metrics.snapshot(self.shared.queue.peak_depth()))
     }
 }
 
 fn worker_loop(shared: &Shared<'_>) {
     let bucket = shared.config.length_bucket;
     let key = |r: &Request| r.tokens.len().checked_div(bucket).unwrap_or(0);
-    while let Some(batch) =
+    while let Some((model, batch)) =
         shared.queue.pop_batch_grouped(shared.config.max_batch, shared.config.max_wait, key)
     {
-        if batch.is_empty() {
-            continue;
-        }
+        let slot = &shared.slots[model.index()];
         let formed_at = Instant::now();
         shared.metrics.note_batch(batch.len());
+        slot.metrics.note_batch(batch.len());
         let batch_size = batch.len();
         let (requests, tokens): (Vec<_>, Vec<_>) =
             batch.into_iter().map(|r| ((r.id, r.accepted_at, r.tx), r.tokens)).unzip();
-        let run = shared.model.infer_batch(&tokens);
+        let run = slot.model.infer_batch(&tokens);
         shared.metrics.note_packing(&run.packing);
+        slot.metrics.note_packing(&run.packing);
         for ((id, accepted_at, tx), (output, stats)) in requests.into_iter().zip(run.results) {
             let queue_wait = formed_at.duration_since(accepted_at);
             let latency = accepted_at.elapsed();
             shared.metrics.note_completed(latency, queue_wait, &stats);
+            slot.metrics.note_completed(latency, queue_wait, &stats);
             // A client that dropped its ticket just doesn't read the
             // response; the request still counts as served.
-            let _ = tx.send(Response { id, output, stats, batch_size, queue_wait, latency });
+            let _ = tx.send(Response { id, model, output, stats, batch_size, queue_wait, latency });
         }
     }
 }
 
-/// Runs a serving engine around `model` for the lifetime of the driver
-/// closure `f`.
+/// The engine core shared by [`serve`] and [`serve_registry`]: spins up
+/// the worker pool over the given model slots, runs the driver, drains,
+/// and snapshots every metrics scope.
+fn run_engine<'m, R, F>(
+    models: Vec<(&'m str, &'m PreparedModel)>,
+    config: ServeConfig,
+    f: F,
+) -> (R, ServeReport)
+where
+    F: FnOnce(&ServeHandle<'_>) -> R,
+{
+    assert!(!models.is_empty(), "the serving engine needs at least one model");
+    let config = ServeConfig { workers: config.workers.max(1), ..config };
+    let shared = Shared {
+        slots: models
+            .into_iter()
+            .map(|(name, model)| ModelSlot { name, model, metrics: Metrics::new() })
+            .collect(),
+        config,
+        queue: TaggedQueue::new(config.queue_capacity),
+        metrics: Metrics::new(),
+        next_id: AtomicU64::new(0),
+    };
+    /// Closes the queue when dropped — including during unwinding, so a
+    /// panicking driver closure can't leave workers parked on the
+    /// condvar while the scope waits to join them.
+    struct CloseOnDrop<'a>(&'a TaggedQueue<ModelId, Request>);
+    impl Drop for CloseOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.close();
+        }
+    }
+
+    let out = std::thread::scope(|scope| {
+        for _ in 0..config.workers {
+            scope.spawn(|| worker_loop(&shared));
+        }
+        // Structural shutdown: when the driver returns (or panics), the
+        // guard stops admissions, workers drain the backlog, and the
+        // scope joins them.
+        let _shutdown = CloseOnDrop(&shared.queue);
+        let handle = ServeHandle { shared: &shared };
+        f(&handle)
+    });
+    let peak = shared.queue.peak_depth();
+    let report = ServeReport {
+        aggregate: shared.metrics.snapshot(peak),
+        per_model: shared
+            .slots
+            .iter()
+            .map(|slot| (slot.name.to_owned(), slot.metrics.snapshot(peak)))
+            .collect(),
+    };
+    (out, report)
+}
+
+/// Runs a single-model serving engine around `model` for the lifetime of
+/// the driver closure `f` — the convenience wrapper over the multi-model
+/// engine for the common one-checkpoint deployment.
 ///
-/// Workers start before `f` runs and keep serving while it executes;
-/// when `f` returns, the queue closes (new submissions fail with
-/// [`SubmitError::ShuttingDown`]), the workers drain every accepted
+/// The model is registered as [`ModelId::DEFAULT`], which is where
+/// [`ServeHandle::submit`] routes, so single-model callers never mention
+/// model ids. Workers start before `f` runs and keep serving while it
+/// executes; when `f` returns, the queue closes (new submissions fail
+/// with [`SubmitError::ShuttingDown`]), the workers drain every accepted
 /// request, and the scope joins them. Returns the closure's result and
-/// the final metrics.
+/// the final (aggregate) metrics.
 ///
 /// # Example
 ///
@@ -304,37 +454,67 @@ pub fn serve<R, F>(model: &PreparedModel, config: ServeConfig, f: F) -> (R, Metr
 where
     F: FnOnce(&ServeHandle<'_>) -> R,
 {
-    let config = ServeConfig { workers: config.workers.max(1), ..config };
-    let shared = Shared {
-        model,
-        config,
-        queue: BoundedQueue::new(config.queue_capacity),
-        metrics: Metrics::new(),
-        next_id: AtomicU64::new(0),
-    };
-    /// Closes the queue when dropped — including during unwinding, so a
-    /// panicking driver closure can't leave workers parked on the
-    /// condvar while the scope waits to join them.
-    struct CloseOnDrop<'a>(&'a BoundedQueue<Request>);
-    impl Drop for CloseOnDrop<'_> {
-        fn drop(&mut self) {
-            self.0.close();
-        }
-    }
+    let name = model.model().config().name.as_str();
+    let (out, report) = run_engine(vec![(name, model)], config, f);
+    (out, report.aggregate)
+}
 
-    let out = std::thread::scope(|scope| {
-        for _ in 0..config.workers {
-            scope.spawn(|| worker_loop(&shared));
-        }
-        // Structural shutdown: when the driver returns (or panics), the
-        // guard stops admissions, workers drain the backlog, and the
-        // scope joins them.
-        let _shutdown = CloseOnDrop(&shared.queue);
-        let handle = ServeHandle { shared: &shared };
-        f(&handle)
-    });
-    let report = shared.metrics.snapshot(shared.queue.peak_depth());
-    (out, report)
+/// Runs a multi-model serving engine over every model in `registry` for
+/// the lifetime of the driver closure `f`.
+///
+/// All models share one submission queue, one worker pool, and one
+/// batcher; batches never mix models, and the globally oldest request
+/// always leads the next batch (no model can starve another). Returns
+/// the closure's result and a [`ServeReport`] with the aggregate plus
+/// per-model metrics.
+///
+/// # Panics
+///
+/// Panics if the registry is empty.
+///
+/// # Example
+///
+/// ```
+/// use mokey_serve::{serve_registry, ModelRegistry, ServeConfig};
+/// use mokey_transformer::{Head, Model, ModelConfig, QuantizeSpec};
+///
+/// let config = ModelConfig::bert_base().scaled(16, 16);
+/// let profile: Vec<Vec<usize>> = (0..2)
+///     .map(|s| Model::synthesize(&config, Head::Span, 1).random_tokens(12, s))
+///     .collect();
+/// let mut registry = ModelRegistry::new();
+/// let spec = QuantizeSpec::weights_and_activations();
+/// let sentiment = registry
+///     .register(
+///         "sentiment",
+///         Model::synthesize(&config, Head::Classification { classes: 3 }, 1),
+///         spec,
+///         &profile,
+///     )
+///     .unwrap();
+/// let topic = registry
+///     .register(
+///         "topic",
+///         Model::synthesize(&config, Head::Classification { classes: 5 }, 1),
+///         spec,
+///         &profile,
+///     )
+///     .unwrap();
+/// let ((), report) = serve_registry(&registry, ServeConfig::default(), |handle| {
+///     let tokens = registry.get(sentiment).unwrap().model().random_tokens(12, 9);
+///     let a = handle.submit_to(sentiment, tokens.clone()).unwrap();
+///     let b = handle.submit_to(topic, tokens).unwrap();
+///     assert_ne!(a.wait().output, b.wait().output);
+/// });
+/// assert_eq!(report.aggregate.completed, 2);
+/// assert_eq!(report.model("sentiment").unwrap().completed, 1);
+/// ```
+pub fn serve_registry<R, F>(registry: &ModelRegistry, config: ServeConfig, f: F) -> (R, ServeReport)
+where
+    F: FnOnce(&ServeHandle<'_>) -> R,
+{
+    assert!(!registry.is_empty(), "serve_registry needs at least one registered model");
+    run_engine(registry.iter().map(|(_, name, model)| (name, model)).collect(), config, f)
 }
 
 #[cfg(test)]
@@ -343,8 +523,8 @@ mod tests {
     use mokey_pipeline::QuantizeSpec;
     use mokey_transformer::{Head, Model, ModelConfig};
 
-    fn prepared() -> PreparedModel {
-        let config = ModelConfig {
+    fn test_config() -> ModelConfig {
+        ModelConfig {
             name: "engine-test".into(),
             layers: 1,
             hidden: 32,
@@ -352,11 +532,35 @@ mod tests {
             ff: 64,
             vocab: 150,
             max_seq: 16,
-        };
-        let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 13);
+        }
+    }
+
+    fn prepared() -> PreparedModel {
+        let model = Model::synthesize(&test_config(), Head::Classification { classes: 3 }, 13);
         let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(10, 30 + s)).collect();
         PreparedModel::prepare(model, QuantizeSpec::weights_and_activations(), &profile)
             .expect("non-degenerate model")
+    }
+
+    fn two_model_registry() -> (ModelRegistry, ModelId, ModelId) {
+        let mut registry = ModelRegistry::new();
+        let spec = QuantizeSpec::weights_and_activations();
+        let config = test_config();
+        let profile: Vec<Vec<usize>> = (0..2)
+            .map(|s| Model::synthesize(&config, Head::Span, 13).random_tokens(10, 30 + s))
+            .collect();
+        let a = registry
+            .register(
+                "classify",
+                Model::synthesize(&config, Head::Classification { classes: 3 }, 13),
+                spec,
+                &profile,
+            )
+            .unwrap();
+        let b = registry
+            .register("span", Model::synthesize(&config, Head::Span, 14), spec, &profile)
+            .unwrap();
+        (registry, a, b)
     }
 
     #[test]
@@ -378,6 +582,7 @@ mod tests {
         assert_eq!(responses.len(), 10);
         for (tokens, response) in inputs.iter().zip(&responses) {
             assert_eq!(response.output, p.infer(tokens).0, "engine output diverged");
+            assert_eq!(response.model, ModelId::DEFAULT);
             assert!(response.batch_size >= 1);
             assert!(response.latency >= response.queue_wait);
         }
@@ -400,6 +605,11 @@ mod tests {
             assert_eq!(
                 handle.submit(oov).unwrap_err(),
                 SubmitError::TokenOutOfVocab { token: p.vocab() + 5, vocab: p.vocab() }
+            );
+            // An id past the slot table is a typed error, not a panic.
+            assert_eq!(
+                handle.submit_to(ModelId(7), vec![1, 2, 3]).unwrap_err(),
+                SubmitError::UnknownModel { model: ModelId(7) }
             );
         });
         assert_eq!(report.submitted, 0);
@@ -453,5 +663,91 @@ mod tests {
         assert_eq!(report.batches_formed, 6);
         assert_eq!(report.max_batch_size, 1);
         assert!((report.mean_batch_size - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_models_share_one_pool_and_report_per_model_metrics() {
+        let (registry, a, b) = two_model_registry();
+        let config = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 32,
+            ..ServeConfig::default()
+        };
+        let (responses, report) = serve_registry(&registry, config, |handle| {
+            // Interleave submissions across the two models.
+            let tickets: Vec<_> = (0..12)
+                .map(|s| {
+                    let model = if s % 2 == 0 { a } else { b };
+                    let tokens = registry.get(model).unwrap().model().random_tokens(10, s as u64);
+                    (model, tokens.clone(), handle.submit_to(model, tokens).unwrap())
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|(model, tokens, t)| (model, tokens, t.wait()))
+                .collect::<Vec<_>>()
+        });
+        for (model, tokens, response) in &responses {
+            assert_eq!(response.model, *model);
+            let (reference, reference_stats) = registry.get(*model).unwrap().infer(tokens);
+            assert_eq!(response.output, reference, "multi-model output diverged");
+            assert_eq!(response.stats, reference_stats);
+        }
+        assert_eq!(report.aggregate.completed, 12);
+        assert_eq!(report.per_model.len(), 2);
+        assert_eq!(report.model("classify").unwrap().completed, 6);
+        assert_eq!(report.model("span").unwrap().completed, 6);
+        let summed: u64 = report.per_model.iter().map(|(_, r)| r.batches_formed).sum();
+        assert_eq!(summed, report.aggregate.batches_formed);
+    }
+
+    #[test]
+    fn batches_never_mix_models_even_without_length_bucketing() {
+        let (registry, a, b) = two_model_registry();
+        // One worker + long straggler window + bucketing off: maximal
+        // pressure to coalesce across models. Uniform lengths, so only
+        // the model tag separates the traffic.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_millis(50),
+            queue_capacity: 32,
+            length_bucket: 0,
+        };
+        let (responses, _) = serve_registry(&registry, config, |handle| {
+            let tickets: Vec<_> = (0..10)
+                .map(|s| {
+                    let model = if s % 2 == 0 { a } else { b };
+                    let tokens = registry.get(model).unwrap().model().random_tokens(12, s as u64);
+                    (model, tokens.clone(), handle.submit_to(model, tokens).unwrap())
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|(model, tokens, t)| (model, tokens, t.wait()))
+                .collect::<Vec<_>>()
+        });
+        for (model, tokens, response) in &responses {
+            let (reference, _) = registry.get(*model).unwrap().infer(tokens);
+            assert_eq!(&response.output, &reference, "cross-model batch contamination");
+        }
+    }
+
+    #[test]
+    fn single_model_serve_reports_the_models_name_in_registry_form() {
+        let (registry, a, _) = two_model_registry();
+        // model_metrics and model_count are live inside the driver.
+        let ((), report) = serve_registry(&registry, ServeConfig::default(), |handle| {
+            assert_eq!(handle.model_count(), 2);
+            let tokens = registry.get(a).unwrap().model().random_tokens(8, 3);
+            handle.submit_to(a, tokens).unwrap().wait();
+            assert_eq!(handle.model_metrics(a).unwrap().completed, 1);
+            assert!(handle.model_metrics(ModelId(9)).is_none());
+        });
+        assert_eq!(report.per_model[0].0, "classify");
+        assert_eq!(report.per_model[1].0, "span");
+        assert_eq!(report.model("span").unwrap().completed, 0);
     }
 }

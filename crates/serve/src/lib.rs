@@ -1,11 +1,16 @@
 //! `mokey-serve`: an in-process batching inference-serving engine over a
 //! quantized transformer.
 //!
-//! The paper's deployment story is cheap narrow fixed-point inference;
-//! this crate is the layer that *serves* it. A model is quantized once
-//! into a [`PreparedModel`] (decoded centroid weights + cached activation
-//! dictionaries, shareable across threads), then [`serve`] runs a
-//! queue → batcher → worker-pool engine around it:
+//! The paper's deployment story is cheap narrow fixed-point inference
+//! for *out-of-the-box* checkpoints — many heterogeneous models sharing
+//! the same arithmetic; this crate is the layer that *serves* them. A
+//! model is quantized once into a [`PreparedModel`] (decoded centroid
+//! weights + cached activation dictionaries, shareable across threads),
+//! or several models are registered into a [`ModelRegistry`] behind one
+//! shared `QuantSession` dictionary cache; then [`serve`] (one model) or
+//! [`serve_registry`] (all of them, one worker pool, model-tagged queue,
+//! per-model + aggregate metrics) runs a queue → batcher → worker-pool
+//! engine around them:
 //!
 //! * **admission control** — a [`BoundedQueue`](queue::BoundedQueue)
 //!   validates requests (vocabulary, sequence length) and bounds the
@@ -60,8 +65,10 @@ pub mod loadgen;
 pub mod metrics;
 pub mod prepared;
 pub mod queue;
+pub mod registry;
 
-pub use engine::{serve, Response, ServeConfig, ServeHandle, SubmitError, Ticket};
+pub use engine::{serve, serve_registry, Response, ServeConfig, ServeHandle, SubmitError, Ticket};
 pub use loadgen::LoadGen;
-pub use metrics::{LatencyHistogram, Metrics, MetricsReport};
+pub use metrics::{LatencyHistogram, Metrics, MetricsReport, ServeReport};
 pub use prepared::PreparedModel;
+pub use registry::{ModelId, ModelRegistry, RegistryError};

@@ -6,6 +6,11 @@
 //! come from a log₂ histogram with four sub-buckets per octave
 //! (~12.5% resolution), which is plenty for a serving baseline and costs
 //! a fixed 256 × 8 bytes.
+//!
+//! The multi-model engine keeps one [`Metrics`] per registered model
+//! plus one aggregate; every event is recorded into both, so each
+//! per-model counter column sums exactly to the aggregate.
+//! [`ServeReport`] snapshots the whole family.
 
 use mokey_transformer::exec::{PackStats, QuantizedStats};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -332,9 +337,69 @@ impl MetricsReport {
     }
 }
 
+/// Snapshot of a multi-model serving run: the aggregate engine report
+/// plus one report per registered model (in registration order). Counter
+/// columns (`submitted`, `completed`, `batches_formed`, `act_values`, …)
+/// sum across models to the aggregate, because the engine records every
+/// event into both scopes; derived columns (rates, quantiles,
+/// `max_batch_size`) do not sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The whole-engine report (what single-model [`serve`](crate::serve)
+    /// returns).
+    pub aggregate: MetricsReport,
+    /// Per-model `(name, report)` pairs, in registration order.
+    pub per_model: Vec<(String, MetricsReport)>,
+}
+
+impl ServeReport {
+    /// The report for a registered model name, if present.
+    pub fn model(&self, name: &str) -> Option<&MetricsReport> {
+        self.per_model.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Plain-text dump: the aggregate, then per-model one-line summaries.
+    pub fn dump(&self) -> String {
+        let mut out = self.aggregate.dump();
+        for (name, r) in &self.per_model {
+            out.push_str(&format!(
+                "\n  [{name}] {} submitted, {} completed, {:.1} req/s, {} batches \
+                 (mean {:.2}), p99 {:.3} ms",
+                r.submitted,
+                r.completed,
+                r.requests_per_sec,
+                r.batches_formed,
+                r.mean_batch_size,
+                r.latency_p99.as_secs_f64() * 1e3,
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_report_resolves_models_and_dumps_per_model_lines() {
+        let m = Metrics::new();
+        m.note_submitted();
+        m.note_completed(
+            Duration::from_micros(300),
+            Duration::from_micros(30),
+            &QuantizedStats { act_values: 10, act_outliers: 1 },
+        );
+        let report = ServeReport {
+            aggregate: m.snapshot(1),
+            per_model: vec![("sentiment".into(), m.snapshot(1)), ("topic".into(), m.snapshot(1))],
+        };
+        assert_eq!(report.model("topic").unwrap().submitted, 1);
+        assert!(report.model("absent").is_none());
+        let text = report.dump();
+        assert!(text.contains("[sentiment]"), "missing per-model line in {text}");
+        assert!(text.contains("[topic]"));
+    }
 
     #[test]
     fn histogram_quantiles_track_recorded_scale() {

@@ -8,6 +8,12 @@
 //! until `max_batch` is reached. Closing the queue wakes everyone;
 //! already-accepted items are still handed out so a shutdown drains
 //! instead of dropping work.
+//!
+//! [`TaggedQueue`] layers multi-model routing on top: every item carries
+//! a tag (the serving engine uses [`ModelId`](crate::ModelId)), one
+//! global FIFO keeps admission order across all tags, and
+//! [`TaggedQueue::pop_batch_grouped`] coalesces a batch only from items
+//! sharing the leader's `(tag, secondary key)` pair.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -230,6 +236,104 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// A [`BoundedQueue`] whose items carry a routing tag — the multi-model
+/// submission queue.
+///
+/// All tags share **one** FIFO and one capacity, so admission order (and
+/// therefore fairness) is global: the oldest item in the queue always
+/// leads the next batch, whatever its tag, and a model under light load
+/// can never be starved by a model under heavy load. Batches never mix
+/// tags: [`TaggedQueue::pop_batch_grouped`] coalesces only items whose
+/// `(tag, secondary key)` pair matches the leader's, leaving everything
+/// else in place for other consumers.
+pub struct TaggedQueue<Tag, T> {
+    inner: BoundedQueue<(Tag, T)>,
+}
+
+impl<Tag: Copy + Eq, T> TaggedQueue<Tag, T> {
+    /// A tagged queue admitting at most `capacity` items across all tags.
+    pub fn new(capacity: usize) -> Self {
+        Self { inner: BoundedQueue::new(capacity) }
+    }
+
+    /// Admits a tagged item if there is space (see
+    /// [`BoundedQueue::try_push`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`TaggedQueue::close`] — both hand back the item.
+    pub fn try_push(&self, tag: Tag, item: T) -> Result<usize, PushError<T>> {
+        self.inner.try_push((tag, item)).map_err(strip_tag)
+    }
+
+    /// Admits a tagged item, blocking at capacity (see
+    /// [`BoundedQueue::push_blocking`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] when the queue closes before space appears.
+    pub fn push_blocking(&self, tag: Tag, item: T) -> Result<usize, PushError<T>> {
+        self.inner.push_blocking((tag, item)).map_err(strip_tag)
+    }
+
+    /// Pulls the next same-tag batch: the globally oldest item leads
+    /// unconditionally, then the backlog (plus up to `max_wait` of
+    /// stragglers) is coalesced from items matching the leader's
+    /// `(tag, key)` pair. Items of other tags/keys keep their FIFO
+    /// position for other consumers. The serving engine keys on bucketed
+    /// sequence length, so a batch is always one `(model, length-bucket)`
+    /// group, packable into one tall GEMM.
+    ///
+    /// Returns `None` only when the queue is closed **and** drained.
+    pub fn pop_batch_grouped<K: Eq>(
+        &self,
+        max_batch: usize,
+        max_wait: Duration,
+        key: impl Fn(&T) -> K,
+    ) -> Option<(Tag, Vec<T>)> {
+        let batch =
+            self.inner.pop_batch_grouped(max_batch, max_wait, |(tag, item)| (*tag, key(item)))?;
+        let tag = batch[0].0;
+        Some((tag, batch.into_iter().map(|(_, item)| item).collect()))
+    }
+
+    /// Stops admitting work and wakes all blocked producers and
+    /// consumers; admitted items remain poppable.
+    pub fn close(&self) {
+        self.inner.close();
+    }
+
+    /// Current queue depth across all tags.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Highest queue depth observed so far.
+    pub fn peak_depth(&self) -> usize {
+        self.inner.peak_depth()
+    }
+
+    /// Whether [`TaggedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.is_closed()
+    }
+}
+
+/// Maps a `PushError<(Tag, T)>` back to the caller's item (the tag was
+/// the caller's argument; only the item needs returning).
+fn strip_tag<Tag, T>(err: PushError<(Tag, T)>) -> PushError<T> {
+    match err {
+        PushError::Full((_, item)) => PushError::Full(item),
+        PushError::Closed((_, item)) => PushError::Closed(item),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +466,47 @@ mod tests {
         };
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn tagged_pop_never_mixes_tags_and_keeps_global_fifo_leadership() {
+        let q: TaggedQueue<u8, u32> = TaggedQueue::new(16);
+        // Interleaved two-model traffic; payload = admission order.
+        for (tag, item) in [(0u8, 0u32), (1, 1), (0, 2), (1, 3), (1, 4), (0, 5)] {
+            q.try_push(tag, item).unwrap();
+        }
+        // Leader is the global head (tag 0); only tag-0 items join.
+        let (tag, batch) = q.pop_batch_grouped(8, Duration::ZERO, |_| 0u8).unwrap();
+        assert_eq!((tag, batch), (0, vec![0, 2, 5]));
+        // The next leader is the oldest remaining item (tag 1), order kept.
+        let (tag, batch) = q.pop_batch_grouped(8, Duration::ZERO, |_| 0u8).unwrap();
+        assert_eq!((tag, batch), (1, vec![1, 3, 4]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tagged_pop_groups_by_tag_and_secondary_key() {
+        let q: TaggedQueue<u8, u32> = TaggedQueue::new(16);
+        // Same tag, two "length buckets" (key = item / 10).
+        for (tag, item) in [(0u8, 10u32), (0, 21), (0, 12), (1, 13), (0, 25)] {
+            q.try_push(tag, item).unwrap();
+        }
+        let (tag, batch) = q.pop_batch_grouped(8, Duration::ZERO, |i| i / 10).unwrap();
+        assert_eq!((tag, batch), (0, vec![10, 12])); // not 13: different tag
+        let (tag, batch) = q.pop_batch_grouped(8, Duration::ZERO, |i| i / 10).unwrap();
+        assert_eq!((tag, batch), (0, vec![21, 25]));
+        let (tag, batch) = q.pop_batch_grouped(8, Duration::ZERO, |i| i / 10).unwrap();
+        assert_eq!((tag, batch), (1, vec![13]));
+    }
+
+    #[test]
+    fn tagged_push_errors_hand_back_the_item() {
+        let q: TaggedQueue<u8, &str> = TaggedQueue::new(1);
+        q.try_push(0, "a").unwrap();
+        assert_eq!(q.try_push(1, "b"), Err(PushError::Full("b")));
+        q.close();
+        assert_eq!(q.push_blocking(0, "c"), Err(PushError::Closed("c")));
+        assert_eq!(q.pop_batch_grouped(4, Duration::ZERO, |_| 0u8), Some((0, vec!["a"])));
+        assert_eq!(q.pop_batch_grouped(4, Duration::ZERO, |_| 0u8), None);
     }
 }

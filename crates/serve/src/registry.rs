@@ -1,0 +1,354 @@
+//! [`ModelRegistry`]: N [`PreparedModel`]s behind one shared
+//! [`QuantSession`], addressed by [`ModelId`].
+//!
+//! The paper's deployment story is that *many* heterogeneous checkpoints
+//! quantize out-of-the-box into the same narrow fixed-point arithmetic;
+//! the registry is the serving-side expression of that. Every model
+//! registered here is prepared through **one** session, so its curve,
+//! dictionary configuration, and — crucially — its statistics-keyed
+//! dictionary cache are shared: two models with identical-stats tensors
+//! (per-task heads over one encoder, re-deployed checkpoints) reuse each
+//! other's dictionaries instead of rebuilding them. The engine
+//! ([`serve_registry`](crate::serve_registry)) serves every registered
+//! model through one worker pool and one tagged queue.
+
+use crate::prepared::PreparedModel;
+use mokey_pipeline::{CacheStats, PipelineError, QuantSession, QuantizeSpec};
+use mokey_transformer::Model;
+use std::fmt;
+
+/// Handle to one registered model: a dense index into the registry, cheap
+/// to copy and to tag queue entries with.
+///
+/// Ids are **positional and scoped to the registry that minted them** —
+/// they carry no registry identity, so an id from one registry used
+/// against an engine serving a different registry addresses whatever
+/// model occupies that slot there (or bounces with
+/// [`SubmitError::UnknownModel`](crate::SubmitError::UnknownModel) when
+/// out of range). Keep one registry per engine and resolve names through
+/// [`ModelRegistry::lookup`] at the boundary where ids cross components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(pub(crate) usize);
+
+impl ModelId {
+    /// The first registered model — what the single-model convenience
+    /// API ([`ServeHandle::submit`](crate::ServeHandle::submit)) routes
+    /// to.
+    pub const DEFAULT: ModelId = ModelId(0);
+
+    /// The registry slot this id addresses.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model#{}", self.0)
+    }
+}
+
+/// Why a model could not be registered.
+#[derive(Debug, PartialEq)]
+pub enum RegistryError {
+    /// A model with this name is already registered — registration never
+    /// silently shadows an existing model.
+    DuplicateModel {
+        /// The contested name.
+        name: String,
+    },
+    /// The shared session failed to quantize the model.
+    Prepare {
+        /// The model that failed.
+        name: String,
+        /// The underlying pipeline failure.
+        source: PipelineError,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateModel { name } => {
+                write!(f, "a model named {name:?} is already registered")
+            }
+            RegistryError::Prepare { name, source } => {
+                write!(f, "preparing model {name:?} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::DuplicateModel { .. } => None,
+            RegistryError::Prepare { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Owns every servable model plus the one [`QuantSession`] they were all
+/// prepared through.
+///
+/// # Example
+///
+/// ```
+/// use mokey_serve::ModelRegistry;
+/// use mokey_transformer::{Head, Model, ModelConfig, QuantizeSpec};
+///
+/// let config = ModelConfig::bert_base().scaled(16, 16);
+/// let profile: Vec<Vec<usize>> = (0..2)
+///     .map(|s| Model::synthesize(&config, Head::Span, 1).random_tokens(12, s))
+///     .collect();
+/// let mut registry = ModelRegistry::new();
+/// let sentiment = registry
+///     .register(
+///         "sentiment",
+///         Model::synthesize(&config, Head::Classification { classes: 3 }, 1),
+///         QuantizeSpec::weights_and_activations(),
+///         &profile,
+///     )
+///     .unwrap();
+/// // Same encoder seed, different head: the second registration reuses
+/// // the cached encoder dictionaries.
+/// let topic = registry
+///     .register(
+///         "topic",
+///         Model::synthesize(&config, Head::Classification { classes: 5 }, 1),
+///         QuantizeSpec::weights_and_activations(),
+///         &profile,
+///     )
+///     .unwrap();
+/// assert_ne!(sentiment, topic);
+/// assert!(registry.cache_stats().hits > 0);
+/// ```
+#[derive(Debug)]
+pub struct ModelRegistry {
+    session: QuantSession,
+    models: Vec<(String, PreparedModel)>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// A registry over a default session (paper curve constants, cache
+    /// enabled).
+    pub fn new() -> Self {
+        Self::with_session(QuantSession::with_defaults())
+    }
+
+    /// A registry over an explicitly configured session.
+    pub fn with_session(session: QuantSession) -> Self {
+        Self { session, models: Vec::new() }
+    }
+
+    /// Quantizes `model` through the shared session and registers the
+    /// result under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateModel`] when `name` is taken (the
+    /// registry never silently shadows), or [`RegistryError::Prepare`]
+    /// wrapping the session's failure.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        model: Model,
+        spec: QuantizeSpec,
+        profile_inputs: &[Vec<usize>],
+    ) -> Result<ModelId, RegistryError> {
+        let name = name.into();
+        self.ensure_unique(&name)?;
+        let prepared =
+            PreparedModel::prepare_with_session(&self.session, model, spec, profile_inputs)
+                .map_err(|source| RegistryError::Prepare { name: name.clone(), source })?;
+        self.models.push((name, prepared));
+        Ok(ModelId(self.models.len() - 1))
+    }
+
+    /// Registers an already-prepared model under `name` (e.g. one built
+    /// through this registry's [`ModelRegistry::session`] by custom
+    /// preparation code).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateModel`] when `name` is taken.
+    pub fn register_prepared(
+        &mut self,
+        name: impl Into<String>,
+        prepared: PreparedModel,
+    ) -> Result<ModelId, RegistryError> {
+        let name = name.into();
+        self.ensure_unique(&name)?;
+        self.models.push((name, prepared));
+        Ok(ModelId(self.models.len() - 1))
+    }
+
+    fn ensure_unique(&self, name: &str) -> Result<(), RegistryError> {
+        if self.models.iter().any(|(n, _)| n == name) {
+            return Err(RegistryError::DuplicateModel { name: name.to_owned() });
+        }
+        Ok(())
+    }
+
+    /// The model behind an id, when the id is in range.
+    pub fn get(&self, id: ModelId) -> Option<&PreparedModel> {
+        self.models.get(id.0).map(|(_, m)| m)
+    }
+
+    /// The registered name behind an id.
+    pub fn name(&self, id: ModelId) -> Option<&str> {
+        self.models.get(id.0).map(|(n, _)| n.as_str())
+    }
+
+    /// Resolves a registered name back to its id.
+    pub fn lookup(&self, name: &str) -> Option<ModelId> {
+        self.models.iter().position(|(n, _)| n == name).map(ModelId)
+    }
+
+    /// Iterates registered models in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModelId, &str, &PreparedModel)> {
+        self.models.iter().enumerate().map(|(i, (n, m))| (ModelId(i), n.as_str(), m))
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no model has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The shared quantization session (curve, configuration, dictionary
+    /// cache, [`report`](QuantSession::report)).
+    pub fn session(&self) -> &QuantSession {
+        &self.session
+    }
+
+    /// The shared dictionary cache's counters: hits recorded after the
+    /// first registration are cross-model (or cross-prepare) reuse.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.session.cache_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_pipeline::Parallelism;
+    use mokey_transformer::{Head, ModelConfig};
+
+    fn config() -> ModelConfig {
+        ModelConfig {
+            name: "registry-test".into(),
+            layers: 1,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 150,
+            max_seq: 16,
+        }
+    }
+
+    fn registry_with(serial: bool) -> ModelRegistry {
+        if serial {
+            ModelRegistry::with_session(
+                QuantSession::builder().parallelism(Parallelism::Serial).build(),
+            )
+        } else {
+            ModelRegistry::new()
+        }
+    }
+
+    #[test]
+    fn register_assigns_dense_ids_and_resolves_names() {
+        let mut registry = registry_with(false);
+        let spec = QuantizeSpec::weights_only();
+        let a = registry.register("a", Model::synthesize(&config(), Head::Span, 3), spec, &[]);
+        let b = registry.register("b", Model::synthesize(&config(), Head::Span, 4), spec, &[]);
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(a, ModelId::DEFAULT);
+        assert_eq!(b.index(), 1);
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.lookup("b"), Some(b));
+        assert_eq!(registry.name(a), Some("a"));
+        assert!(registry.get(ModelId(2)).is_none());
+        let ids: Vec<_> = registry.iter().map(|(id, name, _)| (id, name.to_owned())).collect();
+        assert_eq!(ids, vec![(a, "a".to_owned()), (b, "b".to_owned())]);
+    }
+
+    #[test]
+    fn duplicate_names_are_a_typed_error_not_a_shadow() {
+        let mut registry = registry_with(false);
+        let spec = QuantizeSpec::weights_only();
+        let first = Model::synthesize(&config(), Head::Classification { classes: 3 }, 5);
+        let id = registry.register("head", first, spec, &[]).unwrap();
+        let second = Model::synthesize(&config(), Head::Classification { classes: 7 }, 6);
+        let err = registry.register("head", second.clone(), spec, &[]).unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateModel { name: "head".into() });
+        // The original registration is untouched…
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.lookup("head"), Some(id));
+        // …and prepared models bounce off the same check.
+        let prepared =
+            PreparedModel::prepare_with_session(registry.session(), second, spec, &[]).unwrap();
+        let err = registry.register_prepared("head", prepared).unwrap_err();
+        assert!(matches!(err, RegistryError::DuplicateModel { ref name } if name == "head"));
+    }
+
+    #[test]
+    fn identical_stats_tensors_hit_the_shared_cache_across_models() {
+        let mut registry = registry_with(true);
+        let spec = QuantizeSpec::weights_only();
+        // Same config + seed, different heads: every encoder/embedding
+        // tensor is bit-identical between the two models.
+        let sentiment = Model::synthesize(&config(), Head::Classification { classes: 3 }, 9);
+        let topic = Model::synthesize(&config(), Head::Classification { classes: 5 }, 9);
+        let shared = sentiment.weight_tensors().len() - 1; // all but the head
+        let a = registry.register("sentiment", sentiment, spec, &[]).unwrap();
+        let after_first = registry.cache_stats();
+        assert_eq!(after_first.hits, 0, "first registration has nothing to reuse");
+        let b = registry.register("topic", topic, spec, &[]).unwrap();
+        let after_second = registry.cache_stats();
+        // Every shared-stats dictionary was served from cache, not rebuilt:
+        // the dict-build count is what it would be for disjoint models
+        // minus one build per shared tensor.
+        assert_eq!(after_second.hits, shared, "cross-model dictionary reuse");
+        assert_eq!(after_second.misses, after_first.misses + 1, "only the head was rebuilt");
+        // The second model's own report shows the reuse too.
+        let report = registry.get(b).unwrap().quantization_report();
+        assert_eq!(report.dict_cache.hits, shared);
+        assert_eq!(report.dict_cache.misses, 1);
+        // And the decoded shared weights really are identical bit-for-bit
+        // (head.proj is the one tensor the two models legitimately differ
+        // on — 3-way vs 5-way logits).
+        let wa = &registry.get(a).unwrap().context().weights;
+        let wb = &registry.get(b).unwrap().context().weights;
+        for (name, m) in wa {
+            if name == "head.proj" {
+                continue;
+            }
+            assert_eq!(Some(m), wb.get(name), "decoded weight {name} diverged");
+        }
+    }
+
+    #[test]
+    fn prepare_failure_carries_the_model_name() {
+        let mut registry = registry_with(false);
+        let model = Model::synthesize(&config(), Head::Span, 11);
+        // Activation quantization without profiling inputs is a pipeline
+        // error; the registry wraps it with the model's name.
+        let err = registry
+            .register("broken", model, QuantizeSpec::weights_and_activations(), &[])
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Prepare { ref name, .. } if name == "broken"));
+        assert!(registry.is_empty());
+    }
+}

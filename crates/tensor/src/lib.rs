@@ -31,4 +31,7 @@ pub mod init;
 pub mod nn;
 pub mod stats;
 
-pub use matrix::{dot, Matrix};
+pub use matrix::{
+    dot, gemm_parallel_threshold, set_gemm_parallel_threshold, Matrix,
+    DEFAULT_GEMM_PARALLEL_THRESHOLD,
+};

@@ -14,13 +14,43 @@
 //! `gemm_rows_are_independent_of_batching` pins it.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default for [`gemm_parallel_threshold`]: 3 MFLOP. The serving engine's
+/// packed batches stack several sequences into one tall GEMM — at the
+/// serve-bench shapes (hidden 128, ff 512, batch 8 × ~24 tokens) that is a
+/// 192×128×128 projection (≈ 3.1 MFLOP, right at the bar) and a
+/// 192×128×512 FFN panel (≈ 12.6 MFLOP, well past it) — and those must
+/// cross so multi-core hosts actually thread them. Every *solo* shape
+/// stays below the bar (the widest, a 32-token FFN GEMM, is ≈ 2.1 MFLOP),
+/// so the per-request loop never pays spawn overhead and tensor-level
+/// batching keeps its parallel advantage.
+pub const DEFAULT_GEMM_PARALLEL_THRESHOLD: usize = 3 << 20;
 
 /// Minimum number of scalar multiply-accumulates before [`Matrix::matmul`]
-/// bothers to spawn worker threads. Below this the sequential kernel wins —
-/// and callers that already parallelize across samples (the evaluation
-/// harness) must not oversubscribe with nested thread spawns, so the bar
-/// is deliberately high (~16 MFLOP, i.e. full-size transformer GEMMs).
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 24;
+/// bothers to spawn worker threads (below it the sequential kernel wins).
+/// Configurable so callers that already parallelize across samples can
+/// raise the bar instead of oversubscribing with nested spawns.
+static PARALLEL_FLOP_THRESHOLD: AtomicUsize = AtomicUsize::new(DEFAULT_GEMM_PARALLEL_THRESHOLD);
+
+/// The current GEMM parallel-spawn threshold, in scalar multiply-accumulates.
+pub fn gemm_parallel_threshold() -> usize {
+    PARALLEL_FLOP_THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Sets the GEMM parallel-spawn threshold (process-wide).
+///
+/// GEMMs with at least `flops = m·k·n` multiply-accumulates split into
+/// per-thread row chunks; smaller problems run the sequential kernel. Both
+/// paths are bit-identical (see the module docs), so this only trades
+/// thread-spawn overhead against parallel speedup: lower it when tall
+/// packed batches dominate, raise it (e.g. to `usize::MAX`, which disables
+/// spawning entirely) to pin everything sequential. Callers that fan out
+/// across GEMMs don't need to touch it — concurrent qualifying GEMMs
+/// divide the host's cores among themselves instead of oversubscribing.
+pub fn set_gemm_parallel_threshold(flops: usize) {
+    PARALLEL_FLOP_THRESHOLD.store(flops, Ordering::Relaxed);
+}
 
 /// `k`-dimension block: one block of the right-hand panel (`KC × n` floats)
 /// stays cache-resident while a stripe of output rows accumulates over it.
@@ -489,6 +519,15 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+/// Count of parallel GEMMs currently in flight, process-wide. Callers
+/// that already parallelize across GEMMs (the serving worker pool, the
+/// eval harness) would oversubscribe the host if every qualifying GEMM
+/// also spawned `available_parallelism` threads; instead the cores are
+/// divided among the concurrent GEMMs, degrading gracefully to the
+/// sequential kernel when the host is already saturated. Thread count
+/// never affects results (see the module docs), only wall-clock time.
+static PARALLEL_GEMMS_IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+
 /// Shared GEMM dispatch: runs `kernel(a, b, out, k, n)` sequentially, or
 /// splits `a`/`out` into per-thread row chunks once the problem is large
 /// enough to amortize thread spawn. Both kernels compute each output row
@@ -503,11 +542,29 @@ fn dispatch_rows(
 ) {
     let m = a.len().checked_div(k).unwrap_or(0);
     let flops = m * k * n;
-    if flops < PARALLEL_FLOP_THRESHOLD || m < 2 {
+    if flops < gemm_parallel_threshold() || m < 2 {
         kernel(a, b, out, k, n);
         return;
     }
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get()).min(m);
+    let cores = std::thread::available_parallelism().map_or(1, |t| t.get());
+    // Share the cores among every parallel GEMM currently in flight:
+    // a lone tall GEMM gets them all, while N concurrent callers get
+    // ~cores/N each instead of N·cores threads fighting the scheduler.
+    let concurrent = PARALLEL_GEMMS_IN_FLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+    struct InFlightGuard;
+    impl Drop for InFlightGuard {
+        fn drop(&mut self) {
+            PARALLEL_GEMMS_IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _guard = InFlightGuard;
+    let threads = (cores / concurrent).min(m);
+    // A single-core host, a saturated one, or a one-row problem gains
+    // nothing from the scoped spawn; keep it on the calling thread.
+    if threads < 2 {
+        kernel(a, b, out, k, n);
+        return;
+    }
     let rows_per = m.div_ceil(threads);
     std::thread::scope(|scope| {
         let a_chunks = a.chunks(rows_per * k);
@@ -731,6 +788,75 @@ mod tests {
         assert_eq!(dot(&b, &[1.0; 5]), 0.25);
         // And the kernel is a real dot product on friendly values.
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    /// Serializes the tests that write the process-global threshold —
+    /// libtest runs tests concurrently, and an interleaved writer would
+    /// flake the readback assertions (concurrent *readers* are fine:
+    /// both dispatch paths are bit-exact).
+    static THRESHOLD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn parallel_threshold_is_configurable_and_never_changes_results() {
+        let _guard = THRESHOLD_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        // Results must be bit-identical whichever side of the threshold a
+        // problem lands on — flip the bar around a mid-size GEMM and
+        // compare, then restore the default so other tests keep their
+        // intended paths.
+        let a = Matrix::from_fn(96, 96, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.21 - 1.2);
+        let b = Matrix::from_fn(96, 96, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.13 - 0.7);
+        set_gemm_parallel_threshold(usize::MAX);
+        assert_eq!(gemm_parallel_threshold(), usize::MAX);
+        let sequential = a.matmul(&b);
+        set_gemm_parallel_threshold(1);
+        let parallel = a.matmul(&b);
+        set_gemm_parallel_threshold(DEFAULT_GEMM_PARALLEL_THRESHOLD);
+        assert_eq!(gemm_parallel_threshold(), DEFAULT_GEMM_PARALLEL_THRESHOLD);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn concurrent_parallel_gemms_stay_bit_identical_while_sharing_cores() {
+        let _guard = THRESHOLD_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        // Many threads driving qualifying GEMMs at once exercises the
+        // in-flight sharing (each call sees an elevated concurrent count
+        // and spawns fewer or zero workers); every result must still be
+        // bit-identical to the sequential kernel.
+        let a = Matrix::from_fn(96, 96, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.21 - 1.2);
+        let b = Matrix::from_fn(96, 96, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.13 - 0.7);
+        set_gemm_parallel_threshold(1);
+        let reference = {
+            let mut out = Matrix::zeros(96, 96);
+            matmul_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), 96, 96);
+            out
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (a, b, reference) = (&a, &b, &reference);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        assert_eq!(&a.matmul(b), reference);
+                    }
+                });
+            }
+        });
+        set_gemm_parallel_threshold(DEFAULT_GEMM_PARALLEL_THRESHOLD);
+    }
+
+    #[test]
+    fn default_threshold_is_crossed_by_packed_serve_shapes() {
+        // The serve bench packs ~8 × 24-token sequences against 128-wide
+        // projections and 512-wide FFN panels; those tall GEMMs must
+        // qualify for the parallel row-chunk path, while every solo
+        // per-request shape (even the widest FFN one) must not.
+        let packed_proj = 192 * 128 * 128; // (batch·seq) × hidden × hidden
+        let packed_ffn = 192 * 128 * 512; // (batch·seq) × hidden × ff
+        let solo_proj = 32 * 128 * 128;
+        let solo_ffn = 32 * 128 * 512;
+        assert!(packed_proj >= DEFAULT_GEMM_PARALLEL_THRESHOLD);
+        assert!(packed_ffn >= DEFAULT_GEMM_PARALLEL_THRESHOLD);
+        assert!(solo_proj < DEFAULT_GEMM_PARALLEL_THRESHOLD);
+        assert!(solo_ffn < DEFAULT_GEMM_PARALLEL_THRESHOLD);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Multi-model serving acceptance: two models registered behind one
+//! shared `QuantSession` and served concurrently through one worker pool
+//! must produce outputs **bit-identical** to each model served alone,
+//! with per-model metrics summing to the aggregate and the shared
+//! dictionary cache actually reused across models.
+
+use mokey_pipeline::{Parallelism, QuantSession};
+use mokey_serve::{
+    serve, serve_registry, ModelId, ModelRegistry, RegistryError, ServeConfig, ServeReport,
+};
+use mokey_transformer::model::{Head, Model};
+use mokey_transformer::{ModelConfig, QuantizeSpec};
+use std::time::Duration;
+
+fn config() -> ModelConfig {
+    ModelConfig {
+        name: "multi-itest".into(),
+        layers: 2,
+        hidden: 64,
+        heads: 2,
+        ff: 128,
+        vocab: 400,
+        max_seq: 32,
+    }
+}
+
+/// Two task heads over the same synthesized encoder (same config + seed
+/// → identical-stats encoder/embedding tensors), registered through one
+/// serially-counted session.
+fn two_head_registry() -> (ModelRegistry, ModelId, ModelId) {
+    let session = QuantSession::builder().parallelism(Parallelism::Serial).build();
+    let mut registry = ModelRegistry::with_session(session);
+    let spec = QuantizeSpec::weights_and_activations();
+    let config = config();
+    let profile: Vec<Vec<usize>> = (0..3)
+        .map(|s| Model::synthesize(&config, Head::Span, 17).random_tokens(16, 600 + s))
+        .collect();
+    let sentiment = registry
+        .register(
+            "sentiment",
+            Model::synthesize(&config, Head::Classification { classes: 3 }, 17),
+            spec,
+            &profile,
+        )
+        .expect("first model registers");
+    let topic = registry
+        .register(
+            "topic",
+            Model::synthesize(&config, Head::Classification { classes: 5 }, 17),
+            spec,
+            &profile,
+        )
+        .expect("second model registers");
+    (registry, sentiment, topic)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 3,
+        max_batch: 4,
+        max_wait: Duration::from_millis(2),
+        queue_capacity: 32,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_two_model_load_is_bit_identical_to_each_model_served_alone() {
+    let (registry, sentiment, topic) = two_head_registry();
+    const PER_MODEL: usize = 10;
+
+    // Deterministic per-model traffic (same vocab, so one stream per
+    // model keeps the comparison honest).
+    let traffic: Vec<(ModelId, Vec<Vec<usize>>)> = [sentiment, topic]
+        .iter()
+        .map(|&id| {
+            let model = registry.get(id).unwrap().model();
+            let requests: Vec<Vec<usize>> = (0..PER_MODEL)
+                .map(|s| model.random_tokens(12 + (s % 3) * 4, 8_000 + s as u64))
+                .collect();
+            (id, requests)
+        })
+        .collect();
+
+    // Concurrent: one client thread per model, interleaving submissions
+    // into the one tagged queue / worker pool. Each client submits its
+    // whole stream before waiting, so batches really coalesce.
+    let (collected, report) = serve_registry(&registry, serve_config(), |handle| {
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = traffic
+                .iter()
+                .map(|(id, requests)| {
+                    scope.spawn(move || {
+                        let tickets: Vec<_> = requests
+                            .iter()
+                            .map(|tokens| {
+                                handle.submit_to(*id, tokens.clone()).expect("valid request")
+                            })
+                            .collect();
+                        requests
+                            .iter()
+                            .zip(tickets)
+                            .map(|(tokens, ticket)| (*id, tokens.clone(), ticket.wait()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            clients.into_iter().flat_map(|c| c.join().expect("client panicked")).collect::<Vec<_>>()
+        })
+    });
+    assert_eq!(collected.len(), 2 * PER_MODEL);
+
+    // Reference 1: each model alone, direct inference.
+    for (id, tokens, response) in &collected {
+        assert_eq!(response.model, *id);
+        let (reference, reference_stats) = registry.get(*id).unwrap().infer(tokens);
+        assert_eq!(response.output, reference, "multi-model output diverged for {tokens:?}");
+        assert_eq!(response.stats, reference_stats, "per-request counters diverged");
+    }
+
+    // Reference 2: each model alone through its own single-model engine —
+    // the router must change scheduling only, never a bit of any answer.
+    for (id, requests) in &traffic {
+        let prepared = registry.get(*id).unwrap();
+        let (solo_outputs, solo_report) = serve(prepared, serve_config(), |handle| {
+            let tickets: Vec<_> =
+                requests.iter().map(|t| handle.submit(t.clone()).unwrap()).collect();
+            tickets.into_iter().map(|t| t.wait().output).collect::<Vec<_>>()
+        });
+        assert_eq!(solo_report.completed, PER_MODEL as u64);
+        let routed: Vec<_> = collected
+            .iter()
+            .filter(|(rid, _, _)| rid == id)
+            .map(|(_, _, r)| r.output.clone())
+            .collect();
+        assert_eq!(routed, solo_outputs, "router changed a bit for {:?}", registry.name(*id));
+    }
+
+    assert_per_model_sums_to_aggregate(&report);
+    assert_eq!(report.aggregate.completed, 2 * PER_MODEL as u64);
+    assert_eq!(report.model("sentiment").unwrap().completed, PER_MODEL as u64);
+    assert_eq!(report.model("topic").unwrap().completed, PER_MODEL as u64);
+}
+
+/// Counter columns recorded per model must sum exactly to the aggregate
+/// (the engine records every event into both scopes).
+fn assert_per_model_sums_to_aggregate(report: &ServeReport) {
+    let sum = |f: fn(&mokey_serve::MetricsReport) -> u64| -> u64 {
+        report.per_model.iter().map(|(_, r)| f(r)).sum()
+    };
+    assert_eq!(sum(|r| r.submitted), report.aggregate.submitted);
+    assert_eq!(sum(|r| r.completed), report.aggregate.completed);
+    assert_eq!(sum(|r| r.rejected_full), report.aggregate.rejected_full);
+    assert_eq!(sum(|r| r.rejected_invalid), report.aggregate.rejected_invalid);
+    assert_eq!(sum(|r| r.batches_formed), report.aggregate.batches_formed);
+    assert_eq!(sum(|r| r.packed_batches), report.aggregate.packed_batches);
+    assert_eq!(sum(|r| r.packed_requests), report.aggregate.packed_requests);
+    assert_eq!(sum(|r| r.solo_requests), report.aggregate.solo_requests);
+    assert_eq!(sum(|r| r.act_values), report.aggregate.act_values);
+    assert_eq!(sum(|r| r.act_outliers), report.aggregate.act_outliers);
+}
+
+#[test]
+fn shared_session_gives_cross_model_dictionary_cache_hits() {
+    let (registry, sentiment, topic) = two_head_registry();
+    // The two heads share every encoder/embedding tensor bit-for-bit, so
+    // the second registration must have been served from the first's
+    // cached dictionaries.
+    let stats = registry.cache_stats();
+    assert!(stats.hits >= 1, "no cross-model dictionary-cache hit: {stats:?}");
+    let second = registry.get(topic).unwrap().quantization_report();
+    assert!(second.dict_cache.hits >= 1, "second model's report shows no reuse");
+    // And the reuse is exactly the shared-weight count: everything but
+    // the task head.
+    let shared = registry.get(sentiment).unwrap().model().weight_tensors().len() - 1;
+    assert_eq!(second.dict_cache.hits, shared);
+    assert_eq!(second.dict_cache.misses, 1);
+    // The session-level report the registry exposes tells the same story.
+    assert_eq!(registry.session().report().cache, stats);
+}
+
+#[test]
+fn duplicate_registration_is_rejected_without_shadowing() {
+    let (mut registry, sentiment, _) = two_head_registry();
+    let err = registry
+        .register(
+            "sentiment",
+            Model::synthesize(&config(), Head::Classification { classes: 3 }, 99),
+            QuantizeSpec::weights_only(),
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err, RegistryError::DuplicateModel { name: "sentiment".into() });
+    assert_eq!(registry.len(), 2, "failed registration must not mutate the registry");
+    assert_eq!(registry.lookup("sentiment"), Some(sentiment));
+}
+
+#[test]
+fn per_model_metrics_isolate_rejections_and_mixed_validity_traffic() {
+    let (registry, sentiment, topic) = two_head_registry();
+    let (_, report) = serve_registry(&registry, serve_config(), |handle| {
+        // Valid sentiment traffic, invalid topic traffic.
+        let ok = registry.get(sentiment).unwrap().model().random_tokens(16, 5);
+        let ticket = handle.submit_to(sentiment, ok).unwrap();
+        assert!(matches!(
+            handle.submit_to(topic, vec![]),
+            Err(mokey_serve::SubmitError::EmptySequence)
+        ));
+        assert!(matches!(
+            handle.submit_to(topic, vec![9_999]),
+            Err(mokey_serve::SubmitError::TokenOutOfVocab { token: 9_999, vocab: 400 })
+        ));
+        ticket.wait()
+    });
+    assert_eq!(report.model("sentiment").unwrap().completed, 1);
+    assert_eq!(report.model("sentiment").unwrap().rejected_invalid, 0);
+    assert_eq!(report.model("topic").unwrap().rejected_invalid, 2);
+    assert_eq!(report.model("topic").unwrap().completed, 0);
+    assert_per_model_sums_to_aggregate(&report);
+}
