@@ -1,26 +1,32 @@
 //! Throughput/latency baseline for the `mokey-serve` engine: seeded
 //! multi-client load swept over `max_batch ∈ {1, 8, 16}` on one model,
 //! plus a two-model registry sweep (per-model requests/second and
-//! cross-model dictionary-cache hits), reported with p50/p99 latency and
-//! packed-execution counters (packed batches, pad waste) and written to
-//! `BENCH_serve.json` at the workspace root so future PRs have a
-//! serving-perf trajectory to compare against. `host_parallelism` is
-//! recorded so the trajectory is interpretable across machines.
+//! cross-model dictionary-cache hits), a **fairness** sweep (a flooding
+//! model with and without an admission quota vs the victim model's solo
+//! p99), and a **network** sweep (the same seeded load through the TCP
+//! frontend's wire protocol vs in-process submission), reported with
+//! p50/p99 latency and packed-execution counters (packed batches, pad
+//! waste) and written to `BENCH_serve.json` at the workspace root so
+//! future PRs have a serving-perf trajectory to compare against.
+//! `host_parallelism` is recorded so the trajectory is interpretable
+//! across machines.
 //!
 //! `cargo bench -p mokey-bench --bench serve -- --quick-check` keeps the
 //! per-run load full-size (the batching assertion needs steady-state
 //! margins, not coalescing-latency noise) but runs fewer repetitions,
 //! shrinks the criterion sampling, and never rewrites the committed
-//! baseline. It **asserts** that batching pays: best requests/second at
-//! `max_batch = 8` must be at least the `max_batch = 1` figure on
-//! multi-core hosts (where the tall packed GEMMs thread), and within
-//! measurement noise of it on a single core (where the two paths
-//! structurally tie).
+//! baseline. It **asserts** three properties: batching pays (best
+//! requests/second at `max_batch = 8` at least the `max_batch = 1`
+//! figure on multi-core hosts, parity within noise on a single core);
+//! an admission quota keeps a flooded victim's p99 near its solo
+//! baseline; and the socket path's throughput stays within ~10% of
+//! in-process submission (a relaxed floor under `--quick-check`, where
+//! fewer repetitions leave more scheduler noise).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mokey_serve::{
-    serve, serve_registry, LoadGen, MetricsReport, ModelRegistry, PreparedModel, ServeConfig,
-    ServeReport,
+    drive_socket_clients, serve, serve_net, serve_registry, LoadGen, MetricsReport, ModelRegistry,
+    ModelServeConfig, NetConfig, PreparedModel, ServeConfig, ServeReport, SocketLoadReport,
 };
 use mokey_transformer::model::{Head, Model};
 use mokey_transformer::{ModelConfig, QuantizeSpec};
@@ -49,12 +55,18 @@ fn quick_check() -> bool {
     std::env::args().any(|a| a == "--quick-check")
 }
 
-fn prepare() -> PreparedModel {
+/// The single-model substrate lives in a registry so the same prepared
+/// weights serve both the in-process sweeps (via [`ModelRegistry::get`])
+/// and the TCP frontend (which resolves the model by wire name).
+fn prepare() -> ModelRegistry {
     let config = ModelConfig::bert_base().scaled(6, 6);
     let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 2025);
     let profile: Vec<Vec<usize>> = (0..4).map(|s| model.random_tokens(24, 500 + s)).collect();
-    PreparedModel::prepare(model, QuantizeSpec::weights_and_activations(), &profile)
-        .expect("non-degenerate model")
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("classify", model, QuantizeSpec::weights_and_activations(), &profile)
+        .expect("non-degenerate model");
+    registry
 }
 
 /// Two task heads over one encoder behind one shared session; returns
@@ -161,8 +173,102 @@ fn run_load(
     report
 }
 
+/// The same seeded, pipelined load as [`run_load`], but through the TCP
+/// frontend: every request crosses the wire protocol twice.
+fn run_socket_load(
+    registry: &ModelRegistry,
+    max_batch: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> SocketLoadReport {
+    let config = ServeConfig {
+        workers: 2,
+        max_batch,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let model = registry.get(registry.lookup("classify").expect("registered")).unwrap().model();
+    let (load, _report) = serve_net(registry, config, NetConfig::default(), |net| {
+        drive_socket_clients(
+            &net.addr().to_string(),
+            model,
+            "classify",
+            clients,
+            requests_per_client,
+            9000,
+        )
+        .expect("socket load")
+    })
+    .expect("bind loopback");
+    load
+}
+
+/// One fairness scenario on a single-worker engine: "sentiment" floods
+/// `flood_requests` pipelined submissions while "topic" (the victim)
+/// runs a closed loop of `victim_requests` sequential requests. With
+/// `flood_requests = 0` this measures the victim's solo baseline. The
+/// flooder's admission quota — or its absence — comes from the
+/// registry's per-model serve config, set by the caller.
+fn run_fairness_load(
+    registry: &ModelRegistry,
+    flood_requests: usize,
+    victim_requests: usize,
+) -> ServeReport {
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 2,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let flooder = registry.lookup("sentiment").expect("registered");
+    let victim = registry.lookup("topic").expect("registered");
+    let ((), report) = serve_registry(registry, config, |handle| {
+        std::thread::scope(|scope| {
+            if flood_requests > 0 {
+                let model = registry.get(flooder).unwrap().model();
+                scope.spawn(move || {
+                    let mut traffic = LoadGen::new(model, 4100);
+                    // Quota-shed submissions are the point of the
+                    // capped scenario; only admitted tickets are waited.
+                    let tickets: Vec<_> = traffic
+                        .requests(flood_requests)
+                        .into_iter()
+                        .filter_map(|t| handle.submit_to(flooder, t).ok())
+                        .collect();
+                    for ticket in tickets {
+                        let _ = ticket.wait();
+                    }
+                });
+            }
+            let model = registry.get(victim).unwrap().model();
+            scope.spawn(move || {
+                let mut traffic = LoadGen::new(model, 4200);
+                for tokens in traffic.requests(victim_requests) {
+                    let ticket = handle.submit_to(victim, tokens).expect("victim admitted");
+                    let _ = ticket.wait();
+                }
+            });
+        })
+    });
+    report
+}
+
+/// The victim model's p99 out of a fairness run's per-model metrics.
+fn victim_p99(report: &ServeReport) -> Duration {
+    report
+        .per_model
+        .iter()
+        .find(|(name, _)| name == "topic")
+        .map(|(_, r)| r.latency_p99)
+        .expect("victim served")
+}
+
 fn bench(c: &mut Criterion) {
-    let prepared = prepare();
+    let bench_registry = prepare();
+    let prepared =
+        bench_registry.get(bench_registry.lookup("classify").expect("registered")).unwrap();
     let quick = quick_check();
     // The quick load still has to reach batching steady state — a
     // handful of requests would measure coalescing latency, not
@@ -176,7 +282,7 @@ fn bench(c: &mut Criterion) {
     // the serving subsystem).
     let probe = LoadGen::new(prepared.model(), 31).requests(6);
     let (engine_outputs, _) =
-        serve(&prepared, ServeConfig { max_batch: 6, ..ServeConfig::default() }, |handle| {
+        serve(prepared, ServeConfig { max_batch: 6, ..ServeConfig::default() }, |handle| {
             let tickets: Vec<_> = probe.iter().map(|t| handle.submit(t.clone()).unwrap()).collect();
             tickets.into_iter().map(|t| t.wait().output).collect::<Vec<_>>()
         });
@@ -197,7 +303,7 @@ fn bench(c: &mut Criterion) {
         std::collections::BTreeMap::new();
     for _ in 0..reps {
         for max_batch in SETTINGS {
-            let report = run_load(&prepared, max_batch, clients, per_client);
+            let report = run_load(prepared, max_batch, clients, per_client);
             let slot = best_report.entry(max_batch).or_insert(report);
             if report.requests_per_sec > slot.requests_per_sec {
                 *slot = report;
@@ -260,7 +366,7 @@ fn bench(c: &mut Criterion) {
     // The two-model registry sweep: same per-model load through one
     // shared worker pool, recording per-model requests/second and the
     // cross-model dictionary-cache hits scored at registration.
-    let (registry, cross_model_hits) = prepare_registry();
+    let (mut registry, cross_model_hits) = prepare_registry();
     let mut multi_best: Option<ServeReport> = None;
     for _ in 0..if quick { 2 } else { 3 } {
         let report = run_multi_model_load(&registry, 8, 2, per_client / 2);
@@ -293,6 +399,115 @@ fn bench(c: &mut Criterion) {
     }
     assert!(cross_model_hits > 0, "identical-stats tensors failed to hit the shared dict cache");
 
+    // The fairness sweep: can a flooding model starve another model's
+    // latency? One worker, tiny batches, a deep shared queue.
+    // "sentiment" floods pipelined requests while "topic" (the victim)
+    // runs a sequential closed loop. Without a quota the flood parks
+    // tens of requests ahead of every victim arrival; with a
+    // `queue_quota` on the flooder, everything beyond the cap is shed at
+    // admission and the victim's p99 stays near its solo baseline. Each
+    // scenario takes the best (lowest victim p99) of a few runs so the
+    // committed figures reflect the policy, not a scheduler hiccup.
+    let (flood_requests, victim_requests) = (200, 16);
+    let fair_reps = if quick { 2 } else { 3 };
+    let solo_p99 = (0..fair_reps)
+        .map(|_| victim_p99(&run_fairness_load(&registry, 0, victim_requests)))
+        .min()
+        .expect("solo runs executed");
+    let flooded_p99 = (0..fair_reps)
+        .map(|_| victim_p99(&run_fairness_load(&registry, flood_requests, victim_requests)))
+        .min()
+        .expect("flooded runs executed");
+    let flooder_quota = 2;
+    let flooder_id = registry.lookup("sentiment").expect("registered");
+    registry.set_serve_config(
+        flooder_id,
+        ModelServeConfig { queue_quota: Some(flooder_quota), ..ModelServeConfig::default() },
+    );
+    let mut capped_best: Option<ServeReport> = None;
+    for _ in 0..fair_reps {
+        let report = run_fairness_load(&registry, flood_requests, victim_requests);
+        if capped_best.as_ref().is_none_or(|b| victim_p99(&report) < victim_p99(b)) {
+            capped_best = Some(report);
+        }
+    }
+    registry.set_serve_config(flooder_id, ModelServeConfig::default());
+    let capped = capped_best.expect("capped runs executed");
+    let capped_p99 = victim_p99(&capped);
+    let flood_shed = capped.aggregate.rejected_quota;
+    println!(
+        "[serve] fairness : victim p99 solo {:.3} ms | flooded {:.3} ms | quota({flooder_quota}) {:.3} ms ({flood_shed} of {flood_requests} flood requests shed)",
+        solo_p99.as_secs_f64() * 1e3,
+        flooded_p99.as_secs_f64() * 1e3,
+        capped_p99.as_secs_f64() * 1e3,
+    );
+    assert!(flood_shed > 0, "the admission quota never shed a {flood_requests}-request flood");
+    // The quota bounds how much flood work a victim request can queue
+    // behind (quota + one in-flight batch), so its p99 is the solo
+    // figure plus a small constant — nothing like the unbounded case
+    // (observed ~37× solo on a single core). 4× + 10 ms gives the
+    // constant generous noise headroom while staying an order of
+    // magnitude below what an uncapped flood inflicts.
+    assert!(
+        capped_p99.as_secs_f64() <= solo_p99.as_secs_f64() * 4.0 + 0.010,
+        "quota failed to protect the victim: p99 {:.3} ms under a capped flood vs {:.3} ms solo",
+        capped_p99.as_secs_f64() * 1e3,
+        solo_p99.as_secs_f64() * 1e3,
+    );
+
+    // The network sweep: the identical pipelined load (same clients ×
+    // requests, max_batch 8) driven through the TCP frontend instead of
+    // in-process submission. Every request pays two wire crossings and
+    // the per-connection reader/writer hop; throughput must stay within
+    // ~10% of the in-process figure (relaxed under --quick-check, where
+    // fewer repetitions leave more scheduler noise on a busy host).
+    let mut net_best: Option<SocketLoadReport> = None;
+    for _ in 0..if quick { 2 } else { 3 } {
+        let load = run_socket_load(&bench_registry, 8, clients, per_client);
+        assert_eq!(load.completed, (clients * per_client) as u64, "socket load dropped requests");
+        assert_eq!(load.rejected, 0, "socket load saw rejections on an uncapped model");
+        if net_best.as_ref().is_none_or(|b| load.requests_per_sec > b.requests_per_sec) {
+            net_best = Some(load);
+        }
+    }
+    let net = net_best.expect("network runs executed");
+    let wire_ratio = net.requests_per_sec / rps8;
+    println!(
+        "[serve] network  : {:>7.1} req/s over TCP ({:.1}% of {:.1} in-process), p50 {:.3} ms, p99 {:.3} ms",
+        net.requests_per_sec,
+        100.0 * wire_ratio,
+        rps8,
+        net.latency_p50.as_secs_f64() * 1e3,
+        net.latency_p99.as_secs_f64() * 1e3,
+    );
+    let mut per_connection_json = Vec::new();
+    for (i, conn) in net.per_connection.iter().enumerate() {
+        println!(
+            "[serve]   conn {i}    : {:>3} completed, p50 {:.3} ms, p99 {:.3} ms",
+            conn.completed,
+            conn.latency_p50.as_secs_f64() * 1e3,
+            conn.latency_p99.as_secs_f64() * 1e3,
+        );
+        per_connection_json.push(format!(
+            "      {{\n        \"completed\": {},\n        \"latency_p50_ms\": {:.3},\n        \"latency_p99_ms\": {:.3}\n      }}",
+            conn.completed,
+            conn.latency_p50.as_secs_f64() * 1e3,
+            conn.latency_p99.as_secs_f64() * 1e3,
+        ));
+    }
+    // Target is ~90% of in-process (observed ~91% on a single core); the
+    // floor sits a few points under it so a scheduler hiccup on a shared
+    // host doesn't fail a healthy wire path, and much lower under
+    // --quick-check where best-of-2 absorbs less noise.
+    let net_floor = if quick { 0.7 } else { 0.85 };
+    assert!(
+        wire_ratio >= net_floor,
+        "wire throughput fell to {:.1}% of in-process ({:.1} vs {rps8:.1} req/s; floor {:.0}%)",
+        100.0 * wire_ratio,
+        net.requests_per_sec,
+        100.0 * net_floor,
+    );
+
     // A quick-check pass (CI) exercises the path but must not replace
     // the committed full-load baseline with shrunken numbers.
     if quick {
@@ -305,12 +520,31 @@ fn bench(c: &mut Criterion) {
             multi.aggregate.requests_per_sec,
             per_model_json.join(",\n"),
         );
+        let fairness_json = format!(
+            "  \"fairness\": {{\n    \"workers\": 1,\n    \"max_batch\": 2,\n    \"flood_requests\": {flood_requests},\n    \"victim_requests\": {victim_requests},\n    \"flooder_quota\": {flooder_quota},\n    \"victim_p99_solo_ms\": {:.3},\n    \"victim_p99_flooded_ms\": {:.3},\n    \"victim_p99_quota_ms\": {:.3},\n    \"flood_shed\": {flood_shed}\n  }}",
+            solo_p99.as_secs_f64() * 1e3,
+            flooded_p99.as_secs_f64() * 1e3,
+            capped_p99.as_secs_f64() * 1e3,
+        );
+        let network_json = format!(
+            "  \"network\": {{\n    \"clients\": {},\n    \"requests\": {},\n    \"max_batch\": 8,\n    \"requests_per_sec\": {:.1},\n    \"in_process_requests_per_sec\": {:.1},\n    \"wire_ratio\": {:.3},\n    \"latency_p50_ms\": {:.3},\n    \"latency_p99_ms\": {:.3},\n    \"per_connection\": [\n{}\n    ]\n  }}",
+            clients,
+            clients * per_client,
+            net.requests_per_sec,
+            rps8,
+            wire_ratio,
+            net.latency_p50.as_secs_f64() * 1e3,
+            net.latency_p99.as_secs_f64() * 1e3,
+            per_connection_json.join(",\n"),
+        );
         let baseline = format!(
-            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"host_parallelism\": {},\n  \"settings\": [\n{}\n  ],\n{}\n}}\n",
+            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"host_parallelism\": {},\n  \"settings\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
             prepared.model().config().name,
             host_parallelism,
             settings_json.join(",\n"),
             multi_model_json,
+            fairness_json,
+            network_json,
         );
         let path = workspace_root().join("BENCH_serve.json");
         match std::fs::write(&path, baseline) {
@@ -321,8 +555,8 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("serve");
     group.sample_size(if quick { 2 } else { 10 });
-    group.bench_function("engine_batch1", |b| b.iter(|| run_load(&prepared, 1, 2, 4).completed));
-    group.bench_function("engine_batch8", |b| b.iter(|| run_load(&prepared, 8, 2, 4).completed));
+    group.bench_function("engine_batch1", |b| b.iter(|| run_load(prepared, 1, 2, 4).completed));
+    group.bench_function("engine_batch8", |b| b.iter(|| run_load(prepared, 8, 2, 4).completed));
     group.bench_function("prepared_infer_solo", |b| {
         let tokens = prepared.model().random_tokens(24, 77);
         b.iter(|| prepared.infer(&tokens))

@@ -68,3 +68,12 @@ mod serve_multi_model_example {
         main();
     }
 }
+
+mod serve_over_tcp_example {
+    include!("../../../examples/serve_over_tcp.rs");
+
+    #[test]
+    fn serve_over_tcp_runs() {
+        main();
+    }
+}

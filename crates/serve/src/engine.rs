@@ -32,7 +32,7 @@
 use crate::metrics::{Metrics, MetricsReport, ServeReport};
 use crate::prepared::PreparedModel;
 use crate::queue::{PushError, TaggedQueue};
-use crate::registry::{ModelId, ModelRegistry};
+use crate::registry::{next_registry_nonce, ModelId, ModelRegistry, ModelServeConfig};
 use mokey_transformer::exec::QuantizedStats;
 use mokey_transformer::TaskOutput;
 use std::fmt;
@@ -82,10 +82,25 @@ pub enum SubmitError {
     QueueFull,
     /// The engine is shutting down.
     ShuttingDown,
-    /// The target [`ModelId`] is not registered with this engine.
+    /// The target [`ModelId`] is not registered with this engine —
+    /// either its slot is out of range or the id was minted by a
+    /// *different* registry (ids carry registry identity and never alias
+    /// across registries).
     UnknownModel {
         /// The id that failed to resolve.
         model: ModelId,
+    },
+    /// The target model is at its admission quota
+    /// ([`ModelServeConfig::queue_quota`](crate::ModelServeConfig)): it
+    /// already occupies its full share of the submission queue, so this
+    /// request is shed instead of letting one model starve the others of
+    /// queue space. Returned by blocking and non-blocking submission
+    /// alike — quota rejection never blocks.
+    ModelQuotaExceeded {
+        /// The model at quota.
+        model: ModelId,
+        /// Its configured quota.
+        quota: usize,
     },
     /// The request carries no tokens (a forward pass needs at least the
     /// CLS position).
@@ -114,6 +129,9 @@ impl fmt::Display for SubmitError {
             SubmitError::ShuttingDown => write!(f, "serving engine is shutting down"),
             SubmitError::UnknownModel { model } => {
                 write!(f, "{model} is not registered with this engine")
+            }
+            SubmitError::ModelQuotaExceeded { model, quota } => {
+                write!(f, "{model} is at its admission quota of {quota} queued requests")
             }
             SubmitError::EmptySequence => write!(f, "request carries no tokens"),
             SubmitError::SequenceTooLong { len, max_seq } => {
@@ -174,17 +192,29 @@ struct Request {
     tx: mpsc::Sender<Response>,
 }
 
-/// One registered model inside a running engine: the prepared model plus
-/// its own metrics scope.
+/// One registered model inside a running engine: the prepared model, its
+/// batching policy (per-model overrides already resolved against the
+/// engine-global [`ServeConfig`]), and its own metrics scope.
 struct ModelSlot<'m> {
     name: &'m str,
     model: &'m PreparedModel,
+    /// This model's batch cap ([`ModelServeConfig::max_batch`] or the
+    /// engine default).
+    max_batch: usize,
+    /// This model's length-bucket width ([`ModelServeConfig::length_bucket`]
+    /// or the engine default).
+    length_bucket: usize,
+    /// This model's admission quota, if capped.
+    queue_quota: Option<usize>,
     metrics: Metrics,
 }
 
 struct Shared<'m> {
     slots: Vec<ModelSlot<'m>>,
     config: ServeConfig,
+    /// The registry identity this engine serves: ids resolve against it,
+    /// so foreign-registry ids bounce instead of aliasing positionally.
+    nonce: u32,
     queue: TaggedQueue<ModelId, Request>,
     /// Aggregate across every model; per-model counters live in the
     /// slots. Every event is recorded into both scopes.
@@ -200,11 +230,20 @@ pub struct ServeHandle<'e> {
 }
 
 impl ServeHandle<'_> {
-    fn slot(&self, model: ModelId) -> Result<&ModelSlot<'_>, SubmitError> {
+    /// Resolves a client-supplied id to its canonical engine-scoped form
+    /// plus the slot it addresses. The canonical id is what tags the
+    /// queue entry, so unscoped ([`ModelId::DEFAULT`]) and
+    /// registry-minted submissions to the same model share one quota and
+    /// one batching group.
+    fn slot(&self, model: ModelId) -> Result<(ModelId, &ModelSlot<'_>), SubmitError> {
         // An unknown id has no metrics scope to account against (and
         // counting it only in the aggregate would break the per-model
         // columns summing to the aggregate), so it is bounced uncounted.
-        self.shared.slots.get(model.index()).ok_or(SubmitError::UnknownModel { model })
+        let resolved =
+            model.resolve(self.shared.nonce).ok_or(SubmitError::UnknownModel { model })?;
+        let slot =
+            self.shared.slots.get(resolved.index()).ok_or(SubmitError::UnknownModel { model })?;
+        Ok((resolved, slot))
     }
 
     fn admit(&self, slot: &ModelSlot<'_>, tokens: &[usize]) -> Result<(), SubmitError> {
@@ -258,23 +297,30 @@ impl ServeHandle<'_> {
         self.try_submit_to(ModelId::DEFAULT, tokens)
     }
 
+    fn note_rejected_quota(&self, slot: &ModelSlot<'_>) {
+        self.shared.metrics.note_rejected_quota();
+        slot.metrics.note_rejected_quota();
+    }
+
     /// Submits a request to a specific registered model, blocking while
     /// the queue is at capacity (backpressure).
     ///
-    /// `model` must come from the registry this engine serves —
-    /// [`ModelId`]s are positional, so an id minted by a *different*
-    /// registry addresses whatever model occupies that slot here (see
-    /// [`ModelId`]'s scoping contract).
+    /// `model` must come from the registry this engine serves — ids carry
+    /// their minting registry's identity, so a foreign id bounces with
+    /// [`SubmitError::UnknownModel`] instead of aliasing positionally.
     ///
     /// # Errors
     ///
     /// [`SubmitError::UnknownModel`], validation failures
     /// ([`SubmitError::SequenceTooLong`] /
     /// [`SubmitError::TokenOutOfVocab`] /
-    /// [`SubmitError::EmptySequence`]), or
+    /// [`SubmitError::EmptySequence`]),
+    /// [`SubmitError::ModelQuotaExceeded`] when the model is at its
+    /// admission quota (quota rejection never blocks — blocking would let
+    /// the flooder camp on shared capacity), or
     /// [`SubmitError::ShuttingDown`].
     pub fn submit_to(&self, model: ModelId, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
-        let slot = self.slot(model)?;
+        let (model, slot) = self.slot(model)?;
         self.admit(slot, &tokens)?;
         let (request, ticket) = self.request(tokens);
         match self.shared.queue.push_blocking(model, request) {
@@ -282,7 +328,13 @@ impl ServeHandle<'_> {
                 self.note_submitted(slot);
                 Ok(ticket)
             }
-            // `push_blocking` only fails on a closed queue.
+            Err(PushError::QuotaExceeded(_)) => {
+                self.note_rejected_quota(slot);
+                Err(SubmitError::ModelQuotaExceeded {
+                    model,
+                    quota: slot.queue_quota.unwrap_or(0).max(1),
+                })
+            }
             Err(_) => Err(SubmitError::ShuttingDown),
         }
     }
@@ -295,7 +347,7 @@ impl ServeHandle<'_> {
     /// [`SubmitError::QueueFull`] at capacity, plus everything
     /// [`ServeHandle::submit_to`] can return.
     pub fn try_submit_to(&self, model: ModelId, tokens: Vec<usize>) -> Result<Ticket, SubmitError> {
-        let slot = self.slot(model)?;
+        let (model, slot) = self.slot(model)?;
         self.admit(slot, &tokens)?;
         let (request, ticket) = self.request(tokens);
         match self.shared.queue.try_push(model, request) {
@@ -307,6 +359,13 @@ impl ServeHandle<'_> {
                 self.shared.metrics.note_rejected_full();
                 slot.metrics.note_rejected_full();
                 Err(SubmitError::QueueFull)
+            }
+            Err(PushError::QuotaExceeded(_)) => {
+                self.note_rejected_quota(slot);
+                Err(SubmitError::ModelQuotaExceeded {
+                    model,
+                    quota: slot.queue_quota.unwrap_or(0).max(1),
+                })
             }
             Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
         }
@@ -327,18 +386,31 @@ impl ServeHandle<'_> {
         self.shared.metrics.snapshot(self.shared.queue.peak_depth())
     }
 
-    /// Live metrics snapshot for one registered model.
+    /// Live metrics snapshot for one registered model. `None` for
+    /// foreign-registry or out-of-range ids.
     pub fn model_metrics(&self, model: ModelId) -> Option<MetricsReport> {
-        let slot = self.shared.slots.get(model.index())?;
+        let (_, slot) = self.slot(model).ok()?;
         Some(slot.metrics.snapshot(self.shared.queue.peak_depth()))
+    }
+
+    /// Current submission-queue occupancy of one registered model —
+    /// what its admission quota is charged against.
+    pub fn model_queue_depth(&self, model: ModelId) -> Option<usize> {
+        let (model, _) = self.slot(model).ok()?;
+        Some(self.shared.queue.tag_depth(model))
     }
 }
 
 fn worker_loop(shared: &Shared<'_>) {
-    let bucket = shared.config.length_bucket;
-    let key = |r: &Request| r.tokens.len().checked_div(bucket).unwrap_or(0);
+    // Batching policy is the *leader's* model's: its batch cap and its
+    // length-bucket width (per-model overrides resolved at startup).
+    let max_batch = |model: ModelId| shared.slots[model.index()].max_batch;
+    let key = |model: ModelId, r: &Request| {
+        let bucket = shared.slots[model.index()].length_bucket;
+        r.tokens.len().checked_div(bucket).unwrap_or(0)
+    };
     while let Some((model, batch)) =
-        shared.queue.pop_batch_grouped(shared.config.max_batch, shared.config.max_wait, key)
+        shared.queue.pop_batch_by(max_batch, shared.config.max_wait, key)
     {
         let slot = &shared.slots[model.index()];
         let formed_at = Instant::now();
@@ -366,7 +438,8 @@ fn worker_loop(shared: &Shared<'_>) {
 /// the worker pool over the given model slots, runs the driver, drains,
 /// and snapshots every metrics scope.
 fn run_engine<'m, R, F>(
-    models: Vec<(&'m str, &'m PreparedModel)>,
+    models: Vec<(&'m str, &'m PreparedModel, ModelServeConfig)>,
+    nonce: u32,
     config: ServeConfig,
     f: F,
 ) -> (R, ServeReport)
@@ -378,13 +451,26 @@ where
     let shared = Shared {
         slots: models
             .into_iter()
-            .map(|(name, model)| ModelSlot { name, model, metrics: Metrics::new() })
+            .map(|(name, model, serve)| ModelSlot {
+                name,
+                model,
+                max_batch: serve.max_batch.unwrap_or(config.max_batch),
+                length_bucket: serve.length_bucket.unwrap_or(config.length_bucket),
+                queue_quota: serve.queue_quota,
+                metrics: Metrics::new(),
+            })
             .collect(),
         config,
+        nonce,
         queue: TaggedQueue::new(config.queue_capacity),
         metrics: Metrics::new(),
         next_id: AtomicU64::new(0),
     };
+    for (index, slot) in shared.slots.iter().enumerate() {
+        if slot.queue_quota.is_some() {
+            shared.queue.set_quota(ModelId::scoped(nonce, index), slot.queue_quota);
+        }
+    }
     /// Closes the queue when dropped — including during unwinding, so a
     /// panicking driver closure can't leave workers parked on the
     /// condvar while the scope waits to join them.
@@ -455,7 +541,12 @@ where
     F: FnOnce(&ServeHandle<'_>) -> R,
 {
     let name = model.model().config().name.as_str();
-    let (out, report) = run_engine(vec![(name, model)], config, f);
+    // A single-model engine still gets a fresh registry identity, so its
+    // unscoped default route resolves consistently and foreign registry
+    // ids bounce.
+    let nonce = next_registry_nonce();
+    let (out, report) =
+        run_engine(vec![(name, model, ModelServeConfig::default())], nonce, config, f);
     (out, report.aggregate)
 }
 
@@ -514,7 +605,15 @@ where
     F: FnOnce(&ServeHandle<'_>) -> R,
 {
     assert!(!registry.is_empty(), "serve_registry needs at least one registered model");
-    run_engine(registry.iter().map(|(_, name, model)| (name, model)).collect(), config, f)
+    run_engine(
+        registry
+            .iter()
+            .map(|(id, name, model)| (name, model, registry.serve_config(id).unwrap_or_default()))
+            .collect(),
+        registry.nonce(),
+        config,
+        f,
+    )
 }
 
 #[cfg(test)]
@@ -582,7 +681,7 @@ mod tests {
         assert_eq!(responses.len(), 10);
         for (tokens, response) in inputs.iter().zip(&responses) {
             assert_eq!(response.output, p.infer(tokens).0, "engine output diverged");
-            assert_eq!(response.model, ModelId::DEFAULT);
+            assert_eq!(response.model.index(), 0);
             assert!(response.batch_size >= 1);
             assert!(response.latency >= response.queue_wait);
         }
@@ -607,9 +706,10 @@ mod tests {
                 SubmitError::TokenOutOfVocab { token: p.vocab() + 5, vocab: p.vocab() }
             );
             // An id past the slot table is a typed error, not a panic.
+            let past = ModelId { registry: 0, index: 7 };
             assert_eq!(
-                handle.submit_to(ModelId(7), vec![1, 2, 3]).unwrap_err(),
-                SubmitError::UnknownModel { model: ModelId(7) }
+                handle.submit_to(past, vec![1, 2, 3]).unwrap_err(),
+                SubmitError::UnknownModel { model: past }
             );
         });
         assert_eq!(report.submitted, 0);
@@ -744,10 +844,134 @@ mod tests {
             let tokens = registry.get(a).unwrap().model().random_tokens(8, 3);
             handle.submit_to(a, tokens).unwrap().wait();
             assert_eq!(handle.model_metrics(a).unwrap().completed, 1);
-            assert!(handle.model_metrics(ModelId(9)).is_none());
+            assert!(handle.model_metrics(ModelId { registry: 0, index: 9 }).is_none());
         });
         assert_eq!(report.per_model[0].0, "classify");
         assert_eq!(report.per_model[1].0, "span");
         assert_eq!(report.model("span").unwrap().completed, 0);
+    }
+
+    #[test]
+    fn cross_registry_ids_bounce_with_unknown_model() {
+        let (registry_a, a, _) = two_model_registry();
+        let (registry_b, foreign, _) = two_model_registry();
+        // Same position, different registry: must be a typed rejection,
+        // never a silent route to whatever occupies that slot here.
+        assert_eq!(a.index(), foreign.index());
+        let ((), report) = serve_registry(&registry_a, ServeConfig::default(), |handle| {
+            let tokens = registry_a.get(a).unwrap().model().random_tokens(8, 3);
+            assert_eq!(
+                handle.submit_to(foreign, tokens.clone()).unwrap_err(),
+                SubmitError::UnknownModel { model: foreign }
+            );
+            assert_eq!(
+                handle.try_submit_to(foreign, tokens.clone()).unwrap_err(),
+                SubmitError::UnknownModel { model: foreign }
+            );
+            assert!(handle.model_metrics(foreign).is_none());
+            assert!(handle.model_queue_depth(foreign).is_none());
+            // The engine still serves its own ids.
+            handle.submit_to(a, tokens).unwrap().wait();
+        });
+        assert_eq!(report.aggregate.completed, 1);
+        drop(registry_b);
+    }
+
+    #[test]
+    fn model_at_quota_is_shed_without_blocking() {
+        let (mut registry, a, b) = two_model_registry();
+        registry.set_serve_config(
+            a,
+            ModelServeConfig { queue_quota: Some(2), ..ModelServeConfig::default() },
+        );
+        // One slow worker + singleton batches: rapid-fire submissions
+        // back up behind the in-flight inference, so model a's occupancy
+        // reaches its quota of 2 and further pushes must shed — not
+        // block, and not consume shared capacity model b needs.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        };
+        let ((), report) = serve_registry(&registry, config, |handle| {
+            let tokens = registry.get(a).unwrap().model().random_tokens(8, 3);
+            // Saturate the single worker with a backlog so pushed
+            // requests stay queued long enough to observe the quota.
+            let mut tickets = Vec::new();
+            let mut shed = 0;
+            for _ in 0..16 {
+                match handle.submit_to(a, tokens.clone()) {
+                    Ok(t) => tickets.push(t),
+                    Err(SubmitError::ModelQuotaExceeded { model, quota }) => {
+                        assert_eq!(model.index(), a.index());
+                        assert_eq!(quota, 2);
+                        shed += 1;
+                    }
+                    Err(other) => panic!("unexpected rejection: {other}"),
+                }
+            }
+            // With quota 2 and a 1-wide worker, at least some of the 16
+            // rapid-fire submissions must be shed — and none may block.
+            assert!(shed > 0, "no submission was shed by the quota");
+            // The victim model is unaffected by a's quota.
+            let vt = registry.get(b).unwrap().model().random_tokens(8, 4);
+            let victim = handle.submit_to(b, vt).unwrap();
+            victim.wait();
+            for t in tickets {
+                t.wait();
+            }
+        });
+        assert_eq!(
+            report.aggregate.rejected_quota,
+            report.model("classify").unwrap().rejected_quota
+        );
+        assert!(report.aggregate.rejected_quota > 0);
+        assert_eq!(report.model("span").unwrap().rejected_quota, 0);
+        assert_eq!(
+            report.aggregate.completed + report.aggregate.rejected_quota,
+            17,
+            "every submission either served or shed: {}",
+            report.aggregate.dump()
+        );
+    }
+
+    #[test]
+    fn per_model_max_batch_override_caps_that_models_batches_only() {
+        let (mut registry, a, b) = two_model_registry();
+        registry.set_serve_config(
+            a,
+            ModelServeConfig { max_batch: Some(1), ..ModelServeConfig::default() },
+        );
+        // Engine-global max_batch 8 with a generous straggler window and
+        // one worker: model b may coalesce, model a must never.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_millis(50),
+            queue_capacity: 32,
+            ..ServeConfig::default()
+        };
+        let (batch_sizes, _) = serve_registry(&registry, config, |handle| {
+            let ta = registry.get(a).unwrap().model().random_tokens(12, 1);
+            let tb = registry.get(b).unwrap().model().random_tokens(12, 2);
+            let mut tickets = Vec::new();
+            for _ in 0..6 {
+                tickets.push((a, handle.submit_to(a, ta.clone()).unwrap()));
+                tickets.push((b, handle.submit_to(b, tb.clone()).unwrap()));
+            }
+            tickets.into_iter().map(|(id, t)| (id, t.wait().batch_size)).collect::<Vec<_>>()
+        });
+        for (id, batch_size) in &batch_sizes {
+            if id == &a {
+                assert_eq!(*batch_size, 1, "override ignored: model a coalesced");
+            }
+        }
+        // And the un-overridden model did coalesce under the backlog.
+        assert!(
+            batch_sizes.iter().any(|(id, s)| id == &b && *s > 1),
+            "expected model b to coalesce under a 1-worker backlog: {batch_sizes:?}"
+        );
     }
 }

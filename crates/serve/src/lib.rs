@@ -31,9 +31,17 @@
 //!   counters, queue depth, values/sec, and a log-scale latency
 //!   histogram (p50/p90/p99), dumpable as plain text.
 //!
-//! Everything runs in-process over the synchronous API — no sockets, no
-//! async runtime — which keeps tests hermetic; a socket frontend slots
-//! in on top of [`ServeHandle`].
+//! The engine itself is in-process and synchronous — no async runtime —
+//! which keeps tests hermetic. [`serve_net`] wraps it in a TCP frontend:
+//! length-prefixed binary [wire] frames, one acceptor plus reader/writer
+//! threads per connection translating frames into
+//! [`ServeHandle::submit_to`] calls, graceful close-then-drain shutdown.
+//! Clients address models by registered name; responses cross the wire
+//! bit-exactly (f32 as raw IEEE-754 bits). Per-model admission quotas
+//! ([`ModelServeConfig::queue_quota`]) keep one flooding client from
+//! starving other models of queue space, and [`ModelId`]s carry their
+//! minting registry's identity so cross-registry ids bounce with
+//! [`SubmitError::UnknownModel`] instead of silently aliasing.
 //!
 //! # Quickstart
 //!
@@ -63,12 +71,19 @@
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
+pub mod net;
 pub mod prepared;
 pub mod queue;
 pub mod registry;
+pub mod wire;
 
 pub use engine::{serve, serve_registry, Response, ServeConfig, ServeHandle, SubmitError, Ticket};
-pub use loadgen::LoadGen;
+pub use loadgen::{drive_socket_clients, LoadGen, SocketConnectionReport, SocketLoadReport};
 pub use metrics::{LatencyHistogram, Metrics, MetricsReport, ServeReport};
+pub use net::{serve_net, NetConfig, NetHandle};
 pub use prepared::PreparedModel;
-pub use registry::{ModelId, ModelRegistry, RegistryError};
+pub use registry::{ModelId, ModelRegistry, ModelServeConfig, RegistryError};
+pub use wire::{
+    read_frame, write_frame, Frame, NetClient, ReadFrameError, ServerReply, WireError,
+    WireErrorCode,
+};

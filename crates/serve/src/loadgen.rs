@@ -4,10 +4,18 @@
 //! Requests are in-vocabulary token sequences with lengths drawn
 //! uniformly from a configurable band — the same seed always produces
 //! the same traffic, so load tests can pin exact outputs.
+//!
+//! [`drive_socket_clients`] extends the same seeded streams over the
+//! wire: N client threads, each with its own TCP connection, pipelining
+//! its stream through the [wire protocol](crate::wire) and recording
+//! exact per-request latencies.
 
+use crate::wire::{NetClient, ServerReply};
 use mokey_transformer::Model;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io;
+use std::time::{Duration, Instant};
 
 /// Seeded generator of valid inference requests for one model.
 #[derive(Debug)]
@@ -48,6 +56,145 @@ impl LoadGen {
     pub fn requests(&mut self, n: usize) -> Vec<Vec<usize>> {
         (0..n).map(|_| self.next_request()).collect()
     }
+}
+
+/// One socket client's load summary.
+#[derive(Debug, Clone)]
+pub struct SocketConnectionReport {
+    /// Requests answered with a response frame.
+    pub completed: u64,
+    /// Requests answered with an error frame.
+    pub rejected: u64,
+    /// Median round-trip latency (client-observed, exact).
+    pub latency_p50: Duration,
+    /// 99th-percentile round-trip latency (client-observed, exact).
+    pub latency_p99: Duration,
+}
+
+/// Aggregate summary of a [`drive_socket_clients`] run.
+#[derive(Debug, Clone)]
+pub struct SocketLoadReport {
+    /// Client connections driven.
+    pub clients: usize,
+    /// Requests answered with a response frame, all clients.
+    pub completed: u64,
+    /// Requests answered with an error frame, all clients.
+    pub rejected: u64,
+    /// Wall-clock time from first send to last reply.
+    pub elapsed: Duration,
+    /// `(completed + rejected) / elapsed`.
+    pub requests_per_sec: f64,
+    /// Median round-trip latency across every request (exact, not
+    /// bucketed).
+    pub latency_p50: Duration,
+    /// 99th-percentile round-trip latency across every request.
+    pub latency_p99: Duration,
+    /// Per-connection summaries, in client order.
+    pub per_connection: Vec<SocketConnectionReport>,
+}
+
+/// Exact quantile over unsorted samples (nearest-rank). Zero when empty.
+fn exact_quantile(samples: &mut [Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize).max(1);
+    samples[rank - 1]
+}
+
+/// Drives `clients` concurrent socket connections against a serving
+/// frontend at `addr`, each pipelining `per_client` seeded requests for
+/// `model_name` (send-all-then-receive-all, matching replies by
+/// correlation id), and reports exact client-observed latency
+/// percentiles per connection and overall.
+///
+/// Traffic is deterministic: client `c` draws from seed
+/// `base_seed + c`, so the same call always produces the same request
+/// stream.
+///
+/// # Errors
+///
+/// Propagates the first connection or transport failure (a rejected
+/// *request* is not an error — it is counted in `rejected`).
+pub fn drive_socket_clients(
+    addr: &str,
+    model: &Model,
+    model_name: &str,
+    clients: usize,
+    per_client: usize,
+    base_seed: u64,
+) -> io::Result<SocketLoadReport> {
+    let started = Instant::now();
+    let outcomes: Vec<io::Result<(u64, u64, Vec<Duration>)>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr)?;
+                    let requests = LoadGen::new(model, base_seed + c as u64).requests(per_client);
+                    // Pipelining: every request goes out before the
+                    // first reply is read, so the server's batcher sees
+                    // real concurrent depth per connection.
+                    let mut sent_at = vec![Instant::now(); per_client];
+                    for (i, tokens) in requests.iter().enumerate() {
+                        sent_at[i] = Instant::now();
+                        client.send(1 + i as u64, model_name, tokens)?;
+                    }
+                    let mut latencies = vec![Duration::ZERO; per_client];
+                    let mut completed = 0u64;
+                    let mut rejected = 0u64;
+                    for _ in 0..per_client {
+                        let (corr, reply) = client.recv()?;
+                        let index = (corr as usize)
+                            .checked_sub(1)
+                            .filter(|&i| i < per_client)
+                            .ok_or_else(|| {
+                                io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("reply for unknown corr id {corr}"),
+                                )
+                            })?;
+                        latencies[index] = sent_at[index].elapsed();
+                        match reply {
+                            ServerReply::Response { .. } => completed += 1,
+                            ServerReply::Rejected { .. } => rejected += 1,
+                        }
+                    }
+                    Ok((completed, rejected, latencies))
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("socket client panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut per_connection = Vec::with_capacity(clients);
+    let mut all_latencies = Vec::new();
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    for outcome in outcomes {
+        let (c, r, mut latencies) = outcome?;
+        completed += c;
+        rejected += r;
+        per_connection.push(SocketConnectionReport {
+            completed: c,
+            rejected: r,
+            latency_p50: exact_quantile(&mut latencies, 0.50),
+            latency_p99: exact_quantile(&mut latencies, 0.99),
+        });
+        all_latencies.extend_from_slice(&latencies);
+    }
+    let answered = completed + rejected;
+    Ok(SocketLoadReport {
+        clients,
+        completed,
+        rejected,
+        elapsed,
+        requests_per_sec: answered as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency_p50: exact_quantile(&mut all_latencies, 0.50),
+        latency_p99: exact_quantile(&mut all_latencies, 0.99),
+        per_connection,
+    })
 }
 
 #[cfg(test)]

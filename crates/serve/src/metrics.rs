@@ -118,6 +118,7 @@ pub struct Metrics {
     started: Instant,
     submitted: AtomicU64,
     rejected_full: AtomicU64,
+    rejected_quota: AtomicU64,
     rejected_invalid: AtomicU64,
     completed: AtomicU64,
     batches_formed: AtomicU64,
@@ -148,6 +149,7 @@ impl Metrics {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
             rejected_invalid: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             batches_formed: AtomicU64::new(0),
@@ -172,6 +174,11 @@ impl Metrics {
     /// Accounts a request bounced by admission control (queue full).
     pub fn note_rejected_full(&self) {
         self.rejected_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts a request shed by its model's admission quota.
+    pub fn note_rejected_quota(&self) {
+        self.rejected_quota.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Accounts a request bounced by validation.
@@ -218,6 +225,7 @@ impl Metrics {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             batches_formed: batches,
             mean_batch_size: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
@@ -252,6 +260,9 @@ pub struct MetricsReport {
     pub completed: u64,
     /// Requests bounced by admission control (queue full).
     pub rejected_full: u64,
+    /// Requests shed by a model's admission quota
+    /// ([`ModelServeConfig::queue_quota`](crate::ModelServeConfig)).
+    pub rejected_quota: u64,
     /// Requests bounced by validation (OOV token / over-long sequence).
     pub rejected_invalid: u64,
     /// Batches the dynamic batcher formed.
@@ -300,7 +311,7 @@ impl MetricsReport {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         format!(
             "serving metrics ({:.3} s)\n\
-             \x20 requests   : {} submitted, {} completed, {} rejected (full), {} rejected (invalid)\n\
+             \x20 requests   : {} submitted, {} completed, {} rejected (full), {} shed (quota), {} rejected (invalid)\n\
              \x20 batching   : {} batches, mean size {:.2}, max size {}, peak queue depth {}\n\
              \x20 packing    : {} packed batches ({} requests packed, {} solo), pad waste {:.2}%\n\
              \x20 throughput : {:.1} requests/s, {:.3e} act values/s ({} values, {:.2}% outliers)\n\
@@ -310,6 +321,7 @@ impl MetricsReport {
             self.submitted,
             self.completed,
             self.rejected_full,
+            self.rejected_quota,
             self.rejected_invalid,
             self.batches_formed,
             self.mean_batch_size,

@@ -16,36 +16,99 @@ use crate::prepared::PreparedModel;
 use mokey_pipeline::{CacheStats, PipelineError, QuantSession, QuantizeSpec};
 use mokey_transformer::Model;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 
-/// Handle to one registered model: a dense index into the registry, cheap
-/// to copy and to tag queue entries with.
+/// Process-unique registry identities, stamped into every [`ModelId`] a
+/// registry mints. `0` is reserved for unscoped ids
+/// ([`ModelId::DEFAULT`]).
+static NEXT_REGISTRY_NONCE: AtomicU32 = AtomicU32::new(1);
+
+pub(crate) fn next_registry_nonce() -> u32 {
+    NEXT_REGISTRY_NONCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Handle to one registered model: a dense index into the registry plus
+/// the identity of the registry that minted it, cheap to copy and to tag
+/// queue entries with.
 ///
-/// Ids are **positional and scoped to the registry that minted them** —
-/// they carry no registry identity, so an id from one registry used
-/// against an engine serving a different registry addresses whatever
-/// model occupies that slot there (or bounces with
-/// [`SubmitError::UnknownModel`](crate::SubmitError::UnknownModel) when
-/// out of range). Keep one registry per engine and resolve names through
-/// [`ModelRegistry::lookup`] at the boundary where ids cross components.
+/// Ids **carry their registry's identity** (a process-unique nonce), so
+/// an id from one registry used against an engine serving a *different*
+/// registry bounces with
+/// [`SubmitError::UnknownModel`](crate::SubmitError::UnknownModel)
+/// instead of silently aliasing whatever model occupies that position.
+/// The one unscoped id is [`ModelId::DEFAULT`], which addresses "the
+/// first model of whichever engine you hand it to" — the single-model
+/// convenience route.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ModelId(pub(crate) usize);
+pub struct ModelId {
+    /// The minting registry's nonce; `0` = unscoped.
+    pub(crate) registry: u32,
+    /// The registry slot.
+    pub(crate) index: u32,
+}
 
 impl ModelId {
-    /// The first registered model — what the single-model convenience
-    /// API ([`ServeHandle::submit`](crate::ServeHandle::submit)) routes
-    /// to.
-    pub const DEFAULT: ModelId = ModelId(0);
+    /// The first registered model of whichever engine the id is used
+    /// against — what the single-model convenience API
+    /// ([`ServeHandle::submit`](crate::ServeHandle::submit)) routes to.
+    /// This is the only id without a registry identity.
+    pub const DEFAULT: ModelId = ModelId { registry: 0, index: 0 };
+
+    pub(crate) fn scoped(registry: u32, index: usize) -> Self {
+        Self { registry, index: index as u32 }
+    }
+
+    /// Resolves this id against an engine's registry nonce: unscoped ids
+    /// adopt the engine's registry, matching ids pass through, foreign
+    /// ids are rejected.
+    pub(crate) fn resolve(self, nonce: u32) -> Option<ModelId> {
+        if self.registry == 0 {
+            Some(ModelId { registry: nonce, index: self.index })
+        } else if self.registry == nonce {
+            Some(self)
+        } else {
+            None
+        }
+    }
 
     /// The registry slot this id addresses.
     pub fn index(self) -> usize {
-        self.0
+        self.index as usize
     }
 }
 
 impl fmt::Display for ModelId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "model#{}", self.0)
+        if self.registry == 0 {
+            write!(f, "model#{}", self.index)
+        } else {
+            write!(f, "model#{}@r{}", self.index, self.registry)
+        }
     }
+}
+
+/// Per-model overrides of the engine-global [`ServeConfig`] batching
+/// policy, attached at registration ([`ModelRegistry::register_with`] /
+/// [`ModelRegistry::set_serve_config`]). `None` fields inherit the
+/// engine-global value, so a small model is no longer forced onto a
+/// large model's batching policy.
+///
+/// [`ServeConfig`]: crate::ServeConfig
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelServeConfig {
+    /// Largest batch the dynamic batcher coalesces for this model
+    /// (overrides [`ServeConfig::max_batch`](crate::ServeConfig)).
+    pub max_batch: Option<usize>,
+    /// This model's length-bucket width (overrides
+    /// [`ServeConfig::length_bucket`](crate::ServeConfig); `Some(0)`
+    /// disables bucketing for this model).
+    pub length_bucket: Option<usize>,
+    /// Admission quota: how many submission-queue slots this model may
+    /// occupy at once (floored at 1). `None` = bounded only by the
+    /// shared queue capacity. A model at its quota sheds load with
+    /// [`SubmitError::ModelQuotaExceeded`](crate::SubmitError) instead
+    /// of starving other models of queue space.
+    pub queue_quota: Option<usize>,
 }
 
 /// Why a model could not be registered.
@@ -126,7 +189,17 @@ impl std::error::Error for RegistryError {
 #[derive(Debug)]
 pub struct ModelRegistry {
     session: QuantSession,
-    models: Vec<(String, PreparedModel)>,
+    nonce: u32,
+    models: Vec<Registered>,
+}
+
+/// One registry slot: the name, the prepared model, and its serve-policy
+/// overrides.
+#[derive(Debug)]
+struct Registered {
+    name: String,
+    model: PreparedModel,
+    serve: ModelServeConfig,
 }
 
 impl Default for ModelRegistry {
@@ -144,11 +217,25 @@ impl ModelRegistry {
 
     /// A registry over an explicitly configured session.
     pub fn with_session(session: QuantSession) -> Self {
-        Self { session, models: Vec::new() }
+        Self { session, nonce: next_registry_nonce(), models: Vec::new() }
+    }
+
+    /// The process-unique identity stamped into every id this registry
+    /// mints.
+    pub(crate) fn nonce(&self) -> u32 {
+        self.nonce
+    }
+
+    /// Whether `id` was minted by this registry (or is unscoped) and
+    /// addresses a registered slot.
+    fn index_of(&self, id: ModelId) -> Option<usize> {
+        let resolved = id.resolve(self.nonce)?;
+        let index = resolved.index();
+        (index < self.models.len()).then_some(index)
     }
 
     /// Quantizes `model` through the shared session and registers the
-    /// result under `name`.
+    /// result under `name` with default (engine-inherited) serve policy.
     ///
     /// # Errors
     ///
@@ -162,13 +249,30 @@ impl ModelRegistry {
         spec: QuantizeSpec,
         profile_inputs: &[Vec<usize>],
     ) -> Result<ModelId, RegistryError> {
+        self.register_with(name, model, spec, profile_inputs, ModelServeConfig::default())
+    }
+
+    /// Like [`register`](Self::register), but attaches per-model serve
+    /// overrides (batching policy, admission quota).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`register`](Self::register).
+    pub fn register_with(
+        &mut self,
+        name: impl Into<String>,
+        model: Model,
+        spec: QuantizeSpec,
+        profile_inputs: &[Vec<usize>],
+        serve: ModelServeConfig,
+    ) -> Result<ModelId, RegistryError> {
         let name = name.into();
         self.ensure_unique(&name)?;
         let prepared =
             PreparedModel::prepare_with_session(&self.session, model, spec, profile_inputs)
                 .map_err(|source| RegistryError::Prepare { name: name.clone(), source })?;
-        self.models.push((name, prepared));
-        Ok(ModelId(self.models.len() - 1))
+        self.models.push(Registered { name, model: prepared, serve });
+        Ok(ModelId::scoped(self.nonce, self.models.len() - 1))
     }
 
     /// Registers an already-prepared model under `name` (e.g. one built
@@ -185,35 +289,60 @@ impl ModelRegistry {
     ) -> Result<ModelId, RegistryError> {
         let name = name.into();
         self.ensure_unique(&name)?;
-        self.models.push((name, prepared));
-        Ok(ModelId(self.models.len() - 1))
+        self.models.push(Registered { name, model: prepared, serve: ModelServeConfig::default() });
+        Ok(ModelId::scoped(self.nonce, self.models.len() - 1))
+    }
+
+    /// Replaces a registered model's serve overrides. Takes effect on
+    /// engines started *after* the call; a running engine keeps the
+    /// policy it was launched with.
+    ///
+    /// Returns `false` (and changes nothing) when `id` is foreign or out
+    /// of range.
+    pub fn set_serve_config(&mut self, id: ModelId, serve: ModelServeConfig) -> bool {
+        match self.index_of(id) {
+            Some(index) => {
+                self.models[index].serve = serve;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A registered model's serve overrides.
+    pub fn serve_config(&self, id: ModelId) -> Option<ModelServeConfig> {
+        self.index_of(id).map(|i| self.models[i].serve)
     }
 
     fn ensure_unique(&self, name: &str) -> Result<(), RegistryError> {
-        if self.models.iter().any(|(n, _)| n == name) {
+        if self.models.iter().any(|r| r.name == name) {
             return Err(RegistryError::DuplicateModel { name: name.to_owned() });
         }
         Ok(())
     }
 
-    /// The model behind an id, when the id is in range.
+    /// The model behind an id, when the id was minted here (or is
+    /// unscoped) and is in range.
     pub fn get(&self, id: ModelId) -> Option<&PreparedModel> {
-        self.models.get(id.0).map(|(_, m)| m)
+        self.index_of(id).map(|i| &self.models[i].model)
     }
 
     /// The registered name behind an id.
     pub fn name(&self, id: ModelId) -> Option<&str> {
-        self.models.get(id.0).map(|(n, _)| n.as_str())
+        self.index_of(id).map(|i| self.models[i].name.as_str())
     }
 
     /// Resolves a registered name back to its id.
     pub fn lookup(&self, name: &str) -> Option<ModelId> {
-        self.models.iter().position(|(n, _)| n == name).map(ModelId)
+        self.models.iter().position(|r| r.name == name).map(|i| ModelId::scoped(self.nonce, i))
     }
 
     /// Iterates registered models in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (ModelId, &str, &PreparedModel)> {
-        self.models.iter().enumerate().map(|(i, (n, m))| (ModelId(i), n.as_str(), m))
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ModelId::scoped(self.nonce, i), r.name.as_str(), &r.model))
     }
 
     /// Number of registered models.
@@ -274,14 +403,54 @@ mod tests {
         let a = registry.register("a", Model::synthesize(&config(), Head::Span, 3), spec, &[]);
         let b = registry.register("b", Model::synthesize(&config(), Head::Span, 4), spec, &[]);
         let (a, b) = (a.unwrap(), b.unwrap());
-        assert_eq!(a, ModelId::DEFAULT);
+        assert_eq!(a.index(), 0);
         assert_eq!(b.index(), 1);
         assert_eq!(registry.len(), 2);
         assert_eq!(registry.lookup("b"), Some(b));
         assert_eq!(registry.name(a), Some("a"));
-        assert!(registry.get(ModelId(2)).is_none());
+        assert!(registry.get(ModelId::scoped(registry.nonce(), 2)).is_none());
         let ids: Vec<_> = registry.iter().map(|(id, name, _)| (id, name.to_owned())).collect();
         assert_eq!(ids, vec![(a, "a".to_owned()), (b, "b".to_owned())]);
+        // The unscoped default id addresses slot 0 of *this* registry too.
+        assert_eq!(registry.name(ModelId::DEFAULT), Some("a"));
+    }
+
+    #[test]
+    fn foreign_ids_do_not_alias_across_registries() {
+        let spec = QuantizeSpec::weights_only();
+        let mut first = registry_with(false);
+        let mut second = registry_with(false);
+        let in_first =
+            first.register("a", Model::synthesize(&config(), Head::Span, 3), spec, &[]).unwrap();
+        let in_second =
+            second.register("z", Model::synthesize(&config(), Head::Span, 4), spec, &[]).unwrap();
+        // Same position, different registries: the ids must not compare
+        // equal and must not resolve against the other registry.
+        assert_eq!(in_first.index(), in_second.index());
+        assert_ne!(in_first, in_second);
+        assert!(first.get(in_second).is_none());
+        assert!(second.get(in_first).is_none());
+        assert!(first.name(in_second).is_none());
+        // Foreign ids cannot mutate serve policy either.
+        assert!(!first.set_serve_config(in_second, ModelServeConfig::default()));
+    }
+
+    #[test]
+    fn serve_overrides_attach_at_registration_and_update_in_place() {
+        let mut registry = registry_with(false);
+        let spec = QuantizeSpec::weights_only();
+        let tuned =
+            ModelServeConfig { max_batch: Some(2), length_bucket: Some(0), queue_quota: Some(4) };
+        let a = registry
+            .register_with("a", Model::synthesize(&config(), Head::Span, 3), spec, &[], tuned)
+            .unwrap();
+        let b = registry.register("b", Model::synthesize(&config(), Head::Span, 4), spec, &[]);
+        let b = b.unwrap();
+        assert_eq!(registry.serve_config(a), Some(tuned));
+        assert_eq!(registry.serve_config(b), Some(ModelServeConfig::default()));
+        let retuned = ModelServeConfig { queue_quota: Some(8), ..tuned };
+        assert!(registry.set_serve_config(b, retuned));
+        assert_eq!(registry.serve_config(b), Some(retuned));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 
 use mokey_pipeline::{Parallelism, QuantSession};
 use mokey_serve::{
-    serve, serve_registry, ModelId, ModelRegistry, RegistryError, ServeConfig, ServeReport,
+    serve, serve_registry, ModelId, ModelRegistry, ModelServeConfig, RegistryError, ServeConfig,
+    ServeReport, SubmitError,
 };
 use mokey_transformer::model::{Head, Model};
 use mokey_transformer::{ModelConfig, QuantizeSpec};
@@ -151,6 +152,7 @@ fn assert_per_model_sums_to_aggregate(report: &ServeReport) {
     assert_eq!(sum(|r| r.submitted), report.aggregate.submitted);
     assert_eq!(sum(|r| r.completed), report.aggregate.completed);
     assert_eq!(sum(|r| r.rejected_full), report.aggregate.rejected_full);
+    assert_eq!(sum(|r| r.rejected_quota), report.aggregate.rejected_quota);
     assert_eq!(sum(|r| r.rejected_invalid), report.aggregate.rejected_invalid);
     assert_eq!(sum(|r| r.batches_formed), report.aggregate.batches_formed);
     assert_eq!(sum(|r| r.packed_batches), report.aggregate.packed_batches);
@@ -217,4 +219,118 @@ fn per_model_metrics_isolate_rejections_and_mixed_validity_traffic() {
     assert_eq!(report.model("topic").unwrap().rejected_invalid, 2);
     assert_eq!(report.model("topic").unwrap().completed, 0);
     assert_per_model_sums_to_aggregate(&report);
+}
+
+/// Regression (PR 5 bug): ids from a different registry used to alias
+/// positionally and route silently to whatever model occupied that slot.
+/// They must bounce with `UnknownModel` instead.
+#[test]
+fn cross_registry_model_ids_are_rejected_not_silently_aliased() {
+    let (registry, sentiment, _) = two_head_registry();
+    let (foreign_registry, foreign_sentiment, foreign_topic) = two_head_registry();
+    assert_eq!(sentiment.index(), foreign_sentiment.index());
+    assert_ne!(sentiment, foreign_sentiment, "ids must carry registry identity");
+
+    let tokens = registry.get(sentiment).unwrap().model().random_tokens(12, 44);
+    let ((), report) = serve_registry(&registry, serve_config(), |handle| {
+        // Both foreign ids bounce, in-range position notwithstanding.
+        for foreign in [foreign_sentiment, foreign_topic] {
+            assert_eq!(
+                handle.submit_to(foreign, tokens.clone()).unwrap_err(),
+                SubmitError::UnknownModel { model: foreign }
+            );
+        }
+        // The engine's own ids still route.
+        handle.submit_to(sentiment, tokens.clone()).unwrap().wait();
+    });
+    assert_eq!(report.aggregate.completed, 1);
+    assert_eq!(report.aggregate.submitted, 1);
+    // The foreign registry still resolves its own ids.
+    assert!(foreign_registry.get(foreign_sentiment).is_some());
+}
+
+/// A flooding model is capped by its admission quota: the victim model
+/// keeps queue space and every shed request gets a typed rejection.
+#[test]
+fn flooding_model_is_quota_capped_and_victim_keeps_queue_space() {
+    let (mut registry, flooder, victim) = two_head_registry();
+    registry.set_serve_config(
+        flooder,
+        ModelServeConfig { queue_quota: Some(3), ..ModelServeConfig::default() },
+    );
+    // Tight shared capacity: without the quota the flooder could own all
+    // 8 slots and the victim's blocking submit would stall behind it.
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 2,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    };
+    let flood_tokens = registry.get(flooder).unwrap().model().random_tokens(12, 7);
+    let victim_tokens = registry.get(victim).unwrap().model().random_tokens(12, 8);
+    let ((), report) = serve_registry(&registry, config, |handle| {
+        let mut kept = Vec::new();
+        let mut shed = 0u64;
+        for _ in 0..40 {
+            match handle.submit_to(flooder, flood_tokens.clone()) {
+                Ok(t) => kept.push(t),
+                Err(SubmitError::ModelQuotaExceeded { model, quota }) => {
+                    assert_eq!(model, flooder);
+                    assert_eq!(quota, 3);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        assert!(shed > 0, "a 40-deep flood against quota 3 must shed");
+        // The flooder never holds more than its quota of the queue, so
+        // the victim's submission is admitted without blocking on flood
+        // traffic.
+        assert!(handle.model_queue_depth(flooder).unwrap() <= 3);
+        let t = handle.submit_to(victim, victim_tokens.clone()).unwrap();
+        t.wait();
+        for t in kept {
+            t.wait();
+        }
+    });
+    assert_eq!(report.model("topic").unwrap().rejected_quota, 0);
+    assert!(report.model("sentiment").unwrap().rejected_quota > 0);
+    assert_per_model_sums_to_aggregate(&report);
+}
+
+/// Per-model `ServeConfig` overrides: the overridden model batches by
+/// its own policy while the other model keeps the engine default.
+#[test]
+fn per_model_batching_overrides_do_not_leak_across_models() {
+    let (mut registry, small, big) = two_head_registry();
+    registry.set_serve_config(
+        small,
+        ModelServeConfig { max_batch: Some(1), ..ModelServeConfig::default() },
+    );
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 8,
+        max_wait: Duration::from_millis(50),
+        queue_capacity: 32,
+        ..ServeConfig::default()
+    };
+    let small_tokens = registry.get(small).unwrap().model().random_tokens(12, 1);
+    let big_tokens = registry.get(big).unwrap().model().random_tokens(12, 2);
+    let (sizes, _) = serve_registry(&registry, config, |handle| {
+        let mut tickets = Vec::new();
+        for _ in 0..5 {
+            tickets.push((small, handle.submit_to(small, small_tokens.clone()).unwrap()));
+            tickets.push((big, handle.submit_to(big, big_tokens.clone()).unwrap()));
+        }
+        tickets.into_iter().map(|(id, t)| (id, t.wait().batch_size)).collect::<Vec<_>>()
+    });
+    assert!(
+        sizes.iter().all(|(id, s)| *id != small || *s == 1),
+        "overridden model coalesced past its cap: {sizes:?}"
+    );
+    assert!(
+        sizes.iter().any(|(id, s)| *id == big && *s > 1),
+        "default-policy model failed to coalesce under a 1-worker backlog: {sizes:?}"
+    );
 }
