@@ -1,27 +1,194 @@
 //! Kernel microbenchmarks: the index-domain MAC path versus decoded-
 //! centroid and FP32 GEMMs — the software view of what the Mokey PE does
 //! in hardware — plus encode/quantizer throughput.
+//!
+//! The GEMM comparison sweeps transformer-projection-like shapes
+//! (`192×128×{128,512}`: a packed `(batch·seq)×hidden` activation against
+//! a square projection and a 4× FFN expansion) across three kernels that
+//! all produce the same quantized result:
+//!
+//! * **decoded** — decode both operands to centroid f32s (into reused
+//!   scratch buffers, no per-iteration allocation), then a dense GEMM;
+//! * **indexed** — the histogram kernel ([`kernels::matmul_indexed`]),
+//!   bit-faithful to the paper's PE datapath but slow in software;
+//! * **lut** — the pair-LUT kernel ([`lut::matmul_lut`]): both operands
+//!   stay as codes, every product is one 32×32 table gather.
+//!
+//! Best-of-N values/sec (MACs per second) per kernel land in
+//! `BENCH_kernels.json` at the workspace root. The run **asserts** the
+//! LUT kernel beats the histogram kernel — ≥5× at `192×128×512` in a
+//! full run, a relaxed ≥2× under `--quick-check` (CI), where fewer
+//! repetitions absorb less scheduler noise — and never rewrites the
+//! committed baseline in quick mode.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mokey_bench::{activation_matrix, quantize, weight_matrix};
 use mokey_core::kernels;
+use mokey_core::lut::{self, ColMajorCodes, PairLut};
 use mokey_core::quantizer::OutputQuantizer;
+use mokey_tensor::Matrix;
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Workspace root: the first ancestor whose `Cargo.toml` declares
+/// `[workspace]` (mirrors the serve bench).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn quick_check() -> bool {
+    std::env::args().any(|a| a == "--quick-check")
+}
+
+/// Best-of-`reps` wall-clock for `iters` calls of `f`, as MAC values/sec.
+fn values_per_sec(macs: usize, reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    (macs as f64) / best
+}
+
+struct GemmRow {
+    kernel: &'static str,
+    vps: f64,
+}
 
 fn bench(c: &mut Criterion) {
+    let quick = quick_check();
+
+    // ------------------------------------------------------------------
+    // The GEMM kernel comparison: decoded vs indexed vs LUT at packed
+    // projection shapes. The decoded loop reuses scratch decode buffers
+    // (`decode_into` + `into_vec` round trip) so it measures decode +
+    // GEMM, not allocator traffic.
+    // ------------------------------------------------------------------
+    const M: usize = 192;
+    const K: usize = 128;
+    let (reps, iters) = if quick { (2, 1) } else { (3, 3) };
+    let mut shapes_json = Vec::new();
+    let mut lut_speedup_at_512 = 0.0f64;
+    for n in [128usize, 512] {
+        let a = activation_matrix(M, K);
+        let w = weight_matrix(K, n);
+        let qa = quantize(&a);
+        let qw = quantize(&w);
+        let pair = PairLut::new(qa.dict(), qw.dict());
+        let w_cols = ColMajorCodes::from_tensor(&qw);
+        let macs = M * K * n;
+
+        let mut a_scratch: Vec<f32> = Vec::new();
+        let mut w_scratch: Vec<f32> = Vec::new();
+        let decoded_vps = values_per_sec(macs, reps, iters, || {
+            qa.decode_into(&mut a_scratch);
+            qw.decode_into(&mut w_scratch);
+            let am = Matrix::from_vec(M, K, std::mem::take(&mut a_scratch));
+            let wm = Matrix::from_vec(K, n, std::mem::take(&mut w_scratch));
+            black_box(am.matmul(&wm));
+            a_scratch = am.into_vec();
+            w_scratch = wm.into_vec();
+        });
+        // The histogram kernel is orders of magnitude slower; one call per
+        // measurement keeps the sweep tolerable without hurting best-of-N.
+        let indexed_vps = values_per_sec(macs, reps, 1, || {
+            black_box(kernels::matmul_indexed(&qa, &qw));
+        });
+        let lut_vps = values_per_sec(macs, reps, iters, || {
+            black_box(lut::matmul_lut(&qa, &w_cols, &pair));
+        });
+
+        let rows = [
+            GemmRow { kernel: "decoded", vps: decoded_vps },
+            GemmRow { kernel: "indexed", vps: indexed_vps },
+            GemmRow { kernel: "lut", vps: lut_vps },
+        ];
+        let speedup = lut_vps / indexed_vps;
+        if n == 512 {
+            lut_speedup_at_512 = speedup;
+        }
+        println!(
+            "[kernels] {M}x{K}x{n}: decoded {:>10.0} MAC/s | indexed {:>10.0} MAC/s | lut {:>10.0} MAC/s (lut {:.1}x indexed, {:.2}x decoded)",
+            decoded_vps,
+            indexed_vps,
+            lut_vps,
+            speedup,
+            lut_vps / decoded_vps,
+        );
+        let kernel_json = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "        {{\n          \"kernel\": \"{}\",\n          \"values_per_sec\": {:.0}\n        }}",
+                    r.kernel, r.vps,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        shapes_json.push(format!(
+            "    {{\n      \"m\": {M},\n      \"k\": {K},\n      \"n\": {n},\n      \"macs\": {macs},\n      \"kernels\": [\n{kernel_json}\n      ],\n      \"lut_speedup_vs_indexed\": {:.2},\n      \"lut_speedup_vs_decoded\": {:.3},\n      \"pair_lut_bytes\": {}\n    }}",
+            speedup,
+            lut_vps / decoded_vps,
+            pair.bytes(),
+        ));
+    }
+    // The whole point of the index-domain path: a table gather must beat
+    // replaying the histogram datapath in software, by a wide margin.
+    let speedup_floor = if quick { 2.0 } else { 5.0 };
+    assert!(
+        lut_speedup_at_512 >= speedup_floor,
+        "matmul_lut only {lut_speedup_at_512:.2}x matmul_indexed at {M}x{K}x512 (floor {speedup_floor}x)"
+    );
+
+    if quick {
+        println!("[kernels] quick check: baseline not rewritten");
+    } else {
+        let baseline = format!(
+            "{{\n  \"bench\": \"kernels_gemm\",\n  \"host_parallelism\": {},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+            std::thread::available_parallelism().map_or(1, |p| p.get()),
+            shapes_json.join(",\n"),
+        );
+        let path = workspace_root().join("BENCH_kernels.json");
+        match std::fs::write(&path, baseline) {
+            Ok(()) => println!("[kernels] baseline written to {}", path.display()),
+            Err(e) => println!("[kernels] could not write {}: {e}", path.display()),
+        }
+    }
+
     // Dot-product paths at attention/FFN-like depths.
     let mut group = c.benchmark_group("dot_product");
+    group.sample_size(if quick { 2 } else { 20 });
     for k in [256usize, 1024, 4096] {
         let a = activation_matrix(1, k);
         let w = weight_matrix(1, k);
         let qa = quantize(&a);
         let qw = quantize(&w);
+        let pair = PairLut::new(qa.dict(), qw.dict());
         group.throughput(Throughput::Elements(k as u64));
         group.bench_with_input(BenchmarkId::new("indexed", k), &k, |b, _| {
             b.iter(|| black_box(kernels::dot_indexed(qa.codes(), qa.dict(), qw.codes(), qw.dict())))
         });
         group.bench_with_input(BenchmarkId::new("decoded", k), &k, |b, _| {
             b.iter(|| black_box(kernels::dot_decoded(qa.codes(), qa.dict(), qw.codes(), qw.dict())))
+        });
+        group.bench_with_input(BenchmarkId::new("lut", k), &k, |b, _| {
+            b.iter(|| black_box(lut::dot_lut(qa.codes(), qw.codes(), &pair)))
         });
         group.bench_with_input(BenchmarkId::new("fp32", k), &k, |b, _| {
             b.iter(|| {
@@ -35,14 +202,19 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
-    // GEMM paths.
+    // GEMM paths under criterion (smaller shape than the JSON sweep so
+    // the histogram kernel stays affordable at criterion sample counts).
     let a = activation_matrix(32, 256);
     let w = weight_matrix(256, 64);
     let qa = quantize(&a);
     let qw = quantize(&w);
+    let pair = PairLut::new(qa.dict(), qw.dict());
+    let w_cols = ColMajorCodes::from_tensor(&qw);
     let mut gemm = c.benchmark_group("gemm_32x256x64");
+    gemm.sample_size(if quick { 2 } else { 20 });
     gemm.bench_function("indexed", |b| b.iter(|| black_box(kernels::matmul_indexed(&qa, &qw))));
     gemm.bench_function("decoded", |b| b.iter(|| black_box(kernels::matmul_decoded(&qa, &qw))));
+    gemm.bench_function("lut", |b| b.iter(|| black_box(lut::matmul_lut(&qa, &w_cols, &pair))));
     gemm.bench_function("fp32", |b| b.iter(|| black_box(a.matmul(&w))));
     gemm.finish();
 
@@ -51,6 +223,7 @@ fn bench(c: &mut Criterion) {
     let dict = quantize(&acts).dict().clone();
     let engine = OutputQuantizer::new(dict.clone());
     let mut enc = c.benchmark_group("encode");
+    enc.sample_size(if quick { 2 } else { 20 });
     enc.throughput(Throughput::Elements(acts.len() as u64));
     enc.bench_function("dictionary_encode", |b| {
         b.iter(|| {

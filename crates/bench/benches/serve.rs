@@ -25,8 +25,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mokey_serve::{
-    drive_socket_clients, serve, serve_net, serve_registry, LoadGen, MetricsReport, ModelRegistry,
-    ModelServeConfig, NetConfig, PreparedModel, ServeConfig, ServeReport, SocketLoadReport,
+    drive_socket_clients, serve, serve_net, serve_registry, ExecMode, LoadGen, MetricsReport,
+    ModelRegistry, ModelServeConfig, NetConfig, PreparedModel, ServeConfig, ServeReport,
+    SocketLoadReport,
 };
 use mokey_transformer::model::{Head, Model};
 use mokey_transformer::{ModelConfig, QuantizeSpec};
@@ -139,18 +140,20 @@ fn run_multi_model_load(
 }
 
 /// Drives `requests` seeded requests from `clients` client threads
-/// through an engine at the given batching setting.
-fn run_load(
+/// through an engine at the given batching setting and execution mode.
+fn run_load_mode(
     prepared: &PreparedModel,
     max_batch: usize,
     clients: usize,
     requests_per_client: usize,
+    mode: ExecMode,
 ) -> MetricsReport {
     let config = ServeConfig {
         workers: 2,
         max_batch,
         max_wait: Duration::from_millis(1),
         queue_capacity: 64,
+        mode,
         ..ServeConfig::default()
     };
     let ((), report) = serve(prepared, config, |handle| {
@@ -171,6 +174,16 @@ fn run_load(
         })
     });
     report
+}
+
+/// [`run_load_mode`] on the default decoded-GEMM execution path.
+fn run_load(
+    prepared: &PreparedModel,
+    max_batch: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> MetricsReport {
+    run_load_mode(prepared, max_batch, clients, requests_per_client, ExecMode::Decoded)
 }
 
 /// The same seeded, pipelined load as [`run_load`], but through the TCP
@@ -363,6 +376,46 @@ fn bench(c: &mut Criterion) {
         "batching lost throughput: max_batch=8 at {rps8:.1} req/s vs max_batch=1 at {rps1:.1} req/s"
     );
 
+    // The execution-mode sweep: the identical load at max_batch 8 on the
+    // decoded-GEMM path vs the index-domain LUT path (projection/FFN
+    // GEMMs on codes via pair-LUTs). Outputs are bit-identical either
+    // way — the integration tests pin that — so this records the pure
+    // throughput trade: in software a dense f32 GEMM on decoded
+    // centroids vectorizes better than a table gather per MAC, while the
+    // LUT path is the faithful software view of the accelerator's
+    // index-domain datapath (and beats the histogram kernel by an order
+    // of magnitude; see `BENCH_kernels.json`).
+    let mut mode_json = Vec::new();
+    for (label, mode) in [("decoded", ExecMode::Decoded), ("index_domain", ExecMode::IndexDomain)] {
+        let mut best: Option<MetricsReport> = None;
+        for _ in 0..reps {
+            let report = run_load_mode(prepared, 8, clients, per_client, mode);
+            assert_eq!(
+                report.completed,
+                (clients * per_client) as u64,
+                "{label} mode dropped requests"
+            );
+            if best.as_ref().is_none_or(|b| report.values_per_sec > b.values_per_sec) {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("mode runs executed");
+        println!(
+            "[serve] mode {label:<12}: {:>7.1} req/s, {:>12.0} values/s, p50 {:.3} ms, p99 {:.3} ms",
+            report.requests_per_sec,
+            report.values_per_sec,
+            report.latency_p50.as_secs_f64() * 1e3,
+            report.latency_p99.as_secs_f64() * 1e3,
+        );
+        mode_json.push(format!(
+            "    {{\n      \"mode\": \"{label}\",\n      \"max_batch\": 8,\n      \"requests_per_sec\": {:.1},\n      \"values_per_sec\": {:.0},\n      \"latency_p50_ms\": {:.3},\n      \"latency_p99_ms\": {:.3}\n    }}",
+            report.requests_per_sec,
+            report.values_per_sec,
+            report.latency_p50.as_secs_f64() * 1e3,
+            report.latency_p99.as_secs_f64() * 1e3,
+        ));
+    }
+
     // The two-model registry sweep: same per-model load through one
     // shared worker pool, recording per-model requests/second and the
     // cross-model dictionary-cache hits scored at registration.
@@ -538,10 +591,11 @@ fn bench(c: &mut Criterion) {
             per_connection_json.join(",\n"),
         );
         let baseline = format!(
-            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"host_parallelism\": {},\n  \"settings\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
+            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"host_parallelism\": {},\n  \"settings\": [\n{}\n  ],\n  \"exec_modes\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
             prepared.model().config().name,
             host_parallelism,
             settings_json.join(",\n"),
+            mode_json.join(",\n"),
             multi_model_json,
             fairness_json,
             network_json,

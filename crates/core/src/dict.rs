@@ -343,6 +343,38 @@ impl TensorDict {
         out
     }
 
+    /// A 64-bit content fingerprint (FNV-1a over every field that affects
+    /// decoding: curve constants, scale/shift, both magnitude tables, and
+    /// the cutoff). Two dictionaries with equal fingerprints decode every
+    /// code identically, so the fingerprint pair keys the session-level
+    /// [`PairLut`](crate::lut::PairLut) cache across models.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bits: u64| {
+            for byte in bits.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.curve.a.to_bits());
+        eat(self.curve.b.to_bits());
+        eat(self.curve.half_len as u64);
+        eat(self.scale.to_bits());
+        eat(self.shift.to_bits());
+        eat(self.g_magnitudes.len() as u64);
+        for &m in &self.g_magnitudes {
+            eat(m.to_bits());
+        }
+        eat(self.ot_magnitudes.len() as u64);
+        for &m in &self.ot_magnitudes {
+            eat(m.to_bits());
+        }
+        eat(self.cutoff.to_bits());
+        h
+    }
+
     /// Metadata footprint in bits: G dictionary (half × 16b), OT dictionary
     /// (half × 16b), plus scale/shift constants (2 × 16b). Paper Section
     /// II-G: "the space needed for this metadata pales in comparison with
@@ -519,6 +551,23 @@ mod tests {
         for (v, code) in &c {
             assert!((dict.decode_code(*code) - v).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let values = weight_values();
+        let curve = ExpCurve::paper();
+        let d1 = TensorDict::for_values(&values, &curve, &Default::default()).unwrap();
+        let d2 = TensorDict::for_values(&values, &curve, &Default::default()).unwrap();
+        assert_eq!(d1.fingerprint(), d2.fingerprint());
+        // A different tensor (different stats) must fingerprint differently.
+        let other: Vec<f32> = values.iter().map(|v| v * 1.5 + 0.01).collect();
+        let d3 = TensorDict::for_values(&other, &curve, &Default::default()).unwrap();
+        assert_ne!(d1.fingerprint(), d3.fingerprint());
+        // And so must a policy change that empties the OT table.
+        let config = TensorDictConfig { policy: OutlierPolicy::Disabled, ..Default::default() };
+        let d4 = TensorDict::for_values(&values, &curve, &config).unwrap();
+        assert_ne!(d1.fingerprint(), d4.fingerprint());
     }
 
     #[test]

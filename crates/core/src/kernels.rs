@@ -312,20 +312,16 @@ pub fn dot_indexed_fixed(
 /// Panics if inner dimensions differ.
 pub fn matmul_indexed(a: &QuantizedTensor, w: &QuantizedTensor) -> Matrix {
     assert_eq!(a.cols(), w.rows(), "matmul_indexed inner dimension mismatch");
-    let (m, k, n) = (a.rows(), a.cols(), w.cols());
+    let (m, n) = (a.rows(), w.cols());
     let mut out = Matrix::zeros(m, n);
-    // Gather W columns once to keep the inner loop contiguous.
-    let mut w_cols: Vec<Vec<Code>> = vec![Vec::with_capacity(k); n];
-    for kk in 0..k {
-        let row = w.row_codes(kk);
-        for (j, &c) in row.iter().enumerate() {
-            w_cols[j].push(c);
-        }
-    }
+    // Gather W into one flat column-major buffer (a single allocation) so
+    // the inner loop sweeps contiguous columns — the same weight layout
+    // the LUT kernel (`mokey_core::lut::matmul_lut`) consumes.
+    let w_cols = crate::lut::ColMajorCodes::from_tensor(w);
     for i in 0..m {
         let a_row = a.row_codes(i);
         for j in 0..n {
-            out[(i, j)] = dot_indexed(a_row, a.dict(), &w_cols[j], w.dict()) as f32;
+            out[(i, j)] = dot_indexed(a_row, a.dict(), w_cols.col(j), w.dict()) as f32;
         }
     }
     out

@@ -26,6 +26,9 @@
 //!    counting of exponent sums (`SoI`, `SoA1`, `SoW1`, `PoM1`) plus
 //!    precomputed constants, in both exact-`f64` and emulated 16-bit
 //!    fixed-point datapaths (Section II-D, Eq. 1–6).
+//!    [`lut`] — the fast production variant: dense 32×32 per-dictionary-
+//!    pair product tables so GEMMs gather precomputed products instead of
+//!    decoding, bit-identical to the decoded reference by construction.
 //! 7. [`quantizer`] — the output-activation quantization engine of Fig. 7.
 //! 8. [`metrics`] — quantization-error metrics shared by the evaluation.
 //!
@@ -54,6 +57,7 @@ pub mod dict;
 pub mod encode;
 pub mod golden;
 pub mod kernels;
+pub mod lut;
 pub mod metrics;
 pub mod profile;
 pub mod quantizer;
@@ -62,4 +66,5 @@ pub use curve::{ExpCurve, PAPER_A, PAPER_B};
 pub use dict::{DictError, DictScratch, OutlierPolicy, TensorDict, TensorDictConfig};
 pub use encode::{Code, QuantizedTensor};
 pub use golden::{GoldenConfig, GoldenDictionary};
+pub use lut::{ColMajorCodes, DecodeLut, PairLut, SKIP_CODE};
 pub use profile::{ActivationProfiler, ProfileConfig};

@@ -1,0 +1,555 @@
+//! Index-domain LUT GEMMs: the software analogue of the paper's
+//! counter/LUT datapath.
+//!
+//! A [`Code`] occupies 5 bits, so an (activation-dictionary, weight-
+//! dictionary) pair admits a **dense product table** over all 32 × 32 code
+//! bit-patterns — outliers included — of ~12 KB, comfortably L1-resident.
+//! With that [`PairLut`] in hand, a GEMM on quantized operands never
+//! decodes: the inner loop is a table gather indexed by code bits, exactly
+//! the arithmetic-on-indices execution the paper's accelerator performs in
+//! hardware (Section II-D), minus the histogram factorization that
+//! [`crate::kernels::dot_indexed`] models faithfully-but-slowly.
+//!
+//! Two kernels share one table, each mirroring the reduction order of the
+//! float path it replaces so outputs are **bit-identical by construction**:
+//!
+//! * [`matmul_lut`] — f64 products, the same fixed 4-lane reduction as
+//!   [`crate::kernels::dot_decoded`] (lane `l` sums pairs `i ≡ l mod 4`,
+//!   combined `(s0+s1)+(s2+s3)`, remainder sequential). Per output scalar
+//!   it equals `dot_decoded` to the bit.
+//! * [`matmul_lut_bias`] — f32 products, the same bias-preloaded,
+//!   ascending-`k`, one-add-per-`k`, zero-skipping reduction as
+//!   `mokey_tensor::Matrix::matmul_bias` (the `nn::linear` hot path). Per
+//!   output row it equals `matmul_bias` on the decoded operands to the
+//!   bit, which is what lets index-domain serving return byte-identical
+//!   responses to decoded-path serving.
+
+use crate::dict::TensorDict;
+use crate::encode::{Code, QuantizedTensor};
+use mokey_tensor::Matrix;
+
+/// Number of distinct 5-bit code patterns, and the stride of one LUT row.
+pub const CODE_PATTERNS: usize = 32;
+
+/// Sentinel byte in an activation code buffer marking a row that was never
+/// encoded (a packed batch's padding rows). [`matmul_lut_bias`] emits the
+/// bias for such a row and skips its dot products entirely; nothing
+/// downstream reads padding rows, and valid rows are unaffected because
+/// every kernel computes each output row independently.
+pub const SKIP_CODE: u8 = 0xFF;
+
+/// Mask that keeps a code byte inside the 32-pattern table.
+const PATTERN_MASK: usize = CODE_PATTERNS - 1;
+
+/// Decoded centroid value of every valid 5-bit pattern of one dictionary:
+/// f64 exact values, their f32 casts, and validity flags.
+///
+/// Bit patterns whose magnitude index exceeds the dictionary's G or OT
+/// table decode to `0.0` and are flagged invalid; [`TensorDict::encode_value`]
+/// never produces them, so real code streams never read those entries.
+fn decode_table(dict: &TensorDict) -> ([f64; CODE_PATTERNS], [bool; CODE_PATTERNS]) {
+    let mut vals = [0.0f64; CODE_PATTERNS];
+    let mut valid = [false; CODE_PATTERNS];
+    for bits in 0..CODE_PATTERNS as u8 {
+        let code = Code::from_bits(bits);
+        let table = if code.is_outlier() { dict.ot_magnitudes() } else { dict.g_magnitudes() };
+        if (code.index() as usize) < table.len() {
+            vals[bits as usize] = dict.decode_code(code);
+            valid[bits as usize] = true;
+        }
+    }
+    (vals, valid)
+}
+
+/// A 32-entry decode table for one dictionary: code bits → `f32` centroid.
+///
+/// Entry `bits` holds exactly `dict.decode_code(code) as f32`, so routing
+/// the executors' per-layer activation decodes through one shared table
+/// (built once at preparation) is bit-identical to calling
+/// [`TensorDict::decode_code`] per value — it just skips the per-value
+/// table-select branch and `f64` arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeLut {
+    vals: [f32; CODE_PATTERNS],
+}
+
+impl DecodeLut {
+    /// Builds the table for a dictionary.
+    pub fn new(dict: &TensorDict) -> Self {
+        let (f64s, _) = decode_table(dict);
+        let mut vals = [0.0f32; CODE_PATTERNS];
+        for (v, &d) in vals.iter_mut().zip(&f64s) {
+            *v = d as f32;
+        }
+        Self { vals }
+    }
+
+    /// The `f32` centroid of a code (identical bits to
+    /// `dict.decode_code(code) as f32`).
+    #[inline]
+    pub fn value(&self, code: Code) -> f32 {
+        self.vals[code.to_bits() as usize & PATTERN_MASK]
+    }
+}
+
+/// The dense `decode(ca) · decode(cw)` product table of one
+/// (activation-dict, weight-dict) pair, over all 32 × 32 code bit-patterns
+/// — outliers included.
+///
+/// Holds both precision variants (~12 KB total, L1-resident):
+///
+/// * `f64` products — `decode_a(ca) * decode_w(cw)` in exact f64, feeding
+///   the [`matmul_lut`] / [`dot_decoded`](crate::kernels::dot_decoded)
+///   reduction;
+/// * `f32` products — `(decode_a(ca) as f32) * (decode_w(cw) as f32)`,
+///   the exact multiply the dense float GEMM performs on decoded
+///   operands, feeding [`matmul_lut_bias`];
+/// * per-activation-code zero flags mirroring the float kernel's
+///   zero-operand skip (`a == 0.0` never contributes an addition there,
+///   so the LUT kernel must skip the same codes to keep identical bits).
+#[derive(Clone, PartialEq)]
+pub struct PairLut {
+    prod_f64: Vec<f64>,
+    prod_f32: Vec<f32>,
+    a_zero: [bool; CODE_PATTERNS],
+}
+
+impl PairLut {
+    /// Builds the product tables for a dictionary pair. Patterns invalid
+    /// for either dictionary hold `0.0` (never indexed by real streams).
+    pub fn new(a_dict: &TensorDict, w_dict: &TensorDict) -> Self {
+        let (a_vals, a_valid) = decode_table(a_dict);
+        let (w_vals, _) = decode_table(w_dict);
+        let mut prod_f64 = vec![0.0f64; CODE_PATTERNS * CODE_PATTERNS];
+        let mut prod_f32 = vec![0.0f32; CODE_PATTERNS * CODE_PATTERNS];
+        let mut a_zero = [false; CODE_PATTERNS];
+        for ca in 0..CODE_PATTERNS {
+            a_zero[ca] = a_valid[ca] && (a_vals[ca] as f32) == 0.0;
+            for cw in 0..CODE_PATTERNS {
+                prod_f64[ca * CODE_PATTERNS + cw] = a_vals[ca] * w_vals[cw];
+                prod_f32[ca * CODE_PATTERNS + cw] = (a_vals[ca] as f32) * (w_vals[cw] as f32);
+            }
+        }
+        Self { prod_f64, prod_f32, a_zero }
+    }
+
+    /// The exact-f64 product `decode_a(ca) · decode_w(cw)`.
+    #[inline]
+    pub fn product_f64(&self, ca: Code, cw: Code) -> f64 {
+        self.prod_f64[(ca.to_bits() as usize & PATTERN_MASK) * CODE_PATTERNS
+            + (cw.to_bits() as usize & PATTERN_MASK)]
+    }
+
+    /// The f32 product `(decode_a(ca) as f32) * (decode_w(cw) as f32)`.
+    #[inline]
+    pub fn product_f32(&self, ca: Code, cw: Code) -> f32 {
+        self.prod_f32[(ca.to_bits() as usize & PATTERN_MASK) * CODE_PATTERNS
+            + (cw.to_bits() as usize & PATTERN_MASK)]
+    }
+
+    /// One activation code's f32 product row (32 entries, indexed by
+    /// weight-code bits).
+    #[inline]
+    fn f32_row(&self, ca_bits: u8) -> &[f32] {
+        let base = (ca_bits as usize & PATTERN_MASK) * CODE_PATTERNS;
+        &self.prod_f32[base..base + CODE_PATTERNS]
+    }
+
+    /// `true` when the activation code decodes to `0.0f32` — the float
+    /// GEMM's zero-skip would drop every product with it.
+    #[inline]
+    pub fn activation_is_zero(&self, ca_bits: u8) -> bool {
+        self.a_zero[ca_bits as usize & PATTERN_MASK]
+    }
+
+    /// Approximate heap footprint, for cache accounting.
+    pub fn bytes(&self) -> usize {
+        self.prod_f64.len() * 8 + self.prod_f32.len() * 4 + self.a_zero.len()
+    }
+}
+
+impl std::fmt::Debug for PairLut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PairLut({}x{}, {} bytes)", CODE_PATTERNS, CODE_PATTERNS, self.bytes())
+    }
+}
+
+/// A quantized matrix's codes gathered into one flat **column-major**
+/// buffer — a single allocation holding every column contiguously, shared
+/// by [`matmul_lut`] and [`crate::kernels::matmul_indexed`] as their
+/// weight-side layout (both sweep whole columns per output scalar).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColMajorCodes {
+    rows: usize,
+    cols: usize,
+    codes: Vec<Code>,
+}
+
+impl ColMajorCodes {
+    /// Transposes a quantized tensor's row-major codes into the flat
+    /// column-major buffer (one allocation total).
+    pub fn from_tensor(w: &QuantizedTensor) -> Self {
+        let (rows, cols) = w.shape();
+        let src = w.codes();
+        let mut codes = vec![Code::from_bits(0); rows * cols];
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            for (j, &c) in row.iter().enumerate() {
+                codes[j * rows + r] = c;
+            }
+        }
+        Self { rows, cols, codes }
+    }
+
+    /// Rows of the original (row-major) tensor — the GEMM's `K` dimension.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the original tensor — the GEMM's `N` dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column `j` as a contiguous code slice of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col(&self, j: usize) -> &[Code] {
+        assert!(j < self.cols, "column {j} out of bounds");
+        &self.codes[j * self.rows..(j + 1) * self.rows]
+    }
+}
+
+/// One LUT dot product with the pinned
+/// [`dot_decoded`](crate::kernels::dot_decoded) lane structure: lane `l`
+/// accumulates pairs `i ≡ l (mod 4)` over the 4-wide prefix, lanes combine
+/// as `(s0 + s1) + (s2 + s3)`, the remainder is added sequentially. Each
+/// term is the table's exact f64 product, so the result is bit-identical
+/// to `dot_decoded` on the same code streams.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_lut(a_codes: &[Code], w_codes: &[Code], lut: &PairLut) -> f64 {
+    assert_eq!(a_codes.len(), w_codes.len(), "dot length mismatch");
+    let mut ca = a_codes.chunks_exact(4);
+    let mut cw = w_codes.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (xa, xw) in (&mut ca).zip(&mut cw) {
+        s0 += lut.product_f64(xa[0], xw[0]);
+        s1 += lut.product_f64(xa[1], xw[1]);
+        s2 += lut.product_f64(xa[2], xw[2]);
+        s3 += lut.product_f64(xa[3], xw[3]);
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for (&x, &y) in ca.remainder().iter().zip(cw.remainder()) {
+        acc += lut.product_f64(x, y);
+    }
+    acc
+}
+
+/// Column panel for [`matmul_lut`]: a `CJB`-column stripe of the
+/// column-major weight codes stays cache-resident while every activation
+/// row sweeps it (panel order never changes any scalar's reduction — each
+/// output is one independent [`dot_lut`]).
+const CJB: usize = 64;
+
+/// Index-domain GEMM through the pair LUT: `A (M×K) · W (K×N)` where both
+/// operands stay as codes and every product is one table gather.
+///
+/// Each output scalar is computed by [`dot_lut`] and is therefore
+/// **bit-identical** to [`crate::kernels::dot_decoded`] over the same row
+/// and column codes — the property tests pin this per scalar.
+///
+/// # Panics
+///
+/// Panics if inner dimensions differ.
+pub fn matmul_lut(a: &QuantizedTensor, w_cols: &ColMajorCodes, lut: &PairLut) -> Matrix {
+    assert_eq!(a.cols(), w_cols.rows(), "matmul_lut inner dimension mismatch");
+    let (m, n) = (a.rows(), w_cols.cols());
+    let mut out = Matrix::zeros(m, n);
+    for j0 in (0..n).step_by(CJB) {
+        let jb = CJB.min(n - j0);
+        for i in 0..m {
+            let a_row = a.row_codes(i);
+            let o_row = &mut out.row_mut(i)[j0..j0 + jb];
+            for (o, j) in o_row.iter_mut().zip(j0..) {
+                *o = dot_lut(a_row, w_cols.col(j), lut) as f32;
+            }
+        }
+    }
+    out
+}
+
+/// Index-domain fused GEMM + bias mirroring
+/// `mokey_tensor::Matrix::matmul_bias` bit for bit: the bias is pre-loaded
+/// into each output row, `k` is swept in ascending order with exactly one
+/// f32 addition per contributing element, and activation codes decoding to
+/// `0.0f32` are skipped — the float kernel's zero-operand skip, applied in
+/// the code domain. Because each added term is the table's
+/// `(decode_a as f32) * (decode_w as f32)` product (the exact multiply the
+/// float kernel performs), every output row equals
+/// `decoded_a.matmul_bias(&decoded_w, bias)` to the bit.
+///
+/// `a_bits` holds `m × k` activation code bytes row-major. A row whose
+/// first byte is [`SKIP_CODE`] was never encoded (packed padding): it gets
+/// the bias and no dot products. `w` is the row-major quantized weight
+/// (`k × n`).
+///
+/// # Panics
+///
+/// Panics if `a_bits` is not `m × k`, `w` is not `k × n`, or the bias is
+/// not `n` wide.
+pub fn matmul_lut_bias(
+    a_bits: &[u8],
+    m: usize,
+    k: usize,
+    w: &QuantizedTensor,
+    bias: &[f32],
+    lut: &PairLut,
+) -> Matrix {
+    assert_eq!(a_bits.len(), m * k, "activation code buffer is not {m}x{k}");
+    assert_eq!(w.rows(), k, "matmul_lut_bias inner dimension mismatch");
+    let n = w.cols();
+    assert_eq!(bias.len(), n, "bias width mismatch");
+    let mut data = Vec::with_capacity(m * n);
+    for _ in 0..m {
+        data.extend_from_slice(bias);
+    }
+    let w_codes = w.codes();
+    for i in 0..m {
+        let a_row = &a_bits[i * k..(i + 1) * k];
+        if a_row.first() == Some(&SKIP_CODE) {
+            continue;
+        }
+        let o_row = &mut data[i * n..(i + 1) * n];
+        for (kk, &ca) in a_row.iter().enumerate() {
+            debug_assert!(ca != SKIP_CODE, "skip sentinel inside an encoded row");
+            if lut.activation_is_zero(ca) {
+                continue;
+            }
+            let prod_row = lut.f32_row(ca);
+            let w_row = &w_codes[kk * n..(kk + 1) * n];
+            for (o, &cw) in o_row.iter_mut().zip(w_row) {
+                *o += prod_row[cw.to_bits() as usize & PATTERN_MASK];
+            }
+        }
+    }
+    Matrix::from_vec(m, n, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::ExpCurve;
+    use crate::dict::{OutlierPolicy, TensorDictConfig};
+    use crate::kernels::{dot_decoded, matmul_indexed};
+    use mokey_tensor::init::GaussianMixture;
+
+    fn quantized_pair(
+        m: usize,
+        k: usize,
+        n: usize,
+        seed: u64,
+    ) -> (QuantizedTensor, QuantizedTensor) {
+        let curve = ExpCurve::paper();
+        let a = GaussianMixture::activation_like(0.3, 1.2).sample_matrix(m, k, seed);
+        let w = GaussianMixture::weight_like(-0.01, 0.06).sample_matrix(k, n, seed + 1000);
+        (
+            QuantizedTensor::encode_with_own_dict(&a, &curve, &Default::default()).unwrap(),
+            QuantizedTensor::encode_with_own_dict(&w, &curve, &Default::default()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn decode_lut_matches_decode_code_for_every_valid_pattern() {
+        let (qa, qw) = quantized_pair(4, 64, 4, 3);
+        for dict in [qa.dict(), qw.dict()] {
+            let lut = DecodeLut::new(dict);
+            for bits in 0..32u8 {
+                let code = Code::from_bits(bits);
+                let table =
+                    if code.is_outlier() { dict.ot_magnitudes() } else { dict.g_magnitudes() };
+                if (code.index() as usize) < table.len() {
+                    assert_eq!(
+                        lut.value(code).to_bits(),
+                        (dict.decode_code(code) as f32).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_lut_products_match_decoded_products() {
+        let (qa, qw) = quantized_pair(4, 64, 4, 7);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        for &ca in qa.codes() {
+            for &cw in qw.codes() {
+                let expect = qa.dict().decode_code(ca) * qw.dict().decode_code(cw);
+                assert_eq!(lut.product_f64(ca, cw).to_bits(), expect.to_bits());
+                let expect32 =
+                    (qa.dict().decode_code(ca) as f32) * (qw.dict().decode_code(cw) as f32);
+                assert_eq!(lut.product_f32(ca, cw).to_bits(), expect32.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pair_lut_handles_short_and_empty_outlier_tables() {
+        // Disabled outlier policy → empty OT table; every OT bit-pattern is
+        // invalid and must build (as 0.0) without panicking.
+        let curve = ExpCurve::paper();
+        let vals = GaussianMixture::weight_like(0.0, 0.05).sample_matrix(32, 32, 5);
+        let config = TensorDictConfig { policy: OutlierPolicy::Disabled, ..Default::default() };
+        let no_ot = TensorDict::for_values(vals.as_slice(), &curve, &config).unwrap();
+        assert!(no_ot.ot_magnitudes().is_empty());
+        let with_ot = TensorDict::for_values(vals.as_slice(), &curve, &Default::default()).unwrap();
+        let lut = PairLut::new(&no_ot, &with_ot);
+        // An outlier activation pattern is invalid for the G-only dict.
+        let ot_code = Code::new(true, false, 0);
+        let g_code = Code::new(false, false, 3);
+        assert_eq!(lut.product_f64(ot_code, g_code), 0.0);
+        assert!(!lut.activation_is_zero(ot_code.to_bits()));
+    }
+
+    #[test]
+    fn col_major_codes_match_per_column_gather() {
+        let (_, qw) = quantized_pair(2, 48, 7, 11);
+        let cols = ColMajorCodes::from_tensor(&qw);
+        assert_eq!((cols.rows(), cols.cols()), qw.shape());
+        for j in 0..qw.cols() {
+            let expect: Vec<Code> = (0..qw.rows()).map(|r| qw.row_codes(r)[j]).collect();
+            assert_eq!(cols.col(j), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn dot_lut_is_bit_identical_to_dot_decoded() {
+        // One wide pair; prefixes exercise empty, sub-lane, and remainder
+        // lengths against the same dictionaries.
+        let (qa, qw) = quantized_pair(1, 513, 1, 17);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        for len in [0usize, 1, 3, 4, 7, 128, 513] {
+            let fast = dot_lut(&qa.codes()[..len], &qw.codes()[..len], &lut);
+            let reference =
+                dot_decoded(&qa.codes()[..len], qa.dict(), &qw.codes()[..len], qw.dict());
+            assert_eq!(fast.to_bits(), reference.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn matmul_lut_is_bit_identical_to_per_scalar_dot_decoded() {
+        let (qa, qw) = quantized_pair(6, 130, 70, 23);
+        let cols = ColMajorCodes::from_tensor(&qw);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let out = matmul_lut(&qa, &cols, &lut);
+        assert_eq!(out.shape(), (6, 70));
+        for i in 0..6 {
+            for j in 0..70 {
+                let expect = dot_decoded(qa.row_codes(i), qa.dict(), cols.col(j), qw.dict()) as f32;
+                assert_eq!(out[(i, j)].to_bits(), expect.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_lut_tracks_matmul_indexed_numerically() {
+        let (qa, qw) = quantized_pair(5, 96, 9, 31);
+        let cols = ColMajorCodes::from_tensor(&qw);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let fast = matmul_lut(&qa, &cols, &lut);
+        let slow = matmul_indexed(&qa, &qw);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_lut_bias_is_bit_identical_to_dense_matmul_bias() {
+        let (qa, qw) = quantized_pair(9, 300, 33, 41);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let bias: Vec<f32> = (0..33).map(|j| j as f32 * 0.01 - 0.15).collect();
+        let a_bits: Vec<u8> = qa.codes().iter().map(|c| c.to_bits()).collect();
+        let fast = matmul_lut_bias(&a_bits, 9, 300, &qw, &bias, &lut);
+        let reference = qa.decode().matmul_bias(&qw.decode(), &bias);
+        assert_eq!(fast.shape(), reference.shape());
+        for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_lut_bias_skip_rows_emit_bias_and_leave_others_identical() {
+        let (qa, qw) = quantized_pair(5, 64, 8, 47);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let bias = [0.5f32, -1.0, 0.25, 2.0, 0.0, 1.5, -0.75, 0.125];
+        let mut a_bits: Vec<u8> = qa.codes().iter().map(|c| c.to_bits()).collect();
+        // Mark rows 1 and 4 as never-encoded padding.
+        for r in [1usize, 4] {
+            for b in &mut a_bits[r * 64..(r + 1) * 64] {
+                *b = SKIP_CODE;
+            }
+        }
+        let out = matmul_lut_bias(&a_bits, 5, 64, &qw, &bias, &lut);
+        for r in [1usize, 4] {
+            assert_eq!(out.row(r), &bias);
+        }
+        // Valid rows are bit-identical to the dense reference (row
+        // independence: padding rows never influence neighbours).
+        let reference = qa.decode().matmul_bias(&qw.decode(), &bias);
+        for r in [0usize, 2, 3] {
+            for (a, b) in out.row(r).iter().zip(reference.row(r)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_lut_bias_zero_centroid_skip_matches_float_zero_skip() {
+        // A dictionary whose shift/scale land a centroid exactly on 0.0f32
+        // exercises the zero-skip parity: the float kernel skips a == 0.0,
+        // the LUT kernel must skip the same codes.
+        let (qa, qw) = quantized_pair(4, 128, 6, 53);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let any_zero = (0..32u8).any(|b| lut.activation_is_zero(b));
+        // With Gaussian-mixture activations a zero centroid is unlikely;
+        // the invariant itself (flag ⇔ decoded f32 is 0.0) always holds.
+        let decode = DecodeLut::new(qa.dict());
+        for bits in 0..32u8 {
+            let code = Code::from_bits(bits);
+            let table = if code.is_outlier() {
+                qa.dict().ot_magnitudes()
+            } else {
+                qa.dict().g_magnitudes()
+            };
+            if (code.index() as usize) < table.len() {
+                assert_eq!(lut.activation_is_zero(bits), decode.value(code) == 0.0);
+            }
+        }
+        let _ = any_zero;
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes_are_handled() {
+        let (qa, qw) = quantized_pair(1, 8, 3, 61);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let cols = ColMajorCodes::from_tensor(&qw);
+        // Zero-row activation: empty output.
+        let out = matmul_lut_bias(&[], 0, 8, &qw, &[0.0; 3], &lut);
+        assert_eq!(out.shape(), (0, 3));
+        let empty = dot_lut(&[], &[], &lut);
+        assert_eq!(empty, 0.0);
+        let _ = cols;
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_lut_shape_mismatch_panics() {
+        let (qa, qw) = quantized_pair(2, 8, 2, 71);
+        let (qa2, _) = quantized_pair(2, 16, 2, 73);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let cols = ColMajorCodes::from_tensor(&qw);
+        let _ = matmul_lut(&qa2, &cols, &lut);
+    }
+}

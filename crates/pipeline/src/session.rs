@@ -7,13 +7,14 @@ use mokey_core::curve::ExpCurve;
 use mokey_core::dict::{TensorDict, TensorDictConfig};
 use mokey_core::encode::QuantizedTensor;
 use mokey_core::golden::{GoldenConfig, GoldenDictionary};
+use mokey_core::lut::PairLut;
 use mokey_core::profile::ProfileConfig;
 use mokey_tensor::stats::Summary;
 use mokey_tensor::Matrix;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Where the session's exponential curve comes from.
@@ -115,6 +116,9 @@ impl QuantSessionBuilder {
             cache: self.cache_dicts.then(|| Mutex::new(HashMap::new())),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            pair_luts: Mutex::new(HashMap::new()),
+            lut_hits: AtomicUsize::new(0),
+            lut_misses: AtomicUsize::new(0),
             setup_nanos: duration_nanos(t0.elapsed()),
             profile_nanos: AtomicU64::new(0),
             dict_nanos: AtomicU64::new(0),
@@ -168,6 +172,10 @@ pub struct SessionReport {
     pub dicts_built: usize,
     /// Dictionary-cache counters (zero when the cache is disabled).
     pub cache: CacheStats,
+    /// Pair-LUT cache counters (index-domain product tables, keyed by
+    /// dictionary content fingerprints so identical dictionaries — even
+    /// across models — share one table).
+    pub pair_luts: CacheStats,
     /// Per-stage elapsed time.
     pub stages: StageTimings,
 }
@@ -185,6 +193,11 @@ impl fmt::Display for SessionReport {
             f,
             "  dictionaries built : {} (cache: {} hits / {} misses)",
             self.dicts_built, self.cache.hits, self.cache.misses
+        )?;
+        writeln!(
+            f,
+            "  pair LUTs built    : {} (cache: {} hits / {} misses)",
+            self.pair_luts.misses, self.pair_luts.hits, self.pair_luts.misses
         )?;
         writeln!(f, "  stage setup        : {:9.3} ms", ms(self.stages.setup))?;
         writeln!(f, "  stage profiling    : {:9.3} ms", ms(self.stages.profiling))?;
@@ -265,6 +278,9 @@ pub struct QuantSession {
     cache: Option<Mutex<HashMap<DictKey, TensorDict>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    pair_luts: Mutex<HashMap<(u64, u64), Arc<PairLut>>>,
+    lut_hits: AtomicUsize,
+    lut_misses: AtomicUsize,
     setup_nanos: u64,
     profile_nanos: AtomicU64,
     dict_nanos: AtomicU64,
@@ -323,6 +339,35 @@ impl QuantSession {
         }
     }
 
+    /// Pair-LUT cache counters (see [`QuantSession::pair_lut`]).
+    pub fn pair_lut_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.lut_hits.load(Ordering::Relaxed),
+            misses: self.lut_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Builds (or fetches from cache) the dense product table for an
+    /// (activation-dictionary, weight-dictionary) pair.
+    ///
+    /// The cache key is the pair of dictionary content
+    /// [fingerprints](TensorDict::fingerprint), so any two dictionaries
+    /// with identical parameters — including dictionaries belonging to
+    /// different models prepared through the same session — share one
+    /// table.
+    pub fn pair_lut(&self, a_dict: &TensorDict, w_dict: &TensorDict) -> Arc<PairLut> {
+        let key = (a_dict.fingerprint(), w_dict.fingerprint());
+        let mut cache = self.pair_luts.lock().expect("pair-LUT cache lock");
+        if let Some(lut) = cache.get(&key) {
+            self.lut_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(lut);
+        }
+        let lut = Arc::new(PairLut::new(a_dict, w_dict));
+        self.lut_misses.fetch_add(1, Ordering::Relaxed);
+        cache.insert(key, Arc::clone(&lut));
+        lut
+    }
+
     /// Snapshot of what the session has done so far: tensors quantized,
     /// cache behaviour, and elapsed time per pipeline stage.
     pub fn report(&self) -> SessionReport {
@@ -331,6 +376,7 @@ impl QuantSession {
             values_quantized: self.values_quantized.load(Ordering::Relaxed),
             dicts_built: self.dicts_built.load(Ordering::Relaxed),
             cache: self.cache_stats(),
+            pair_luts: self.pair_lut_stats(),
             stages: StageTimings {
                 setup: Duration::from_nanos(self.setup_nanos),
                 profiling: Duration::from_nanos(self.profile_nanos.load(Ordering::Relaxed)),
@@ -603,6 +649,32 @@ mod tests {
         {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
+    }
+
+    #[test]
+    fn pair_lut_cache_reuses_tables_across_identical_dicts() {
+        let session = QuantSession::builder().parallelism(Parallelism::Serial).build();
+        let a = weight(31);
+        let w = weight(32);
+        let qa = session.quantize_tensor("a", &a).unwrap();
+        let qw = session.quantize_tensor("w", &w).unwrap();
+        let lut1 = session.pair_lut(qa.dict(), qw.dict());
+        assert_eq!(session.pair_lut_stats(), CacheStats { hits: 0, misses: 1 });
+        // Same pair again: served from cache, same allocation.
+        let lut2 = session.pair_lut(qa.dict(), qw.dict());
+        assert!(Arc::ptr_eq(&lut1, &lut2));
+        // A *content-identical* dictionary built separately (as a second
+        // model sharing weights would produce) also hits.
+        let qw2 = session.quantize_tensor("other-model.w", &w).unwrap();
+        let lut3 = session.pair_lut(qa.dict(), qw2.dict());
+        assert!(Arc::ptr_eq(&lut1, &lut3));
+        assert_eq!(session.pair_lut_stats(), CacheStats { hits: 2, misses: 1 });
+        // The reversed pair is a distinct table.
+        let _ = session.pair_lut(qw.dict(), qa.dict());
+        assert_eq!(session.pair_lut_stats(), CacheStats { hits: 2, misses: 2 });
+        let report = session.report();
+        assert_eq!(report.pair_luts, CacheStats { hits: 2, misses: 2 });
+        assert!(report.to_string().contains("pair LUTs built"));
     }
 
     #[test]

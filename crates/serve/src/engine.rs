@@ -34,7 +34,7 @@ use crate::prepared::PreparedModel;
 use crate::queue::{PushError, TaggedQueue};
 use crate::registry::{next_registry_nonce, ModelId, ModelRegistry, ModelServeConfig};
 use mokey_transformer::exec::QuantizedStats;
-use mokey_transformer::TaskOutput;
+use mokey_transformer::{ExecMode, TaskOutput};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -60,6 +60,13 @@ pub struct ServeConfig {
     /// (batches form FIFO regardless of length). Batches additionally
     /// never mix models, whatever this is set to.
     pub length_bucket: usize,
+    /// How workers evaluate the projection/FFN GEMMs:
+    /// [`ExecMode::Decoded`] (dense float GEMMs over decoded centroids,
+    /// the default) or [`ExecMode::IndexDomain`] (LUT GEMMs over retained
+    /// codes — bit-identical responses, typically faster). Per-model
+    /// overrides via
+    /// [`ModelServeConfig::mode`](crate::ModelServeConfig::mode).
+    pub mode: ExecMode,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +77,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(1),
             queue_capacity: 128,
             length_bucket: 8,
+            mode: ExecMode::Decoded,
         }
     }
 }
@@ -206,6 +214,9 @@ struct ModelSlot<'m> {
     length_bucket: usize,
     /// This model's admission quota, if capped.
     queue_quota: Option<usize>,
+    /// This model's execution mode ([`ModelServeConfig::mode`] or the
+    /// engine default).
+    mode: ExecMode,
     metrics: Metrics,
 }
 
@@ -419,7 +430,7 @@ fn worker_loop(shared: &Shared<'_>) {
         let batch_size = batch.len();
         let (requests, tokens): (Vec<_>, Vec<_>) =
             batch.into_iter().map(|r| ((r.id, r.accepted_at, r.tx), r.tokens)).unzip();
-        let run = slot.model.infer_batch(&tokens);
+        let run = slot.model.infer_batch_mode(&tokens, slot.mode);
         shared.metrics.note_packing(&run.packing);
         slot.metrics.note_packing(&run.packing);
         for ((id, accepted_at, tx), (output, stats)) in requests.into_iter().zip(run.results) {
@@ -457,6 +468,7 @@ where
                 max_batch: serve.max_batch.unwrap_or(config.max_batch),
                 length_bucket: serve.length_bucket.unwrap_or(config.length_bucket),
                 queue_quota: serve.queue_quota,
+                mode: serve.mode.unwrap_or(config.mode),
                 metrics: Metrics::new(),
             })
             .collect(),
@@ -815,6 +827,7 @@ mod tests {
             max_wait: Duration::from_millis(50),
             queue_capacity: 32,
             length_bucket: 0,
+            ..ServeConfig::default()
         };
         let (responses, _) = serve_registry(&registry, config, |handle| {
             let tickets: Vec<_> = (0..10)

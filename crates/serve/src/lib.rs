@@ -80,6 +80,7 @@ pub mod wire;
 pub use engine::{serve, serve_registry, Response, ServeConfig, ServeHandle, SubmitError, Ticket};
 pub use loadgen::{drive_socket_clients, LoadGen, SocketConnectionReport, SocketLoadReport};
 pub use metrics::{LatencyHistogram, Metrics, MetricsReport, ServeReport};
+pub use mokey_transformer::ExecMode;
 pub use net::{serve_net, NetConfig, NetHandle};
 pub use prepared::PreparedModel;
 pub use registry::{ModelId, ModelRegistry, ModelServeConfig, RegistryError};

@@ -10,7 +10,9 @@
 //! process lifetime. Thread-safety is pinned at compile time below.
 
 use mokey_pipeline::{PipelineError, QuantSession, QuantizationReport, QuantizeSpec};
-use mokey_transformer::exec::{BatchRun, QuantizedContext, QuantizedExecutor, QuantizedStats};
+use mokey_transformer::exec::{
+    BatchRun, ExecMode, QuantizedContext, QuantizedExecutor, QuantizedStats,
+};
 use mokey_transformer::quantize::QuantizedModel;
 use mokey_transformer::{Model, TaskOutput};
 
@@ -126,6 +128,13 @@ impl PreparedModel {
     /// reports how the batch was packed.
     pub fn infer_batch(&self, batch: &[Vec<usize>]) -> BatchRun {
         self.ctx.infer_batch(&self.model, batch)
+    }
+
+    /// [`PreparedModel::infer_batch`] with an explicit execution mode
+    /// ([`ExecMode::IndexDomain`] runs the projection/FFN GEMMs on codes
+    /// via pair-LUTs; outputs and counters stay bit-identical).
+    pub fn infer_batch_mode(&self, batch: &[Vec<usize>], mode: ExecMode) -> BatchRun {
+        self.ctx.infer_batch_mode(&self.model, batch, mode)
     }
 }
 

@@ -109,6 +109,10 @@ pub struct ModelServeConfig {
     /// [`SubmitError::ModelQuotaExceeded`](crate::SubmitError) instead
     /// of starving other models of queue space.
     pub queue_quota: Option<usize>,
+    /// This model's execution mode (overrides
+    /// [`ServeConfig::mode`](crate::ServeConfig): decoded float GEMMs vs
+    /// index-domain LUT GEMMs — responses are bit-identical either way).
+    pub mode: Option<mokey_transformer::ExecMode>,
 }
 
 /// Why a model could not be registered.
@@ -439,8 +443,12 @@ mod tests {
     fn serve_overrides_attach_at_registration_and_update_in_place() {
         let mut registry = registry_with(false);
         let spec = QuantizeSpec::weights_only();
-        let tuned =
-            ModelServeConfig { max_batch: Some(2), length_bucket: Some(0), queue_quota: Some(4) };
+        let tuned = ModelServeConfig {
+            max_batch: Some(2),
+            length_bucket: Some(0),
+            queue_quota: Some(4),
+            mode: Some(mokey_transformer::ExecMode::IndexDomain),
+        };
         let a = registry
             .register_with("a", Model::synthesize(&config(), Head::Span, 3), spec, &[], tuned)
             .unwrap();

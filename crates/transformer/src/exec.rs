@@ -16,10 +16,13 @@
 use crate::model::{Model, TaskOutput};
 use crate::packed::{PackedBatch, PackedLayout};
 use mokey_core::dict::TensorDict;
+use mokey_core::encode::QuantizedTensor;
+use mokey_core::lut::{matmul_lut_bias, DecodeLut, PairLut, SKIP_CODE};
 use mokey_core::profile::ActivationProfiler;
 use mokey_fixed::{snap_to_grid, QFormat};
 use mokey_tensor::Matrix;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Hooks invoked by the shared forward-pass implementation.
 ///
@@ -55,6 +58,47 @@ pub trait Executor {
     fn gemm_output_packed(&mut self, name: &str, m: Matrix, _layout: &PackedLayout) -> Matrix {
         self.gemm_output(name, m)
     }
+
+    /// Optionally computes a fused GEMM + bias itself, replacing the
+    /// float `x·W + b` entirely (the index-domain LUT path). Returning
+    /// `None` keeps the default float GEMM; either way the result is
+    /// still routed through [`Executor::gemm_output`].
+    fn linear(
+        &mut self,
+        _weight_name: &str,
+        _x: &Matrix,
+        _w: &Matrix,
+        _b: &[f32],
+    ) -> Option<Matrix> {
+        None
+    }
+
+    /// Packed-batch variant of [`Executor::linear`].
+    fn linear_packed(
+        &mut self,
+        weight_name: &str,
+        x: &Matrix,
+        w: &Matrix,
+        b: &[f32],
+        _layout: &PackedLayout,
+    ) -> Option<Matrix> {
+        self.linear(weight_name, x, w, b)
+    }
+}
+
+/// How a [`QuantizedExecutor`] evaluates the projection/FFN GEMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Decode codes to centroid floats and run the dense float GEMM
+    /// (the reference path).
+    #[default]
+    Decoded,
+    /// Keep activations as codes and gather precomputed centroid
+    /// products from per-dictionary-pair tables
+    /// ([`mokey_core::lut::PairLut`]) — bit-identical to
+    /// [`ExecMode::Decoded`] by construction, falling back to it for any
+    /// GEMM without retained weight codes.
+    IndexDomain,
 }
 
 /// The FP32 reference path: every hook is the identity.
@@ -92,8 +136,22 @@ impl Executor for ProfilingExecutor<'_> {
     }
 }
 
+/// Everything the index-domain path retains for one projection/FFN GEMM:
+/// the weight's codes, the product table for its (activation, weight)
+/// dictionary pair, and which activation tensor feeds it.
+#[derive(Debug, Clone)]
+pub struct LutLinear {
+    /// Name of the activation tensor this weight multiplies.
+    pub act_name: String,
+    /// The weight's codes (row-major, `k × n` like the decoded matrix).
+    pub codes: QuantizedTensor,
+    /// Dense product table over the (activation-dict, weight-dict) pair.
+    pub lut: Arc<PairLut>,
+}
+
 /// Everything the quantized path needs, shared read-only across worker
-/// threads.
+/// threads. Build with [`QuantizedContext::new`]; optionally attach
+/// index-domain LUT state with [`QuantizedContext::set_index_domain`].
 #[derive(Debug, Clone)]
 pub struct QuantizedContext {
     /// Decoded centroid weight matrices (present when weights are
@@ -105,6 +163,41 @@ pub struct QuantizedContext {
     /// Per-GEMM-output 16-bit fixed-point formats (Eq. 7 from profiled
     /// ranges).
     pub out_formats: BTreeMap<String, QFormat>,
+    /// Per-activation-dictionary decode tables (mirrors `act_dicts`):
+    /// replaces the branchy per-value `decode_code` in the hot encoding
+    /// hooks with one table gather, bit-identically.
+    pub(crate) act_decode: BTreeMap<String, DecodeLut>,
+    /// Index-domain state, keyed by weight name (empty until
+    /// [`QuantizedContext::set_index_domain`]).
+    pub(crate) luts: BTreeMap<String, LutLinear>,
+    /// Activation tensors whose codes the index-domain executor must
+    /// retain (the `act_name`s of `luts`).
+    pub(crate) encoded_acts: BTreeSet<String>,
+}
+
+/// Names of the activation tensors that can feed a weight's GEMM, in
+/// lookup order (only `head.proj` has two candidates — the head variant
+/// decides which one exists).
+pub(crate) fn feeding_activations(weight_name: &str) -> Vec<String> {
+    if let Some(pre) = weight_name
+        .strip_suffix(".attn.wq")
+        .or_else(|| weight_name.strip_suffix(".attn.wk"))
+        .or_else(|| weight_name.strip_suffix(".attn.wv"))
+    {
+        vec![format!("{pre}.attn.input")]
+    } else if let Some(pre) = weight_name.strip_suffix(".attn.wo") {
+        vec![format!("{pre}.attn.context")]
+    } else if let Some(pre) = weight_name.strip_suffix(".ffn.w1") {
+        vec![format!("{pre}.ffn.input")]
+    } else if let Some(pre) = weight_name.strip_suffix(".ffn.w2") {
+        vec![format!("{pre}.ffn.mid")]
+    } else if weight_name == "head.pooler" {
+        vec!["head.cls".to_string()]
+    } else if weight_name == "head.proj" {
+        vec!["head.pooled".to_string(), "head.span_input".to_string()]
+    } else {
+        Vec::new()
+    }
 }
 
 /// Largest fraction of a pack's rows that may be padding before a shorter
@@ -164,6 +257,44 @@ pub struct BatchRun {
 }
 
 impl QuantizedContext {
+    /// Builds a context from the session products, deriving the
+    /// per-dictionary decode tables.
+    pub fn new(
+        weights: BTreeMap<String, Matrix>,
+        act_dicts: BTreeMap<String, TensorDict>,
+        out_formats: BTreeMap<String, QFormat>,
+    ) -> Self {
+        let act_decode =
+            act_dicts.iter().map(|(name, dict)| (name.clone(), DecodeLut::new(dict))).collect();
+        Self {
+            weights,
+            act_dicts,
+            out_formats,
+            act_decode,
+            luts: BTreeMap::new(),
+            encoded_acts: BTreeSet::new(),
+        }
+    }
+
+    /// Attaches index-domain state: per-weight codes and pair-LUTs.
+    /// [`ExecMode::IndexDomain`] execution serves every listed weight's
+    /// GEMM from its table and falls back to the decoded float GEMM for
+    /// the rest.
+    pub fn set_index_domain(&mut self, luts: BTreeMap<String, LutLinear>) {
+        self.encoded_acts = luts.values().map(|l| l.act_name.clone()).collect();
+        self.luts = luts;
+    }
+
+    /// Whether any GEMM has index-domain state attached.
+    pub fn has_index_domain(&self) -> bool {
+        !self.luts.is_empty()
+    }
+
+    /// Index-domain state of a named weight, if retained.
+    pub fn lut_linear(&self, weight_name: &str) -> Option<&LutLinear> {
+        self.luts.get(weight_name)
+    }
+
     /// Runs a coalesced batch of requests — the serving engine's batched
     /// path. Requests are grouped by sequence length (shorter requests
     /// may join a longer group while padding stays within
@@ -176,6 +307,19 @@ impl QuantizedContext {
     /// each request alone, regardless of grouping — the layout-aware
     /// executor hooks encode exactly the elements a solo run would.
     pub fn infer_batch(&self, model: &Model, batch: &[Vec<usize>]) -> BatchRun {
+        self.infer_batch_mode(model, batch, ExecMode::Decoded)
+    }
+
+    /// [`QuantizedContext::infer_batch`] with an explicit execution mode.
+    /// [`ExecMode::IndexDomain`] results are bit-identical to
+    /// [`ExecMode::Decoded`] (outputs and counters) — the LUT kernel
+    /// reproduces the float GEMM's reduction exactly.
+    pub fn infer_batch_mode(
+        &self,
+        model: &Model,
+        batch: &[Vec<usize>],
+        mode: ExecMode,
+    ) -> BatchRun {
         let mut order: Vec<usize> = (0..batch.len()).collect();
         // Longest first; stable, so equal lengths keep submission order.
         order.sort_by_key(|&i| std::cmp::Reverse(batch[i].len()));
@@ -205,14 +349,14 @@ impl QuantizedContext {
                 packing.packed_requests += pack.requests();
                 packing.packed_rows += pack.total_rows();
                 packing.pad_rows += pack.pad_rows();
-                let outs = self.infer_packed_planned(model, &pack, &refs);
+                let outs = self.infer_packed_planned(model, &pack, &refs, mode);
                 for (&i, pair) in group.iter().zip(outs) {
                     total.merge(&pair.1);
                     results[i] = Some(pair);
                 }
             } else {
                 for &i in group {
-                    let mut exec = QuantizedExecutor::new(self);
+                    let mut exec = QuantizedExecutor::with_mode(self, mode);
                     let out = model.infer(&mut exec, &batch[i]);
                     let stats = exec.stats();
                     total.merge(&stats);
@@ -240,7 +384,7 @@ impl QuantizedContext {
         model: &Model,
         batch: &[&[usize]],
     ) -> Vec<(TaskOutput, QuantizedStats)> {
-        self.infer_packed_planned(model, &PackedBatch::new(batch), batch)
+        self.infer_packed_planned(model, &PackedBatch::new(batch), batch, ExecMode::Decoded)
     }
 
     /// [`QuantizedContext::infer_packed`] with an already-built pack plan
@@ -250,8 +394,9 @@ impl QuantizedContext {
         model: &Model,
         pack: &PackedBatch,
         batch: &[&[usize]],
+        mode: ExecMode,
     ) -> Vec<(TaskOutput, QuantizedStats)> {
-        let mut exec = QuantizedExecutor::new(self);
+        let mut exec = QuantizedExecutor::with_mode(self, mode);
         let hidden = model.forward_packed(&mut exec, pack, batch);
         let outputs = model.apply_head_packed(&mut exec, &hidden, pack);
         let mut per_request = exec.take_per_request();
@@ -295,6 +440,17 @@ impl QuantizedStats {
     }
 }
 
+/// The code form of one encoded activation tensor, retained by the
+/// index-domain executor so the following GEMM can run on codes. Packed
+/// padding rows (never encoded) are filled with
+/// [`SKIP_CODE`](mokey_core::lut::SKIP_CODE).
+#[derive(Debug, Clone)]
+struct ActCodes {
+    bits: Vec<u8>,
+    rows: usize,
+    cols: usize,
+}
+
 /// Mokey quantized inference.
 #[derive(Debug)]
 pub struct QuantizedExecutor<'a> {
@@ -303,17 +459,47 @@ pub struct QuantizedExecutor<'a> {
     /// Per-request counters, filled by the packed hooks (empty until a
     /// packed forward pass runs).
     per_request: Vec<QuantizedStats>,
+    mode: ExecMode,
+    /// Retained activation codes, by activation name (index mode only;
+    /// only names in the context's `encoded_acts` are kept).
+    act_codes: BTreeMap<String, ActCodes>,
+    /// GEMMs actually served from a pair-LUT (diagnostics/tests).
+    lut_gemms: usize,
 }
 
 impl<'a> QuantizedExecutor<'a> {
-    /// Creates an executor over a shared context.
+    /// Creates an executor over a shared context (decoded mode).
     pub fn new(ctx: &'a QuantizedContext) -> Self {
-        Self { ctx, stats: QuantizedStats::default(), per_request: Vec::new() }
+        Self::with_mode(ctx, ExecMode::Decoded)
+    }
+
+    /// Creates an executor with an explicit execution mode.
+    pub fn with_mode(ctx: &'a QuantizedContext, mode: ExecMode) -> Self {
+        Self {
+            ctx,
+            stats: QuantizedStats::default(),
+            per_request: Vec::new(),
+            mode,
+            act_codes: BTreeMap::new(),
+            lut_gemms: 0,
+        }
     }
 
     /// Counters accumulated so far.
     pub fn stats(&self) -> QuantizedStats {
         self.stats
+    }
+
+    /// How many GEMMs this executor served from pair-LUTs (always zero
+    /// in decoded mode).
+    pub fn lut_gemms(&self) -> usize {
+        self.lut_gemms
+    }
+
+    /// Whether this activation's codes must be retained for a following
+    /// index-domain GEMM.
+    fn retains(&self, name: &str) -> bool {
+        self.mode == ExecMode::IndexDomain && self.ctx.encoded_acts.contains(name)
     }
 
     /// Drains the per-request counters a packed forward pass accumulated
@@ -335,6 +521,10 @@ impl Executor for QuantizedExecutor<'_> {
         let Some(dict) = self.ctx.act_dicts.get(name) else {
             return m;
         };
+        let decode = self.ctx.act_decode.get(name).copied().unwrap_or_else(|| DecodeLut::new(dict));
+        let retain = self.retains(name);
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut bits = if retain { Vec::with_capacity(rows * cols) } else { Vec::new() };
         let mut out = m;
         for v in out.as_mut_slice() {
             let code = dict.encode_value(*v);
@@ -342,7 +532,13 @@ impl Executor for QuantizedExecutor<'_> {
             if code.is_outlier() {
                 self.stats.act_outliers += 1;
             }
-            *v = dict.decode_code(code) as f32;
+            if retain {
+                bits.push(code.to_bits());
+            }
+            *v = decode.value(code);
+        }
+        if retain {
+            self.act_codes.insert(name.to_string(), ActCodes { bits, rows, cols });
         }
         out
     }
@@ -373,20 +569,29 @@ impl Executor for QuantizedExecutor<'_> {
         let Some(dict) = self.ctx.act_dicts.get(name) else {
             return m;
         };
-        let width = m.cols();
+        let decode = self.ctx.act_decode.get(name).copied().unwrap_or_else(|| DecodeLut::new(dict));
+        let retain = self.retains(name);
+        let (rows, width) = (m.rows(), m.cols());
+        // Padding rows are never encoded; the skip sentinel tells the LUT
+        // kernel to emit their bias rows without decoding anything.
+        let mut bits = if retain { vec![SKIP_CODE; rows * width] } else { Vec::new() };
         let mut out = m;
         let mut deltas = vec![QuantizedStats::default(); layout.regions.len()];
         for (region, delta) in layout.regions.iter().zip(&mut deltas) {
             let cols = region.cols.unwrap_or(width);
             for &(start, count) in &region.row_blocks {
                 for r in start..start + count {
-                    for v in &mut out.row_mut(r)[..cols] {
+                    let row_base = r * width;
+                    for (ci, v) in out.row_mut(r)[..cols].iter_mut().enumerate() {
                         let code = dict.encode_value(*v);
                         delta.act_values += 1;
                         if code.is_outlier() {
                             delta.act_outliers += 1;
                         }
-                        *v = dict.decode_code(code) as f32;
+                        if retain {
+                            bits[row_base + ci] = code.to_bits();
+                        }
+                        *v = decode.value(code);
                     }
                 }
             }
@@ -396,6 +601,9 @@ impl Executor for QuantizedExecutor<'_> {
         }
         for delta in &deltas {
             self.stats.merge(delta);
+        }
+        if retain {
+            self.act_codes.insert(name.to_string(), ActCodes { bits, rows, cols: width });
         }
         out
     }
@@ -421,6 +629,27 @@ impl Executor for QuantizedExecutor<'_> {
             }
         }
         out
+    }
+
+    /// Index-domain GEMM: gathers precomputed centroid products for the
+    /// retained activation codes instead of multiplying decoded floats.
+    /// Bit-identical to the float `x·W + b` on this executor's decoded
+    /// operands — [`matmul_lut_bias`] reproduces `matmul_bias`'s exact
+    /// reduction (ascending-`k`, one add per element, identical
+    /// zero-skip). Returns `None` (float fallback) whenever the weight
+    /// has no retained codes or the retained activation doesn't match.
+    fn linear(&mut self, weight_name: &str, x: &Matrix, _w: &Matrix, b: &[f32]) -> Option<Matrix> {
+        if self.mode != ExecMode::IndexDomain {
+            return None;
+        }
+        let entry = self.ctx.luts.get(weight_name)?;
+        let stored = self.act_codes.get(&entry.act_name)?;
+        let (k, n) = entry.codes.shape();
+        if stored.rows != x.rows() || stored.cols != x.cols() || k != x.cols() || b.len() != n {
+            return None;
+        }
+        self.lut_gemms += 1;
+        Some(matmul_lut_bias(&stored.bits, stored.rows, stored.cols, &entry.codes, b, &entry.lut))
     }
 }
 
@@ -460,8 +689,7 @@ mod tests {
             TensorDict::for_values(m.as_slice(), &ExpCurve::paper(), &Default::default()).unwrap();
         let mut act_dicts = BTreeMap::new();
         act_dicts.insert("a".to_string(), dict.clone());
-        let ctx =
-            QuantizedContext { weights: BTreeMap::new(), act_dicts, out_formats: BTreeMap::new() };
+        let ctx = QuantizedContext::new(BTreeMap::new(), act_dicts, BTreeMap::new());
         let mut e = QuantizedExecutor::new(&ctx);
         let out = e.activation("a", m.clone());
         assert_eq!(e.stats().act_values, 256);
@@ -558,11 +786,109 @@ mod tests {
     }
 
     #[test]
+    fn index_domain_solo_is_bit_identical_and_actually_uses_luts() {
+        use crate::config::ModelConfig;
+        use crate::model::Head;
+        use crate::quantize::QuantizedModel;
+        use crate::QuantizeSpec;
+
+        let config = ModelConfig {
+            name: "exec-lut".into(),
+            layers: 2,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 200,
+            max_seq: 16,
+        };
+        let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 9);
+        let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(12, 60 + s)).collect();
+        let (qm, _) =
+            QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+        // Every projection/FFN weight plus both head weights is retained.
+        assert_eq!(qm.context().luts.len(), 2 * 6 + 2);
+        let tokens = model.random_tokens(11, 901);
+        let mut exec = QuantizedExecutor::with_mode(qm.context(), ExecMode::IndexDomain);
+        let hidden = model.forward(&mut exec, &tokens);
+        let out = model.apply_head(&mut exec, &hidden);
+        // Every retained GEMM ran on codes — nothing fell back.
+        assert_eq!(exec.lut_gemms(), 2 * 6 + 2);
+        let (decoded_out, decoded_stats) = qm.infer(&tokens);
+        assert_eq!(out, decoded_out);
+        assert_eq!(exec.stats(), decoded_stats);
+    }
+
+    #[test]
+    fn index_domain_batch_is_bit_identical_to_decoded_batch() {
+        use crate::config::ModelConfig;
+        use crate::model::Head;
+        use crate::quantize::QuantizedModel;
+        use crate::QuantizeSpec;
+
+        let config = ModelConfig {
+            name: "exec-lut-batch".into(),
+            layers: 1,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 200,
+            max_seq: 16,
+        };
+        // Span head: exercises the `head.span_input` feeding path too.
+        let model = Model::synthesize(&config, Head::Span, 5);
+        let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(12, 70 + s)).collect();
+        let (qm, _) =
+            QuantizedModel::prepare(&model, QuantizeSpec::weights_and_activations(), &profile);
+        // Ragged lengths: a packed group with padding rows plus a solo.
+        let batch: Vec<Vec<usize>> = [16usize, 14, 13, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| model.random_tokens(len, 800 + i as u64))
+            .collect();
+        let decoded = qm.context().infer_batch_mode(&model, &batch, ExecMode::Decoded);
+        let indexed = qm.context().infer_batch_mode(&model, &batch, ExecMode::IndexDomain);
+        assert_eq!(decoded.packing, indexed.packing);
+        assert_eq!(decoded.total, indexed.total);
+        for ((d_out, d_stats), (i_out, i_stats)) in decoded.results.iter().zip(&indexed.results) {
+            assert_eq!(d_out, i_out);
+            assert_eq!(d_stats, i_stats);
+        }
+    }
+
+    #[test]
+    fn index_domain_without_retained_codes_falls_back_to_decoded() {
+        use crate::config::ModelConfig;
+        use crate::model::Head;
+        use crate::quantize::QuantizedModel;
+        use crate::QuantizeSpec;
+
+        let config = ModelConfig {
+            name: "exec-lut-fallback".into(),
+            layers: 1,
+            hidden: 32,
+            heads: 2,
+            ff: 64,
+            vocab: 200,
+            max_seq: 16,
+        };
+        let model = Model::synthesize(&config, Head::Classification { classes: 3 }, 4);
+        // Weights-only quantization has no activation dictionaries, so
+        // nothing is retained; index mode must be a clean no-op.
+        let (qm, _) = QuantizedModel::prepare(&model, QuantizeSpec::weights_only(), &[]);
+        assert!(!qm.context().has_index_domain());
+        let tokens = model.random_tokens(10, 77);
+        let mut exec = QuantizedExecutor::with_mode(qm.context(), ExecMode::IndexDomain);
+        let hidden = model.forward(&mut exec, &tokens);
+        let out = model.apply_head(&mut exec, &hidden);
+        assert_eq!(exec.lut_gemms(), 0);
+        assert_eq!(out, qm.infer(&tokens).0);
+    }
+
+    #[test]
     fn gemm_output_snaps_to_grid() {
         let mut out_formats = BTreeMap::new();
         out_formats.insert("w".to_string(), QFormat::new(16, 4));
-        let ctx =
-            QuantizedContext { weights: BTreeMap::new(), act_dicts: BTreeMap::new(), out_formats };
+        let ctx = QuantizedContext::new(BTreeMap::new(), BTreeMap::new(), out_formats);
         let mut e = QuantizedExecutor::new(&ctx);
         let m = Matrix::from_rows(&[&[0.3, 1.26]]);
         let snapped = e.gemm_output("w", m);

@@ -33,6 +33,7 @@ pub mod tasks;
 pub mod workload;
 
 pub use config::ModelConfig;
+pub use exec::{BatchRun, ExecMode, LutLinear, QuantizedContext, QuantizedExecutor};
 pub use model::{Head, Model, TaskOutput};
 pub use packed::{PackedBatch, PackedLayout};
 pub use quantize::{QuantizeSpec, QuantizedModel};

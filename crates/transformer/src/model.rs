@@ -556,9 +556,12 @@ impl Model {
         w: &Matrix,
         b: &[f32],
     ) -> Matrix {
-        let out = {
-            let w_eff = exec.weight_override(weight_name).unwrap_or(w);
-            nn::linear(x, w_eff, b)
+        let out = match exec.linear(weight_name, x, w, b) {
+            Some(out) => out,
+            None => {
+                let w_eff = exec.weight_override(weight_name).unwrap_or(w);
+                nn::linear(x, w_eff, b)
+            }
         };
         exec.gemm_output(weight_name, out)
     }
@@ -575,9 +578,12 @@ impl Model {
         b: &[f32],
         layout: &PackedLayout,
     ) -> Matrix {
-        let out = {
-            let w_eff = exec.weight_override(weight_name).unwrap_or(w);
-            nn::linear(x, w_eff, b)
+        let out = match exec.linear_packed(weight_name, x, w, b, layout) {
+            Some(out) => out,
+            None => {
+                let w_eff = exec.weight_override(weight_name).unwrap_or(w);
+                nn::linear(x, w_eff, b)
+            }
         };
         exec.gemm_output_packed(weight_name, out, layout)
     }

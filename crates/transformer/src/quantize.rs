@@ -5,7 +5,9 @@
 //! module adapts [`Model`] to the pipeline's [`ModelAdapter`] and wraps
 //! the session products in a ready-to-infer [`QuantizedModel`].
 
-use crate::exec::{ProfilingExecutor, QuantizedContext, QuantizedExecutor, QuantizedStats};
+use crate::exec::{
+    ExecMode, LutLinear, ProfilingExecutor, QuantizedContext, QuantizedExecutor, QuantizedStats,
+};
 use crate::model::{Model, TaskOutput};
 use mokey_core::dict::TensorDict;
 use mokey_core::profile::ActivationProfiler;
@@ -89,8 +91,22 @@ impl<'m> QuantizedModel<'m> {
     ) -> Result<(Self, QuantizationReport), PipelineError> {
         let mq = session.quantize_model(model, spec, profile_inputs)?;
         let weights = mq.decode_weights(session);
-        let ctx =
-            QuantizedContext { weights, act_dicts: mq.act_dicts, out_formats: mq.out_formats };
+        // Index-domain retention: keep the codes of every weight whose
+        // feeding activation is quantized, and build (or fetch from the
+        // session's cross-model cache) the product table for each
+        // (activation-dict, weight-dict) pair.
+        let mut luts = std::collections::BTreeMap::new();
+        for (name, q) in &mq.weights {
+            for act_name in crate::exec::feeding_activations(name) {
+                if let Some(act_dict) = mq.act_dicts.get(&act_name) {
+                    let lut = session.pair_lut(act_dict, q.dict());
+                    luts.insert(name.clone(), LutLinear { act_name, codes: q.clone(), lut });
+                    break;
+                }
+            }
+        }
+        let mut ctx = QuantizedContext::new(weights, mq.act_dicts, mq.out_formats);
+        ctx.set_index_domain(luts);
         Ok((Self { model, ctx }, mq.report))
     }
 
@@ -112,7 +128,14 @@ impl<'m> QuantizedModel<'m> {
     /// Quantized inference on one sequence, returning the head output and
     /// the activation-encoding counters.
     pub fn infer(&self, tokens: &[usize]) -> (TaskOutput, QuantizedStats) {
-        let mut exec = QuantizedExecutor::new(&self.ctx);
+        self.infer_mode(tokens, ExecMode::Decoded)
+    }
+
+    /// [`QuantizedModel::infer`] with an explicit execution mode.
+    /// [`ExecMode::IndexDomain`] output and counters are bit-identical to
+    /// [`ExecMode::Decoded`].
+    pub fn infer_mode(&self, tokens: &[usize], mode: ExecMode) -> (TaskOutput, QuantizedStats) {
+        let mut exec = QuantizedExecutor::with_mode(&self.ctx, mode);
         let hidden = self.model.forward(&mut exec, tokens);
         let out = self.model.apply_head(&mut exec, &hidden);
         (out, exec.stats())

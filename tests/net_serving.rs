@@ -4,8 +4,8 @@
 //! an in-flight slot or deadlock the graceful drain.
 
 use mokey_serve::{
-    drive_socket_clients, serve_net, Frame, ModelRegistry, ModelServeConfig, NetClient, NetConfig,
-    PreparedModel, ServeConfig, ServerReply, WireError, WireErrorCode,
+    drive_socket_clients, serve_net, ExecMode, Frame, ModelRegistry, ModelServeConfig, NetClient,
+    NetConfig, PreparedModel, ServeConfig, ServerReply, WireError, WireErrorCode,
 };
 use mokey_transformer::model::{Head, Model};
 use mokey_transformer::{ModelConfig, QuantizeSpec, TaskOutput};
@@ -89,6 +89,46 @@ fn wire_responses_are_bit_identical_to_direct_inference() {
             ServerReply::Rejected { code, message } => {
                 panic!("valid request rejected: {code:?} {message}")
             }
+        }
+    }
+}
+
+#[test]
+fn index_domain_serving_is_bit_identical_over_the_wire() {
+    let registry = registry();
+    assert!(
+        prepared(&registry).context().has_index_domain(),
+        "weights+activations quantization should retain LUT state"
+    );
+    let requests: Vec<Vec<usize>> = (0..8)
+        .map(|s| prepared(&registry).model().random_tokens(10 + s % 4, 300 + s as u64))
+        .collect();
+    let run = |mode: ExecMode| {
+        let config = ServeConfig { mode, ..serve_config() };
+        let (replies, report) = serve_net(&registry, config, NetConfig::default(), |net| {
+            let mut client = NetClient::connect(&net.addr().to_string()).unwrap();
+            requests
+                .iter()
+                .enumerate()
+                .map(|(i, tokens)| client.call(1 + i as u64, "classify", tokens).unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(report.aggregate.completed, requests.len() as u64);
+        replies
+    };
+    let decoded = run(ExecMode::Decoded);
+    let indexed = run(ExecMode::IndexDomain);
+    for ((tokens, d), x) in requests.iter().zip(&decoded).zip(&indexed) {
+        match (d, x) {
+            (
+                ServerReply::Response { output: out_d, stats: stats_d, .. },
+                ServerReply::Response { output: out_x, stats: stats_x, .. },
+            ) => {
+                assert_eq!(out_x, out_d, "index-domain wire output diverged for {tokens:?}");
+                assert_eq!(stats_x, stats_d, "per-request stats diverged for {tokens:?}");
+            }
+            other => panic!("expected two responses, got {other:?}"),
         }
     }
 }
