@@ -3,8 +3,12 @@
 //! plus a two-model registry sweep (per-model requests/second and
 //! cross-model dictionary-cache hits), a **fairness** sweep (a flooding
 //! model with and without an admission quota vs the victim model's solo
-//! p99), and a **network** sweep (the same seeded load through the TCP
-//! frontend's wire protocol vs in-process submission), reported with
+//! p99), a **decode** sweep (seeded generations through the per-step
+//! rebatching path: tokens/second and per-generated-token p50/p99, plus
+//! a mixed decode + one-shot scenario pinning the one-shot p99 within
+//! 4x of its solo baseline), and a **network** sweep (the same seeded
+//! load through the TCP frontend's wire protocol vs in-process
+//! submission), reported with
 //! p50/p99 latency and packed-execution counters (packed batches, pad
 //! waste) and written to `BENCH_serve.json` at the workspace root so
 //! future PRs have a serving-perf trajectory to compare against.
@@ -184,6 +188,100 @@ fn run_load(
     requests_per_client: usize,
 ) -> MetricsReport {
     run_load_mode(prepared, max_batch, clients, requests_per_client, ExecMode::Decoded)
+}
+
+/// Drives seeded decode traffic: `clients` threads each submit
+/// `gens_per_client` generations (prompt from the LoadGen band, up to
+/// `max_new` new tokens, no EOS) and stream them to completion. The
+/// engine report carries the decode figures: generated tokens, decode
+/// slices, tokens/second, and the per-generated-token latency
+/// histogram.
+fn run_decode_load(
+    prepared: &PreparedModel,
+    clients: usize,
+    gens_per_client: usize,
+    max_new: usize,
+) -> MetricsReport {
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 8,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let ((), report) = serve(prepared, config, |handle| {
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                scope.spawn(move || {
+                    let mut traffic = LoadGen::new(prepared.model(), 9700 + c as u64);
+                    let tickets: Vec<_> = traffic
+                        .generates(gens_per_client, max_new)
+                        .into_iter()
+                        .map(|(prompt, max_tokens)| {
+                            handle.submit_generate(prompt, max_tokens, None).expect("admitted")
+                        })
+                        .collect();
+                    for ticket in tickets {
+                        let _ = ticket.wait();
+                    }
+                });
+            }
+        })
+    });
+    report
+}
+
+/// One mixed-traffic scenario on the fairness substrate (one worker,
+/// tiny batches): `gen_threads` closed-loop decode clients each run
+/// `gens_per_thread` sequential generations against "sentiment" — each
+/// generation re-entering the queue between tokens — while "topic" runs
+/// its sequential closed loop of one-shots. Closed-loop generators keep
+/// steady decode pressure (always `gen_threads` generations in flight)
+/// without the t=0 prefill herd a fully pipelined burst would park in
+/// front of the victim's first request. Per-step rebatching is what
+/// keeps the victim's p99 bounded: a one-shot never waits behind more
+/// than the in-flight token slices.
+fn run_mixed_decode_load(
+    registry: &ModelRegistry,
+    gen_threads: usize,
+    gens_per_thread: usize,
+    max_new: usize,
+    victim_requests: usize,
+) -> ServeReport {
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 2,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let generator = registry.lookup("sentiment").expect("registered");
+    let victim = registry.lookup("topic").expect("registered");
+    let ((), report) = serve_registry(registry, config, |handle| {
+        std::thread::scope(|scope| {
+            for g in 0..gen_threads {
+                let model = registry.get(generator).unwrap().model();
+                scope.spawn(move || {
+                    let mut traffic = LoadGen::new(model, 4300 + g as u64);
+                    for (prompt, max_tokens) in traffic.generates(gens_per_thread, max_new) {
+                        let ticket = handle
+                            .submit_generate_to(generator, prompt, max_tokens, None)
+                            .expect("generation admitted");
+                        let _ = ticket.wait();
+                    }
+                });
+            }
+            let model = registry.get(victim).unwrap().model();
+            scope.spawn(move || {
+                let mut traffic = LoadGen::new(model, 4200);
+                for tokens in traffic.requests(victim_requests) {
+                    let ticket = handle.submit_to(victim, tokens).expect("victim admitted");
+                    let _ = ticket.wait();
+                }
+            });
+        })
+    });
+    report
 }
 
 /// The same seeded, pipelined load as [`run_load`], but through the TCP
@@ -508,6 +606,67 @@ fn bench(c: &mut Criterion) {
         solo_p99.as_secs_f64() * 1e3,
     );
 
+    // The decode sweep: seeded generations through the per-step
+    // rebatching path. Each generation prefills once, then re-enters the
+    // queue per token; tokens/second and the per-generated-token
+    // latency percentiles are the committed figures.
+    let (decode_clients, gens_per_client, max_new) = (4, 4, 8);
+    let mut decode_best: Option<MetricsReport> = None;
+    for _ in 0..if quick { 2 } else { 3 } {
+        let report = run_decode_load(prepared, decode_clients, gens_per_client, max_new);
+        assert_eq!(
+            report.completed,
+            (decode_clients * gens_per_client) as u64,
+            "decode load dropped generations"
+        );
+        assert!(report.generated_tokens > 0, "decode load produced no tokens");
+        if decode_best.as_ref().is_none_or(|b| report.tokens_per_sec > b.tokens_per_sec) {
+            decode_best = Some(report);
+        }
+    }
+    let decode = decode_best.expect("decode runs executed");
+    println!(
+        "[serve] decode   : {:>7.1} tokens/s ({} tokens in {} slices), per-token p50 {:.3} ms, p99 {:.3} ms",
+        decode.tokens_per_sec,
+        decode.generated_tokens,
+        decode.decode_steps,
+        decode.per_token_p50.as_secs_f64() * 1e3,
+        decode.per_token_p99.as_secs_f64() * 1e3,
+    );
+
+    // Mixed decode + one-shot fairness: concurrent generations on one
+    // model must not starve another model's one-shot latency, because
+    // every generation yields the worker back after each token. The
+    // victim's p99 under mixed load is asserted within 4x of its solo
+    // baseline (the fairness solo run: same worker/batch config, same
+    // seeded closed loop), plus the same 10 ms noise constant the quota
+    // check uses.
+    let (gen_threads, gens_per_thread) = (3, 4);
+    let mixed_p99 = (0..fair_reps)
+        .map(|_| {
+            victim_p99(&run_mixed_decode_load(
+                &registry,
+                gen_threads,
+                gens_per_thread,
+                max_new,
+                victim_requests,
+            ))
+        })
+        .min()
+        .expect("mixed runs executed");
+    let mixed_ratio = mixed_p99.as_secs_f64() / solo_p99.as_secs_f64().max(1e-9);
+    println!(
+        "[serve] mixed    : one-shot p99 {:.3} ms under {gen_threads} closed-loop generation streams vs {:.3} ms solo ({mixed_ratio:.2}x)",
+        mixed_p99.as_secs_f64() * 1e3,
+        solo_p99.as_secs_f64() * 1e3,
+    );
+    assert!(
+        mixed_p99.as_secs_f64() <= solo_p99.as_secs_f64() * 4.0 + 0.010,
+        "per-step rebatching failed to protect one-shots: p99 {:.3} ms mixed vs {:.3} ms solo",
+        mixed_p99.as_secs_f64() * 1e3,
+        solo_p99.as_secs_f64() * 1e3,
+    );
+
     // The network sweep: the identical pipelined load (same clients ×
     // requests, max_batch 8) driven through the TCP frontend instead of
     // in-process submission. Every request pays two wire crossings and
@@ -579,6 +738,18 @@ fn bench(c: &mut Criterion) {
             flooded_p99.as_secs_f64() * 1e3,
             capped_p99.as_secs_f64() * 1e3,
         );
+        let decode_json = format!(
+            "  \"decode\": {{\n    \"clients\": {decode_clients},\n    \"generations\": {},\n    \"max_new_tokens\": {max_new},\n    \"generated_tokens\": {},\n    \"decode_steps\": {},\n    \"tokens_per_sec\": {:.1},\n    \"per_token_p50_ms\": {:.3},\n    \"per_token_p99_ms\": {:.3},\n    \"mixed_oneshot_p99_solo_ms\": {:.3},\n    \"mixed_oneshot_p99_ms\": {:.3},\n    \"mixed_oneshot_p99_ratio\": {:.3}\n  }}",
+            decode_clients * gens_per_client,
+            decode.generated_tokens,
+            decode.decode_steps,
+            decode.tokens_per_sec,
+            decode.per_token_p50.as_secs_f64() * 1e3,
+            decode.per_token_p99.as_secs_f64() * 1e3,
+            solo_p99.as_secs_f64() * 1e3,
+            mixed_p99.as_secs_f64() * 1e3,
+            mixed_ratio,
+        );
         let network_json = format!(
             "  \"network\": {{\n    \"clients\": {},\n    \"requests\": {},\n    \"max_batch\": 8,\n    \"requests_per_sec\": {:.1},\n    \"in_process_requests_per_sec\": {:.1},\n    \"wire_ratio\": {:.3},\n    \"latency_p50_ms\": {:.3},\n    \"latency_p99_ms\": {:.3},\n    \"per_connection\": [\n{}\n    ]\n  }}",
             clients,
@@ -591,13 +762,14 @@ fn bench(c: &mut Criterion) {
             per_connection_json.join(",\n"),
         );
         let baseline = format!(
-            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"host_parallelism\": {},\n  \"settings\": [\n{}\n  ],\n  \"exec_modes\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
+            "{{\n  \"bench\": \"serve_engine\",\n  \"model\": \"{}\",\n  \"workers\": 2,\n  \"host_parallelism\": {},\n  \"settings\": [\n{}\n  ],\n  \"exec_modes\": [\n{}\n  ],\n{},\n{},\n{},\n{}\n}}\n",
             prepared.model().config().name,
             host_parallelism,
             settings_json.join(",\n"),
             mode_json.join(",\n"),
             multi_model_json,
             fairness_json,
+            decode_json,
             network_json,
         );
         let path = workspace_root().join("BENCH_serve.json");

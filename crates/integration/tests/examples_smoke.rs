@@ -77,3 +77,12 @@ mod serve_over_tcp_example {
         main();
     }
 }
+
+mod serve_generate_example {
+    include!("../../../examples/serve_generate.rs");
+
+    #[test]
+    fn serve_generate_runs() {
+        main();
+    }
+}

@@ -28,13 +28,25 @@
 //! leader's `(model, length-bucket)` pair, and because the leader is the
 //! *globally* oldest request, a lightly-loaded model is never starved by
 //! a heavily-loaded one.
+//!
+//! Besides one-shot encoder requests, the engine serves **generations**
+//! ([`ServeHandle::submit_generate`]): autoregressive greedy decode over
+//! a quantized KV-cache ([`DecodeSession`]). A generation does not camp
+//! on a worker until it finishes — each service slice advances it one
+//! token and then *re-enqueues* it, so in-flight generations interleave
+//! with one-shot traffic and with each other at token granularity.
+//! Decode slices batch generations for the same model together but never
+//! mix with one-shot batches. If a finished step cannot re-enter the
+//! queue (capacity, quota, or shutdown), the worker finishes that
+//! generation inline — an accepted generation, like any accepted
+//! request, is never dropped.
 
 use crate::metrics::{Metrics, MetricsReport, ServeReport};
 use crate::prepared::PreparedModel;
 use crate::queue::{PushError, TaggedQueue};
 use crate::registry::{next_registry_nonce, ModelId, ModelRegistry, ModelServeConfig};
 use mokey_transformer::exec::QuantizedStats;
-use mokey_transformer::{ExecMode, TaskOutput};
+use mokey_transformer::{DecodeSession, ExecMode, TaskOutput};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -128,6 +140,13 @@ pub enum SubmitError {
         /// The model's vocabulary size.
         vocab: usize,
     },
+    /// A generation was submitted to a model prepared without activation
+    /// quantization: the KV-cache stores activation *codes*, so decode
+    /// requires K/V dictionaries.
+    DecodeUnsupported {
+        /// The model that cannot decode.
+        model: ModelId,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -147,6 +166,9 @@ impl fmt::Display for SubmitError {
             }
             SubmitError::TokenOutOfVocab { token, vocab } => {
                 write!(f, "token {token} is outside the vocabulary of {vocab}")
+            }
+            SubmitError::DecodeUnsupported { model } => {
+                write!(f, "{model} was prepared without activation quantization; decode needs K/V dictionaries")
             }
         }
     }
@@ -193,11 +215,107 @@ impl Ticket {
     }
 }
 
+/// One finished generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateResponse {
+    /// The id [`ServeHandle::submit_generate`] assigned.
+    pub id: u64,
+    /// The model that served this generation.
+    pub model: ModelId,
+    /// Every greedily sampled token, in order (includes the EOS token
+    /// when generation stopped on it).
+    pub tokens: Vec<usize>,
+    /// Queue passes this generation consumed (prefill slice plus one per
+    /// re-entry). Less than `tokens.len()` when a failed re-enqueue made
+    /// a worker finish the tail inline.
+    pub steps: usize,
+    /// Merged activation-encoding counters (prefill + every step).
+    pub stats: QuantizedStats,
+    /// Submission → first service slice.
+    pub queue_wait: Duration,
+    /// Submission → final token.
+    pub latency: Duration,
+}
+
+/// One event on a generation stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenUpdate {
+    /// A token was sampled (`index` counts from 0).
+    Token {
+        /// Position of this token within the generation.
+        index: usize,
+        /// The sampled token id.
+        token: usize,
+    },
+    /// The generation finished; no further updates follow.
+    Done(GenerateResponse),
+}
+
+/// A claim on a generation's token stream.
+#[derive(Debug)]
+pub struct GenTicket {
+    id: u64,
+    rx: mpsc::Receiver<GenUpdate>,
+}
+
+impl GenTicket {
+    /// The id the engine assigned to this generation.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the next update. Tokens arrive in order;
+    /// [`GenUpdate::Done`] is always the final update.
+    pub fn next(&self) -> GenUpdate {
+        self.rx.recv().expect("serving engine dropped an accepted generation")
+    }
+
+    /// Blocks until the generation finishes, discarding the per-token
+    /// stream (the final response carries every token anyway).
+    pub fn wait(self) -> GenerateResponse {
+        loop {
+            if let GenUpdate::Done(response) = self.next() {
+                return response;
+            }
+        }
+    }
+}
+
 struct Request {
     id: u64,
     tokens: Vec<usize>,
     accepted_at: Instant,
     tx: mpsc::Sender<Response>,
+}
+
+/// Where an in-flight generation is in its lifecycle: accepted but not
+/// yet prefilled, or running with a live KV-cache.
+enum GenState {
+    Pending { prompt: Vec<usize>, max_tokens: usize, eos: Option<usize> },
+    Running(DecodeSession),
+}
+
+/// One in-flight generation riding the submission queue between steps.
+struct GenJob {
+    id: u64,
+    state: GenState,
+    accepted_at: Instant,
+    /// When the previous token was sampled (accept time before the
+    /// first), anchoring per-token latency.
+    last_token_at: Instant,
+    /// Set at the first service slice.
+    queue_wait: Option<Duration>,
+    /// Queue passes so far.
+    steps: usize,
+    tx: mpsc::Sender<GenUpdate>,
+}
+
+/// What the submission queue carries: a one-shot encoder request or an
+/// in-flight generation between steps. The batch key separates the two,
+/// so batches are always homogeneous.
+enum WorkItem {
+    OneShot(Request),
+    Generate(Box<GenJob>),
 }
 
 /// One registered model inside a running engine: the prepared model, its
@@ -226,7 +344,7 @@ struct Shared<'m> {
     /// The registry identity this engine serves: ids resolve against it,
     /// so foreign-registry ids bounce instead of aliasing positionally.
     nonce: u32,
-    queue: TaggedQueue<ModelId, Request>,
+    queue: TaggedQueue<ModelId, WorkItem>,
     /// Aggregate across every model; per-model counters live in the
     /// slots. Every event is recorded into both scopes.
     metrics: Metrics,
@@ -334,7 +452,7 @@ impl ServeHandle<'_> {
         let (model, slot) = self.slot(model)?;
         self.admit(slot, &tokens)?;
         let (request, ticket) = self.request(tokens);
-        match self.shared.queue.push_blocking(model, request) {
+        match self.shared.queue.push_blocking(model, WorkItem::OneShot(request)) {
             Ok(_) => {
                 self.note_submitted(slot);
                 Ok(ticket)
@@ -361,7 +479,162 @@ impl ServeHandle<'_> {
         let (model, slot) = self.slot(model)?;
         self.admit(slot, &tokens)?;
         let (request, ticket) = self.request(tokens);
-        match self.shared.queue.try_push(model, request) {
+        match self.shared.queue.try_push(model, WorkItem::OneShot(request)) {
+            Ok(_) => {
+                self.note_submitted(slot);
+                Ok(ticket)
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.metrics.note_rejected_full();
+                slot.metrics.note_rejected_full();
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::QuotaExceeded(_)) => {
+                self.note_rejected_quota(slot);
+                Err(SubmitError::ModelQuotaExceeded {
+                    model,
+                    quota: slot.queue_quota.unwrap_or(0).max(1),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Generation admission: everything one-shot admission checks, plus
+    /// the token budget must be non-zero, fit the model's sequence limit
+    /// together with the prompt, and the EOS token (if any) must be in
+    /// vocabulary. The model must have K/V activation dictionaries.
+    fn admit_generate(
+        &self,
+        slot: &ModelSlot<'_>,
+        model: ModelId,
+        prompt: &[usize],
+        max_tokens: usize,
+        eos: Option<usize>,
+    ) -> Result<(), SubmitError> {
+        let reject = |err| {
+            self.shared.metrics.note_rejected_invalid();
+            slot.metrics.note_rejected_invalid();
+            Err(err)
+        };
+        if prompt.is_empty() || max_tokens == 0 {
+            return reject(SubmitError::EmptySequence);
+        }
+        let max_seq = slot.model.max_seq();
+        if prompt.len() + max_tokens > max_seq {
+            return reject(SubmitError::SequenceTooLong {
+                len: prompt.len() + max_tokens,
+                max_seq,
+            });
+        }
+        let vocab = slot.model.vocab();
+        if let Some(&token) = prompt.iter().chain(eos.as_ref()).find(|&&t| t >= vocab) {
+            return reject(SubmitError::TokenOutOfVocab { token, vocab });
+        }
+        if !slot.model.context().act_dicts.contains_key("L0.attn.k") {
+            return reject(SubmitError::DecodeUnsupported { model });
+        }
+        Ok(())
+    }
+
+    fn gen_job(
+        &self,
+        prompt: Vec<usize>,
+        max_tokens: usize,
+        eos: Option<usize>,
+    ) -> (GenJob, GenTicket) {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let accepted_at = Instant::now();
+        let job = GenJob {
+            id,
+            state: GenState::Pending { prompt, max_tokens, eos },
+            accepted_at,
+            last_token_at: accepted_at,
+            queue_wait: None,
+            steps: 0,
+            tx,
+        };
+        (job, GenTicket { id, rx })
+    }
+
+    /// Submits a generation to the default model, blocking while the
+    /// queue is at capacity. The prompt is prefilled once; every
+    /// subsequent token is decoded incrementally over the quantized
+    /// KV-cache, with the generation re-entering the queue between
+    /// tokens so it interleaves with other traffic.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeHandle::submit_generate_to`] can return.
+    pub fn submit_generate(
+        &self,
+        prompt: Vec<usize>,
+        max_tokens: usize,
+        eos: Option<usize>,
+    ) -> Result<GenTicket, SubmitError> {
+        self.submit_generate_to(ModelId::DEFAULT, prompt, max_tokens, eos)
+    }
+
+    /// Submits a generation to a specific registered model, blocking
+    /// while the queue is at capacity.
+    ///
+    /// `max_tokens` bounds the generation (it must be non-zero and
+    /// `prompt.len() + max_tokens` must fit the model's `max_seq`);
+    /// `eos`, when given, stops it early (the EOS token is included in
+    /// the response).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeHandle::submit_to`] can return, plus
+    /// [`SubmitError::DecodeUnsupported`] for a model prepared without
+    /// activation quantization. [`SubmitError::EmptySequence`] also
+    /// covers `max_tokens == 0`, and [`SubmitError::SequenceTooLong`]
+    /// reports `prompt.len() + max_tokens` against `max_seq`.
+    pub fn submit_generate_to(
+        &self,
+        model: ModelId,
+        prompt: Vec<usize>,
+        max_tokens: usize,
+        eos: Option<usize>,
+    ) -> Result<GenTicket, SubmitError> {
+        let (model, slot) = self.slot(model)?;
+        self.admit_generate(slot, model, &prompt, max_tokens, eos)?;
+        let (job, ticket) = self.gen_job(prompt, max_tokens, eos);
+        match self.shared.queue.push_blocking(model, WorkItem::Generate(Box::new(job))) {
+            Ok(_) => {
+                self.note_submitted(slot);
+                Ok(ticket)
+            }
+            Err(PushError::QuotaExceeded(_)) => {
+                self.note_rejected_quota(slot);
+                Err(SubmitError::ModelQuotaExceeded {
+                    model,
+                    quota: slot.queue_quota.unwrap_or(0).max(1),
+                })
+            }
+            Err(_) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submits a generation to a specific registered model without
+    /// blocking (admission control).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at capacity, plus everything
+    /// [`ServeHandle::submit_generate_to`] can return.
+    pub fn try_submit_generate_to(
+        &self,
+        model: ModelId,
+        prompt: Vec<usize>,
+        max_tokens: usize,
+        eos: Option<usize>,
+    ) -> Result<GenTicket, SubmitError> {
+        let (model, slot) = self.slot(model)?;
+        self.admit_generate(slot, model, &prompt, max_tokens, eos)?;
+        let (job, ticket) = self.gen_job(prompt, max_tokens, eos);
+        match self.shared.queue.try_push(model, WorkItem::Generate(Box::new(job))) {
             Ok(_) => {
                 self.note_submitted(slot);
                 Ok(ticket)
@@ -416,33 +689,151 @@ fn worker_loop(shared: &Shared<'_>) {
     // Batching policy is the *leader's* model's: its batch cap and its
     // length-bucket width (per-model overrides resolved at startup).
     let max_batch = |model: ModelId| shared.slots[model.index()].max_batch;
-    let key = |model: ModelId, r: &Request| {
+    // The key's leading bool splits one-shot requests from generations,
+    // so a popped batch is always homogeneous. Decode slices ignore
+    // length buckets — every step is one row regardless of the prefix.
+    let key = |model: ModelId, item: &WorkItem| {
         let bucket = shared.slots[model.index()].length_bucket;
-        r.tokens.len().checked_div(bucket).unwrap_or(0)
+        match item {
+            WorkItem::OneShot(r) => (false, r.tokens.len().checked_div(bucket).unwrap_or(0)),
+            WorkItem::Generate(_) => (true, 0),
+        }
     };
     while let Some((model, batch)) =
         shared.queue.pop_batch_by(max_batch, shared.config.max_wait, key)
     {
         let slot = &shared.slots[model.index()];
         let formed_at = Instant::now();
-        shared.metrics.note_batch(batch.len());
-        slot.metrics.note_batch(batch.len());
-        let batch_size = batch.len();
-        let (requests, tokens): (Vec<_>, Vec<_>) =
-            batch.into_iter().map(|r| ((r.id, r.accepted_at, r.tx), r.tokens)).unzip();
-        let run = slot.model.infer_batch_mode(&tokens, slot.mode);
-        shared.metrics.note_packing(&run.packing);
-        slot.metrics.note_packing(&run.packing);
-        for ((id, accepted_at, tx), (output, stats)) in requests.into_iter().zip(run.results) {
-            let queue_wait = formed_at.duration_since(accepted_at);
-            let latency = accepted_at.elapsed();
-            shared.metrics.note_completed(latency, queue_wait, &stats);
-            slot.metrics.note_completed(latency, queue_wait, &stats);
-            // A client that dropped its ticket just doesn't read the
-            // response; the request still counts as served.
-            let _ = tx.send(Response { id, model, output, stats, batch_size, queue_wait, latency });
+        let mut requests = Vec::new();
+        let mut jobs = Vec::new();
+        for item in batch {
+            match item {
+                WorkItem::OneShot(r) => requests.push(r),
+                WorkItem::Generate(j) => jobs.push(*j),
+            }
+        }
+        if !requests.is_empty() {
+            serve_oneshot_batch(shared, model, slot, formed_at, requests);
+        }
+        if !jobs.is_empty() {
+            serve_decode_slice(shared, model, slot, formed_at, jobs);
         }
     }
+}
+
+fn serve_oneshot_batch(
+    shared: &Shared<'_>,
+    model: ModelId,
+    slot: &ModelSlot<'_>,
+    formed_at: Instant,
+    batch: Vec<Request>,
+) {
+    shared.metrics.note_batch(batch.len());
+    slot.metrics.note_batch(batch.len());
+    let batch_size = batch.len();
+    let (requests, tokens): (Vec<_>, Vec<_>) =
+        batch.into_iter().map(|r| ((r.id, r.accepted_at, r.tx), r.tokens)).unzip();
+    let run = slot.model.infer_batch_mode(&tokens, slot.mode);
+    shared.metrics.note_packing(&run.packing);
+    slot.metrics.note_packing(&run.packing);
+    for ((id, accepted_at, tx), (output, stats)) in requests.into_iter().zip(run.results) {
+        let queue_wait = formed_at.duration_since(accepted_at);
+        let latency = accepted_at.elapsed();
+        shared.metrics.note_completed(latency, queue_wait, &stats);
+        slot.metrics.note_completed(latency, queue_wait, &stats);
+        // A client that dropped its ticket just doesn't read the
+        // response; the request still counts as served.
+        let _ = tx.send(Response { id, model, output, stats, batch_size, queue_wait, latency });
+    }
+}
+
+/// One decode slice: advance every popped generation a single token,
+/// then re-enqueue the unfinished ones so they interleave with other
+/// traffic instead of camping on this worker.
+fn serve_decode_slice(
+    shared: &Shared<'_>,
+    model: ModelId,
+    slot: &ModelSlot<'_>,
+    formed_at: Instant,
+    jobs: Vec<GenJob>,
+) {
+    shared.metrics.note_decode_step();
+    slot.metrics.note_decode_step();
+    for mut job in jobs {
+        job.steps += 1;
+        if job.queue_wait.is_none() {
+            job.queue_wait = Some(formed_at.duration_since(job.accepted_at));
+        }
+        if let GenState::Pending { prompt, max_tokens, eos } = &job.state {
+            let session = DecodeSession::prefill(
+                slot.model.model(),
+                slot.model.context(),
+                prompt,
+                *max_tokens,
+                *eos,
+                slot.mode,
+            );
+            job.state = GenState::Running(session);
+        }
+        if advance_generation(shared, slot, &mut job) {
+            finish_generation(shared, model, slot, job);
+            continue;
+        }
+        // Unfinished: back into the queue behind whatever arrived since.
+        // If re-entry fails (capacity, quota, shutdown), finish inline —
+        // an accepted generation is never dropped, and parking it would
+        // deadlock a drain.
+        match shared.queue.try_push(model, WorkItem::Generate(Box::new(job))) {
+            Ok(_) => {}
+            Err(
+                PushError::Full(item) | PushError::QuotaExceeded(item) | PushError::Closed(item),
+            ) => {
+                let WorkItem::Generate(boxed) = item else { unreachable!() };
+                let mut job = *boxed;
+                while !advance_generation(shared, slot, &mut job) {}
+                finish_generation(shared, model, slot, job);
+            }
+        }
+    }
+}
+
+/// Samples one token, streams it, and records per-token metrics.
+/// Returns whether the generation just finished.
+fn advance_generation(shared: &Shared<'_>, slot: &ModelSlot<'_>, job: &mut GenJob) -> bool {
+    let GenState::Running(session) = &mut job.state else {
+        unreachable!("generation advanced before prefill")
+    };
+    let token = session.step(slot.model.model(), slot.model.context());
+    let index = session.generated().len() - 1;
+    let now = Instant::now();
+    let inter_token = now.duration_since(job.last_token_at);
+    job.last_token_at = now;
+    shared.metrics.note_generated(inter_token);
+    slot.metrics.note_generated(inter_token);
+    // A client that dropped its ticket just doesn't read the stream.
+    let _ = job.tx.send(GenUpdate::Token { index, token });
+    session.is_done()
+}
+
+fn finish_generation(shared: &Shared<'_>, model: ModelId, slot: &ModelSlot<'_>, job: GenJob) {
+    let GenState::Running(session) = job.state else {
+        unreachable!("generation finished before prefill")
+    };
+    let stats = session.stats();
+    let result = session.into_result();
+    let queue_wait = job.queue_wait.unwrap_or_default();
+    let latency = job.accepted_at.elapsed();
+    shared.metrics.note_completed(latency, queue_wait, &stats);
+    slot.metrics.note_completed(latency, queue_wait, &stats);
+    let _ = job.tx.send(GenUpdate::Done(GenerateResponse {
+        id: job.id,
+        model,
+        tokens: result.tokens,
+        steps: job.steps,
+        stats,
+        queue_wait,
+        latency,
+    }));
 }
 
 /// The engine core shared by [`serve`] and [`serve_registry`]: spins up
@@ -486,7 +877,7 @@ where
     /// Closes the queue when dropped — including during unwinding, so a
     /// panicking driver closure can't leave workers parked on the
     /// condvar while the scope waits to join them.
-    struct CloseOnDrop<'a>(&'a TaggedQueue<ModelId, Request>);
+    struct CloseOnDrop<'a>(&'a TaggedQueue<ModelId, WorkItem>);
     impl Drop for CloseOnDrop<'_> {
         fn drop(&mut self) {
             self.0.close();
@@ -986,5 +1377,156 @@ mod tests {
             batch_sizes.iter().any(|(id, s)| id == &b && *s > 1),
             "expected model b to coalesce under a 1-worker backlog: {batch_sizes:?}"
         );
+    }
+
+    #[test]
+    fn generations_match_direct_decode_and_stream_tokens_in_order() {
+        let p = prepared();
+        let prompt = p.model().random_tokens(6, 11);
+        let max_tokens = 5;
+        let reference = mokey_transformer::generate(
+            p.model(),
+            p.context(),
+            &prompt,
+            max_tokens,
+            None,
+            ExecMode::default(),
+        );
+        let (response, report) = serve(&p, ServeConfig::default(), |handle| {
+            let ticket = handle.submit_generate(prompt.clone(), max_tokens, None).unwrap();
+            // Token updates arrive strictly in index order, then Done.
+            let mut streamed = Vec::new();
+            loop {
+                match ticket.next() {
+                    GenUpdate::Token { index, token } => {
+                        assert_eq!(index, streamed.len(), "out-of-order token update");
+                        streamed.push(token);
+                    }
+                    GenUpdate::Done(response) => {
+                        assert_eq!(streamed, response.tokens, "stream diverged from summary");
+                        return response;
+                    }
+                }
+            }
+        });
+        assert_eq!(response.tokens, reference.tokens, "served decode diverged from direct");
+        assert_eq!(response.stats, reference.stats);
+        assert!(response.steps >= 1);
+        assert!(response.latency >= response.queue_wait);
+        assert_eq!(report.generated_tokens, max_tokens as u64);
+        assert!(report.decode_steps >= 1);
+        assert_eq!(report.completed, 1, "a finished generation counts as one completion");
+        assert!(report.tokens_per_sec > 0.0);
+    }
+
+    #[test]
+    fn generations_interleave_with_oneshot_traffic_bit_identically() {
+        let (registry, a, b) = two_model_registry();
+        let config = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 32,
+            ..ServeConfig::default()
+        };
+        let pa = registry.get(a).unwrap();
+        let pb = registry.get(b).unwrap();
+        let prompt = pa.model().random_tokens(5, 21);
+        let gen_reference = mokey_transformer::generate(
+            pa.model(),
+            pa.context(),
+            &prompt,
+            6,
+            None,
+            ExecMode::default(),
+        );
+        let oneshots: Vec<Vec<usize>> = (0..8).map(|s| pb.model().random_tokens(9, s)).collect();
+        let ((gen_a, gen_b, responses), report) = serve_registry(&registry, config, |handle| {
+            // Two concurrent generations on model a racing a stream of
+            // one-shots on model b through the same worker pool.
+            let ga = handle.submit_generate_to(a, prompt.clone(), 6, None).unwrap();
+            let gb = handle.submit_generate_to(a, prompt.clone(), 6, None).unwrap();
+            let tickets: Vec<_> =
+                oneshots.iter().map(|t| handle.submit_to(b, t.clone()).unwrap()).collect();
+            let responses = tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>();
+            (ga.wait(), gb.wait(), responses)
+        });
+        // Same prompt, greedy decode: both generations and the direct
+        // reference must agree exactly, regardless of interleaving.
+        assert_eq!(gen_a.tokens, gen_reference.tokens);
+        assert_eq!(gen_b.tokens, gen_reference.tokens);
+        for (tokens, response) in oneshots.iter().zip(&responses) {
+            assert_eq!(response.output, pb.infer(tokens).0, "one-shot contaminated by decode");
+        }
+        assert_eq!(report.aggregate.completed, 10);
+        assert_eq!(report.aggregate.generated_tokens, 12);
+        assert_eq!(report.model("classify").unwrap().generated_tokens, 12);
+        assert_eq!(report.model("span").unwrap().generated_tokens, 0);
+        let summed: u64 = report.per_model.iter().map(|(_, r)| r.decode_steps).sum();
+        assert_eq!(summed, report.aggregate.decode_steps);
+    }
+
+    #[test]
+    fn generate_admission_rejects_invalid_and_unquantized() {
+        let p = prepared();
+        let ((), report) = serve(&p, ServeConfig::default(), |handle| {
+            // Zero new tokens is an empty generation.
+            assert_eq!(
+                handle.submit_generate(vec![1, 2], 0, None).unwrap_err(),
+                SubmitError::EmptySequence
+            );
+            assert_eq!(
+                handle.submit_generate(vec![], 3, None).unwrap_err(),
+                SubmitError::EmptySequence
+            );
+            // The budget is prompt + max_tokens against max_seq.
+            assert_eq!(
+                handle.submit_generate(vec![1; 10], 10, None).unwrap_err(),
+                SubmitError::SequenceTooLong { len: 20, max_seq: p.max_seq() }
+            );
+            // EOS participates in vocabulary validation.
+            assert_eq!(
+                handle.submit_generate(vec![1, 2], 3, Some(p.vocab() + 1)).unwrap_err(),
+                SubmitError::TokenOutOfVocab { token: p.vocab() + 1, vocab: p.vocab() }
+            );
+        });
+        assert_eq!(report.submitted, 0);
+        assert_eq!(report.rejected_invalid, 4);
+        assert_eq!(report.generated_tokens, 0);
+
+        // A weights-only model has no activation dictionaries, so there
+        // is nothing to encode K/V rows with: typed rejection, no panic.
+        let model = Model::synthesize(&test_config(), Head::Classification { classes: 3 }, 13);
+        let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(10, 30 + s)).collect();
+        let wo = PreparedModel::prepare(model, QuantizeSpec::weights_only(), &profile)
+            .expect("weights-only prepares");
+        let ((), _) = serve(&wo, ServeConfig::default(), |handle| {
+            match handle.submit_generate(vec![1, 2, 3], 2, None).unwrap_err() {
+                SubmitError::DecodeUnsupported { .. } => {}
+                other => panic!("expected DecodeUnsupported, got {other}"),
+            }
+        });
+    }
+
+    #[test]
+    fn eos_stops_a_generation_early_when_emitted() {
+        let p = prepared();
+        let prompt = p.model().random_tokens(4, 7);
+        // Run the reference decode once, then declare its first sampled
+        // token as EOS: the served generation must stop right there.
+        let free_run = mokey_transformer::generate(
+            p.model(),
+            p.context(),
+            &prompt,
+            8,
+            None,
+            ExecMode::default(),
+        );
+        let eos = free_run.tokens[0];
+        let (response, report) = serve(&p, ServeConfig::default(), |handle| {
+            handle.submit_generate(prompt.clone(), 8, Some(eos)).unwrap().wait()
+        });
+        assert_eq!(response.tokens, vec![eos], "generation must stop at the EOS token");
+        assert_eq!(report.generated_tokens, 1);
     }
 }

@@ -23,6 +23,13 @@
 //!   through one `QuantizedExecutor` (activations re-encoded on the fly
 //!   via the cached dictionaries); batched outputs are **bit-identical**
 //!   to solo execution, so batching is purely a throughput decision;
+//! * **autoregressive decode** — [`ServeHandle::submit_generate`] runs
+//!   greedy generation over a quantized KV-cache
+//!   ([`mokey_transformer::DecodeSession`]): the prompt prefills once,
+//!   each later token is decoded incrementally, and between tokens the
+//!   generation *re-enters the queue*, so decode interleaves with
+//!   one-shot traffic at token granularity while a [`GenTicket`] streams
+//!   the tokens back;
 //! * **structural shutdown** — workers live in a `std::thread::scope`;
 //!   when the driver closure returns, the queue closes and the accepted
 //!   backlog is drained before [`serve`] returns. No accepted request is
@@ -77,7 +84,10 @@ pub mod queue;
 pub mod registry;
 pub mod wire;
 
-pub use engine::{serve, serve_registry, Response, ServeConfig, ServeHandle, SubmitError, Ticket};
+pub use engine::{
+    serve, serve_registry, GenTicket, GenUpdate, GenerateResponse, Response, ServeConfig,
+    ServeHandle, SubmitError, Ticket,
+};
 pub use loadgen::{drive_socket_clients, LoadGen, SocketConnectionReport, SocketLoadReport};
 pub use metrics::{LatencyHistogram, Metrics, MetricsReport, ServeReport};
 pub use mokey_transformer::ExecMode;
@@ -85,6 +95,6 @@ pub use net::{serve_net, NetConfig, NetHandle};
 pub use prepared::PreparedModel;
 pub use registry::{ModelId, ModelRegistry, ModelServeConfig, RegistryError};
 pub use wire::{
-    read_frame, write_frame, Frame, NetClient, ReadFrameError, ServerReply, WireError,
-    WireErrorCode,
+    read_frame, write_frame, Frame, GenSummary, GenerateOutcome, NetClient, ReadFrameError,
+    ServerReply, WireError, WireErrorCode,
 };

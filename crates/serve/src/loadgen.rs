@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 pub struct LoadGen {
     rng: StdRng,
     vocab: usize,
+    max_seq: usize,
     min_len: usize,
     max_len: usize,
 }
@@ -34,6 +35,7 @@ impl LoadGen {
         Self {
             rng: StdRng::seed_from_u64(seed),
             vocab: model.config().vocab,
+            max_seq,
             min_len: 8.min(max_seq),
             max_len: 32.min(max_seq),
         }
@@ -55,6 +57,25 @@ impl LoadGen {
     /// The next `n` requests.
     pub fn requests(&mut self, n: usize) -> Vec<Vec<usize>> {
         (0..n).map(|_| self.next_request()).collect()
+    }
+
+    /// The next decode request in the deterministic stream: a prompt
+    /// from the configured length band plus a new-token budget of up to
+    /// `max_new`, jointly clamped so the generation always fits —
+    /// `prompt.len() + max_tokens <= max_seq` and `max_tokens >= 1`.
+    pub fn next_generate(&mut self, max_new: usize) -> (Vec<usize>, usize) {
+        // The prompt must leave room for at least one generated token.
+        let cap = self.max_len.min(self.max_seq.saturating_sub(1)).max(1);
+        let floor = self.min_len.clamp(1, cap);
+        let len = self.rng.gen_range(floor..=cap);
+        let prompt = (0..len).map(|_| self.rng.gen_range(0..self.vocab)).collect();
+        let max_tokens = max_new.clamp(1, self.max_seq - len);
+        (prompt, max_tokens)
+    }
+
+    /// The next `n` decode requests.
+    pub fn generates(&mut self, n: usize, max_new: usize) -> Vec<(Vec<usize>, usize)> {
+        (0..n).map(|_| self.next_generate(max_new)).collect()
     }
 }
 
@@ -233,6 +254,26 @@ mod tests {
             assert!(tokens.len() >= 8 && tokens.len() <= 20, "length {}", tokens.len());
             assert!(tokens.iter().all(|&t| t < 100));
         }
+    }
+
+    #[test]
+    fn decode_requests_always_fit_the_sequence_budget() {
+        let m = model();
+        let mut gen = LoadGen::new(&m, 23);
+        for (prompt, max_tokens) in gen.generates(200, 64) {
+            assert!(!prompt.is_empty());
+            assert!(max_tokens >= 1);
+            assert!(
+                prompt.len() + max_tokens <= 20,
+                "over budget: {} + {max_tokens}",
+                prompt.len()
+            );
+            assert!(prompt.iter().all(|&t| t < 100));
+        }
+        // Deterministic like the one-shot stream.
+        let a = LoadGen::new(&m, 23).generates(20, 8);
+        let b = LoadGen::new(&m, 23).generates(20, 8);
+        assert_eq!(a, b);
     }
 
     #[test]

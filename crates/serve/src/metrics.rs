@@ -122,6 +122,7 @@ pub struct Metrics {
     rejected_invalid: AtomicU64,
     completed: AtomicU64,
     batches_formed: AtomicU64,
+    batched_requests: AtomicU64,
     max_batch_size: AtomicU64,
     packed_batches: AtomicU64,
     packed_requests: AtomicU64,
@@ -130,10 +131,16 @@ pub struct Metrics {
     packed_rows: AtomicU64,
     act_values: AtomicU64,
     act_outliers: AtomicU64,
+    generated_tokens: AtomicU64,
+    decode_steps: AtomicU64,
     /// End-to-end latency: submission → response sent.
     pub latency: LatencyHistogram,
     /// Queue wait: submission → batch formed.
     pub queue_wait: LatencyHistogram,
+    /// Per-generated-token latency: the gap between consecutive sampled
+    /// tokens of a generation (the first observation is time-to-first-
+    /// token: accept → first sample, including prefill).
+    pub per_token: LatencyHistogram,
 }
 
 impl Default for Metrics {
@@ -153,6 +160,7 @@ impl Metrics {
             rejected_invalid: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             batches_formed: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
             max_batch_size: AtomicU64::new(0),
             packed_batches: AtomicU64::new(0),
             packed_requests: AtomicU64::new(0),
@@ -161,8 +169,11 @@ impl Metrics {
             packed_rows: AtomicU64::new(0),
             act_values: AtomicU64::new(0),
             act_outliers: AtomicU64::new(0),
+            generated_tokens: AtomicU64::new(0),
+            decode_steps: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
+            per_token: LatencyHistogram::new(),
         }
     }
 
@@ -189,6 +200,7 @@ impl Metrics {
     /// Accounts one formed batch and its size.
     pub fn note_batch(&self, size: usize) {
         self.batches_formed.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
         self.max_batch_size.fetch_max(size as u64, Ordering::Relaxed);
     }
 
@@ -200,6 +212,23 @@ impl Metrics {
         self.solo_requests.fetch_add(packing.solo_requests as u64, Ordering::Relaxed);
         self.pad_rows.fetch_add(packing.pad_rows as u64, Ordering::Relaxed);
         self.packed_rows.fetch_add(packing.packed_rows as u64, Ordering::Relaxed);
+    }
+
+    /// Accounts one decode slice: a worker pass that advanced a batch of
+    /// in-flight generations one token each. Decode slices are *not*
+    /// [`Metrics::note_batch`] batches — a generation flows through many
+    /// slices but completes once, so counting slices as batches would
+    /// corrupt `mean_batch_size`.
+    pub fn note_decode_step(&self) {
+        self.decode_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one greedily sampled token and its per-token latency
+    /// (gap since the generation's previous token; time-to-first-token
+    /// for the first).
+    pub fn note_generated(&self, inter_token: Duration) {
+        self.generated_tokens.fetch_add(1, Ordering::Relaxed);
+        self.per_token.record(inter_token);
     }
 
     /// Accounts one completed request.
@@ -220,6 +249,7 @@ impl Metrics {
         let act_values = self.act_values.load(Ordering::Relaxed);
         let pad_rows = self.pad_rows.load(Ordering::Relaxed);
         let packed_rows = self.packed_rows.load(Ordering::Relaxed);
+        let generated_tokens = self.generated_tokens.load(Ordering::Relaxed);
         MetricsReport {
             elapsed,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -228,7 +258,11 @@ impl Metrics {
             rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             batches_formed: batches,
-            mean_batch_size: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
+            },
             max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
             packed_batches: self.packed_batches.load(Ordering::Relaxed),
             packed_requests: self.packed_requests.load(Ordering::Relaxed),
@@ -239,6 +273,11 @@ impl Metrics {
             act_values,
             act_outliers: self.act_outliers.load(Ordering::Relaxed),
             values_per_sec: act_values as f64 / secs,
+            generated_tokens,
+            decode_steps: self.decode_steps.load(Ordering::Relaxed),
+            tokens_per_sec: generated_tokens as f64 / secs,
+            per_token_p50: self.per_token.quantile(0.50),
+            per_token_p99: self.per_token.quantile(0.99),
             latency_mean: self.latency.mean(),
             latency_p50: self.latency.quantile(0.50),
             latency_p90: self.latency.quantile(0.90),
@@ -267,7 +306,9 @@ pub struct MetricsReport {
     pub rejected_invalid: u64,
     /// Batches the dynamic batcher formed.
     pub batches_formed: u64,
-    /// `completed / batches_formed`.
+    /// Mean formed-batch size (one-shot requests batched /
+    /// `batches_formed`; decode slices and completed generations do not
+    /// participate).
     pub mean_batch_size: f64,
     /// Largest batch formed.
     pub max_batch_size: u64,
@@ -291,6 +332,19 @@ pub struct MetricsReport {
     pub act_outliers: u64,
     /// Activation values encoded per second of engine lifetime.
     pub values_per_sec: f64,
+    /// Tokens greedily sampled by in-flight generations.
+    pub generated_tokens: u64,
+    /// Decode slices: worker passes that advanced a batch of generations
+    /// one token each (a generation spans many slices; `generated_tokens
+    /// / decode_steps` is the mean decode batch width).
+    pub decode_steps: u64,
+    /// Generated tokens per second of engine lifetime.
+    pub tokens_per_sec: f64,
+    /// Median per-generated-token latency (inter-token gap; the first
+    /// token's observation is time-to-first-token).
+    pub per_token_p50: Duration,
+    /// 99th-percentile per-generated-token latency.
+    pub per_token_p99: Duration,
     /// Mean end-to-end request latency.
     pub latency_mean: Duration,
     /// Median end-to-end request latency.
@@ -315,6 +369,7 @@ impl MetricsReport {
              \x20 batching   : {} batches, mean size {:.2}, max size {}, peak queue depth {}\n\
              \x20 packing    : {} packed batches ({} requests packed, {} solo), pad waste {:.2}%\n\
              \x20 throughput : {:.1} requests/s, {:.3e} act values/s ({} values, {:.2}% outliers)\n\
+             \x20 decode     : {} tokens in {} slices, {:.1} tokens/s, per-token p50 {:.3} ms / p99 {:.3} ms\n\
              \x20 latency    : mean {:.3} ms, p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms\n\
              \x20 queue wait : p50 {:.3} ms, p99 {:.3} ms",
             self.elapsed.as_secs_f64(),
@@ -339,6 +394,11 @@ impl MetricsReport {
             } else {
                 100.0 * self.act_outliers as f64 / self.act_values as f64
             },
+            self.generated_tokens,
+            self.decode_steps,
+            self.tokens_per_sec,
+            ms(self.per_token_p50),
+            ms(self.per_token_p99),
             ms(self.latency_mean),
             ms(self.latency_p50),
             ms(self.latency_p90),
@@ -492,8 +552,30 @@ mod tests {
         assert_eq!(report.act_outliers, 18);
         assert!(report.requests_per_sec > 0.0);
         let text = report.dump();
-        for needle in ["requests", "batching", "packing", "throughput", "latency", "queue wait"] {
+        for needle in
+            ["requests", "batching", "packing", "throughput", "decode", "latency", "queue wait"]
+        {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
+    }
+
+    #[test]
+    fn decode_counters_roll_up_into_token_rates() {
+        let m = Metrics::new();
+        // Two slices: one advancing three generations, one advancing one.
+        m.note_decode_step();
+        for _ in 0..3 {
+            m.note_generated(Duration::from_micros(200));
+        }
+        m.note_decode_step();
+        m.note_generated(Duration::from_millis(4));
+        let report = m.snapshot(0);
+        assert_eq!(report.generated_tokens, 4);
+        assert_eq!(report.decode_steps, 2);
+        assert!(report.tokens_per_sec > 0.0);
+        assert!(report.per_token_p50 <= Duration::from_micros(300), "{:?}", report.per_token_p50);
+        assert!(report.per_token_p99 >= Duration::from_millis(3), "{:?}", report.per_token_p99);
+        // Decode slices are not batches: mean_batch_size stays untouched.
+        assert_eq!(report.batches_formed, 0);
     }
 }

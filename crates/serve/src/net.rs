@@ -5,10 +5,12 @@
 //! ```text
 //!  client ──TCP──▶ acceptor thread ──▶ connection thread (reader)
 //!                                           │ read_frame → name lookup
-//!                                           │ → ServeHandle::submit_to
+//!                                           │ → submit_to /
+//!                                           │   submit_generate_to
 //!                                           ▼
 //!                                      writer thread: wait Tickets,
-//!                                      write response/error frames
+//!                                      write response/error frames,
+//!                                      stream Generated tokens
 //! ```
 //!
 //! Everything is plain `std::net` blocking I/O on scoped threads — no
@@ -25,13 +27,13 @@
 //! workers, the writer threads flush the responses, and only then does
 //! the engine close. No accepted request is ever dropped.
 
-use crate::engine::{ServeConfig, ServeHandle, Ticket};
+use crate::engine::{GenTicket, GenUpdate, ServeConfig, ServeHandle, Ticket};
 use crate::metrics::ServeReport;
 use crate::registry::{ModelId, ModelRegistry};
 use crate::serve_registry;
 use crate::wire::{
-    read_frame, write_frame, Frame, ReadFrameError, WireError, WireErrorCode, CORR_CONNECTION,
-    DEFAULT_MAX_FRAME_BYTES,
+    read_frame, write_frame, Frame, GenSummary, ReadFrameError, WireError, WireErrorCode,
+    CORR_CONNECTION, DEFAULT_MAX_FRAME_BYTES,
 };
 use std::collections::HashMap;
 use std::io::{self, BufWriter};
@@ -96,6 +98,11 @@ impl<'e> NetHandle<'_, 'e> {
 /// connection.
 enum Outcome {
     Pending(u64, Ticket),
+    /// A generation's token stream: the writer drains the ticket into
+    /// one `Generated` frame per token plus the closing summary frame.
+    /// Replies queued behind a streaming generation wait for it — a
+    /// connection's responses are strictly ordered.
+    PendingGen(u64, GenTicket),
     Reject(u64, WireErrorCode, String),
 }
 
@@ -235,16 +242,48 @@ fn serve_connection(
         scope.spawn(move || {
             let mut w = BufWriter::new(write_half);
             let mut client_gone = false;
+            let emit = |w: &mut BufWriter<TcpStream>, gone: &mut bool, frame: &Frame| {
+                if !*gone && write_frame(w, frame, max_frame_bytes).is_err() {
+                    *gone = true;
+                }
+            };
             while let Ok(outcome) = rx.recv() {
                 // A vanished client stops the writing but never the
-                // waiting: every accepted ticket is still claimed, so
-                // the engine's drain accounting stays exact.
-                let frame = match outcome {
-                    Outcome::Pending(corr, ticket) => Frame::from_response(corr, ticket.wait()),
-                    Outcome::Reject(corr, code, message) => Frame::Error { corr, code, message },
-                };
-                if !client_gone && write_frame(&mut w, &frame, max_frame_bytes).is_err() {
-                    client_gone = true;
+                // waiting: every accepted ticket is still claimed (and
+                // every generation stream drained), so the engine's
+                // drain accounting stays exact.
+                match outcome {
+                    Outcome::Pending(corr, ticket) => {
+                        let frame = Frame::from_response(corr, ticket.wait());
+                        emit(&mut w, &mut client_gone, &frame);
+                    }
+                    Outcome::PendingGen(corr, ticket) => loop {
+                        match ticket.next() {
+                            GenUpdate::Token { index, token } => {
+                                let frame = Frame::Generated {
+                                    corr,
+                                    index: index as u32,
+                                    token: token as u32,
+                                    summary: None,
+                                };
+                                emit(&mut w, &mut client_gone, &frame);
+                            }
+                            GenUpdate::Done(response) => {
+                                let frame = Frame::Generated {
+                                    corr,
+                                    index: response.tokens.len() as u32,
+                                    token: 0,
+                                    summary: Some(GenSummary::from_response(&response)),
+                                };
+                                emit(&mut w, &mut client_gone, &frame);
+                                break;
+                            }
+                        }
+                    },
+                    Outcome::Reject(corr, code, message) => {
+                        let frame = Frame::Error { corr, code, message };
+                        emit(&mut w, &mut client_gone, &frame);
+                    }
                 }
             }
         });
@@ -271,8 +310,34 @@ fn serve_connection(
                         break;
                     }
                 }
+                Ok(Some(Frame::Generate { corr, model, prompt, max_tokens, eos })) => {
+                    let outcome = match names.get(&model) {
+                        Some(&id) => match engine.submit_generate_to(
+                            id,
+                            prompt,
+                            max_tokens as usize,
+                            eos.map(|t| t as usize),
+                        ) {
+                            Ok(ticket) => Outcome::PendingGen(corr, ticket),
+                            Err(err) => Outcome::Reject(
+                                corr,
+                                WireErrorCode::from_submit_error(&err),
+                                err.to_string(),
+                            ),
+                        },
+                        None => Outcome::Reject(
+                            corr,
+                            WireErrorCode::UnknownModel,
+                            format!("no model registered as {model:?}"),
+                        ),
+                    };
+                    if tx.send(outcome).is_err() {
+                        break;
+                    }
+                }
                 Ok(Some(_)) => {
-                    // Response/error frames only flow server → client.
+                    // Response/error/generated frames only flow server →
+                    // client.
                     let _ = tx.send(Outcome::Reject(
                         CORR_CONNECTION,
                         WireErrorCode::MalformedFrame,
@@ -281,6 +346,18 @@ fn serve_connection(
                     break;
                 }
                 Ok(None) => break, // clean hangup at a frame boundary
+                Err(ReadFrameError::Wire(WireError::UnsupportedTag { tag })) => {
+                    // A well-framed payload with a tag we don't serve:
+                    // answer with the dedicated kind error, not a
+                    // generic malformed complaint, so newer clients can
+                    // tell "old server" from "corrupt stream".
+                    let _ = tx.send(Outcome::Reject(
+                        CORR_CONNECTION,
+                        WireErrorCode::UnsupportedKind,
+                        format!("unsupported frame tag 0x{tag:02x}"),
+                    ));
+                    break;
+                }
                 Err(ReadFrameError::Wire(WireError::FrameTooLarge { declared, max })) => {
                     let _ = tx.send(Outcome::Reject(
                         CORR_CONNECTION,

@@ -9,7 +9,21 @@
 //!  0x02 Response  [corr u64][batch u32][queue_wait µs u64][latency µs u64]
 //!                 [act_values u64][act_outliers u64][output]
 //!  0x03 Error     [corr u64][code u16][msg_len u32][msg bytes]
+//!  0x04 Generate  [corr u64][name_len u16][name bytes][max_tokens u32]
+//!                 [has_eos u8][eos u32 if has_eos][nprompt u32][token u32 ×n]
+//!  0x05 Generated [corr u64][index u32][token u32][done u8]
+//!                 [steps u32][queue_wait µs u64][latency µs u64]
+//!                 [act_values u64][act_outliers u64]     ← done frames only
 //! ```
+//!
+//! A `Generate` request is answered by a *stream* of `Generated` frames
+//! sharing its `corr`: one per sampled token (`done = 0`, `token` the
+//! sampled id, `index` counting from 0), then a final summary frame
+//! (`done = 1`, `index` = token count, `token` unused) carrying the
+//! generation's step count, waits, and encoding counters. A tag outside
+//! the table is a *recognizably framed but unsupported* request kind and
+//! bounces with [`WireErrorCode::UnsupportedKind`], distinct from
+//! [`WireErrorCode::MalformedFrame`] (bytes that fail to decode).
 //!
 //! `corr` is a client-chosen correlation id echoed verbatim in the
 //! matching response or error, so clients may pipeline arbitrarily many
@@ -26,7 +40,7 @@
 //! rejected *before* allocating, so a hostile peer cannot make the
 //! server balloon memory with a 4 GiB length word.
 
-use crate::engine::{Response, SubmitError};
+use crate::engine::{GenerateResponse, Response, SubmitError};
 use mokey_transformer::exec::QuantizedStats;
 use mokey_transformer::TaskOutput;
 use std::fmt;
@@ -40,6 +54,10 @@ pub const TAG_REQUEST: u8 = 0x01;
 pub const TAG_RESPONSE: u8 = 0x02;
 /// Frame tag for a server error.
 pub const TAG_ERROR: u8 = 0x03;
+/// Frame tag for a client generation request.
+pub const TAG_GENERATE: u8 = 0x04;
+/// Frame tag for a server generation event (token or final summary).
+pub const TAG_GENERATED: u8 = 0x05;
 
 /// Default cap on a single frame's payload (1 MiB) — far above any
 /// legitimate request (max_seq × 4 bytes) yet small enough that a
@@ -72,6 +90,13 @@ pub enum WireErrorCode {
     MalformedFrame = 8,
     /// The frame's declared length exceeds the configured maximum.
     FrameTooLarge = 9,
+    /// The frame was well-formed but its tag names a request kind this
+    /// server does not support (e.g. a newer protocol revision).
+    UnsupportedKind = 10,
+    /// The target model was prepared without activation quantization, so
+    /// it cannot serve generations (the KV-cache stores activation
+    /// codes).
+    DecodeUnsupported = 11,
 }
 
 impl WireErrorCode {
@@ -87,6 +112,8 @@ impl WireErrorCode {
             7 => Self::ShuttingDown,
             8 => Self::MalformedFrame,
             9 => Self::FrameTooLarge,
+            10 => Self::UnsupportedKind,
+            11 => Self::DecodeUnsupported,
             _ => return None,
         })
     }
@@ -101,6 +128,7 @@ impl WireErrorCode {
             SubmitError::EmptySequence => Self::EmptySequence,
             SubmitError::SequenceTooLong { .. } => Self::SequenceTooLong,
             SubmitError::TokenOutOfVocab { .. } => Self::TokenOutOfVocab,
+            SubmitError::DecodeUnsupported { .. } => Self::DecodeUnsupported,
         }
     }
 }
@@ -144,6 +172,60 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Client → server: generate up to `max_tokens` greedy tokens from
+    /// `prompt`, answered by a stream of [`Frame::Generated`] frames.
+    Generate {
+        /// Client-chosen correlation id shared by every frame of the
+        /// generation's stream.
+        corr: u64,
+        /// The registered model name to route to.
+        model: String,
+        /// The prompt token ids.
+        prompt: Vec<usize>,
+        /// Token budget (must be non-zero; `prompt + max_tokens` must
+        /// fit the model's `max_seq`).
+        max_tokens: u32,
+        /// Optional early-stop token.
+        eos: Option<u32>,
+    },
+    /// Server → client: one generation event — a sampled token, or the
+    /// stream's final summary.
+    Generated {
+        /// Echo of the generation's correlation id.
+        corr: u64,
+        /// Token position within the generation (the summary frame
+        /// carries the total token count here).
+        index: u32,
+        /// The sampled token id (unused — zero — on the summary frame).
+        token: u32,
+        /// `Some` exactly on the stream's final frame.
+        summary: Option<GenSummary>,
+    },
+}
+
+/// The closing summary of a generation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenSummary {
+    /// Queue passes the generation consumed server-side.
+    pub steps: u32,
+    /// Submission → first service slice (server-side).
+    pub queue_wait: Duration,
+    /// Submission → final token (server-side).
+    pub latency: Duration,
+    /// Merged activation-encoding counters (prefill + every step).
+    pub stats: QuantizedStats,
+}
+
+impl GenSummary {
+    /// Builds the wire summary from an answered engine generation.
+    pub fn from_response(response: &GenerateResponse) -> Self {
+        Self {
+            steps: response.steps as u32,
+            queue_wait: response.queue_wait,
+            latency: response.latency,
+            stats: response.stats,
+        }
+    }
 }
 
 /// Why a frame could not be decoded.
@@ -163,6 +245,15 @@ pub enum WireError {
         /// What failed, for diagnostics.
         detail: &'static str,
     },
+    /// The frame was well-formed at the framing layer but its tag names
+    /// a kind this endpoint does not implement — kept distinct from
+    /// [`WireError::Malformed`] so servers can answer with the typed
+    /// [`WireErrorCode::UnsupportedKind`] instead of a generic decode
+    /// failure.
+    UnsupportedTag {
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -173,6 +264,9 @@ impl fmt::Display for WireError {
                 write!(f, "frame of {declared} bytes exceeds the {max}-byte maximum")
             }
             WireError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            WireError::UnsupportedTag { tag } => {
+                write!(f, "unsupported frame tag 0x{tag:02x}")
+            }
         }
     }
 }
@@ -348,6 +442,43 @@ impl Frame {
                 e.bytes(message.as_bytes());
                 e.buf
             }
+            Frame::Generate { corr, model, prompt, max_tokens, eos } => {
+                let mut e = Enc::new(TAG_GENERATE);
+                e.u64(*corr);
+                e.u16(model.len() as u16);
+                e.bytes(model.as_bytes());
+                e.u32(*max_tokens);
+                match eos {
+                    Some(t) => {
+                        e.buf.push(1);
+                        e.u32(*t);
+                    }
+                    None => e.buf.push(0),
+                }
+                e.u32(prompt.len() as u32);
+                for &t in prompt {
+                    e.u32(t as u32);
+                }
+                e.buf
+            }
+            Frame::Generated { corr, index, token, summary } => {
+                let mut e = Enc::new(TAG_GENERATED);
+                e.u64(*corr);
+                e.u32(*index);
+                e.u32(*token);
+                match summary {
+                    None => e.buf.push(0),
+                    Some(s) => {
+                        e.buf.push(1);
+                        e.u32(s.steps);
+                        e.u64(s.queue_wait.as_micros() as u64);
+                        e.u64(s.latency.as_micros() as u64);
+                        e.u64(s.stats.act_values as u64);
+                        e.u64(s.stats.act_outliers as u64);
+                    }
+                }
+                e.buf
+            }
         }
     }
 
@@ -356,8 +487,9 @@ impl Frame {
     ///
     /// # Errors
     ///
-    /// [`WireError::Malformed`] on an unknown tag, short payload,
-    /// invalid UTF-8 name, out-of-range count, or trailing garbage.
+    /// [`WireError::UnsupportedTag`] on an unrecognized tag;
+    /// [`WireError::Malformed`] on a short payload, invalid UTF-8 name,
+    /// out-of-range count, or trailing garbage.
     pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         let mut d = Dec::new(payload);
         let frame = match d.u8("frame tag")? {
@@ -404,7 +536,48 @@ impl Frame {
                     .to_owned();
                 Frame::Error { corr, code, message }
             }
-            _ => return Err(WireError::Malformed { detail: "frame tag" }),
+            TAG_GENERATE => {
+                let corr = d.u64("generate corr id")?;
+                let name_len = d.u16("model name length")? as usize;
+                let name = d.take(name_len, "model name bytes")?;
+                let model = std::str::from_utf8(name)
+                    .map_err(|_| WireError::Malformed { detail: "model name utf-8" })?
+                    .to_owned();
+                let max_tokens = d.u32("max tokens")?;
+                let eos = match d.u8("eos flag")? {
+                    0 => None,
+                    1 => Some(d.u32("eos token")?),
+                    _ => return Err(WireError::Malformed { detail: "eos flag" }),
+                };
+                let nprompt = d.u32("prompt count")? as usize;
+                if nprompt.checked_mul(4).is_none_or(|bytes| bytes > payload.len()) {
+                    return Err(WireError::Malformed { detail: "prompt count" });
+                }
+                let prompt = (0..nprompt)
+                    .map(|_| d.u32("prompt token").map(|t| t as usize))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Frame::Generate { corr, model, prompt, max_tokens, eos }
+            }
+            TAG_GENERATED => {
+                let corr = d.u64("generated corr id")?;
+                let index = d.u32("token index")?;
+                let token = d.u32("token id")?;
+                let summary = match d.u8("done flag")? {
+                    0 => None,
+                    1 => Some(GenSummary {
+                        steps: d.u32("steps")?,
+                        queue_wait: Duration::from_micros(d.u64("gen queue wait")?),
+                        latency: Duration::from_micros(d.u64("gen latency")?),
+                        stats: QuantizedStats {
+                            act_values: d.u64("gen act values")? as usize,
+                            act_outliers: d.u64("gen act outliers")? as usize,
+                        },
+                    }),
+                    _ => return Err(WireError::Malformed { detail: "done flag" }),
+                };
+                Frame::Generated { corr, index, token, summary }
+            }
+            tag => return Err(WireError::UnsupportedTag { tag }),
         };
         d.finished("trailing bytes")?;
         Ok(frame)
@@ -508,6 +681,25 @@ pub enum ServerReply {
     },
 }
 
+/// How a [`NetClient::generate`] call ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenerateOutcome {
+    /// The generation ran to completion.
+    Generated {
+        /// Every sampled token, in stream order.
+        tokens: Vec<usize>,
+        /// The stream's closing summary.
+        summary: GenSummary,
+    },
+    /// The generation was rejected with a typed reason.
+    Rejected {
+        /// The reason code.
+        code: WireErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
 /// A blocking client for the wire protocol: one `TcpStream`, framed
 /// writes and reads. Requests may be pipelined — send many, then match
 /// replies by correlation id.
@@ -562,9 +754,13 @@ impl NetClient {
             Frame::Error { corr, code, message } => {
                 Ok((corr, ServerReply::Rejected { code, message }))
             }
-            Frame::Request { .. } => {
+            Frame::Request { .. } | Frame::Generate { .. } => {
                 Err(io::Error::new(io::ErrorKind::InvalidData, "server sent a request frame"))
             }
+            Frame::Generated { .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "generation frame outside a generate call (mixed pipelining is unsupported)",
+            )),
         }
     }
 
@@ -585,6 +781,87 @@ impl NetClient {
             ));
         }
         Ok(reply)
+    }
+
+    /// Sends one generation request frame without waiting for the token
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport failure.
+    pub fn send_generate(
+        &mut self,
+        corr: u64,
+        model: &str,
+        prompt: &[usize],
+        max_tokens: usize,
+        eos: Option<usize>,
+    ) -> io::Result<()> {
+        let frame = Frame::Generate {
+            corr,
+            model: model.to_owned(),
+            prompt: prompt.to_vec(),
+            max_tokens: max_tokens as u32,
+            eos: eos.map(|t| t as u32),
+        };
+        write_frame(&mut self.stream, &frame, self.max_frame_bytes)
+    }
+
+    /// One synchronous generation: sends the request and drains its
+    /// token stream until the summary (or error) frame. Do not pipeline
+    /// other calls on the connection while a generation is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, `UnexpectedEof` when the server hangs up
+    /// mid-stream, and `InvalidData` on out-of-order frames (a token
+    /// index skipping, a foreign correlation id, or a non-generation
+    /// frame).
+    pub fn generate(
+        &mut self,
+        corr: u64,
+        model: &str,
+        prompt: &[usize],
+        max_tokens: usize,
+        eos: Option<usize>,
+    ) -> io::Result<GenerateOutcome> {
+        self.send_generate(corr, model, prompt, max_tokens, eos)?;
+        let mut tokens = Vec::new();
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_frame_bytes)
+                .map_err(|e| match e {
+                    ReadFrameError::Io(e) => e,
+                    ReadFrameError::Wire(e) => io::Error::new(io::ErrorKind::InvalidData, e),
+                })?
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-generation")
+                })?;
+            match frame {
+                Frame::Generated { corr: got, index, token, summary } if got == corr => {
+                    if index as usize != tokens.len() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("token index {index} out of order (expected {})", tokens.len()),
+                        ));
+                    }
+                    match summary {
+                        None => tokens.push(token as usize),
+                        Some(summary) => return Ok(GenerateOutcome::Generated { tokens, summary }),
+                    }
+                }
+                Frame::Error { corr: got, code, message }
+                    if got == corr || got == CORR_CONNECTION =>
+                {
+                    return Ok(GenerateOutcome::Rejected { code, message })
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected frame during generation: {other:?}"),
+                    ))
+                }
+            }
+        }
     }
 
     /// The underlying stream, for timeouts or shutdown.
@@ -643,6 +920,32 @@ mod tests {
             code: WireErrorCode::MalformedFrame,
             message: "frame tag".into(),
         });
+        round_trip(Frame::Generate {
+            corr: 11,
+            model: "storyteller".into(),
+            prompt: vec![4, 0, 17, 255],
+            max_tokens: 12,
+            eos: Some(9),
+        });
+        round_trip(Frame::Generate {
+            corr: 12,
+            model: "storyteller".into(),
+            prompt: vec![1],
+            max_tokens: 1,
+            eos: None,
+        });
+        round_trip(Frame::Generated { corr: 11, index: 0, token: 42, summary: None });
+        round_trip(Frame::Generated {
+            corr: 11,
+            index: 5,
+            token: 0,
+            summary: Some(GenSummary {
+                steps: 5,
+                queue_wait: Duration::from_micros(77),
+                latency: Duration::from_micros(8_123),
+                stats: QuantizedStats { act_values: 4_096, act_outliers: 12 },
+            }),
+        });
     }
 
     #[test]
@@ -666,12 +969,24 @@ mod tests {
     }
 
     #[test]
+    fn unknown_tags_are_unsupported_not_malformed() {
+        // A recognizably framed payload with a tag outside the table is
+        // a *kind* problem, not a decoding problem — it must surface as
+        // UnsupportedTag so servers answer with UnsupportedKind.
+        assert_eq!(Frame::decode_payload(&[0x09]), Err(WireError::UnsupportedTag { tag: 0x09 }));
+        assert_eq!(Frame::decode_payload(&[0xFF]), Err(WireError::UnsupportedTag { tag: 0xFF }));
+        // Every implemented tag stays decodable (if only to a Malformed
+        // complaint about the truncated body, never UnsupportedTag).
+        for tag in [TAG_REQUEST, TAG_RESPONSE, TAG_ERROR, TAG_GENERATE, TAG_GENERATED] {
+            assert!(
+                matches!(Frame::decode_payload(&[tag]), Err(WireError::Malformed { .. })),
+                "tag 0x{tag:02x} should be known"
+            );
+        }
+    }
+
+    #[test]
     fn malformed_payloads_are_typed_errors() {
-        // Unknown tag.
-        assert!(matches!(
-            Frame::decode_payload(&[0x09]),
-            Err(WireError::Malformed { detail: "frame tag" })
-        ));
         // Empty payload.
         assert!(Frame::decode_payload(&[]).is_err());
         // Truncated request: claims 4 tokens, carries none.
@@ -695,6 +1010,29 @@ mod tests {
         assert!(matches!(
             Frame::decode_payload(&bad_name),
             Err(WireError::Malformed { detail: "model name utf-8" })
+        ));
+        // An out-of-range eos flag on a Generate frame.
+        let mut bad_gen = Frame::Generate {
+            corr: 1,
+            model: "m".into(),
+            prompt: vec![2],
+            max_tokens: 3,
+            eos: None,
+        }
+        .encode_payload();
+        bad_gen[16] = 7; // eos flag (tag 1 + corr 8 + len 2 + name 1 + max_tokens 4)
+        assert!(matches!(
+            Frame::decode_payload(&bad_gen),
+            Err(WireError::Malformed { detail: "eos flag" })
+        ));
+        // An out-of-range done flag on a Generated frame.
+        let mut bad_done =
+            Frame::Generated { corr: 1, index: 0, token: 3, summary: None }.encode_payload();
+        let flag = bad_done.len() - 1;
+        bad_done[flag] = 2;
+        assert!(matches!(
+            Frame::decode_payload(&bad_done),
+            Err(WireError::Malformed { detail: "done flag" })
         ));
     }
 
@@ -751,6 +1089,8 @@ mod tests {
             WireErrorCode::ShuttingDown,
             WireErrorCode::MalformedFrame,
             WireErrorCode::FrameTooLarge,
+            WireErrorCode::UnsupportedKind,
+            WireErrorCode::DecodeUnsupported,
         ] {
             assert_eq!(WireErrorCode::from_u16(code as u16), Some(code));
         }

@@ -451,6 +451,21 @@ struct ActCodes {
     cols: usize,
 }
 
+/// The codes of one activation tensor harvested through
+/// [`QuantizedExecutor::capture`] — exactly the codes the encoding hook
+/// produced, so decoding them through the tensor's
+/// [`DecodeLut`] reproduces the hook's float
+/// output bit-exactly. This is how the decode KV-cache stores K/V rows.
+#[derive(Debug, Clone)]
+pub struct CapturedCodes {
+    /// Row-major 5-bit code patterns (`rows × cols`).
+    pub bits: Vec<u8>,
+    /// Rows of the captured tensor.
+    pub rows: usize,
+    /// Columns of the captured tensor.
+    pub cols: usize,
+}
+
 /// Mokey quantized inference.
 #[derive(Debug)]
 pub struct QuantizedExecutor<'a> {
@@ -463,6 +478,11 @@ pub struct QuantizedExecutor<'a> {
     /// Retained activation codes, by activation name (index mode only;
     /// only names in the context's `encoded_acts` are kept).
     act_codes: BTreeMap<String, ActCodes>,
+    /// Activation names whose codes the caller asked to harvest
+    /// (mode-independent, unlike `act_codes`).
+    capture_names: BTreeSet<String>,
+    /// Harvested codes, drained via [`QuantizedExecutor::take_captured`].
+    captured: BTreeMap<String, CapturedCodes>,
     /// GEMMs actually served from a pair-LUT (diagnostics/tests).
     lut_gemms: usize,
 }
@@ -481,8 +501,25 @@ impl<'a> QuantizedExecutor<'a> {
             per_request: Vec::new(),
             mode,
             act_codes: BTreeMap::new(),
+            capture_names: BTreeSet::new(),
+            captured: BTreeMap::new(),
             lut_gemms: 0,
         }
+    }
+
+    /// Asks the encoding hook to harvest the codes of the named
+    /// activation tensors (in either [`ExecMode`]). Each forward pass
+    /// overwrites a name's previous capture; drain with
+    /// [`QuantizedExecutor::take_captured`]. Names without an activation
+    /// dictionary are never captured (the hook doesn't encode them).
+    pub fn capture(&mut self, names: impl IntoIterator<Item = String>) {
+        self.capture_names.extend(names);
+    }
+
+    /// Drains the harvested codes of one captured activation tensor
+    /// (`None` if the name was not captured since the last drain).
+    pub fn take_captured(&mut self, name: &str) -> Option<CapturedCodes> {
+        self.captured.remove(name)
     }
 
     /// Counters accumulated so far.
@@ -523,8 +560,10 @@ impl Executor for QuantizedExecutor<'_> {
         };
         let decode = self.ctx.act_decode.get(name).copied().unwrap_or_else(|| DecodeLut::new(dict));
         let retain = self.retains(name);
+        let capture = self.capture_names.contains(name);
+        let keep = retain || capture;
         let (rows, cols) = (m.rows(), m.cols());
-        let mut bits = if retain { Vec::with_capacity(rows * cols) } else { Vec::new() };
+        let mut bits = if keep { Vec::with_capacity(rows * cols) } else { Vec::new() };
         let mut out = m;
         for v in out.as_mut_slice() {
             let code = dict.encode_value(*v);
@@ -532,10 +571,14 @@ impl Executor for QuantizedExecutor<'_> {
             if code.is_outlier() {
                 self.stats.act_outliers += 1;
             }
-            if retain {
+            if keep {
                 bits.push(code.to_bits());
             }
             *v = decode.value(code);
+        }
+        if capture {
+            let harvest = if retain { bits.clone() } else { std::mem::take(&mut bits) };
+            self.captured.insert(name.to_string(), CapturedCodes { bits: harvest, rows, cols });
         }
         if retain {
             self.act_codes.insert(name.to_string(), ActCodes { bits, rows, cols });

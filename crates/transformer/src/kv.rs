@@ -1,0 +1,130 @@
+//! The quantized KV-cache backing autoregressive decode.
+//!
+//! Mokey quantizes *activations* on the fly with per-tensor
+//! dictionaries; K and V projections are just activations, so the cache
+//! stores each position's K/V rows as the 5-bit **codes** the encoding
+//! hook produced (`L{li}.attn.k` / `L{li}.attn.v` dictionaries), not as
+//! floats — 5 bits per value instead of 32. At attention time a row is
+//! rematerialized through the tensor's
+//! [`DecodeLut`] (one table gather per
+//! value), which reproduces the hook's float output bit-exactly; the
+//! incremental step therefore computes the same attention a full
+//! recompute of the prefix would.
+
+use crate::exec::CapturedCodes;
+use mokey_core::encode::Code;
+use mokey_core::lut::DecodeLut;
+use mokey_tensor::Matrix;
+
+/// One layer's cached K and V code rows.
+#[derive(Debug, Clone, Default)]
+struct LayerKv {
+    k_bits: Vec<u8>,
+    v_bits: Vec<u8>,
+}
+
+/// Per-layer quantized K/V storage for one generation, growing one row
+/// per decoded token (plus the whole prompt at prefill).
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    layers: Vec<LayerKv>,
+    hidden: usize,
+}
+
+impl KvCache {
+    /// An empty cache for `layers` encoder layers of width `hidden`.
+    pub fn new(layers: usize, hidden: usize) -> Self {
+        Self { layers: vec![LayerKv::default(); layers], hidden }
+    }
+
+    /// Number of layers the cache covers.
+    pub fn layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Cached positions (rows) in one layer. All layers agree between
+    /// steps; mid-step, layers already visited are one row ahead.
+    pub fn positions(&self, li: usize) -> usize {
+        self.layers[li].k_bits.len() / self.hidden
+    }
+
+    /// Cache size in bytes (one byte per stored 5-bit code).
+    pub fn bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.k_bits.len() + l.v_bits.len()).sum()
+    }
+
+    /// Appends captured K and V code rows (one row per position — a
+    /// whole prompt at prefill, a single row per decode step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the captures disagree with the cache width or with each
+    /// other.
+    pub fn append(&mut self, li: usize, k: &CapturedCodes, v: &CapturedCodes) {
+        assert_eq!(k.cols, self.hidden, "K capture width mismatch");
+        assert_eq!(v.cols, self.hidden, "V capture width mismatch");
+        assert_eq!(k.rows, v.rows, "K/V row count mismatch");
+        let layer = &mut self.layers[li];
+        layer.k_bits.extend_from_slice(&k.bits);
+        layer.v_bits.extend_from_slice(&v.bits);
+    }
+
+    /// Rematerializes one layer's K rows (`positions × hidden`) through
+    /// the tensor's decode table — bit-identical to the floats the
+    /// encoding hook emitted when each row was cached.
+    pub fn decode_k(&self, li: usize, lut: &DecodeLut) -> Matrix {
+        decode_rows(&self.layers[li].k_bits, self.hidden, lut)
+    }
+
+    /// Rematerializes one layer's V rows (`positions × hidden`).
+    pub fn decode_v(&self, li: usize, lut: &DecodeLut) -> Matrix {
+        decode_rows(&self.layers[li].v_bits, self.hidden, lut)
+    }
+}
+
+fn decode_rows(bits: &[u8], hidden: usize, lut: &DecodeLut) -> Matrix {
+    let rows = bits.len() / hidden;
+    let mut m = Matrix::zeros(rows, hidden);
+    for (slot, &b) in m.as_mut_slice().iter_mut().zip(bits) {
+        *slot = lut.value(Code::from_bits(b));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mokey_core::curve::ExpCurve;
+    use mokey_core::dict::TensorDict;
+    use mokey_tensor::init::GaussianMixture;
+
+    #[test]
+    fn append_then_decode_reproduces_hook_floats() {
+        let sample = GaussianMixture::activation_like(0.0, 1.0).sample_matrix(4, 8, 1);
+        let dict =
+            TensorDict::for_values(sample.as_slice(), &ExpCurve::paper(), &Default::default())
+                .unwrap();
+        let lut = DecodeLut::new(&dict);
+        // Encode two rows the way the hook does, keeping bits + floats.
+        let raw = GaussianMixture::activation_like(0.0, 1.0).sample_matrix(2, 8, 2);
+        let mut bits = Vec::new();
+        let mut floats = Vec::new();
+        for &v in raw.as_slice() {
+            let code = dict.encode_value(v);
+            bits.push(code.to_bits());
+            floats.push(lut.value(code));
+        }
+        let mut cache = KvCache::new(1, 8);
+        let cap = CapturedCodes { bits: bits.clone(), rows: 2, cols: 8 };
+        cache.append(0, &cap, &cap);
+        assert_eq!(cache.positions(0), 2);
+        assert_eq!(cache.bytes(), 2 * 2 * 8);
+        assert_eq!(cache.decode_k(0, &lut).as_slice(), floats.as_slice());
+        assert_eq!(cache.decode_v(0, &lut).as_slice(), floats.as_slice());
+        // A second single-row append lands after the first two rows.
+        let one = CapturedCodes { bits: bits[..8].to_vec(), rows: 1, cols: 8 };
+        cache.append(0, &one, &one);
+        assert_eq!(cache.positions(0), 3);
+        assert_eq!(cache.decode_k(0, &lut).row(2), &floats[..8]);
+    }
+}

@@ -17,6 +17,10 @@
 //!   16-bit fixed-point grid of paper Eq. 7/8).
 //! * [`quantize`] — the end-to-end Mokey pipeline: profile → build
 //!   dictionaries → quantize → run.
+//! * [`decode`] / [`kv`] — autoregressive greedy decode: prefill through
+//!   the shared forward pass, then per-token incremental attention over a
+//!   quantized KV-cache ([`kv::KvCache`]) that stores K/V rows as 5-bit
+//!   codes and rematerializes them bit-exactly at attention time.
 //! * [`tasks`] — synthetic MNLI/STS-B/SQuAD-style tasks whose FP operating
 //!   point is calibrated to the paper's reported scores, plus the metrics
 //!   (accuracy, Spearman, span-F1) used by Table I.
@@ -24,8 +28,10 @@
 //! * [`workload`] — GEMM shape extraction for the accelerator simulator.
 
 pub mod config;
+pub mod decode;
 pub mod exec;
 pub mod footprint;
+pub mod kv;
 pub mod model;
 pub mod packed;
 pub mod quantize;
@@ -33,7 +39,9 @@ pub mod tasks;
 pub mod workload;
 
 pub use config::ModelConfig;
+pub use decode::{generate, generate_reference, DecodeSession, GenerateResult};
 pub use exec::{BatchRun, ExecMode, LutLinear, QuantizedContext, QuantizedExecutor};
+pub use kv::KvCache;
 pub use model::{Head, Model, TaskOutput};
 pub use packed::{PackedBatch, PackedLayout};
 pub use quantize::{QuantizeSpec, QuantizedModel};

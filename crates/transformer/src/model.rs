@@ -200,6 +200,29 @@ impl Model {
         x
     }
 
+    /// Embeds one token at an absolute position as a `1 × hidden` row.
+    /// Layer norm is per-row, so this is bit-identical to the matching
+    /// row of [`Model::embed`] — the incremental decode path's embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is out of vocabulary or the position is at or
+    /// beyond `max_seq`.
+    pub fn embed_one(&self, token: usize, pos: usize) -> Matrix {
+        assert!(pos < self.config.max_seq, "position {pos} beyond max_seq");
+        assert!(token < self.config.vocab, "token {token} out of vocabulary");
+        let h = self.config.hidden;
+        let mut x = Matrix::zeros(1, h);
+        let emb = self.token_embedding.row(token);
+        let pe = self.position_embedding.row(pos);
+        let row = x.row_mut(0);
+        for j in 0..h {
+            row[j] = emb[j] + pe[j];
+        }
+        nn::layer_norm(&mut x, &self.emb_ln_gamma, &self.emb_ln_beta, 1e-6);
+        x
+    }
+
     /// Full forward pass through the encoder stack, with every GEMM input,
     /// GEMM output, and weight routed through the [`Executor`] hooks.
     /// Returns the final hidden states (`seq × hidden`).
@@ -548,7 +571,10 @@ impl Model {
     /// One fused GEMM + bias ([`nn::linear`]), routed through the
     /// executor: the weight may be substituted (quantized), the input
     /// transformed, and the output snapped to a fixed-point grid.
-    fn linear(
+    /// Crate-visible so the incremental decode step
+    /// ([`crate::decode`]) routes its projections through the exact
+    /// same hook sequence as [`Model::forward_embedded`].
+    pub(crate) fn linear(
         &self,
         exec: &mut dyn Executor,
         weight_name: &str,

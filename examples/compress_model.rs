@@ -8,7 +8,8 @@
 use mokey_memlayout::TensorArchive;
 use mokey_pipeline::QuantSession;
 use mokey_transformer::model::{Head, Model};
-use mokey_transformer::ModelConfig;
+use mokey_transformer::quantize::QuantizedModel;
+use mokey_transformer::{ModelConfig, QuantizeSpec};
 
 fn main() {
     // A scaled BERT-Base with synthetic weights (see DESIGN.md for the
@@ -46,8 +47,21 @@ fn main() {
     println!("compression vs FP16: {:.2}x", archive.compression_ratio(16));
     println!("compression vs FP32: {:.2}x", archive.compression_ratio(32));
 
-    // What the session did: tensor/value counts, cache behaviour, and
-    // elapsed time per pipeline stage.
+    // Prepare the same checkpoint for index-domain serving through the
+    // same session: every (activation-dict, weight-dict) pair gets a
+    // dense product table from the session's pair-LUT cache. The cache
+    // is keyed by dictionary *content* fingerprints, so a second
+    // replica — even with the dictionary cache off — hits for every
+    // table it needs.
+    let profile: Vec<Vec<usize>> = (0..2).map(|s| model.random_tokens(24, 1000 + s)).collect();
+    let spec = QuantizeSpec::weights_and_activations();
+    let (_replica_a, _) = QuantizedModel::prepare_with_session(&session, &model, spec, &profile)
+        .expect("serving preparation");
+    let (_replica_b, _) = QuantizedModel::prepare_with_session(&session, &model, spec, &profile)
+        .expect("serving preparation");
+
+    // What the session did: tensor/value counts, cache behaviour
+    // (dictionaries and pair LUTs), and elapsed time per pipeline stage.
     println!("\n{}", session.report());
 
     // Round-trip through the binary wire format.

@@ -4,8 +4,9 @@
 //! an in-flight slot or deadlock the graceful drain.
 
 use mokey_serve::{
-    drive_socket_clients, serve_net, ExecMode, Frame, ModelRegistry, ModelServeConfig, NetClient,
-    NetConfig, PreparedModel, ServeConfig, ServerReply, WireError, WireErrorCode,
+    drive_socket_clients, serve_net, ExecMode, Frame, GenerateOutcome, ModelRegistry,
+    ModelServeConfig, NetClient, NetConfig, PreparedModel, ServeConfig, ServerReply, WireError,
+    WireErrorCode,
 };
 use mokey_transformer::model::{Head, Model};
 use mokey_transformer::{ModelConfig, QuantizeSpec, TaskOutput};
@@ -203,9 +204,9 @@ fn malformed_frames_get_a_connection_error_frame_then_a_close() {
     let registry = registry();
     serve_net(&registry, serve_config(), NetConfig::default(), |net| {
         let mut stream = TcpStream::connect(net.addr()).unwrap();
-        // A framed payload with an unknown tag byte.
+        // A known tag (Request, 0x01) with a truncated body.
         stream.write_all(&1u32.to_le_bytes()).unwrap();
-        stream.write_all(&[0x7F]).unwrap();
+        stream.write_all(&[0x01]).unwrap();
         let reply = mokey_serve::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
         match reply {
             Frame::Error { corr, code, .. } => {
@@ -218,6 +219,73 @@ fn malformed_frames_get_a_connection_error_frame_then_a_close() {
         assert!(matches!(mokey_serve::read_frame(&mut stream, 1 << 20), Ok(None)));
     })
     .unwrap();
+}
+
+#[test]
+fn unknown_frame_tags_get_unsupported_kind_not_malformed() {
+    let registry = registry();
+    serve_net(&registry, serve_config(), NetConfig::default(), |net| {
+        let mut stream = TcpStream::connect(net.addr()).unwrap();
+        // A tag this protocol version has never assigned: the client
+        // may be newer than the server, so the answer distinguishes
+        // "I don't speak that" from "you sent garbage".
+        stream.write_all(&1u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0x7F]).unwrap();
+        let reply = mokey_serve::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+        match reply {
+            Frame::Error { corr, code, message } => {
+                assert_eq!(corr, 0, "connection-level errors carry corr 0");
+                assert_eq!(code, WireErrorCode::UnsupportedKind);
+                assert!(message.contains("0x7f"), "message should name the tag: {message}");
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        assert!(matches!(mokey_serve::read_frame(&mut stream, 1 << 20), Ok(None)));
+    })
+    .unwrap();
+}
+
+#[test]
+fn generation_over_the_wire_matches_direct_decode_token_for_token() {
+    let registry = registry();
+    let p = prepared(&registry);
+    let prompt = p.model().random_tokens(10, 91);
+    let reference =
+        mokey_transformer::generate(p.model(), p.context(), &prompt, 6, None, ExecMode::default());
+    let ((), report) = serve_net(&registry, serve_config(), NetConfig::default(), |net| {
+        let mut client = NetClient::connect(&net.addr().to_string()).unwrap();
+        match client.generate(1, "classify", &prompt, 6, None).unwrap() {
+            GenerateOutcome::Generated { tokens, summary } => {
+                assert_eq!(tokens, reference.tokens, "wire decode diverged from direct decode");
+                assert_eq!(summary.stats, reference.stats);
+                assert!(summary.steps >= 1);
+                assert!(summary.latency >= summary.queue_wait);
+            }
+            GenerateOutcome::Rejected { code, message } => {
+                panic!("valid generation rejected: {code:?} {message}")
+            }
+        }
+        // One-shot traffic still flows on the same connection after a
+        // streamed generation.
+        let tokens = p.model().random_tokens(12, 92);
+        assert!(matches!(
+            client.call(2, "classify", &tokens).unwrap(),
+            ServerReply::Response { .. }
+        ));
+        // Generation rejections come back as typed error frames.
+        assert!(matches!(
+            client.generate(3, "nonexistent", &prompt, 4, None).unwrap(),
+            GenerateOutcome::Rejected { code: WireErrorCode::UnknownModel, .. }
+        ));
+        assert!(matches!(
+            client.generate(4, "classify", &prompt, 64, None).unwrap(),
+            GenerateOutcome::Rejected { code: WireErrorCode::SequenceTooLong, .. }
+        ));
+    })
+    .unwrap();
+    assert_eq!(report.aggregate.generated_tokens, reference.tokens.len() as u64);
+    assert!(report.aggregate.decode_steps >= 1);
+    assert_eq!(report.aggregate.completed, 2, "one generation + one one-shot");
 }
 
 #[test]
@@ -331,7 +399,7 @@ proptest! {
         name in name_strategy(1..12),
         tokens in proptest::collection::vec(0usize..u32::MAX as usize, 0..64),
         logit_bits in proptest::collection::vec(0u32..=u32::MAX, 0..16),
-        code_raw in 1u16..=9,
+        code_raw in 1u16..=11,
         message in name_strategy(0..40),
     ) {
         let request = Frame::Request { corr, model: name, tokens };
@@ -378,6 +446,10 @@ proptest! {
                 prop_assert_eq!(frame.encode_payload(), payload);
             }
             Err(WireError::Malformed { .. }) => {}
+            // A fuzzed first byte may land on a tag this protocol
+            // version has not assigned; that is the one other legal
+            // rejection class.
+            Err(WireError::UnsupportedTag { .. }) => {}
             Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
         }
     }
