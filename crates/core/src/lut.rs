@@ -111,6 +111,12 @@ impl DecodeLut {
 pub struct PairLut {
     prod_f64: Vec<f64>,
     prod_f32: Vec<f32>,
+    /// Weight-major transpose of `prod_f64`: entry `cw * 32 + ca` holds the
+    /// same `decode_a(ca) * decode_w(cw)` product. One weight code selects a
+    /// contiguous 32-entry row — the counter-array kernel's per-weight-code
+    /// partial-sum table, fetched once per row panel instead of recomputing
+    /// the two-sided index per MAC.
+    prod_f64_w: Vec<f64>,
     a_zero: [bool; CODE_PATTERNS],
 }
 
@@ -122,15 +128,17 @@ impl PairLut {
         let (w_vals, _) = decode_table(w_dict);
         let mut prod_f64 = vec![0.0f64; CODE_PATTERNS * CODE_PATTERNS];
         let mut prod_f32 = vec![0.0f32; CODE_PATTERNS * CODE_PATTERNS];
+        let mut prod_f64_w = vec![0.0f64; CODE_PATTERNS * CODE_PATTERNS];
         let mut a_zero = [false; CODE_PATTERNS];
         for ca in 0..CODE_PATTERNS {
             a_zero[ca] = a_valid[ca] && (a_vals[ca] as f32) == 0.0;
             for cw in 0..CODE_PATTERNS {
                 prod_f64[ca * CODE_PATTERNS + cw] = a_vals[ca] * w_vals[cw];
                 prod_f32[ca * CODE_PATTERNS + cw] = (a_vals[ca] as f32) * (w_vals[cw] as f32);
+                prod_f64_w[cw * CODE_PATTERNS + ca] = a_vals[ca] * w_vals[cw];
             }
         }
-        Self { prod_f64, prod_f32, a_zero }
+        Self { prod_f64, prod_f32, prod_f64_w, a_zero }
     }
 
     /// The exact-f64 product `decode_a(ca) · decode_w(cw)`.
@@ -155,6 +163,16 @@ impl PairLut {
         &self.prod_f32[base..base + CODE_PATTERNS]
     }
 
+    /// One weight code's f64 product row (32 entries, indexed by
+    /// activation-code bits) — the counter-array kernel's partial-sum
+    /// table. Entry `ca` holds the same f64 product as
+    /// [`product_f64`](Self::product_f64)`(ca, cw)`.
+    #[inline]
+    fn f64_wrow(&self, cw_bits: u8) -> &[f64] {
+        let base = (cw_bits as usize & PATTERN_MASK) * CODE_PATTERNS;
+        &self.prod_f64_w[base..base + CODE_PATTERNS]
+    }
+
     /// `true` when the activation code decodes to `0.0f32` — the float
     /// GEMM's zero-skip would drop every product with it.
     #[inline]
@@ -164,7 +182,10 @@ impl PairLut {
 
     /// Approximate heap footprint, for cache accounting.
     pub fn bytes(&self) -> usize {
-        self.prod_f64.len() * 8 + self.prod_f32.len() * 4 + self.a_zero.len()
+        self.prod_f64.len() * 8
+            + self.prod_f32.len() * 4
+            + self.prod_f64_w.len() * 8
+            + self.a_zero.len()
     }
 }
 
@@ -334,6 +355,252 @@ pub fn matmul_lut_bias(
             let w_row = &w_codes[kk * n..(kk + 1) * n];
             for (o, &cw) in o_row.iter_mut().zip(w_row) {
                 *o += prod_row[cw.to_bits() as usize & PATTERN_MASK];
+            }
+        }
+    }
+    Matrix::from_vec(m, n, data)
+}
+
+/// Activation-row panel height for the counter-array kernels: one weight
+/// column's codes (and their 32-entry product rows) are walked **once per
+/// panel** of `PANEL_ROWS` activation rows instead of once per row, which
+/// is where the counter-array formulation pays — the per-weight-code
+/// gather is amortized `PANEL_ROWS`-fold while every scalar keeps its own
+/// pinned reduction. Sixteen rows keep the four fetched product rows hot
+/// across 64 accumulation chains per chunk — measured the steadiest win
+/// over 8 on the reference host — while the panel scratch stays ~2 KB.
+const PANEL_ROWS: usize = 16;
+
+/// Counter-array index-domain GEMM: the paper's per-weight-code reduction
+/// (Section II-D), generalized from counts to **partial sums** so outlier
+/// activations work, expressed as a row-panel kernel.
+///
+/// The paper's PE counts how often each weight code meets each activation
+/// magnitude and multiplies once per *code* instead of once per MAC. In
+/// software the equivalent factorization is the weight-major product table:
+/// each weight code `cw` selects one 32-entry row of pre-multiplied
+/// `decode_a(·) · decode_w(cw)` partial sums, so the inner loop is a
+/// single byte-indexed gather — the two-sided `(ca, cw)` index arithmetic
+/// of [`matmul_lut`] collapses to one table-row fetch per weight code per
+/// panel.
+///
+/// Bit-identity: each output scalar keeps **exactly**
+/// [`dot_decoded`](crate::kernels::dot_decoded)'s pinned reduction — lane
+/// `l` sums `k ≡ l (mod 4)` over the 4-wide prefix, lanes combine
+/// `(s0 + s1) + (s2 + s3)`, remainder sequential — and every gathered term
+/// is the same f64 product, so outputs equal [`matmul_lut`] (and therefore
+/// `dot_decoded`) to the bit; only the amount of index arithmetic per MAC
+/// changes, never any scalar's add order.
+///
+/// # Panics
+///
+/// Panics if inner dimensions differ.
+pub fn matmul_lut_counter(a: &QuantizedTensor, w_cols: &ColMajorCodes, lut: &PairLut) -> Matrix {
+    assert_eq!(a.cols(), w_cols.rows(), "matmul_lut inner dimension mismatch");
+    let (m, n) = (a.rows(), w_cols.cols());
+    let k = a.cols();
+    let mut out = Matrix::zeros(m, n);
+    let kc = k - (k % 4);
+    // The panel's activation codes, masked to table indexes once per panel
+    // (reused across all `n` columns) and stored chunk-major — 4 bytes of
+    // row 0, 4 bytes of row 1, … — so the inner loop walks one sequential
+    // slab per 4-wide `k` chunk.
+    let mut panel = vec![0u8; PANEL_ROWS * kc];
+    for i0 in (0..m).step_by(PANEL_ROWS) {
+        let rb = PANEL_ROWS.min(m - i0);
+        if rb == PANEL_ROWS {
+            for (r, row) in (i0..i0 + rb).map(|i| a.row_codes(i)).enumerate() {
+                for c in 0..kc / 4 {
+                    for p in 0..4 {
+                        panel[(c * PANEL_ROWS + r) * 4 + p] =
+                            row[c * 4 + p].to_bits() & PATTERN_MASK as u8;
+                    }
+                }
+            }
+            for j in 0..n {
+                let col = w_cols.col(j);
+                // Full panel: constant row count so the accumulator array
+                // unrolls completely.
+                let mut acc = [[0.0f64; 4]; PANEL_ROWS];
+                counter_panel_columns::<PANEL_ROWS>(&panel, col, lut, &mut acc);
+                for (r, s) in acc.iter().enumerate() {
+                    out[(i0 + r, j)] = counter_finish(s, a.row_codes(i0 + r), col, lut);
+                }
+            }
+        } else {
+            for r in 0..rb {
+                let row = a.row_codes(i0 + r);
+                for (dst, c) in panel[..kc].iter_mut().zip(row) {
+                    *dst = c.to_bits() & PATTERN_MASK as u8;
+                }
+                for j in 0..n {
+                    let col = w_cols.col(j);
+                    let mut acc = [[0.0f64; 4]; 1];
+                    counter_panel_columns::<1>(&panel[..kc], col, lut, &mut acc);
+                    out[(i0 + r, j)] = counter_finish(&acc[0], row, col, lut);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lane-accumulation core of [`matmul_lut_counter`] over one weight column
+/// and `R` pre-masked, chunk-major activation rows: per 4-wide `k` chunk,
+/// the four weight-code product rows are fetched **once** and every
+/// activation row gathers from them, each row keeping its own pinned
+/// `dot_decoded` lanes (`acc[r][l]` sums `k ≡ l mod 4`).
+#[inline]
+fn counter_panel_columns<const R: usize>(
+    panel: &[u8],
+    col: &[Code],
+    lut: &PairLut,
+    acc: &mut [[f64; 4]; R],
+) {
+    let chunks = panel.len() / (R * 4);
+    for (c, cw4) in col.chunks_exact(4).enumerate().take(chunks) {
+        let w0 = lut.f64_wrow(cw4[0].to_bits());
+        let w1 = lut.f64_wrow(cw4[1].to_bits());
+        let w2 = lut.f64_wrow(cw4[2].to_bits());
+        let w3 = lut.f64_wrow(cw4[3].to_bits());
+        let slab = &panel[c * R * 4..(c + 1) * R * 4];
+        for (s, ar) in acc.iter_mut().zip(slab.chunks_exact(4)) {
+            s[0] += w0[(ar[0] & PATTERN_MASK as u8) as usize];
+            s[1] += w1[(ar[1] & PATTERN_MASK as u8) as usize];
+            s[2] += w2[(ar[2] & PATTERN_MASK as u8) as usize];
+            s[3] += w3[(ar[3] & PATTERN_MASK as u8) as usize];
+        }
+    }
+}
+
+/// Folds one row's counter lanes exactly as `dot_decoded` does —
+/// `(s0 + s1) + (s2 + s3)` then the sub-lane remainder sequentially — and
+/// casts to the output f32.
+#[inline]
+fn counter_finish(s: &[f64; 4], a_row: &[Code], col: &[Code], lut: &PairLut) -> f32 {
+    let k = a_row.len();
+    let kc = k - (k % 4);
+    let mut v = (s[0] + s[1]) + (s[2] + s[3]);
+    for kk in kc..k {
+        let wrow = lut.f64_wrow(col[kk].to_bits());
+        v += wrow[(a_row[kk].to_bits() & PATTERN_MASK as u8) as usize];
+    }
+    v as f32
+}
+
+/// Counter-array variant of [`matmul_lut_bias`]: identical contract and
+/// identical bits (bias pre-load, ascending-`k`, one f32 add per
+/// contributing element, code-domain zero skip, [`SKIP_CODE`] rows →
+/// bias), but the `k`/`j` loops are interchanged over a `PANEL_ROWS`-row
+/// panel so each weight row's code bytes are loaded and masked **once per
+/// panel** instead of once per activation row.
+///
+/// Per output element the adds still happen in ascending `k` with the same
+/// skip conditions — within one `k` every element receives at most one add
+/// — so the reduction order of every scalar is unchanged from
+/// [`matmul_lut_bias`], which is what keeps it mirroring
+/// `Matrix::matmul_bias` bit for bit.
+///
+/// # Panics
+///
+/// Panics if `a_bits` is not `m × k`, `w` is not `k × n`, or the bias is
+/// not `n` wide.
+pub fn matmul_lut_bias_counter(
+    a_bits: &[u8],
+    m: usize,
+    k: usize,
+    w: &QuantizedTensor,
+    bias: &[f32],
+    lut: &PairLut,
+) -> Matrix {
+    assert_eq!(a_bits.len(), m * k, "activation code buffer is not {m}x{k}");
+    assert_eq!(w.rows(), k, "matmul_lut_bias inner dimension mismatch");
+    let n = w.cols();
+    assert_eq!(bias.len(), n, "bias width mismatch");
+    let mut data = Vec::with_capacity(m * n);
+    for _ in 0..m {
+        data.extend_from_slice(bias);
+    }
+    if n == 0 {
+        return Matrix::from_vec(m, n, data);
+    }
+    let w_codes = w.codes();
+    for (pi, chunk) in data.chunks_mut(4 * n).enumerate() {
+        let i0 = pi * 4;
+        let rb = chunk.len() / n;
+        let full_quad = rb == 4 && (0..4).all(|t| a_bits.get((i0 + t) * k) != Some(&SKIP_CODE));
+        if full_quad {
+            let (r0, rest) = chunk.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            for kk in 0..k {
+                let ca = [
+                    a_bits[i0 * k + kk],
+                    a_bits[(i0 + 1) * k + kk],
+                    a_bits[(i0 + 2) * k + kk],
+                    a_bits[(i0 + 3) * k + kk],
+                ];
+                let live = [
+                    !lut.activation_is_zero(ca[0]),
+                    !lut.activation_is_zero(ca[1]),
+                    !lut.activation_is_zero(ca[2]),
+                    !lut.activation_is_zero(ca[3]),
+                ];
+                let w_row = &w_codes[kk * n..(kk + 1) * n];
+                if live == [true; 4] {
+                    // All four rows contribute at this k: the weight row's
+                    // codes are loaded and masked once for the whole quad.
+                    let p0 = lut.f32_row(ca[0]);
+                    let p1 = lut.f32_row(ca[1]);
+                    let p2 = lut.f32_row(ca[2]);
+                    let p3 = lut.f32_row(ca[3]);
+                    let quad =
+                        r0.iter_mut().zip(r1.iter_mut()).zip(r2.iter_mut()).zip(r3.iter_mut());
+                    for ((((o0, o1), o2), o3), &cw) in quad.zip(w_row) {
+                        let ci = cw.to_bits() as usize & PATTERN_MASK;
+                        *o0 += p0[ci];
+                        *o1 += p1[ci];
+                        *o2 += p2[ci];
+                        *o3 += p3[ci];
+                    }
+                } else {
+                    // A zero-skip in the quad: fall back to per-row adds for
+                    // this k only. Each element still sees at most one add
+                    // per k, in ascending k — the reduction order of every
+                    // scalar is unchanged.
+                    for (t, o_row) in
+                        [&mut *r0, &mut *r1, &mut *r2, &mut *r3].into_iter().enumerate()
+                    {
+                        if !live[t] {
+                            continue;
+                        }
+                        let prod_row = lut.f32_row(ca[t]);
+                        for (o, &cw) in o_row.iter_mut().zip(w_row) {
+                            *o += prod_row[cw.to_bits() as usize & PATTERN_MASK];
+                        }
+                    }
+                }
+            }
+        } else {
+            // Ragged tail quad, or a quad containing SKIP_CODE padding
+            // rows: the plain row kernel body.
+            for (r, o_row) in chunk.chunks_mut(n).enumerate().take(rb) {
+                let i = i0 + r;
+                let a_row = &a_bits[i * k..(i + 1) * k];
+                if a_row.first() == Some(&SKIP_CODE) {
+                    continue;
+                }
+                for (kk, &ca) in a_row.iter().enumerate() {
+                    debug_assert!(ca != SKIP_CODE, "skip sentinel inside an encoded row");
+                    if lut.activation_is_zero(ca) {
+                        continue;
+                    }
+                    let prod_row = lut.f32_row(ca);
+                    let w_row = &w_codes[kk * n..(kk + 1) * n];
+                    for (o, &cw) in o_row.iter_mut().zip(w_row) {
+                        *o += prod_row[cw.to_bits() as usize & PATTERN_MASK];
+                    }
+                }
             }
         }
     }
@@ -528,6 +795,80 @@ mod tests {
             }
         }
         let _ = any_zero;
+    }
+
+    #[test]
+    fn matmul_lut_counter_is_bit_identical_to_matmul_lut_and_dot_decoded() {
+        // 13 rows: one full 8-row panel plus a 5-row remainder panel; 130
+        // columns of K leave a 2-wide lane remainder.
+        let (qa, qw) = quantized_pair(13, 130, 70, 79);
+        let cols = ColMajorCodes::from_tensor(&qw);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let fast = matmul_lut_counter(&qa, &cols, &lut);
+        let reference = matmul_lut(&qa, &cols, &lut);
+        assert_eq!(fast.shape(), reference.shape());
+        for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for i in 0..13 {
+            for j in 0..70 {
+                let expect = dot_decoded(qa.row_codes(i), qa.dict(), cols.col(j), qw.dict()) as f32;
+                assert_eq!(fast[(i, j)].to_bits(), expect.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_lut_bias_counter_is_bit_identical_to_row_kernel() {
+        // 11 rows split across two panels; k = 300 exercises a long
+        // ascending reduction.
+        let (qa, qw) = quantized_pair(11, 300, 33, 83);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let bias: Vec<f32> = (0..33).map(|j| j as f32 * 0.01 - 0.15).collect();
+        let a_bits: Vec<u8> = qa.codes().iter().map(|c| c.to_bits()).collect();
+        let fast = matmul_lut_bias_counter(&a_bits, 11, 300, &qw, &bias, &lut);
+        let row_kernel = matmul_lut_bias(&a_bits, 11, 300, &qw, &bias, &lut);
+        let dense = qa.decode().matmul_bias(&qw.decode(), &bias);
+        for ((a, b), c) in fast.as_slice().iter().zip(row_kernel.as_slice()).zip(dense.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_lut_bias_counter_skip_rows_emit_bias_within_a_panel() {
+        // Skip rows scattered inside and across panel boundaries (rows 1,
+        // 7, 8 with PANEL_ROWS = 8) must emit the bias while their panel
+        // neighbours stay bit-identical to the row kernel.
+        let (qa, qw) = quantized_pair(10, 64, 8, 89);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let bias = [0.5f32, -1.0, 0.25, 2.0, 0.0, 1.5, -0.75, 0.125];
+        let mut a_bits: Vec<u8> = qa.codes().iter().map(|c| c.to_bits()).collect();
+        for r in [1usize, 7, 8] {
+            for b in &mut a_bits[r * 64..(r + 1) * 64] {
+                *b = SKIP_CODE;
+            }
+        }
+        let fast = matmul_lut_bias_counter(&a_bits, 10, 64, &qw, &bias, &lut);
+        let reference = matmul_lut_bias(&a_bits, 10, 64, &qw, &bias, &lut);
+        for r in [1usize, 7, 8] {
+            assert_eq!(fast.row(r), &bias);
+        }
+        for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn counter_kernels_handle_empty_shapes() {
+        let (qa, qw) = quantized_pair(1, 8, 3, 97);
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let out = matmul_lut_bias_counter(&[], 0, 8, &qw, &[0.0; 3], &lut);
+        assert_eq!(out.shape(), (0, 3));
+        let cols = ColMajorCodes::from_tensor(&qw);
+        let empty_a = QuantizedTensor::encode(&Matrix::zeros(0, 8), qa.dict());
+        let out = matmul_lut_counter(&empty_a, &cols, &lut);
+        assert_eq!(out.shape(), (0, 3));
     }
 
     #[test]

@@ -7,7 +7,10 @@ use mokey_core::curve::ExpCurve;
 use mokey_core::dict::{OutlierPolicy, TensorDict, TensorDictConfig};
 use mokey_core::encode::{Code, QuantizedTensor};
 use mokey_core::kernels;
-use mokey_core::lut::{matmul_lut, matmul_lut_bias, ColMajorCodes, PairLut, SKIP_CODE};
+use mokey_core::lut::{
+    matmul_lut, matmul_lut_bias, matmul_lut_bias_counter, matmul_lut_counter, ColMajorCodes,
+    PairLut, SKIP_CODE,
+};
 use mokey_core::quantizer::OutputQuantizer;
 use mokey_tensor::Matrix;
 use proptest::prelude::*;
@@ -212,6 +215,99 @@ proptest! {
                 prop_assert_eq!(fast.row(r), bias.as_slice());
             } else {
                 for (x, y) in fast.row(r).iter().zip(reference.row(r)) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "row {} diverged", r);
+                }
+            }
+        }
+    }
+
+    /// The counter-array GEMM is bit-identical to both `matmul_lut` and
+    /// `dot_decoded` **per output scalar**, across shapes that cross the
+    /// row-panel boundary (full 16-row panels plus ragged remainders) and
+    /// the 4-code lane remainder, with outlier-heavy dictionaries forcing
+    /// codes through the OT table.
+    #[test]
+    fn matmul_lut_counter_equals_dot_decoded_per_scalar(
+        a_vals in tensor_strategy(),
+        w_vals in tensor_strategy(),
+        m in 0usize..20,
+        n in 1usize..7,
+        outlier_heavy in prop::bool::ANY,
+    ) {
+        let k = (a_vals.len() / m.max(1)).min(w_vals.len() / n).max(1);
+        prop_assume!(a_vals.len() >= m * k && w_vals.len() >= k * n);
+        let policy = if outlier_heavy {
+            OutlierPolicy::Fraction(0.2)
+        } else {
+            OutlierPolicy::CurveMidpoint
+        };
+        let a = Matrix::from_vec(m, k, a_vals[..m * k].to_vec());
+        let w = Matrix::from_vec(k, n, w_vals[..k * n].to_vec());
+        let qa = QuantizedTensor::encode(&a, &dict_for(&a_vals, policy));
+        let qw = QuantizedTensor::encode(&w, &dict_for(&w_vals, policy));
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let cols = ColMajorCodes::from_tensor(&qw);
+        let counter = matmul_lut_counter(&qa, &cols, &lut);
+        let row_kernel = matmul_lut(&qa, &cols, &lut);
+        prop_assert_eq!(counter.shape(), (m, n));
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(counter[(i, j)].to_bits(), row_kernel[(i, j)].to_bits(),
+                    "counter vs matmul_lut diverged at ({},{})", i, j);
+                let reference =
+                    kernels::dot_decoded(qa.row_codes(i), qa.dict(), cols.col(j), qw.dict()) as f32;
+                prop_assert_eq!(counter[(i, j)].to_bits(), reference.to_bits(),
+                    "counter vs dot_decoded diverged at ({},{})", i, j);
+            }
+        }
+    }
+
+    /// The serving counter-array kernel is bit-identical to
+    /// `matmul_lut_bias` and to the dense float GEMM on decoded operands,
+    /// row for row — including `SKIP_CODE` padding rows landing anywhere
+    /// inside or across its 4-row quads.
+    #[test]
+    fn matmul_lut_bias_counter_equals_dense_gemm_with_padding_rows(
+        a_vals in tensor_strategy(),
+        w_vals in tensor_strategy(),
+        m in 1usize..10,
+        n in 1usize..7,
+        skip_mask in prop::collection::vec(prop::bool::ANY, 10),
+        outlier_heavy in prop::bool::ANY,
+    ) {
+        let k = (a_vals.len() / m).min(w_vals.len() / n).max(1);
+        prop_assume!(a_vals.len() >= m * k && w_vals.len() >= k * n);
+        let policy = if outlier_heavy {
+            OutlierPolicy::Fraction(0.2)
+        } else {
+            OutlierPolicy::CurveMidpoint
+        };
+        let a = Matrix::from_vec(m, k, a_vals[..m * k].to_vec());
+        let w = Matrix::from_vec(k, n, w_vals[..k * n].to_vec());
+        let qa = QuantizedTensor::encode(&a, &dict_for(&a_vals, policy));
+        let qw = QuantizedTensor::encode(&w, &dict_for(&w_vals, policy));
+        let lut = PairLut::new(qa.dict(), qw.dict());
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.05 - 0.1).collect();
+        let mut a_bits: Vec<u8> = qa.codes().iter().map(|c| c.to_bits()).collect();
+        for r in 0..m {
+            if skip_mask[r] {
+                for b in &mut a_bits[r * k..(r + 1) * k] {
+                    *b = SKIP_CODE;
+                }
+            }
+        }
+        let counter = matmul_lut_bias_counter(&a_bits, m, k, &qw, &bias, &lut);
+        let row_kernel = matmul_lut_bias(&a_bits, m, k, &qw, &bias, &lut);
+        let reference = qa.decode().matmul_bias(&qw.decode(), &bias);
+        for (r, &skipped) in skip_mask.iter().enumerate().take(m) {
+            for (x, y) in counter.row(r).iter().zip(row_kernel.row(r)) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "counter vs row kernel diverged at row {}", r);
+            }
+            if skipped {
+                prop_assert_eq!(counter.row(r), bias.as_slice());
+            } else {
+                for (x, y) in counter.row(r).iter().zip(reference.row(r)) {
                     prop_assert_eq!(x.to_bits(), y.to_bits(), "row {} diverged", r);
                 }
             }

@@ -460,7 +460,7 @@ mod tests {
         m.note_completed(
             Duration::from_micros(300),
             Duration::from_micros(30),
-            &QuantizedStats { act_values: 10, act_outliers: 1 },
+            &QuantizedStats { act_values: 10, act_outliers: 1, ..Default::default() },
         );
         let report = ServeReport {
             aggregate: m.snapshot(1),
@@ -532,7 +532,7 @@ mod tests {
             pad_rows: 8,
             packed_rows: 64,
         });
-        let stats = QuantizedStats { act_values: 100, act_outliers: 3 };
+        let stats = QuantizedStats { act_values: 100, act_outliers: 3, ..Default::default() };
         for _ in 0..6 {
             m.note_completed(Duration::from_micros(500), Duration::from_micros(50), &stats);
         }

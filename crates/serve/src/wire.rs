@@ -514,9 +514,12 @@ impl Frame {
                 let batch_size = d.u32("batch size")?;
                 let queue_wait = Duration::from_micros(d.u64("queue wait")?);
                 let latency = Duration::from_micros(d.u64("latency")?);
+                // The wire carries the per-request activation counters
+                // only; kernel attribution is server-side diagnostics.
                 let stats = QuantizedStats {
                     act_values: d.u64("act values")? as usize,
                     act_outliers: d.u64("act outliers")? as usize,
+                    ..QuantizedStats::default()
                 };
                 let output = match d.u8("output kind")? {
                     1 => TaskOutput::Logits(d.f32_vec("logits")?),
@@ -571,6 +574,7 @@ impl Frame {
                         stats: QuantizedStats {
                             act_values: d.u64("gen act values")? as usize,
                             act_outliers: d.u64("gen act outliers")? as usize,
+                            ..QuantizedStats::default()
                         },
                     }),
                     _ => return Err(WireError::Malformed { detail: "done flag" }),
@@ -897,7 +901,11 @@ mod tests {
             batch_size: 5,
             queue_wait: Duration::from_micros(123),
             latency: Duration::from_micros(4567),
-            stats: QuantizedStats { act_values: 999, act_outliers: 27 },
+            stats: QuantizedStats {
+                act_values: 999,
+                act_outliers: 27,
+                ..QuantizedStats::default()
+            },
         });
         round_trip(Frame::Response {
             corr: 1,
@@ -905,7 +913,7 @@ mod tests {
             batch_size: 1,
             queue_wait: Duration::ZERO,
             latency: Duration::ZERO,
-            stats: QuantizedStats { act_values: 0, act_outliers: 0 },
+            stats: QuantizedStats { act_values: 0, act_outliers: 0, ..QuantizedStats::default() },
         });
         round_trip(Frame::Response {
             corr: 2,
@@ -913,7 +921,7 @@ mod tests {
             batch_size: 2,
             queue_wait: Duration::from_micros(1),
             latency: Duration::from_micros(2),
-            stats: QuantizedStats { act_values: 4, act_outliers: 1 },
+            stats: QuantizedStats { act_values: 4, act_outliers: 1, ..QuantizedStats::default() },
         });
         round_trip(Frame::Error {
             corr: 0,
@@ -943,7 +951,11 @@ mod tests {
                 steps: 5,
                 queue_wait: Duration::from_micros(77),
                 latency: Duration::from_micros(8_123),
-                stats: QuantizedStats { act_values: 4_096, act_outliers: 12 },
+                stats: QuantizedStats {
+                    act_values: 4_096,
+                    act_outliers: 12,
+                    ..QuantizedStats::default()
+                },
             }),
         });
     }
@@ -957,7 +969,7 @@ mod tests {
             batch_size: 1,
             queue_wait: Duration::ZERO,
             latency: Duration::ZERO,
-            stats: QuantizedStats { act_values: 0, act_outliers: 0 },
+            stats: QuantizedStats { act_values: 0, act_outliers: 0, ..QuantizedStats::default() },
         };
         let decoded = Frame::decode_payload(&frame.encode_payload()).unwrap();
         match decoded {

@@ -32,6 +32,6 @@ pub mod nn;
 pub mod stats;
 
 pub use matrix::{
-    dot, gemm_parallel_threshold, set_gemm_parallel_threshold, Matrix,
+    dot, dot_wide, gemm_parallel_threshold, set_gemm_parallel_threshold, Matrix,
     DEFAULT_GEMM_PARALLEL_THRESHOLD,
 };

@@ -3,14 +3,17 @@
 //! # Bit-exact row independence
 //!
 //! Every GEMM kernel in this module computes output row `i` from input row
-//! `i` and the right-hand side only, accumulating along `k` in ascending
-//! order with exactly one addition per `k` (zero left-hand operands are
-//! skipped in every path). Cache blocking, row micro-tiling, and the
-//! parallel row-chunk split never reorder that per-row reduction, so the
-//! result for a row is **bit-identical** no matter how many other rows are
-//! in the matrix or which execution path ran. The transformer's packed
-//! batched inference relies on this invariant: stacking several sequences
-//! into one tall GEMM must reproduce each sequence's solo output exactly.
+//! `i` and the right-hand side only, with a fixed per-element reduction:
+//! the `matmul` family accumulates along `k` in ascending order with
+//! exactly one addition per `k` (zero left-hand operands are skipped in
+//! every path), while the `matmul_transposed` family evaluates each element
+//! as the wide-lane [`dot_wide`], a pure function of the two operand rows.
+//! Cache blocking, row micro-tiling, and the parallel row-chunk split never
+//! reorder those per-element reductions, so the result for a row is
+//! **bit-identical** no matter how many other rows are in the matrix or
+//! which execution path ran. The transformer's packed batched inference
+//! relies on this invariant: stacking several sequences into one tall GEMM
+//! must reproduce each sequence's solo output exactly.
 //! `gemm_rows_are_independent_of_batching` pins it.
 
 use serde::{Deserialize, Serialize};
@@ -301,10 +304,10 @@ impl Matrix {
     /// GEMM against a transposed right-hand side: `self * other^T`.
     ///
     /// Attention layers compute `Q · K^T`; doing it directly on `K` avoids
-    /// materializing the transpose. Runs the blocked multi-accumulator
-    /// [`dot`] kernel over `JB`-row panels of `other`, and takes the same
-    /// parallel row-chunk path as [`Matrix::matmul`] once the problem is
-    /// large enough.
+    /// materializing the transpose. Runs the wide-lane [`dot_wide`] kernel
+    /// over `JB`-row panels of `other`, and takes the same parallel
+    /// row-chunk path as [`Matrix::matmul`] once the problem is large
+    /// enough.
     ///
     /// # Panics
     ///
@@ -519,6 +522,52 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+/// Wide-lane dot product used by the `A · B^T` GEMM paths: sixteen
+/// accumulation lanes held in two `[f32; 8]` arrays (lane `l` of array `t`
+/// sums elements `i ≡ 8t + l (mod 16)` over the 16-wide prefix), folded
+/// lane-pairwise (`s0[l] + s1[l]`) and then in the fixed binary tree
+/// `((t0+t1)+(t2+t3)) + ((t4+t5)+(t6+t7))`, with the up-to-15-element
+/// remainder added sequentially.
+///
+/// This is deliberately a **different pinned reduction** from the public
+/// [`dot`]: explicit 8-wide lane arrays are the shape the autovectorizer
+/// reliably lowers to full-width SIMD FMAs, where `dot`'s four scalar
+/// accumulators fill half a vector register. [`dot`] keeps its historical
+/// order because callers pin it bit-exactly
+/// (`dot_lane_reduction_order_is_pinned`); the `matmul_transposed` paths
+/// pin *outputs* — row independence, parallel == sequential — not an
+/// ordering, so they are free to take the wider kernel. Like `dot`, this
+/// is a pure function of the two operand slices: every caller tiling
+/// (blocked panels, parallel row chunks, the transformer's fused packed
+/// attention) produces identical bits per element.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_wide(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    const W: usize = 8;
+    let mut ca = a.chunks_exact(2 * W);
+    let mut cb = b.chunks_exact(2 * W);
+    let mut s0 = [0.0f32; W];
+    let mut s1 = [0.0f32; W];
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..W {
+            s0[l] += xa[l] * xb[l];
+            s1[l] += xa[W + l] * xb[W + l];
+        }
+    }
+    let mut t = [0.0f32; W];
+    for l in 0..W {
+        t[l] = s0[l] + s1[l];
+    }
+    let mut acc = ((t[0] + t[1]) + (t[2] + t[3])) + ((t[4] + t[5]) + (t[6] + t[7]));
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
+}
+
 /// Count of parallel GEMMs currently in flight, process-wide. Callers
 /// that already parallelize across GEMMs (the serving worker pool, the
 /// eval harness) would oversubscribe the host if every qualifying GEMM
@@ -575,12 +624,29 @@ fn dispatch_rows(
     });
 }
 
-/// Adds `a · x` into `y`, skipping the whole pass when `a` is zero (the
-/// caller guarantees it is not).
+/// Adds `a · x` into `y` (the caller guarantees `a` is non-zero), walked
+/// in explicit `[f32; 8]` column chunks so the autovectorizer sees one
+/// full-register FMA stream per loaded `x` chunk. Each output element
+/// receives exactly one addition per call, so the chunking never changes
+/// the per-(i,j) ascending-`k` reduction order of [`matmul_rows`].
+///
+/// One stream per call deliberately: an experiment fusing all four
+/// micro-tile rows into a single four-stream pass measured ~3× *slower*
+/// here — the zipped mutable chunk iterators defeat vectorization —
+/// while four sequential passes re-read a cache-hot `b` row and keep
+/// each loop trivially vectorizable.
 #[inline]
 fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    const W: usize = 8;
     let y = &mut y[..x.len()];
-    for (o, &v) in y.iter_mut().zip(x) {
+    let mut yc = y.chunks_exact_mut(W);
+    let mut xc = x.chunks_exact(W);
+    for (yv, xv) in (&mut yc).zip(&mut xc) {
+        for l in 0..W {
+            yv[l] += a * xv[l];
+        }
+    }
+    for (o, &v) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *o += a * v;
     }
 }
@@ -615,25 +681,13 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
                     continue;
                 }
                 let b_row = &b[kk * n..(kk + 1) * n];
-                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
-                    let (y0, y1) = (&mut r0[..n], &mut r1[..n]);
-                    let (y2, y3) = (&mut r2[..n], &mut r3[..n]);
-                    for (j, &bv) in b_row.iter().enumerate() {
-                        y0[j] += a0 * bv;
-                        y1[j] += a1 * bv;
-                        y2[j] += a2 * bv;
-                        y3[j] += a3 * bv;
-                    }
-                } else {
-                    // Mixed zero/non-zero lanes (masked attention rows):
-                    // fall back to per-row passes so zeros still cost
-                    // nothing and non-zero rows keep the same reduction.
-                    for (row, av) in
-                        [(&mut *r0, a0), (&mut *r1, a1), (&mut *r2, a2), (&mut *r3, a3)]
-                    {
-                        if av != 0.0 {
-                            axpy(row, av, b_row);
-                        }
+                // Per-row passes: zero lanes (masked attention rows) cost
+                // nothing and every non-zero row keeps the same ascending-k
+                // reduction; see `axpy` for why the four streams stay
+                // separate.
+                for (row, av) in [(&mut *r0, a0), (&mut *r1, a1), (&mut *r2, a2), (&mut *r3, a3)] {
+                    if av != 0.0 {
+                        axpy(row, av, b_row);
                     }
                 }
             }
@@ -658,8 +712,9 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
 /// `a` holds `m` rows of width `k`; `b` holds `bn` rows of width `k` (the
 /// transposed operand in its natural row-major layout); `out` holds `m`
 /// rows of width `bn`. `b` is swept in `JB`-row panels that stay
-/// cache-resident across every `a` row; each element is one blocked
-/// multi-accumulator [`dot`], so results are independent of the tiling.
+/// cache-resident across every `a` row; each element is one wide-lane
+/// [`dot_wide`] — a pure function of the two operand rows — so results
+/// are independent of the tiling.
 fn matmul_transposed_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, bn: usize) {
     let m = a.len() / k;
     debug_assert_eq!(out.len(), m * bn);
@@ -670,7 +725,7 @@ fn matmul_transposed_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, bn: u
             let a_row = &a[i * k..(i + 1) * k];
             let o_slice = &mut out[i * bn + j0..i * bn + j0 + jb];
             for (o, b_row) in o_slice.iter_mut().zip(b_panel.chunks_exact(k)) {
-                *o = dot(a_row, b_row);
+                *o = dot_wide(a_row, b_row);
             }
         }
     }

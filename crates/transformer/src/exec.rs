@@ -17,7 +17,7 @@ use crate::model::{Model, TaskOutput};
 use crate::packed::{PackedBatch, PackedLayout};
 use mokey_core::dict::TensorDict;
 use mokey_core::encode::QuantizedTensor;
-use mokey_core::lut::{matmul_lut_bias, DecodeLut, PairLut, SKIP_CODE};
+use mokey_core::lut::{matmul_lut_bias, matmul_lut_bias_counter, DecodeLut, PairLut, SKIP_CODE};
 use mokey_core::profile::ActivationProfiler;
 use mokey_fixed::{snap_to_grid, QFormat};
 use mokey_tensor::Matrix;
@@ -349,9 +349,12 @@ impl QuantizedContext {
                 packing.packed_requests += pack.requests();
                 packing.packed_rows += pack.total_rows();
                 packing.pad_rows += pack.pad_rows();
-                let outs = self.infer_packed_planned(model, &pack, &refs, mode);
+                let (outs, exec_stats) = self.infer_packed_planned(model, &pack, &refs, mode);
+                // The executor's own counters carry the kernel attribution
+                // the per-request entries don't (their activation counters
+                // sum to the same values).
+                total.merge(&exec_stats);
                 for (&i, pair) in group.iter().zip(outs) {
-                    total.merge(&pair.1);
                     results[i] = Some(pair);
                 }
             } else {
@@ -384,41 +387,68 @@ impl QuantizedContext {
         model: &Model,
         batch: &[&[usize]],
     ) -> Vec<(TaskOutput, QuantizedStats)> {
-        self.infer_packed_planned(model, &PackedBatch::new(batch), batch, ExecMode::Decoded)
+        self.infer_packed_planned(model, &PackedBatch::new(batch), batch, ExecMode::Decoded).0
     }
 
     /// [`QuantizedContext::infer_packed`] with an already-built pack plan
-    /// (so `infer_batch` executes exactly the plan it accounted).
+    /// (so `infer_batch` executes exactly the plan it accounted). Also
+    /// returns the executor's merged counters, which — unlike the
+    /// per-request entries — carry the kernel attribution.
     fn infer_packed_planned(
         &self,
         model: &Model,
         pack: &PackedBatch,
         batch: &[&[usize]],
         mode: ExecMode,
-    ) -> Vec<(TaskOutput, QuantizedStats)> {
+    ) -> (Vec<(TaskOutput, QuantizedStats)>, QuantizedStats) {
         let mut exec = QuantizedExecutor::with_mode(self, mode);
         let hidden = model.forward_packed(&mut exec, pack, batch);
         let outputs = model.apply_head_packed(&mut exec, &hidden, pack);
+        let exec_stats = exec.stats();
         let mut per_request = exec.take_per_request();
         per_request.resize(batch.len(), QuantizedStats::default());
-        outputs.into_iter().zip(per_request).collect()
+        (outputs.into_iter().zip(per_request).collect(), exec_stats)
     }
 }
 
 /// Counters describing one quantized forward pass.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Equality compares only the activation-encoding counters (`act_values`,
+/// `act_outliers`): those describe *what* was computed and are pinned
+/// bit-identical across execution modes, batching, and kernel choices.
+/// The kernel-attribution counters record *how* index-domain GEMMs were
+/// served — they legitimately differ between [`ExecMode`]s and shapes, so
+/// they stay out of the equality the mode/batching equivalence tests
+/// assert.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QuantizedStats {
     /// Activation values encoded.
     pub act_values: usize,
     /// Of those, how many hit the outlier dictionary (Table I's "A OT %").
     pub act_outliers: usize,
+    /// Index-domain GEMMs served by the pair-LUT row kernel
+    /// ([`matmul_lut_bias`]).
+    pub pair_lut_gemms: usize,
+    /// Index-domain GEMMs served by the counter-array panel kernel
+    /// ([`matmul_lut_bias_counter`]).
+    pub counter_array_gemms: usize,
 }
+
+impl PartialEq for QuantizedStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.act_values == other.act_values && self.act_outliers == other.act_outliers
+    }
+}
+
+impl Eq for QuantizedStats {}
 
 impl QuantizedStats {
     /// Merges counters from another pass.
     pub fn merge(&mut self, other: &QuantizedStats) {
         self.act_values += other.act_values;
         self.act_outliers += other.act_outliers;
+        self.pair_lut_gemms += other.pair_lut_gemms;
+        self.counter_array_gemms += other.counter_array_gemms;
     }
 
     /// Counters accumulated since an earlier snapshot (`earlier` must be
@@ -427,6 +457,8 @@ impl QuantizedStats {
         QuantizedStats {
             act_values: self.act_values - earlier.act_values,
             act_outliers: self.act_outliers - earlier.act_outliers,
+            pair_lut_gemms: self.pair_lut_gemms - earlier.pair_lut_gemms,
+            counter_array_gemms: self.counter_array_gemms - earlier.counter_array_gemms,
         }
     }
 
@@ -466,6 +498,21 @@ pub struct CapturedCodes {
     pub cols: usize,
 }
 
+/// Which index-domain kernel serves a GEMM shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LutKernel {
+    /// Row-at-a-time pair-LUT gather ([`matmul_lut_bias`]).
+    PairLut,
+    /// Counter-array panel kernel ([`matmul_lut_bias_counter`]): walks
+    /// each weight column's codes once per activation-row panel.
+    CounterArray,
+}
+
+/// Minimum activation rows before the counter-array kernel's row panels
+/// amortize the per-code product-row fetch. Below this (notably the
+/// decode path's one-row GEMMs) the row kernel's single pass wins.
+const COUNTER_MIN_ROWS: usize = 4;
+
 /// Mokey quantized inference.
 #[derive(Debug)]
 pub struct QuantizedExecutor<'a> {
@@ -485,6 +532,10 @@ pub struct QuantizedExecutor<'a> {
     captured: BTreeMap<String, CapturedCodes>,
     /// GEMMs actually served from a pair-LUT (diagnostics/tests).
     lut_gemms: usize,
+    /// Cached kernel choice per GEMM shape `(m, k, n)`: the heuristic is
+    /// decided once per shape per executor instead of re-derived on every
+    /// call (the executor's `mode` is fixed, so shape alone keys it).
+    kernel_choice: BTreeMap<(usize, usize, usize), LutKernel>,
 }
 
 impl<'a> QuantizedExecutor<'a> {
@@ -504,6 +555,7 @@ impl<'a> QuantizedExecutor<'a> {
             capture_names: BTreeSet::new(),
             captured: BTreeMap::new(),
             lut_gemms: 0,
+            kernel_choice: BTreeMap::new(),
         }
     }
 
@@ -677,10 +729,13 @@ impl Executor for QuantizedExecutor<'_> {
     /// Index-domain GEMM: gathers precomputed centroid products for the
     /// retained activation codes instead of multiplying decoded floats.
     /// Bit-identical to the float `x·W + b` on this executor's decoded
-    /// operands — [`matmul_lut_bias`] reproduces `matmul_bias`'s exact
-    /// reduction (ascending-`k`, one add per element, identical
-    /// zero-skip). Returns `None` (float fallback) whenever the weight
-    /// has no retained codes or the retained activation doesn't match.
+    /// operands — both [`matmul_lut_bias`] and [`matmul_lut_bias_counter`]
+    /// reproduce `matmul_bias`'s exact reduction (ascending-`k`, one add
+    /// per element, identical zero-skip). Which kernel serves the GEMM is
+    /// a per-shape choice cached in `kernel_choice` and surfaced through
+    /// [`QuantizedStats`]; it never affects the output bits. Returns
+    /// `None` (float fallback) whenever the weight has no retained codes
+    /// or the retained activation doesn't match.
     fn linear(&mut self, weight_name: &str, x: &Matrix, _w: &Matrix, b: &[f32]) -> Option<Matrix> {
         if self.mode != ExecMode::IndexDomain {
             return None;
@@ -692,7 +747,30 @@ impl Executor for QuantizedExecutor<'_> {
             return None;
         }
         self.lut_gemms += 1;
-        Some(matmul_lut_bias(&stored.bits, stored.rows, stored.cols, &entry.codes, b, &entry.lut))
+        let kernel = *self.kernel_choice.entry((stored.rows, k, n)).or_insert(
+            if stored.rows >= COUNTER_MIN_ROWS {
+                LutKernel::CounterArray
+            } else {
+                LutKernel::PairLut
+            },
+        );
+        Some(match kernel {
+            LutKernel::CounterArray => {
+                self.stats.counter_array_gemms += 1;
+                matmul_lut_bias_counter(
+                    &stored.bits,
+                    stored.rows,
+                    stored.cols,
+                    &entry.codes,
+                    b,
+                    &entry.lut,
+                )
+            }
+            LutKernel::PairLut => {
+                self.stats.pair_lut_gemms += 1;
+                matmul_lut_bias(&stored.bits, stored.rows, stored.cols, &entry.codes, b, &entry.lut)
+            }
+        })
     }
 }
 
@@ -856,9 +934,19 @@ mod tests {
         let out = model.apply_head(&mut exec, &hidden);
         // Every retained GEMM ran on codes — nothing fell back.
         assert_eq!(exec.lut_gemms(), 2 * 6 + 2);
+        // Kernel attribution: the 11-row layer GEMMs take the counter-array
+        // panel kernel, the one-row head GEMMs take the pair-LUT row
+        // kernel, and together they account for every LUT GEMM.
+        let stats = exec.stats();
+        assert_eq!(stats.counter_array_gemms, 2 * 6);
+        assert_eq!(stats.pair_lut_gemms, 2);
+        assert_eq!(stats.counter_array_gemms + stats.pair_lut_gemms, exec.lut_gemms());
         let (decoded_out, decoded_stats) = qm.infer(&tokens);
         assert_eq!(out, decoded_out);
         assert_eq!(exec.stats(), decoded_stats);
+        // Decoded mode served nothing from LUT kernels.
+        assert_eq!(decoded_stats.counter_array_gemms, 0);
+        assert_eq!(decoded_stats.pair_lut_gemms, 0);
     }
 
     #[test]

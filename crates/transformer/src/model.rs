@@ -7,7 +7,7 @@
 
 use crate::config::ModelConfig;
 use crate::exec::Executor;
-use crate::packed::{PackedBatch, PackedLayout};
+use crate::packed::{fused_attention_context, fused_attention_scores, PackedBatch, PackedLayout};
 use mokey_tensor::init::GaussianMixture;
 use mokey_tensor::{nn, Matrix};
 use rand::rngs::StdRng;
@@ -352,13 +352,15 @@ impl Model {
     }
 
     /// Packed forward pass: one `(B·S) × hidden` activation matrix runs
-    /// every projection and FFN GEMM once per **batch**. Attention stays
-    /// per-sequence — scores are computed on each request's row block and
-    /// padded key positions are driven to `−∞` before the softmax, so
-    /// masked probabilities are exactly `0.0` and the zero-skipping GEMM
-    /// kernels ignore padded value rows. Each request's valid rows are
-    /// bit-identical to its solo [`Model::forward`] (see the
-    /// [`packed`](crate::packed) module docs for why).
+    /// every projection and FFN GEMM once per **batch**, and attention
+    /// runs block-diagonal **fused** — one region-strided kernel
+    /// invocation per layer per stage (Q·K^T with the padding mask,
+    /// softmax, P·V) instead of per sequence. Padded key positions are
+    /// driven to `−∞` before the softmax, so masked probabilities are
+    /// exactly `0.0` and padded value rows contribute nothing. Each
+    /// request's valid rows are bit-identical to its solo
+    /// [`Model::forward`] (see the [`packed`](crate::packed) module docs
+    /// for why).
     pub fn forward_packed(
         &self,
         exec: &mut dyn Executor,
@@ -367,8 +369,6 @@ impl Model {
     ) -> Matrix {
         let heads = self.config.heads;
         let dh = self.config.head_dim();
-        let s = pack.seq();
-        let nb = pack.requests();
         let rows_layout = pack.rows_layout();
         let probs_layout = pack.probs_layout(heads);
         let mut x = self.embed_packed(pack, batch);
@@ -405,49 +405,17 @@ impl Model {
             let v = exec.activation_packed(&format!("{pre}.attn.v"), v, &rows_layout);
 
             let scale = 1.0 / (dh as f32).sqrt();
-            // Request-major, then head-major — `probs_layout` mirrors this.
-            let mut all_probs = Matrix::zeros(nb * heads * s, s);
-            for bi in 0..nb {
-                let len = pack.len_of(bi);
-                let base = pack.row_of(bi);
-                for hd in 0..heads {
-                    let qh = q.slice_block(base, s, hd * dh, dh);
-                    let kh = k.slice_block(base, s, hd * dh, dh);
-                    // Activation × activation GEMM #1: Q·K^T, one sequence.
-                    let mut scores = qh.matmul_transposed(&kh).scale(scale);
-                    if len < s {
-                        // Masked attention: padded keys can never be
-                        // attended to. −∞ becomes exactly 0.0 after the
-                        // softmax shift-and-exp.
-                        for r in 0..s {
-                            for sc in &mut scores.row_mut(r)[len..] {
-                                *sc = f32::NEG_INFINITY;
-                            }
-                        }
-                    }
-                    nn::softmax_rows(&mut scores);
-                    let probs_base = (bi * heads + hd) * s;
-                    for r in 0..s {
-                        all_probs.row_mut(probs_base + r).copy_from_slice(scores.row(r));
-                    }
-                }
-            }
+            // Fused block-diagonal attention: one region-strided kernel
+            // invocation per stage — Q·K^T with the padding mask, one
+            // softmax over the whole (request-major, then head-major)
+            // probability matrix, then P·V — instead of `B·heads` small
+            // GEMMs over `slice_block` copies. Bit-identical to the
+            // per-sequence path (see `packed::fused_attention_scores`).
+            let mut all_probs = fused_attention_scores(&q, &k, pack, heads, dh, scale);
+            nn::softmax_rows(&mut all_probs);
             let probs =
                 exec.activation_packed(&format!("{pre}.attn.probs"), all_probs, &probs_layout);
-            let mut context = Matrix::zeros(nb * s, self.config.hidden);
-            for bi in 0..nb {
-                let base = pack.row_of(bi);
-                for hd in 0..heads {
-                    let p = probs.slice_rows((bi * heads + hd) * s, s);
-                    let vh = v.slice_block(base, s, hd * dh, dh);
-                    // Activation × activation GEMM #2: P·V, one sequence.
-                    let ctx_h = p.matmul(&vh);
-                    for r in 0..s {
-                        context.row_mut(base + r)[hd * dh..(hd + 1) * dh]
-                            .copy_from_slice(ctx_h.row(r));
-                    }
-                }
-            }
+            let context = fused_attention_context(&probs, &v, pack, heads, dh, self.config.hidden);
             let context =
                 exec.activation_packed(&format!("{pre}.attn.context"), context, &rows_layout);
             let attn_out = self.linear_packed(

@@ -23,6 +23,8 @@
 //! real keys and produce well-defined garbage), but nothing reads them:
 //! they are skipped at unpack, never encoded, and never feed a real row.
 
+use mokey_tensor::{dot_wide, Matrix};
+
 /// Shape bookkeeping for one packed batch: per-request true lengths plus
 /// the common padded length.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +147,96 @@ pub struct Region {
     pub row_blocks: Vec<(usize, usize)>,
     /// Valid column prefix, or `None` for the full width.
     pub cols: Option<usize>,
+}
+
+/// Fused block-diagonal `Q·K^T` over a packed batch: one region-strided
+/// pass producing the scaled, padding-masked score matrix
+/// (`(B·heads·S) × S`, request-major then head-major) directly from the
+/// packed `(B·S) × hidden` query/key buffers.
+///
+/// Each element is `dot_wide(q_slice, k_slice) * scale` on the exact head
+/// slices a per-sequence `slice_block` + `matmul_transposed` + `scale`
+/// would feed it — [`dot_wide`] is a pure function of its operand slices,
+/// so the fused pass is bit-identical to the per-sequence path while
+/// skipping every intermediate copy. Padded key columns (`c ≥ len`) are
+/// written as `−∞` so the caller's softmax turns them into exact `0.0`;
+/// padded *query* rows are still computed (deterministic garbage nothing
+/// reads back), matching the per-sequence path.
+pub fn fused_attention_scores(
+    q: &Matrix,
+    k: &Matrix,
+    pack: &PackedBatch,
+    heads: usize,
+    dh: usize,
+    scale: f32,
+) -> Matrix {
+    let s = pack.seq();
+    let nb = pack.requests();
+    let mut scores = Matrix::zeros(nb * heads * s, s);
+    for bi in 0..nb {
+        let len = pack.len_of(bi);
+        let base = pack.row_of(bi);
+        for hd in 0..heads {
+            let c0 = hd * dh;
+            let probs_base = (bi * heads + hd) * s;
+            for r in 0..s {
+                let q_slice = &q.row(base + r)[c0..c0 + dh];
+                let out_row = scores.row_mut(probs_base + r);
+                for (c, o) in out_row[..len].iter_mut().enumerate() {
+                    *o = dot_wide(q_slice, &k.row(base + c)[c0..c0 + dh]) * scale;
+                }
+                for o in &mut out_row[len..] {
+                    *o = f32::NEG_INFINITY;
+                }
+            }
+        }
+    }
+    scores
+}
+
+/// Fused block-diagonal `P·V` over a packed batch: one region-strided
+/// pass accumulating every head's context slice straight into the packed
+/// `(B·S) × hidden` output, from the post-softmax probability matrix laid
+/// out by [`PackedBatch::probs_layout`].
+///
+/// Per output element the accumulation is ascending over the key
+/// positions with exactly one addition per non-zero probability — the
+/// same per-element reduction as the per-sequence `matmul` against a
+/// `slice_block` copy of `V`, so outputs are bit-identical. Masked
+/// probabilities are exactly `0.0` and are skipped, so padded value rows
+/// contribute nothing, exactly as the zero-skipping GEMM kernels behave.
+pub fn fused_attention_context(
+    probs: &Matrix,
+    v: &Matrix,
+    pack: &PackedBatch,
+    heads: usize,
+    dh: usize,
+    hidden: usize,
+) -> Matrix {
+    let s = pack.seq();
+    let nb = pack.requests();
+    let mut context = Matrix::zeros(nb * s, hidden);
+    for bi in 0..nb {
+        let base = pack.row_of(bi);
+        for hd in 0..heads {
+            let c0 = hd * dh;
+            let probs_base = (bi * heads + hd) * s;
+            for r in 0..s {
+                let out = &mut context.row_mut(base + r)[c0..c0 + dh];
+                for kk in 0..s {
+                    let pv = probs[(probs_base + r, kk)];
+                    if pv == 0.0 {
+                        continue;
+                    }
+                    let v_slice = &v.row(base + kk)[c0..c0 + dh];
+                    for (o, &vv) in out.iter_mut().zip(v_slice) {
+                        *o += pv * vv;
+                    }
+                }
+            }
+        }
+    }
+    context
 }
 
 #[cfg(test)]

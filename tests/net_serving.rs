@@ -419,6 +419,7 @@ proptest! {
             stats: mokey_transformer::exec::QuantizedStats {
                 act_values: (corr % 100_000) as usize,
                 act_outliers: (corr % 1_000) as usize,
+                ..Default::default()
             },
         };
         // NaN payloads break `==`; compare re-encoded bytes instead,
